@@ -1,0 +1,72 @@
+//! Criterion benchmarks of CKKS primitive operations — the cost model
+//! behind every latency number in the paper reproduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smartpaf_ckks::{CkksParams, Evaluator, KeyChain, NttTable};
+use smartpaf_ckks::modular::ntt_primes;
+use smartpaf_tensor::Rng64;
+
+fn bench_ntt(c: &mut Criterion) {
+    let n = 4096;
+    let q = ntt_primes(40, 1, n)[0];
+    let table = NttTable::new(q, n);
+    let data: Vec<u64> = (0..n).map(|i| (i as u64 * 7919) % q).collect();
+    c.bench_function("ntt_forward_4096", |b| {
+        b.iter(|| {
+            let mut a = data.clone();
+            table.forward(&mut a);
+            std::hint::black_box(a);
+        })
+    });
+    c.bench_function("ntt_inverse_4096", |b| {
+        let mut fwd = data.clone();
+        table.forward(&mut fwd);
+        b.iter(|| {
+            let mut a = fwd.clone();
+            table.inverse(&mut a);
+            std::hint::black_box(a);
+        })
+    });
+}
+
+fn bench_cipher_ops(c: &mut Criterion) {
+    let ctx = CkksParams::default_params().build();
+    let mut rng = Rng64::new(1);
+    let keys = KeyChain::generate(&ctx, &mut rng);
+    let ev = Evaluator::new(&keys);
+    let vals: Vec<f64> = (0..64).map(|i| i as f64 / 64.0 - 0.5).collect();
+    let ct = ev.encrypt_values(&vals, &mut rng);
+    // Warm up the relin key cache so mul measures steady-state cost.
+    let _ = ev.mul(&ct, &ct);
+
+    c.bench_function("ckks_encrypt_n4096", |b| {
+        let pt = ev
+            .encoder()
+            .encode(&vals, ctx.scale(), ctx.primes().len());
+        let mut r = Rng64::new(2);
+        b.iter(|| std::hint::black_box(ev.encrypt(&pt, &mut r)))
+    });
+    c.bench_function("ckks_add", |b| {
+        b.iter(|| std::hint::black_box(ev.add(&ct, &ct)))
+    });
+    c.bench_function("ckks_mul_relin", |b| {
+        b.iter(|| std::hint::black_box(ev.mul(&ct, &ct)))
+    });
+    c.bench_function("ckks_mul_relin_rescale", |b| {
+        b.iter(|| {
+            let mut p = ev.mul(&ct, &ct);
+            ev.rescale(&mut p);
+            std::hint::black_box(p)
+        })
+    });
+    c.bench_function("ckks_mul_const", |b| {
+        b.iter(|| std::hint::black_box(ev.mul_const(&ct, 0.5)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ntt, bench_cipher_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benchmark: tensor substrate convolution kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smartpaf_tensor::{conv2d, conv2d_backward, ConvSpec, Rng64, Tensor};
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = Rng64::new(5);
+    let x = Tensor::rand_normal(&[4, 16, 16, 16], 0.0, 1.0, &mut rng);
+    let w = Tensor::rand_normal(&[32, 16, 3, 3], 0.0, 0.2, &mut rng);
+    let bias = Tensor::zeros(&[32]);
+    let spec = ConvSpec::new(3, 1, 1);
+    c.bench_function("conv2d_fwd_4x16x16x16", |b| {
+        b.iter(|| std::hint::black_box(conv2d(&x, &w, &bias, &spec)))
+    });
+    let y = conv2d(&x, &w, &bias, &spec);
+    let g = Tensor::ones(y.dims());
+    c.bench_function("conv2d_bwd_4x16x16x16", |b| {
+        b.iter(|| std::hint::black_box(conv2d_backward(&x, &w, &g, &spec)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_conv
+}
+criterion_main!(benches);

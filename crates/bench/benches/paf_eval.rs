@@ -1,0 +1,33 @@
+//! Criterion benchmark: encrypted PAF-ReLU latency per form — the
+//! measurement behind Tab. 4's latency column and Fig. 1's x-axis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartpaf_ckks::{CkksParams, Evaluator, KeyChain, PafEvaluator};
+use smartpaf_polyfit::{CompositePaf, PafForm};
+use smartpaf_tensor::Rng64;
+
+fn bench_paf_relu(c: &mut Criterion) {
+    let ctx = CkksParams::default_params().build();
+    let mut rng = Rng64::new(3);
+    let keys = KeyChain::generate(&ctx, &mut rng);
+    let pe = PafEvaluator::new(Evaluator::new(&keys));
+    let vals: Vec<f64> = (0..64).map(|i| i as f64 / 32.0 - 1.0).collect();
+    let ct = pe.evaluator().encrypt_values(&vals, &mut rng);
+
+    let mut group = c.benchmark_group("paf_relu_ckks");
+    group.sample_size(10);
+    for form in PafForm::all() {
+        let paf = CompositePaf::from_form(form);
+        // Warm up relin keys for the levels this form touches.
+        let _ = pe.relu(&ct, &paf);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(form.paper_name()),
+            &paf,
+            |b, paf| b.iter(|| std::hint::black_box(pe.relu(&ct, paf))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paf_relu);
+criterion_main!(benches);

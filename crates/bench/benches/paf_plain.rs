@@ -1,0 +1,44 @@
+//! Criterion benchmark: plaintext PAF evaluation, including the
+//! odd-Horner vs dense-Horner ablation called out in DESIGN.md §5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartpaf_polyfit::{CompositePaf, PafForm, Polynomial};
+
+fn bench_plain_forms(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..4096).map(|i| i as f64 / 2048.0 - 1.0).collect();
+    let mut group = c.benchmark_group("paf_plain_eval_4096");
+    for form in PafForm::all() {
+        let paf = CompositePaf::from_form(form);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(form.paper_name()),
+            &paf,
+            |b, paf| {
+                b.iter(|| {
+                    let s: f64 = xs.iter().map(|&x| paf.relu(x)).sum();
+                    std::hint::black_box(s)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_odd_vs_dense(c: &mut Criterion) {
+    let p = Polynomial::from_odd(&[7.3, -34.7, 59.9, -31.9]);
+    let xs: Vec<f64> = (0..4096).map(|i| i as f64 / 2048.0 - 1.0).collect();
+    c.bench_function("horner_dense_deg7", |b| {
+        b.iter(|| {
+            let s: f64 = xs.iter().map(|&x| p.eval(x)).sum();
+            std::hint::black_box(s)
+        })
+    });
+    c.bench_function("horner_odd_deg7", |b| {
+        b.iter(|| {
+            let s: f64 = xs.iter().map(|&x| p.eval_odd(x)).sum();
+            std::hint::black_box(s)
+        })
+    });
+}
+
+criterion_group!(benches, bench_plain_forms, bench_odd_vs_dense);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion benches for the rotation-based encrypted linear algebra:
+//! Galois rotation, naive vs BSGS matrix–vector product, slot sums,
+//! and the simulated bootstrap — the primitives behind the heinfer
+//! end-to-end pipeline and the paper's "rotations are cheap,
+//! bootstraps are not" cost structure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartpaf_ckks::{Bootstrapper, CkksParams, DiagMatrix, Evaluator, KeyChain};
+use smartpaf_tensor::Rng64;
+
+fn setup() -> (Evaluator, Rng64) {
+    let ctx = CkksParams::default_params().build();
+    let mut rng = Rng64::new(99);
+    let keys = KeyChain::generate(&ctx, &mut rng);
+    (Evaluator::new(&keys), rng)
+}
+
+fn bench_rotation(c: &mut Criterion) {
+    let (ev, mut rng) = setup();
+    let slots = ev.context().slots();
+    let vals: Vec<f64> = (0..slots).map(|i| (i % 31) as f64 / 31.0).collect();
+    let ct = ev.encrypt_values(&vals, &mut rng);
+    // Warm the Galois key caches so key generation is excluded.
+    let _ = ev.rotate(&ct, 1);
+    let _ = ev.rotate(&ct, 64);
+    let mut g = c.benchmark_group("rotation");
+    g.sample_size(10);
+    for steps in [1i64, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &s| {
+            b.iter(|| ev.rotate(&ct, s));
+        });
+    }
+    g.bench_function("conjugate", |b| {
+        let _ = ev.conjugate(&ct);
+        b.iter(|| ev.conjugate(&ct));
+    });
+    g.finish();
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let (ev, mut rng) = setup();
+    let m = 64usize;
+    let rows: Vec<Vec<f64>> = (0..m)
+        .map(|i| (0..m).map(|j| ((i * 7 + j * 3) % 13) as f64 / 13.0 - 0.5).collect())
+        .collect();
+    let mat = DiagMatrix::from_rows(&rows);
+    let v: Vec<f64> = (0..m).map(|i| (i as f64 - 32.0) / 64.0).collect();
+    let ct = ev.encrypt_replicated(&v, &mut rng);
+    // Warm rotation key caches.
+    let _ = ev.matvec_bsgs(&mat, &ct);
+    let _ = ev.matvec(&mat, &ct);
+    let mut g = c.benchmark_group("matvec_64x64");
+    g.sample_size(10);
+    g.bench_function("naive_diagonal", |b| b.iter(|| ev.matvec(&mat, &ct)));
+    g.bench_function("bsgs", |b| b.iter(|| ev.matvec_bsgs(&mat, &ct)));
+    g.finish();
+
+    // Sparse structured matrix (pooling-like): few diagonals.
+    let mut sparse_rows = vec![vec![0.0; m]; m / 4];
+    for (o, row) in sparse_rows.iter_mut().enumerate() {
+        row[o * 4] = 0.25;
+        row[o * 4 + 1] = 0.25;
+        row[o * 4 + 2] = 0.25;
+        row[o * 4 + 3] = 0.25;
+    }
+    let sparse = DiagMatrix::from_rows_with_dim(&sparse_rows, m);
+    let _ = ev.matvec_bsgs(&sparse, &ct);
+    let mut g = c.benchmark_group("matvec_sparse_pooling");
+    g.sample_size(10);
+    g.bench_function("bsgs", |b| b.iter(|| ev.matvec_bsgs(&sparse, &ct)));
+    g.finish();
+}
+
+fn bench_slot_sums(c: &mut Criterion) {
+    let (ev, mut rng) = setup();
+    let m = 64usize;
+    let v: Vec<f64> = (0..m).map(|i| i as f64 / m as f64).collect();
+    let w: Vec<f64> = (0..m).map(|i| 1.0 - i as f64 / m as f64).collect();
+    let ct = ev.encrypt_replicated(&v, &mut rng);
+    let _ = ev.sum_replicated(&ct, m);
+    let mut g = c.benchmark_group("slot_sums");
+    g.sample_size(10);
+    g.bench_function("sum_replicated_64", |b| b.iter(|| ev.sum_replicated(&ct, m)));
+    g.bench_function("inner_product_64", |b| {
+        b.iter(|| ev.inner_product_plain(&ct, &w))
+    });
+    g.finish();
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let (ev, mut rng) = setup();
+    let v: Vec<f64> = (0..64).map(|i| (i as f64 - 32.0) / 64.0).collect();
+    let ct = ev.encrypt_replicated(&v, &mut rng);
+    let low = ev.mul_const(&ct, 1.0); // one level down
+    let bs = Bootstrapper::new(ev.clone(), 64, 123);
+    let mut g = c.benchmark_group("bootstrap");
+    g.sample_size(10);
+    g.bench_function("simulated_refresh", |b| b.iter(|| bs.refresh(&low)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rotation,
+    bench_matvec,
+    bench_slot_sums,
+    bench_bootstrap
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmark: one fine-tuning step of a PAF-approximated
+//! model — the unit of work the SMART-PAF scheduler repeats.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smartpaf::replace_all;
+use smartpaf_nn::{cross_entropy, mini_cnn, Adam, Mode, OptimConfig};
+use smartpaf_polyfit::{CompositePaf, PafForm};
+use smartpaf_tensor::{Rng64, Tensor};
+
+fn bench_step(c: &mut Criterion) {
+    let mut rng = Rng64::new(6);
+    let mut model = mini_cnn(8, 0.125, &mut rng);
+    replace_all(
+        &mut model,
+        &CompositePaf::from_form(PafForm::F1SqG1Sq),
+        false,
+    );
+    let mut opt = Adam::new(OptimConfig::paper_tab5());
+    let x = Tensor::rand_normal(&[8, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..8).map(|i| i % 8).collect();
+    c.bench_function("paf_model_train_step_b8", |b| {
+        b.iter(|| {
+            let logits = model.forward(&x, Mode::Train);
+            let (_, grad) = cross_entropy(&logits, &labels);
+            model.backward(&grad);
+            opt.step(&mut model.params_mut());
+        })
+    });
+    c.bench_function("paf_model_eval_b8", |b| {
+        b.iter(|| std::hint::black_box(model.forward(&x, Mode::Eval)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_step
+}
+criterion_main!(benches);

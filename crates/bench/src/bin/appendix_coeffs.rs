@@ -1,0 +1,56 @@
+//! Regenerates paper App. B (Tabs. 6, 7, 9, 10, 11): per-layer
+//! post-training PAF coefficients — the paper's published values plus
+//! coefficients trained by our own pipeline.
+
+use smartpaf::{TechniqueSet, Workbench};
+use smartpaf_bench::{scale_from_env, train_config, width};
+use smartpaf_datasets::{SynthDataset, SynthSpec};
+use smartpaf_nn::resnet18;
+use smartpaf_polyfit::{paper_coeffs, PafForm};
+use smartpaf_tensor::Rng64;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("App. B — post-training PAF coefficients\n");
+
+    println!("Tab. 7 (paper): minimax α=7 coefficients");
+    println!("  stage 1 (odd deg 1..7): {:?}", paper_coeffs::ALPHA7.0);
+    println!("  stage 2 (odd deg 1..7): {:?}\n", paper_coeffs::ALPHA7.1);
+
+    println!("Tab. 6 (paper): f1∘g2 best per-layer coefficients (first 4 of 17 rows)");
+    for (i, row) in paper_coeffs::F1G2_BEST.iter().take(4).enumerate() {
+        println!("  layer {i}: c=({:.4}, {:.4}) d=({:.4}, {:.4}, {:.4})", row.0, row.1, row.2, row.3, row.4);
+    }
+    println!("  ... ({} rows total; see polyfit::paper_coeffs)\n", paper_coeffs::F1G2_BEST.len());
+
+    println!("Tab. 9 (paper): f1²∘g1² row 0: {:?}\n", paper_coeffs::F1SQ_G1SQ_BEST[0]);
+
+    // Now train our own per-layer coefficients with the full pipeline.
+    println!("--- our trained per-layer f1∘g2 coefficients ({scale:?} scale) ---");
+    let spec = SynthSpec {
+        classes: 8,
+        ..SynthSpec::imagenet_like(13)
+    };
+    let dataset = SynthDataset::new(spec);
+    let mut rng = Rng64::new(13);
+    let model = resnet18(spec.classes, width(scale), &mut rng);
+    let mut wb = Workbench::new(model, dataset, train_config(scale, 13), 6);
+    let _ = wb.run_cell(TechniqueSet::smartpaf_ds(), PafForm::F1G2, true);
+    let pafs = wb.current_relu_pafs();
+    println!("{} ReLU layers replaced; per-layer odd coefficients:", pafs.len());
+    for (i, paf) in pafs.iter().enumerate() {
+        let f: Vec<String> = paf.stages()[0]
+            .odd_coeffs()
+            .iter()
+            .map(|c| format!("{c:.4}"))
+            .collect();
+        let g: Vec<String> = paf.stages()[1]
+            .odd_coeffs()
+            .iter()
+            .map(|c| format!("{c:.4}"))
+            .collect();
+        println!("  layer {i:>2}: f=[{}] g=[{}]", f.join(", "), g.join(", "));
+    }
+    println!("\nLike the paper's tables, coefficients differ per layer — the");
+    println!("signature of Coefficient Tuning + per-layer fine-tuning.");
+}

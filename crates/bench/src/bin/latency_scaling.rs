@@ -1,0 +1,52 @@
+//! Extension experiment: PAF-ReLU latency versus ring dimension.
+//!
+//! Tab. 4's absolute numbers depend on CKKS parameters; this binary
+//! shows that the *speedup ordering* of the PAF forms is stable across
+//! ring dimensions and matches the analytic model's projection at the
+//! paper's N = 32768.
+//!
+//! Run with: `cargo run -p smartpaf-bench --release --bin latency_scaling`
+
+use smartpaf::LatencyRig;
+use smartpaf_ckks::cost::{project_seconds, relu_op_counts};
+use smartpaf_ckks::CkksParams;
+use smartpaf_polyfit::{CompositePaf, PafForm};
+
+fn main() {
+    let forms = PafForm::all();
+    let ns = [1024usize, 2048, 4096];
+    println!("PAF-ReLU latency vs ring dimension (measured, 1 iter each)");
+    print!("{:<20}", "form");
+    for n in ns {
+        print!(" {:>12}", format!("N={n}"));
+    }
+    println!(" {:>14} {:>9}", "proj N=32768", "speedup");
+
+    // Analytic projection at paper scale, calibrated per modmul.
+    let paper = CkksParams::paper_scale();
+    let per_modmul = 1.2e-9;
+    let baseline_proj = project_seconds(
+        &relu_op_counts(&paper, &CompositePaf::from_form(PafForm::MinimaxDeg27)),
+        per_modmul,
+    );
+
+    for form in forms {
+        print!("{:<20}", form.paper_name());
+        for n in ns {
+            let params = CkksParams {
+                n,
+                ..CkksParams::default_params()
+            };
+            let mut rig = LatencyRig::new(&params, 7);
+            let report = rig.measure_relu(form, 1);
+            print!(" {:>11.1}ms", report.relu_latency.as_secs_f64() * 1e3);
+        }
+        let proj = project_seconds(
+            &relu_op_counts(&paper, &CompositePaf::from_form(form)),
+            per_modmul,
+        );
+        println!(" {:>13.2}s {:>8.2}x", proj, baseline_proj / proj);
+    }
+    println!("\npaper Tab. 4 speedups over the 27-degree PAF: 6.79x – 14.9x;");
+    println!("the ordering (f1∘g2 fastest … α=10 slowest) must hold at every N.");
+}

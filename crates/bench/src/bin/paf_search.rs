@@ -1,0 +1,66 @@
+//! Composite-PAF search: regenerates the selections behind paper
+//! Tab. 2 from first principles and sweeps the α → depth trade-off.
+//!
+//! Run with: `cargo run -p smartpaf-bench --release --bin paf_search`
+
+use smartpaf_polyfit::{
+    enumerate_composites, min_depth_composite, min_depth_under_degree, pareto_frontier,
+    SearchConfig,
+};
+
+fn main() {
+    let cfg = SearchConfig {
+        max_stages: 4,
+        samples: 201,
+        ..SearchConfig::default()
+    };
+    println!(
+        "Composite-PAF search over {{f1,f2,f3,g1,g2,g3}} sequences, up to {} stages, ε = {}",
+        cfg.max_stages, cfg.eps
+    );
+
+    println!("\n(depth, error) Pareto frontier:");
+    println!("{:<16} {:>6} {:>8} {:>12} {:>8}", "composite", "depth", "degree", "max error", "α");
+    for c in pareto_frontier(enumerate_composites(&cfg)) {
+        println!(
+            "{:<16} {:>6} {:>8} {:>12.3e} {:>8.2}",
+            c.name(),
+            c.depth,
+            c.degree,
+            c.max_error,
+            c.alpha()
+        );
+    }
+
+    println!("\nTab. 2 regeneration — minimal depth under a degree budget:");
+    println!("{:<8} {:<16} {:>6} {:>12}", "budget", "pick", "depth", "max error");
+    for budget in [5usize, 8, 10, 12, 14] {
+        match min_depth_under_degree(&cfg, budget) {
+            Some(c) => println!(
+                "{:<8} {:<16} {:>6} {:>12.3e}",
+                budget,
+                c.name(),
+                c.depth,
+                c.max_error
+            ),
+            None => println!("{budget:<8} (none bounded)"),
+        }
+    }
+
+    println!("\nα sweep — minimal depth achieving error ≤ 2^-α:");
+    println!("{:<6} {:<16} {:>6} {:>12}", "α", "pick", "depth", "max error");
+    for alpha in 2..=7 {
+        let tol = 2f64.powi(-alpha);
+        match min_depth_composite(&cfg, tol) {
+            Some(c) => println!(
+                "{:<6} {:<16} {:>6} {:>12.3e}",
+                alpha,
+                c.name(),
+                c.depth,
+                c.max_error
+            ),
+            None => println!("{alpha:<6} unreachable at {} stages", cfg.max_stages),
+        }
+    }
+    println!("\n(the paper's forms — f1∘g2, f2∘g2, f2∘g3, f1²∘g1² — sit on or near this frontier)");
+}

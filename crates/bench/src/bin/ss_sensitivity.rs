@@ -1,0 +1,31 @@
+//! Extension experiment (paper §4.5 claim): Static Scaling is a local
+//! optimum — freezing the scale above or below the running max should
+//! both reduce accuracy.
+//!
+//! Not a numbered paper artifact, but the §4.5 text asserts "either a
+//! higher or smaller scale results in lower accuracy"; this binary
+//! quantifies that curve.
+
+use smartpaf::TechniqueSet;
+use smartpaf_bench::{pct, resnet_workbench, scale_from_env};
+use smartpaf_polyfit::PafForm;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("§4.5 — Static Scaling sensitivity ({scale:?} scale)\n");
+    let mut wb = resnet_workbench(scale, 12);
+    println!("original accuracy: {}\n", pct(wb.original_acc()));
+
+    println!("{:>14} {:>12}", "scale factor", "val acc");
+    for &factor in &[0.25f32, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0] {
+        let acc = wb.run_cell_with_scale_factor(
+            TechniqueSet::smartpaf(),
+            PafForm::F1SqG1Sq,
+            false,
+            factor,
+        );
+        println!("{factor:>13}x {:>12}", pct(acc));
+    }
+    println!("\npaper claim: the running-max scale (factor 1.0) is the sweet spot;");
+    println!("both smaller (overflow) and larger (resolution loss) scales hurt.");
+}

@@ -1,0 +1,50 @@
+//! Regenerates paper Tab. 1 quantitatively: communication, latency and
+//! accuracy flags for hybrid schemes vs in-FHE PAF processing.
+//!
+//! Run with: `cargo run -p smartpaf-bench --release --bin tab1`
+
+use smartpaf_hybrid::{tab1_matrix, NetworkConfig, Scheme, WorkloadSpec};
+
+fn mark(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "NO"
+    }
+}
+
+fn print_matrix(label: &str, w: &WorkloadSpec, net: &NetworkConfig) {
+    println!("\n== {label} ==");
+    println!(
+        "{:<36} {:>12} {:>12} {:>10} {:>9} {:>9} {:>9}",
+        "scheme", "online MB", "offline MB", "latency s", "low-comm", "low-acc∆", "low-lat"
+    );
+    for row in tab1_matrix(w, net) {
+        println!(
+            "{:<36} {:>12.1} {:>12.1} {:>10.2} {:>9} {:>9} {:>9}",
+            row.scheme.to_string(),
+            row.cost.online_bytes / 1e6,
+            row.cost.offline_bytes / 1e6,
+            row.cost.latency_sec,
+            mark(row.low_communication),
+            mark(row.low_accuracy_degradation),
+            mark(row.low_latency),
+        );
+    }
+}
+
+fn main() {
+    println!("Tab. 1 — scheme comparison, quantitative reconstruction");
+    println!("(paper: SafeNet/CryptoNet/HEAX rows ✗ comm; F1/BTS rows ✗ latency; SMART-PAF ✓✓✓)");
+    let resnet = WorkloadSpec::resnet18_imagenet();
+    print_matrix("ResNet-18 / ImageNet-1k, LAN (10 Gbit/s)", &resnet, &NetworkConfig::lan());
+    print_matrix("ResNet-18 / ImageNet-1k, WAN (100 Mbit/s)", &resnet, &NetworkConfig::wan());
+    let vgg = WorkloadSpec::vgg19_cifar();
+    print_matrix("VGG-19 / CIFAR-10, WAN (100 Mbit/s)", &vgg, &NetworkConfig::wan());
+
+    println!("\nCrossover bandwidths (hybrid comm latency = SMART-PAF FHE latency):");
+    for s in [Scheme::GazelleHybrid, Scheme::DelphiHybrid] {
+        let bw = smartpaf_hybrid::crossover_bandwidth(s, &resnet);
+        println!("  {s}: {:.1} Mbit/s", bw * 8.0 / 1e6);
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates paper Tab. 2: PAF forms, degrees and multiplication
+//! depth.
+
+use smartpaf_polyfit::{CompositePaf, PafForm};
+
+fn main() {
+    println!("Tab. 2 — PAF forms and multiplication depth");
+    println!(
+        "{:<20} {:>12} {:>10} {:>14} {:>7}",
+        "form", "paper degree", "sum degree", "stage degrees", "depth"
+    );
+    for form in PafForm::all().into_iter().rev() {
+        let paf = CompositePaf::from_form(form);
+        let stages: Vec<String> = paf
+            .stages()
+            .iter()
+            .map(|s| s.degree().to_string())
+            .collect();
+        println!(
+            "{:<20} {:>12} {:>10} {:>14} {:>7}",
+            form.paper_name(),
+            form.paper_reported_degree(),
+            paf.sum_degree(),
+            stages.join("+"),
+            paf.mult_depth()
+        );
+    }
+    println!("\npaper depth row: α=10→10, f1²∘g1²→8, α=7→6, f2∘g3→6, f2∘g2→6, f1∘g2→5");
+    println!("(our depth column is computed from ceil(log2(deg+1)) per stage, App. C)");
+}

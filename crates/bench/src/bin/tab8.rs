@@ -1,0 +1,23 @@
+//! Regenerates paper Tab. 8 / Fig. 10: the multiplication-depth
+//! walkthrough of evaluating `f1 ∘ g2` under CKKS.
+
+use smartpaf_polyfit::{CompositePaf, DepthTrace, PafForm};
+
+fn main() {
+    println!("Tab. 8 / Fig. 10 — multiplication depth walkthrough of f1∘g2\n");
+    let trace = DepthTrace::for_stage_degrees(&[3, 5]);
+    println!("{trace}\n");
+
+    println!("depth traces of every Tab. 2 form:");
+    for form in PafForm::all() {
+        let paf = CompositePaf::from_form(form);
+        let degs: Vec<usize> = paf.stages().iter().map(|s| s.degree()).collect();
+        let trace = DepthTrace::for_stage_degrees(&degs);
+        println!(
+            "  {:<20} stages {:?} -> total depth {}",
+            form.paper_name(),
+            degs,
+            trace.total_depth()
+        );
+    }
+}

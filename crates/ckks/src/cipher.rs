@@ -1,0 +1,461 @@
+//! Ciphertexts and homomorphic operations.
+
+use crate::encoding::{Encoder, Plaintext};
+use crate::keys::{truncate, KeyChain, DIGIT_BITS};
+use crate::rns::{CkksContext, RnsPoly};
+use smartpaf_tensor::Rng64;
+use std::sync::Arc;
+
+/// Maximum tolerated relative scale mismatch when adding ciphertexts.
+///
+/// Each rescale divides by a prime within ~1e-4 of the nominal scale
+/// (NTT-friendly primes are spaced by 2n), so an 11-level evaluation
+/// can drift a little over 1e-3 at small ring dimensions. The mismatch
+/// bounds the relative slot error of the addition, so 5e-3 stays well
+/// inside the simulator's noise budget while still catching genuine
+/// scale-management bugs (those are off by a full Δ factor).
+const SCALE_TOLERANCE: f64 = 5e-3;
+
+/// A CKKS ciphertext `(c0, c1)` with `m ≈ c0 + c1·s`.
+#[derive(Debug, Clone)]
+pub struct Ciphertext {
+    pub(crate) c0: RnsPoly,
+    pub(crate) c1: RnsPoly,
+    /// Current encoding scale.
+    pub scale: f64,
+}
+
+impl Ciphertext {
+    /// Number of RNS limbs (level + 1).
+    pub fn num_limbs(&self) -> usize {
+        self.c0.num_limbs()
+    }
+
+    /// Remaining rescale budget.
+    pub fn level(&self) -> usize {
+        self.num_limbs() - 1
+    }
+
+    /// Drops limbs until `num_limbs` remain (plain modulus switch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_limbs` is zero or larger than the current count.
+    pub fn drop_to(&mut self, num_limbs: usize) {
+        assert!(num_limbs >= 1 && num_limbs <= self.num_limbs());
+        while self.num_limbs() > num_limbs {
+            self.c0.drop_last_limb();
+            self.c1.drop_last_limb();
+        }
+    }
+}
+
+/// Homomorphic evaluator bound to a context and key chain.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    ctx: Arc<CkksContext>,
+    keys: Arc<KeyChain>,
+    encoder: Encoder,
+}
+
+impl Evaluator {
+    /// Creates an evaluator.
+    pub fn new(keys: &Arc<KeyChain>) -> Self {
+        let ctx = Arc::clone(keys.context());
+        Evaluator {
+            encoder: Encoder::new(&ctx),
+            ctx,
+            keys: Arc::clone(keys),
+        }
+    }
+
+    /// Shared context.
+    pub fn context(&self) -> &Arc<CkksContext> {
+        &self.ctx
+    }
+
+    /// The encoder used for plaintext interop.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// Encrypts a plaintext under the public key.
+    pub fn encrypt(&self, pt: &Plaintext, rng: &mut Rng64) -> Ciphertext {
+        let nl = pt.poly.num_limbs();
+        let pk = self.keys.public_key();
+        let mut u = RnsPoly::random_ternary(&self.ctx, nl, rng);
+        u.to_ntt();
+        let mut e0 = RnsPoly::random_error(&self.ctx, nl, rng);
+        e0.to_ntt();
+        let mut e1 = RnsPoly::random_error(&self.ctx, nl, rng);
+        e1.to_ntt();
+        let b = truncate(&pk.b, nl);
+        let a = truncate(&pk.a, nl);
+        Ciphertext {
+            c0: b.mul(&u).add(&e0).add(&pt.poly),
+            c1: a.mul(&u).add(&e1),
+            scale: pt.scale,
+        }
+    }
+
+    /// Convenience: encode + encrypt real slot values at the default
+    /// scale and top level.
+    pub fn encrypt_values(&self, values: &[f64], rng: &mut Rng64) -> Ciphertext {
+        let pt = self
+            .encoder
+            .encode(values, self.ctx.scale(), self.ctx.primes().len());
+        self.encrypt(&pt, rng)
+    }
+
+    /// Decrypts to a plaintext.
+    pub fn decrypt(&self, ct: &Ciphertext) -> Plaintext {
+        let s = truncate(self.keys.secret_key_internal(), ct.num_limbs());
+        Plaintext {
+            poly: ct.c0.add(&ct.c1.mul(&s)),
+            scale: ct.scale,
+        }
+    }
+
+    /// Convenience: decrypt + decode `count` slots.
+    pub fn decrypt_values(&self, ct: &Ciphertext, count: usize) -> Vec<f64> {
+        let pt = self.decrypt(ct);
+        self.encoder.decode(&pt, count)
+    }
+
+    fn align(&self, a: &Ciphertext, b: &Ciphertext) -> (Ciphertext, Ciphertext) {
+        let nl = a.num_limbs().min(b.num_limbs());
+        let mut aa = a.clone();
+        let mut bb = b.clone();
+        aa.drop_to(nl);
+        bb.drop_to(nl);
+        let rel = (aa.scale - bb.scale).abs() / aa.scale.max(bb.scale);
+        assert!(
+            rel < SCALE_TOLERANCE,
+            "scale mismatch beyond tolerance: {} vs {}",
+            aa.scale,
+            bb.scale
+        );
+        (aa, bb)
+    }
+
+    /// Homomorphic addition (auto-aligns levels; scales must agree to
+    /// within [`SCALE_TOLERANCE`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on scale mismatch beyond tolerance.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let (aa, bb) = self.align(a, b);
+        Ciphertext {
+            c0: aa.c0.add(&bb.c0),
+            c1: aa.c1.add(&bb.c1),
+            scale: aa.scale.max(bb.scale),
+        }
+    }
+
+    /// Homomorphic subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on scale mismatch beyond tolerance.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let (aa, bb) = self.align(a, b);
+        Ciphertext {
+            c0: aa.c0.sub(&bb.c0),
+            c1: aa.c1.sub(&bb.c1),
+            scale: aa.scale.max(bb.scale),
+        }
+    }
+
+    /// Adds an encoded plaintext.
+    ///
+    /// # Panics
+    ///
+    /// Panics on scale mismatch beyond tolerance or level mismatch.
+    pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let mut p = pt.poly.clone();
+        while p.num_limbs() > a.num_limbs() {
+            p.drop_last_limb();
+        }
+        let rel = (a.scale - pt.scale).abs() / a.scale.max(pt.scale);
+        assert!(rel < SCALE_TOLERANCE, "plain add scale mismatch");
+        Ciphertext {
+            c0: a.c0.add(&p),
+            c1: a.c1.clone(),
+            scale: a.scale,
+        }
+    }
+
+    /// Multiplies by an encoded plaintext. Result scale is the product;
+    /// callers usually [`Self::rescale`] afterwards.
+    pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let mut p = pt.poly.clone();
+        while p.num_limbs() > a.num_limbs() {
+            p.drop_last_limb();
+        }
+        Ciphertext {
+            c0: a.c0.mul(&p),
+            c1: a.c1.mul(&p),
+            scale: a.scale * pt.scale,
+        }
+    }
+
+    /// Multiplies by a scalar constant, consuming one level (encode at
+    /// the default scale, multiply, rescale).
+    pub fn mul_const(&self, a: &Ciphertext, value: f64) -> Ciphertext {
+        let pt = self
+            .encoder
+            .encode_constant(value, self.ctx.scale(), a.num_limbs());
+        let mut out = self.mul_plain(a, &pt);
+        self.rescale(&mut out);
+        out
+    }
+
+    /// Ciphertext-ciphertext multiplication with relinearisation.
+    /// Result scale is the product of input scales; callers usually
+    /// [`Self::rescale`] afterwards.
+    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let (aa, bb) = {
+            let nl = a.num_limbs().min(b.num_limbs());
+            let mut aa = a.clone();
+            let mut bb = b.clone();
+            aa.drop_to(nl);
+            bb.drop_to(nl);
+            (aa, bb)
+        };
+        let d0 = aa.c0.mul(&bb.c0);
+        let d1 = aa.c0.mul(&bb.c1).add(&aa.c1.mul(&bb.c0));
+        let d2 = aa.c1.mul(&bb.c1);
+        let (r0, r1) = self.relinearize_d2(&d2);
+        Ciphertext {
+            c0: d0.add(&r0),
+            c1: d1.add(&r1),
+            scale: aa.scale * bb.scale,
+        }
+    }
+
+    /// Squares a ciphertext (saves one ring multiplication vs `mul`).
+    pub fn square(&self, a: &Ciphertext) -> Ciphertext {
+        let d0 = a.c0.mul(&a.c0);
+        let cross = a.c0.mul(&a.c1);
+        let d1 = cross.add(&cross);
+        let d2 = a.c1.mul(&a.c1);
+        let (r0, r1) = self.relinearize_d2(&d2);
+        Ciphertext {
+            c0: d0.add(&r0),
+            c1: d1.add(&r1),
+            scale: a.scale * a.scale,
+        }
+    }
+
+    /// Shared key chain (crate-internal: the Galois module needs it).
+    pub(crate) fn keys(&self) -> &Arc<KeyChain> {
+        &self.keys
+    }
+
+    /// Key-switches the degree-2 component back to a linear ciphertext
+    /// using the per-prime digit gadget.
+    fn relinearize_d2(&self, d2: &RnsPoly) -> (RnsPoly, RnsPoly) {
+        let rk = self.keys.relin_key(d2.num_limbs());
+        self.key_switch_with(d2, &rk)
+    }
+
+    /// Gadget-decomposes `p` and applies a key-switching key: returns
+    /// `(k0, k1)` with `k0 + k1·s ≈ p·s'` for the key's embedded
+    /// switched-from secret `s'`.
+    pub(crate) fn key_switch_with(
+        &self,
+        p: &RnsPoly,
+        key: &crate::keys::RelinKey,
+    ) -> (RnsPoly, RnsPoly) {
+        let nl = p.num_limbs();
+        assert_eq!(key.num_limbs(), nl, "key level mismatch");
+        let mut d2c = p.clone();
+        d2c.to_coeff();
+        let n = self.ctx.n();
+        let mask = (1u64 << DIGIT_BITS) - 1;
+        let mut acc0 = RnsPoly::zero(&self.ctx, nl);
+        let mut acc1 = RnsPoly::zero(&self.ctx, nl);
+        for comp in &key.components {
+            // Extract this component's digit of the residues mod q_i.
+            let src = d2c.limb(comp.prime_index);
+            let shift = DIGIT_BITS * comp.digit;
+            let mut digit_coeffs = vec![0u64; n];
+            let mut all_zero = true;
+            for (dst, &c) in digit_coeffs.iter_mut().zip(src) {
+                *dst = (c >> shift) & mask;
+                all_zero &= *dst == 0;
+            }
+            if all_zero {
+                continue;
+            }
+            let mut u = RnsPoly::from_unsigned_coeffs(&self.ctx, &digit_coeffs, nl);
+            u.to_ntt();
+            acc0 = acc0.add(&u.mul(&comp.b));
+            acc1 = acc1.add(&u.mul(&comp.a));
+        }
+        (acc0, acc1)
+    }
+
+    /// Rescales a ciphertext: divides by the last prime and drops it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if only one limb remains.
+    pub fn rescale(&self, ct: &mut Ciphertext) {
+        let q_last = self.ctx.primes()[ct.num_limbs() - 1];
+        ct.c0.rescale();
+        ct.c1.rescale();
+        ct.scale /= q_last as f64;
+    }
+}
+
+impl KeyChain {
+    /// Internal secret-key accessor for the evaluator.
+    pub(crate) fn secret_key_internal(&self) -> &RnsPoly {
+        &self.secret_key().s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParams;
+
+    fn setup(seed: u64) -> (Evaluator, Rng64) {
+        let ctx = CkksParams::toy().build();
+        let mut rng = Rng64::new(seed);
+        let keys = KeyChain::generate(&ctx, &mut rng);
+        (Evaluator::new(&keys), rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (ev, mut rng) = setup(1);
+        let vals: Vec<f64> = (0..32).map(|i| (i as f64 - 16.0) / 10.0).collect();
+        let ct = ev.encrypt_values(&vals, &mut rng);
+        let out = ev.decrypt_values(&ct, 32);
+        for (a, b) in vals.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn homomorphic_add() {
+        let (ev, mut rng) = setup(2);
+        let a: Vec<f64> = (0..16).map(|i| i as f64 / 8.0).collect();
+        let b: Vec<f64> = (0..16).map(|i| 1.0 - i as f64 / 16.0).collect();
+        let ca = ev.encrypt_values(&a, &mut rng);
+        let cb = ev.encrypt_values(&b, &mut rng);
+        let out = ev.decrypt_values(&ev.add(&ca, &cb), 16);
+        for i in 0..16 {
+            assert!((out[i] - (a[i] + b[i])).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn homomorphic_sub_and_plain_add() {
+        let (ev, mut rng) = setup(3);
+        let a = vec![0.5, -0.25, 1.0];
+        let b = vec![0.1, 0.2, 0.3];
+        let ca = ev.encrypt_values(&a, &mut rng);
+        let cb = ev.encrypt_values(&b, &mut rng);
+        let diff = ev.decrypt_values(&ev.sub(&ca, &cb), 3);
+        for i in 0..3 {
+            assert!((diff[i] - (a[i] - b[i])).abs() < 1e-3);
+        }
+        let pt = ev
+            .encoder()
+            .encode(&b, ev.context().scale(), ca.num_limbs());
+        let sum = ev.decrypt_values(&ev.add_plain(&ca, &pt), 3);
+        for i in 0..3 {
+            assert!((sum[i] - (a[i] + b[i])).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn homomorphic_mul_with_relin_and_rescale() {
+        let (ev, mut rng) = setup(4);
+        let a: Vec<f64> = (0..16).map(|i| (i as f64 - 8.0) / 8.0).collect();
+        let b: Vec<f64> = (0..16).map(|i| (16.0 - i as f64) / 16.0).collect();
+        let ca = ev.encrypt_values(&a, &mut rng);
+        let cb = ev.encrypt_values(&b, &mut rng);
+        let mut prod = ev.mul(&ca, &cb);
+        ev.rescale(&mut prod);
+        assert_eq!(prod.num_limbs(), ca.num_limbs() - 1);
+        let out = ev.decrypt_values(&prod, 16);
+        for i in 0..16 {
+            assert!(
+                (out[i] - a[i] * b[i]).abs() < 1e-2,
+                "slot {i}: {} vs {}",
+                out[i],
+                a[i] * b[i]
+            );
+        }
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let (ev, mut rng) = setup(5);
+        let a: Vec<f64> = (0..8).map(|i| (i as f64 - 4.0) / 4.0).collect();
+        let ca = ev.encrypt_values(&a, &mut rng);
+        let mut sq = ev.square(&ca);
+        ev.rescale(&mut sq);
+        let out = ev.decrypt_values(&sq, 8);
+        for i in 0..8 {
+            assert!((out[i] - a[i] * a[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn mul_const_scales_slots() {
+        let (ev, mut rng) = setup(6);
+        let a = vec![0.5, -1.0, 0.25];
+        let ca = ev.encrypt_values(&a, &mut rng);
+        let out = ev.decrypt_values(&ev.mul_const(&ca, -2.0), 3);
+        for i in 0..3 {
+            assert!((out[i] + 2.0 * a[i]).abs() < 1e-3, "{}", out[i]);
+        }
+    }
+
+    #[test]
+    fn depth_chain_powers() {
+        // Repeated squaring down the whole chain: x^(2^k).
+        let (ev, mut rng) = setup(7);
+        let x = 0.9f64;
+        let mut ct = ev.encrypt_values(&[x], &mut rng);
+        let mut expect = x;
+        let levels = ct.level();
+        for _ in 0..levels.min(4) {
+            ct = ev.square(&ct);
+            ev.rescale(&mut ct);
+            expect *= expect;
+            let got = ev.decrypt_values(&ct, 1)[0];
+            assert!(
+                (got - expect).abs() < 2e-2,
+                "after squaring: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn drop_to_preserves_value() {
+        let (ev, mut rng) = setup(8);
+        let a = vec![0.7, -0.3];
+        let mut ca = ev.encrypt_values(&a, &mut rng);
+        ca.drop_to(2);
+        let out = ev.decrypt_values(&ca, 2);
+        assert!((out[0] - 0.7).abs() < 1e-3);
+        assert!((out[1] + 0.3).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale mismatch")]
+    fn add_rejects_wild_scale_mismatch() {
+        let (ev, mut rng) = setup(9);
+        let ca = ev.encrypt_values(&[0.5], &mut rng);
+        let mut cb = ev.encrypt_values(&[0.5], &mut rng);
+        cb.scale *= 2.0;
+        let _ = ev.add(&ca, &cb);
+    }
+}

@@ -1,0 +1,261 @@
+//! Analytic cost model for leveled PAF evaluation.
+//!
+//! Counts the primitive ring operations a PAF-ReLU consumes at given
+//! parameters, without executing them. Used to sanity-check measured
+//! latencies and to project costs at the paper's N = 32768 scale
+//! without running it.
+
+use crate::params::CkksParams;
+use smartpaf_polyfit::CompositePaf;
+
+/// Primitive-operation counts for one encrypted PAF-ReLU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Ciphertext-ciphertext multiplications (each includes a
+    /// relinearisation).
+    pub ct_mults: usize,
+    /// Plaintext-constant multiplications.
+    pub const_mults: usize,
+    /// Rescale operations.
+    pub rescales: usize,
+    /// Number-theoretic transforms across all limbs (the dominant
+    /// kernel).
+    pub ntts: usize,
+    /// 64-bit modular multiply-accumulate operations (≈ total work).
+    pub modmuls: u128,
+}
+
+/// Digit count of the relinearisation gadget for a prime of `bits`
+/// bits (mirrors `keys::DIGIT_BITS`).
+fn digits_for(bits: u32) -> usize {
+    bits.div_ceil(crate::keys::DIGIT_BITS) as usize
+}
+
+/// Counts the operations of one PAF-ReLU at the given parameters.
+///
+/// Mirrors the `PafEvaluator` schedule: per stage, an even-power
+/// ladder by squaring plus one (const-mult + bit-product chain) per
+/// non-zero odd term; then one ct-mult and one const-mult for the ReLU
+/// construction.
+pub fn relu_op_counts(params: &CkksParams, paf: &CompositePaf) -> OpCounts {
+    let mut level = params.depth + 1; // limbs at the current point
+    let n = params.n as u128;
+    let mut c = OpCounts {
+        ct_mults: 0,
+        const_mults: 0,
+        rescales: 0,
+        ntts: 0,
+        modmuls: 0,
+    };
+    let add_ct_mult = |c: &mut OpCounts, limbs: usize| {
+        c.ct_mults += 1;
+        // 4 limb-wise ring mults for the tensor product + relin:
+        // per prime, `digits` decomposed polys each multiplied against
+        // 2 key components, plus the NTTs to lift the digits.
+        let digits = digits_for(40); // scale primes dominate
+        c.ntts += limbs * digits; // digit lifts
+        c.modmuls += (limbs as u128) * n * (4 + 2 * (limbs * digits) as u128);
+    };
+    let add_rescale = |c: &mut OpCounts, limbs: usize| {
+        c.rescales += 1;
+        // iNTT + NTT per remaining limb plus the division pass.
+        c.ntts += 2 * limbs;
+        c.modmuls += (limbs as u128) * n * 3;
+    };
+    let add_const = |c: &mut OpCounts, limbs: usize| {
+        c.const_mults += 1;
+        c.modmuls += (limbs as u128) * n;
+    };
+
+    for stage in paf.stages() {
+        let odd = stage.odd_coeffs();
+        let k_max = odd.len() - 1;
+        if k_max == 0 {
+            add_const(&mut c, level);
+            add_rescale(&mut c, level - 1);
+            level -= 1;
+            continue;
+        }
+        let bits = usize::BITS - k_max.leading_zeros();
+        // Ladder squarings.
+        for j in 0..bits {
+            let limbs = level - j as usize;
+            add_ct_mult(&mut c, limbs);
+            add_rescale(&mut c, limbs - 1);
+        }
+        // Terms.
+        for (k, &a) in odd.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            add_const(&mut c, level);
+            add_rescale(&mut c, level - 1);
+            let mut cur = level - 1;
+            for j in 0..bits {
+                if (k >> j) & 1 == 1 {
+                    add_ct_mult(&mut c, cur);
+                    add_rescale(&mut c, cur - 1);
+                    cur -= 1;
+                }
+            }
+        }
+        level -= bits as usize;
+    }
+    // ReLU construction: x * half_sign + 0.5x.
+    add_ct_mult(&mut c, level);
+    add_rescale(&mut c, level - 1);
+    add_const(&mut c, level);
+    add_rescale(&mut c, level - 1);
+    c
+}
+
+/// Projects the runtime of `counts` given a measured per-modmul cost
+/// (seconds), the simplest useful calibration.
+pub fn project_seconds(counts: &OpCounts, seconds_per_modmul: f64) -> f64 {
+    counts.modmuls as f64 * seconds_per_modmul
+}
+
+/// Work of one slot rotation (Galois automorphism + key switch) at the
+/// given limb count, in 64-bit modular multiplies.
+///
+/// A rotation costs the same key-switch as a relinearisation (digit
+/// lifts + two key-component products per digit) plus the automorphism
+/// permutation, and consumes no level.
+pub fn rotation_modmuls(params: &CkksParams, limbs: usize) -> u128 {
+    let n = params.n as u128;
+    let digits = digits_for(params.scale_prime_bits);
+    // iNTT to coefficient form (2 components), permutation (free-ish),
+    // digit lifts (NTTs) and 2 ring mults per (prime, digit) component.
+    let ntts = 2 * limbs + limbs * digits;
+    (ntts as u128) * n + (limbs as u128) * n * (2 * (limbs * digits) as u128)
+}
+
+/// Work of one Halevi–Shoup matrix–vector product with `diagonals`
+/// nonzero diagonals using the baby-step/giant-step schedule, in
+/// modular multiplies.
+pub fn matvec_bsgs_modmuls(params: &CkksParams, dim: usize, diagonals: usize, limbs: usize) -> u128 {
+    let n = params.n as u128;
+    let g1 = (dim as f64).sqrt().ceil() as usize;
+    let g2 = dim.div_ceil(g1);
+    let rotations = (g1.min(diagonals).saturating_sub(1) + g2.min(diagonals)) as u128;
+    let plain_mults = diagonals as u128 * (limbs as u128) * n;
+    rotations * rotation_modmuls(params, limbs) + plain_mults
+}
+
+/// Modeled cost of one simulated bootstrap, in modular multiplies.
+///
+/// Calibrated to the published CKKS bootstrapping structure: roughly
+/// `slots`-dependent homomorphic encode/decode (CoeffToSlot/SlotToCoeff,
+/// ~2·log2(slots) rotations each at full level) plus an EvalMod sine
+/// approximation of multiplicative depth ~10. This makes the
+/// leveled-vs-bootstrapped trade-off in the latency model concrete: at
+/// default parameters one bootstrap costs as much as several 27-degree
+/// PAF evaluations, which is why the paper's low-degree PAFs avoid it.
+pub fn bootstrap_modmuls(params: &CkksParams) -> u128 {
+    let full = params.depth + 1;
+    let slots = (params.n / 2) as u128;
+    let log_slots = 128 - slots.leading_zeros() as u128;
+    let linear_rotations = 4 * log_slots; // CoeffToSlot + SlotToCoeff
+    let rot = rotation_modmuls(params, full);
+    // EvalMod: a depth-10 odd polynomial ≈ 14 ct-mults at full level.
+    let n = params.n as u128;
+    let digits = digits_for(params.scale_prime_bits) as u128;
+    let ct_mult = (full as u128) * n * (4 + 2 * (full as u128) * digits);
+    linear_rotations * rot + 14 * ct_mult
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartpaf_polyfit::PafForm;
+
+    #[test]
+    fn deeper_paf_costs_more() {
+        let params = CkksParams::default_params();
+        let cheap = relu_op_counts(&params, &CompositePaf::from_form(PafForm::F1G2));
+        let rich = relu_op_counts(&params, &CompositePaf::from_form(PafForm::MinimaxDeg27));
+        assert!(rich.ct_mults > cheap.ct_mults);
+        assert!(rich.modmuls > cheap.modmuls);
+        assert!(rich.rescales > cheap.rescales);
+    }
+
+    #[test]
+    fn rescale_count_matches_depth() {
+        // Every level consumed corresponds to exactly one rescale of
+        // the main operand; ladder/term bookkeeping adds more, but the
+        // total must be at least the ReLU depth.
+        let params = CkksParams::default_params();
+        for form in PafForm::all() {
+            let paf = CompositePaf::from_form(form);
+            let c = relu_op_counts(&params, &paf);
+            assert!(
+                c.rescales >= paf.mult_depth() + 1,
+                "{form}: {} rescales",
+                c.rescales
+            );
+        }
+    }
+
+    #[test]
+    fn larger_ring_scales_work_linearly() {
+        let small = CkksParams {
+            n: 4096,
+            ..CkksParams::default_params()
+        };
+        let big = CkksParams {
+            n: 8192,
+            ..CkksParams::default_params()
+        };
+        let paf = CompositePaf::from_form(PafForm::Alpha7);
+        let a = relu_op_counts(&small, &paf);
+        let b = relu_op_counts(&big, &paf);
+        assert_eq!(a.ct_mults, b.ct_mults);
+        assert_eq!(b.modmuls, a.modmuls * 2);
+    }
+
+    #[test]
+    fn rotation_cheaper_than_bootstrap() {
+        let params = CkksParams::default_params();
+        let rot = rotation_modmuls(&params, params.depth + 1);
+        let bs = bootstrap_modmuls(&params);
+        assert!(bs > 20 * rot, "bootstrap {bs} vs rotation {rot}");
+    }
+
+    #[test]
+    fn bootstrap_dwarfs_low_degree_paf() {
+        // The quantitative version of the paper's motivation: a
+        // bootstrap costs more than an entire low-degree PAF-ReLU.
+        let params = CkksParams::default_params();
+        let paf = relu_op_counts(&params, &CompositePaf::from_form(PafForm::F1G2));
+        assert!(bootstrap_modmuls(&params) > paf.modmuls);
+    }
+
+    #[test]
+    fn bsgs_beats_naive_rotation_count_model() {
+        // For a dense 64-dim matrix, BSGS work is well below 64 naive
+        // rotations + mults.
+        let params = CkksParams::default_params();
+        let limbs = 8;
+        let dense = matvec_bsgs_modmuls(&params, 64, 64, limbs);
+        let naive = 64 * rotation_modmuls(&params, limbs)
+            + 64 * (limbs as u128) * params.n as u128;
+        assert!(dense < naive, "bsgs {dense} vs naive {naive}");
+    }
+
+    #[test]
+    fn sparse_matvec_cheaper_than_dense() {
+        let params = CkksParams::default_params();
+        let sparse = matvec_bsgs_modmuls(&params, 64, 4, 8);
+        let dense = matvec_bsgs_modmuls(&params, 64, 64, 8);
+        assert!(sparse < dense);
+    }
+
+    #[test]
+    fn projection_is_linear() {
+        let params = CkksParams::default_params();
+        let c = relu_op_counts(&params, &CompositePaf::from_form(PafForm::F2G2));
+        let t1 = project_seconds(&c, 1e-9);
+        let t2 = project_seconds(&c, 2e-9);
+        assert!((t2 - 2.0 * t1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,373 @@
+//! CKKS encoding: real slot vectors ↔ ring plaintexts via the
+//! canonical embedding.
+//!
+//! Evaluation points are the primitive `2n`-th roots
+//! `ζ_k = exp(iπ(2k+1)/n)`. Because `ζ_{n-1-k} = conj(ζ_k)`, a real
+//! coefficient vector is determined by `n/2` free complex slots; we
+//! expose real-valued slots (imaginary parts are zero).
+//!
+//! **Slot ordering.** Slot `j` holds the evaluation at root exponent
+//! `5^j mod 2n` (the orbit of 5 in the odd residues). Under this
+//! ordering the Galois automorphism `X ↦ X^{5^r}` rotates the slot
+//! vector cyclically left by `r` — see [`crate::galois`]. Slotwise
+//! semantics (add/mul act per slot) are unchanged by the ordering.
+
+use crate::rns::{CkksContext, RnsPoly};
+use std::sync::Arc;
+
+/// A CKKS plaintext: an integer ring element carrying a scale.
+#[derive(Debug, Clone)]
+pub struct Plaintext {
+    /// The encoded ring element (NTT form).
+    pub poly: RnsPoly,
+    /// The scale Δ the slots were multiplied by.
+    pub scale: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Complex {
+    re: f64,
+    im: f64,
+}
+
+impl Complex {
+    fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+    fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+}
+
+/// Iterative radix-2 FFT. `invert` selects the inverse transform
+/// (without the 1/n scaling).
+fn fft(a: &mut [Complex], invert: bool) {
+    let n = a.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    // Bit reversal permutation.
+    let mut j = 0;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            a.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = 2.0 * std::f64::consts::PI / len as f64 * if invert { 1.0 } else { -1.0 };
+        let wl = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = a[i + k];
+                let v = a[i + k + len / 2].mul(w);
+                a[i + k] = u.add(v);
+                a[i + k + len / 2] = u.sub(v);
+                w = w.mul(wl);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// The CKKS encoder for a given context.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    ctx: Arc<CkksContext>,
+    /// `orbit[j]` = natural evaluation index `m` with root exponent
+    /// `2m+1 = 5^j mod 2n`; the conjugate position is `n-1-m`.
+    orbit: Vec<usize>,
+}
+
+impl Encoder {
+    /// Creates an encoder bound to a context.
+    pub fn new(ctx: &Arc<CkksContext>) -> Self {
+        let n = ctx.n();
+        let slots = ctx.slots();
+        let mut orbit = Vec::with_capacity(slots);
+        let mut e = 1usize;
+        for _ in 0..slots {
+            orbit.push((e - 1) / 2);
+            e = (e * 5) % (2 * n);
+        }
+        Encoder {
+            ctx: Arc::clone(ctx),
+            orbit,
+        }
+    }
+
+    /// Number of real slots available (`n/2`).
+    pub fn slots(&self) -> usize {
+        self.ctx.slots()
+    }
+
+    /// Encodes up to `slots()` real values at scale `scale` into a
+    /// plaintext with `num_limbs` limbs. Missing slots are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `slots()` values are supplied or the scaled
+    /// coefficients overflow the representable range.
+    pub fn encode(&self, values: &[f64], scale: f64, num_limbs: usize) -> Plaintext {
+        let n = self.ctx.n();
+        let slots = self.ctx.slots();
+        assert!(values.len() <= slots, "too many values for {slots} slots");
+        // Build the conjugate-symmetric evaluation vector: slot j lives
+        // at natural index orbit[j], its conjugate at n-1-orbit[j].
+        let mut sigma = vec![Complex::new(0.0, 0.0); n];
+        for (j, &v) in values.iter().enumerate() {
+            let m = self.orbit[j];
+            sigma[m] = Complex::new(v, 0.0);
+            sigma[n - 1 - m] = sigma[m].conj();
+        }
+        // c_j = (1/n) * e^{-iπ j/n} * DFT(sigma)_j
+        fft(&mut sigma, false);
+        let mut coeffs = vec![0i128; n];
+        for (idx, s) in sigma.iter().enumerate() {
+            let ang = -std::f64::consts::PI * idx as f64 / n as f64;
+            let tw = Complex::new(ang.cos(), ang.sin());
+            let c = s.mul(tw);
+            let real = c.re / n as f64 * scale;
+            assert!(
+                real.abs() < 1.2e30,
+                "scaled coefficient overflow: {real} (scale too large?)"
+            );
+            coeffs[idx] = real.round() as i128;
+        }
+        let mut poly = RnsPoly::from_signed_coeffs_i128(&self.ctx, &coeffs, num_limbs);
+        poly.to_ntt();
+        Plaintext { poly, scale }
+    }
+
+    /// Encodes a single scalar replicated into every slot. Constants
+    /// have a constant-polynomial representation, so this skips the FFT
+    /// entirely.
+    pub fn encode_constant(&self, value: f64, scale: f64, num_limbs: usize) -> Plaintext {
+        let n = self.ctx.n();
+        let mut coeffs = vec![0i128; n];
+        coeffs[0] = (value * scale).round() as i128;
+        let mut poly = RnsPoly::from_signed_coeffs_i128(&self.ctx, &coeffs, num_limbs);
+        poly.to_ntt();
+        Plaintext { poly, scale }
+    }
+
+    /// Decodes a plaintext back to `count` real slot values.
+    ///
+    /// Uses exact CRT over the first `min(2, limbs)` primes, so the
+    /// (noisy) coefficients must fit in that product — true for every
+    /// parameter set in this crate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > slots()`.
+    pub fn decode(&self, pt: &Plaintext, count: usize) -> Vec<f64> {
+        let n = self.ctx.n();
+        assert!(count <= self.ctx.slots(), "count exceeds slot capacity");
+        let mut poly = pt.poly.clone();
+        poly.to_coeff();
+        let use_limbs = poly.num_limbs().min(2);
+        let mut vals = vec![Complex::new(0.0, 0.0); n];
+        for (idx, v) in vals.iter_mut().enumerate() {
+            let c = poly.coeff_to_i128(idx, use_limbs) as f64;
+            // Untwist: multiply by e^{+iπ j/n} before the inverse DFT.
+            let ang = std::f64::consts::PI * idx as f64 / n as f64;
+            *v = Complex::new(c * ang.cos(), c * ang.sin());
+        }
+        fft(&mut vals, true); // inverse DFT without 1/n (encode had 1/n)
+        (0..count)
+            .map(|j| vals[self.orbit[j]].re / pt.scale)
+            .collect()
+    }
+
+    /// Decodes slot `j` taking the imaginary part too (diagnostics).
+    pub fn decode_complex(&self, pt: &Plaintext, count: usize) -> Vec<(f64, f64)> {
+        let n = self.ctx.n();
+        assert!(count <= self.ctx.slots(), "count exceeds slot capacity");
+        let mut poly = pt.poly.clone();
+        poly.to_coeff();
+        let use_limbs = poly.num_limbs().min(2);
+        let mut vals = vec![Complex::new(0.0, 0.0); n];
+        for (idx, v) in vals.iter_mut().enumerate() {
+            let c = poly.coeff_to_i128(idx, use_limbs) as f64;
+            let ang = std::f64::consts::PI * idx as f64 / n as f64;
+            *v = Complex::new(c * ang.cos(), c * ang.sin());
+        }
+        fft(&mut vals, true);
+        (0..count)
+            .map(|j| {
+                let c = vals[self.orbit[j]];
+                (c.re / pt.scale, c.im / pt.scale)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::ntt_primes;
+
+    fn setup() -> (Arc<CkksContext>, Encoder) {
+        let mut primes = ntt_primes(40, 2, 64);
+        primes.insert(0, ntt_primes(50, 1, 64)[0]);
+        let ctx = CkksContext::new(64, primes, (1u64 << 30) as f64);
+        let enc = Encoder::new(&ctx);
+        (ctx, enc)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let (ctx, enc) = setup();
+        let vals: Vec<f64> = (0..32).map(|i| (i as f64 - 16.0) / 8.0).collect();
+        let pt = enc.encode(&vals, ctx.scale(), 3);
+        let out = enc.decode(&pt, 32);
+        for (a, b) in vals.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn partial_slots_zero_filled() {
+        let (ctx, enc) = setup();
+        let pt = enc.encode(&[1.0, 2.0], ctx.scale(), 2);
+        let out = enc.decode(&pt, 8);
+        assert!((out[0] - 1.0).abs() < 1e-6);
+        assert!((out[1] - 2.0).abs() < 1e-6);
+        for &v in &out[2..] {
+            assert!(v.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn constant_encoding_fills_all_slots() {
+        let (ctx, enc) = setup();
+        let pt = enc.encode_constant(0.75, ctx.scale(), 2);
+        let out = enc.decode(&pt, 32);
+        for &v in &out {
+            assert!((v - 0.75).abs() < 1e-6, "{v}");
+        }
+    }
+
+    #[test]
+    fn plaintext_add_is_slotwise() {
+        let (ctx, enc) = setup();
+        let a: Vec<f64> = (0..16).map(|i| i as f64 / 4.0).collect();
+        let b: Vec<f64> = (0..16).map(|i| 1.0 - i as f64 / 8.0).collect();
+        let pa = enc.encode(&a, ctx.scale(), 2);
+        let pb = enc.encode(&b, ctx.scale(), 2);
+        let sum = Plaintext {
+            poly: pa.poly.add(&pb.poly),
+            scale: pa.scale,
+        };
+        let out = enc.decode(&sum, 16);
+        for i in 0..16 {
+            assert!((out[i] - (a[i] + b[i])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn plaintext_mul_is_slotwise() {
+        // The whole point of the canonical embedding: ring mult acts
+        // slotwise on the embedded values.
+        let (ctx, enc) = setup();
+        let a: Vec<f64> = (0..16).map(|i| (i as f64 - 8.0) / 8.0).collect();
+        let b: Vec<f64> = (0..16).map(|i| (i as f64 + 1.0) / 16.0).collect();
+        let pa = enc.encode(&a, ctx.scale(), 3);
+        let pb = enc.encode(&b, ctx.scale(), 3);
+        let prod = Plaintext {
+            poly: pa.poly.mul(&pb.poly),
+            scale: pa.scale * pb.scale,
+        };
+        let out = enc.decode(&prod, 16);
+        for i in 0..16 {
+            assert!(
+                (out[i] - a[i] * b[i]).abs() < 1e-5,
+                "slot {i}: {} vs {}",
+                out[i],
+                a[i] * b[i]
+            );
+        }
+    }
+
+    #[test]
+    fn orbit_automorphism_rotates_plaintext_slots() {
+        // Purely at the encoding layer: applying X -> X^{5^r} to the
+        // plaintext polynomial must rotate slots left by r.
+        let (ctx, enc) = setup();
+        let slots = ctx.slots();
+        let vals: Vec<f64> = (0..slots).map(|i| i as f64 / slots as f64).collect();
+        let pt = enc.encode(&vals, ctx.scale(), 2);
+        for r in [1usize, 2, 5] {
+            let g = crate::galois::rotation_element(ctx.n(), r);
+            let rotated = Plaintext {
+                poly: pt.poly.automorphism(g),
+                scale: pt.scale,
+            };
+            let out = enc.decode(&rotated, slots);
+            for j in 0..slots {
+                let want = vals[(j + r) % slots];
+                assert!(
+                    (out[j] - want).abs() < 1e-6,
+                    "r={r} slot {j}: {} vs {want}",
+                    out[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn orbit_conjugation_fixes_real_plaintext() {
+        let (ctx, enc) = setup();
+        let vals = vec![0.25, -0.75, 1.5, -2.0];
+        let pt = enc.encode(&vals, ctx.scale(), 2);
+        let g = crate::galois::conjugation_element(ctx.n());
+        let conj = Plaintext {
+            poly: pt.poly.automorphism(g),
+            scale: pt.scale,
+        };
+        let out = enc.decode(&conj, 4);
+        for (a, b) in vals.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn decode_complex_real_slots_have_tiny_imaginary_part() {
+        let (ctx, enc) = setup();
+        let vals = vec![0.5, -0.5, 2.0];
+        let pt = enc.encode(&vals, ctx.scale(), 2);
+        for (re, im) in enc.decode_complex(&pt, 3) {
+            assert!(im.abs() < 1e-6, "imaginary leak {im} at re={re}");
+        }
+    }
+
+    #[test]
+    fn negative_values_roundtrip() {
+        let (ctx, enc) = setup();
+        let vals = vec![-0.5, -1.25, 3.75, -100.0];
+        let pt = enc.encode(&vals, ctx.scale(), 2);
+        let out = enc.decode(&pt, 4);
+        for (a, b) in vals.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,573 @@
+//! Encrypted linear algebra: plaintext matrix × ciphertext vector via
+//! the Halevi–Shoup diagonal method, with a baby-step/giant-step
+//! variant.
+//!
+//! This is the substrate that turns the paper's Fig. 2 into a runnable
+//! pipeline: convolutions, average pooling and fully-connected layers
+//! are all plaintext-weight affine maps applied to an encrypted
+//! activation vector, and only the PAF activations consume multiplicative
+//! depth beyond the one plaintext-multiply level per affine stage.
+//!
+//! Packing convention: a length-`m` vector (`m` a power of two dividing
+//! the slot count) is **replicated** to fill all `n/2` slots, so full-ring
+//! rotations act as cyclic rotations of the logical vector
+//! ([`replicate`], [`Evaluator::encrypt_replicated`]).
+
+use crate::cipher::{Ciphertext, Evaluator};
+use smartpaf_tensor::Rng64;
+use std::collections::BTreeMap;
+
+/// A real matrix stored by its nonzero generalized diagonals, padded to
+/// a power-of-two square dimension.
+///
+/// Generalized diagonal `d` holds `diag_d[i] = M[i][(i+d) mod dim]`, so
+/// `(Mv)[i] = Σ_d diag_d[i] · v[(i+d) mod dim]` — each term is one slot
+/// rotation plus one plaintext multiply under CKKS.
+#[derive(Debug, Clone)]
+pub struct DiagMatrix {
+    dim: usize,
+    out_dim: usize,
+    in_dim: usize,
+    diags: BTreeMap<usize, Vec<f64>>,
+}
+
+impl DiagMatrix {
+    /// Builds from dense rows (`rows[i][j] = M[i][j]`), zero-padding to
+    /// the next power of two of `max(rows, cols)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let min_dim = rows.first().map_or(0, |r| r.len().max(rows.len()));
+        Self::from_rows_with_dim(rows, min_dim.next_power_of_two())
+    }
+
+    /// Builds from dense rows padded to an explicit square dimension
+    /// (used when several pipeline stages must share one slot layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or ragged, `dim` is not a power of
+    /// two, or `dim` is smaller than the matrix.
+    pub fn from_rows_with_dim(rows: &[Vec<f64>], dim: usize) -> Self {
+        assert!(!rows.is_empty(), "empty matrix");
+        let in_dim = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == in_dim),
+            "ragged matrix rows"
+        );
+        assert!(in_dim > 0, "empty matrix rows");
+        let out_dim = rows.len();
+        assert!(dim.is_power_of_two(), "dim must be a power of two");
+        assert!(dim >= out_dim.max(in_dim), "dim smaller than matrix");
+        let mut diags: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v == 0.0 {
+                    continue;
+                }
+                let d = (j + dim - i % dim) % dim;
+                diags
+                    .entry(d)
+                    .or_insert_with(|| vec![0.0; dim])[i] = v;
+            }
+        }
+        DiagMatrix {
+            dim,
+            out_dim,
+            in_dim,
+            diags,
+        }
+    }
+
+    /// The identity on `dim` slots (`dim` rounded up to a power of two).
+    pub fn identity(dim: usize) -> Self {
+        let dim = dim.next_power_of_two();
+        let mut diags = BTreeMap::new();
+        diags.insert(0, vec![1.0; dim]);
+        DiagMatrix {
+            dim,
+            out_dim: dim,
+            in_dim: dim,
+            diags,
+        }
+    }
+
+    /// Padded square dimension (power of two).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Logical output dimension before padding.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Logical input dimension before padding.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Number of nonzero generalized diagonals (the naive method's
+    /// rotation count).
+    pub fn num_diagonals(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// Plaintext reference product on a padded vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim()`.
+    pub fn apply_plain(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.dim, "vector length mismatch");
+        let mut out = vec![0.0; self.dim];
+        for (&d, diag) in &self.diags {
+            for (i, o) in out.iter_mut().enumerate() {
+                *o += diag[i] * v[(i + d) % self.dim];
+            }
+        }
+        out
+    }
+
+    /// Returns a copy with every entry multiplied by `factor`
+    /// (plaintext scale folding — see the heinfer crate).
+    pub fn scaled(&self, factor: f64) -> Self {
+        let mut out = self.clone();
+        if factor == 1.0 {
+            return out;
+        }
+        for diag in out.diags.values_mut() {
+            for v in diag.iter_mut() {
+                *v *= factor;
+            }
+        }
+        out
+    }
+
+    /// Fraction of entries that are nonzero (density diagnostics for
+    /// structured matrices like pooling or Toeplitz convolutions).
+    pub fn density(&self) -> f64 {
+        let nnz: usize = self
+            .diags
+            .values()
+            .map(|d| d.iter().filter(|&&v| v != 0.0).count())
+            .sum();
+        nnz as f64 / (self.dim * self.dim) as f64
+    }
+}
+
+/// Tiles `v` to fill `slots` slots (cyclic replication).
+///
+/// # Panics
+///
+/// Panics unless `v.len()` divides `slots`.
+pub fn replicate(v: &[f64], slots: usize) -> Vec<f64> {
+    assert!(
+        !v.is_empty() && slots % v.len() == 0,
+        "vector length {} must divide slot count {slots}",
+        v.len()
+    );
+    let mut out = Vec::with_capacity(slots);
+    while out.len() < slots {
+        out.extend_from_slice(v);
+    }
+    out
+}
+
+impl Evaluator {
+    /// Encrypts a logical vector replicated across all slots so that
+    /// full-ring rotations act cyclically on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v.len()` divides the slot count.
+    pub fn encrypt_replicated(&self, v: &[f64], rng: &mut Rng64) -> Ciphertext {
+        let tiled = replicate(v, self.context().slots());
+        self.encrypt_values(&tiled, rng)
+    }
+
+    /// Matrix–vector product by the naive diagonal method: one rotation
+    /// + one plaintext multiply per nonzero diagonal. Consumes one
+    /// level.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mat.dim()` divides the slot count.
+    pub fn matvec(&self, mat: &DiagMatrix, ct: &Ciphertext) -> Ciphertext {
+        let slots = self.context().slots();
+        assert!(slots % mat.dim() == 0, "matrix dim must divide slots");
+        let mut acc: Option<Ciphertext> = None;
+        for (&d, diag) in &mat.diags {
+            let rot = self.rotate(ct, d as i64);
+            let pt = self.encoder().encode(
+                &replicate(diag, slots),
+                self.context().scale(),
+                rot.num_limbs(),
+            );
+            let term = self.mul_plain(&rot, &pt);
+            acc = Some(match acc {
+                None => term,
+                Some(a) => self.add(&a, &term),
+            });
+        }
+        let mut out = acc.unwrap_or_else(|| {
+            // All-zero matrix: a zero ciphertext at product scale.
+            let pt = self.encoder().encode_constant(
+                0.0,
+                self.context().scale(),
+                ct.num_limbs(),
+            );
+            self.mul_plain(ct, &pt)
+        });
+        self.rescale(&mut out);
+        out
+    }
+
+    /// Matrix–vector product with baby-step/giant-step rotation
+    /// scheduling: `O(√m)` ciphertext rotations instead of `O(m)`,
+    /// trading them for plaintext pre-rotations of the diagonals.
+    /// Consumes one level; result matches [`Evaluator::matvec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mat.dim()` divides the slot count.
+    pub fn matvec_bsgs(&self, mat: &DiagMatrix, ct: &Ciphertext) -> Ciphertext {
+        let slots = self.context().slots();
+        let m = mat.dim();
+        assert!(slots % m == 0, "matrix dim must divide slots");
+        if mat.diags.is_empty() {
+            return self.matvec(mat, ct); // zero path
+        }
+        let g1 = (m as f64).sqrt().ceil() as usize;
+        let g2 = m.div_ceil(g1);
+
+        // Baby steps: rot_j(v) for exactly the j values some diagonal
+        // needs.
+        let mut baby: Vec<Option<Ciphertext>> = vec![None; g1];
+        for &d in mat.diags.keys() {
+            let j = d % g1;
+            if baby[j].is_none() {
+                baby[j] = Some(self.rotate(ct, j as i64));
+            }
+        }
+
+        // Giant steps: group diagonals by k = d / g1 and pre-rotate the
+        // plaintext diagonal by -k·g1 so one outer rotation finishes
+        // the job.
+        let mut outer: Option<Ciphertext> = None;
+        for k in 0..g2 {
+            let mut inner: Option<Ciphertext> = None;
+            for (&d, diag) in mat.diags.range(k * g1..(k + 1) * g1) {
+                let j = d - k * g1;
+                let rot_v = baby[j].as_ref().expect("baby step precomputed");
+                // Plaintext rotation of the tiled diagonal by -k·g1.
+                let tiled = replicate(diag, slots);
+                let shift = (k * g1) % slots;
+                let mut pre = vec![0.0; slots];
+                for (s, p) in pre.iter_mut().enumerate() {
+                    *p = tiled[(s + slots - shift) % slots];
+                }
+                let pt =
+                    self.encoder()
+                        .encode(&pre, self.context().scale(), rot_v.num_limbs());
+                let term = self.mul_plain(rot_v, &pt);
+                inner = Some(match inner {
+                    None => term,
+                    Some(a) => self.add(&a, &term),
+                });
+            }
+            if let Some(sum) = inner {
+                let rotated = self.rotate(&sum, (k * g1) as i64);
+                outer = Some(match outer {
+                    None => rotated,
+                    Some(a) => self.add(&a, &rotated),
+                });
+            }
+        }
+        let mut out = outer.expect("at least one diagonal");
+        self.rescale(&mut out);
+        out
+    }
+
+    /// Adds a replicated plaintext bias at the ciphertext's scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bias.len()` divides the slot count.
+    pub fn add_bias_replicated(&self, ct: &Ciphertext, bias: &[f64]) -> Ciphertext {
+        let tiled = replicate(bias, self.context().slots());
+        let pt = self.encoder().encode(&tiled, ct.scale, ct.num_limbs());
+        self.add_plain(ct, &pt)
+    }
+
+    /// Sums a replicated length-`m` vector: after `log2(m)` rotations
+    /// every slot holds `Σ_i v[i]`. Depth-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `m` is a power of two dividing the slot count.
+    pub fn sum_replicated(&self, ct: &Ciphertext, m: usize) -> Ciphertext {
+        assert!(m.is_power_of_two(), "m must be a power of two");
+        assert!(self.context().slots() % m == 0, "m must divide slots");
+        let mut acc = ct.clone();
+        let mut step = 1usize;
+        while step < m {
+            let rot = self.rotate(&acc, step as i64);
+            acc = self.add(&acc, &rot);
+            step <<= 1;
+        }
+        acc
+    }
+
+    /// Inner product of an encrypted replicated vector with a plaintext
+    /// weight vector; every slot of the result holds `Σ_i v[i]·w[i]`.
+    /// Consumes one level.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `w.len()` is a power of two dividing the slot
+    /// count.
+    pub fn inner_product_plain(&self, ct: &Ciphertext, w: &[f64]) -> Ciphertext {
+        let slots = self.context().slots();
+        let tiled = replicate(w, slots);
+        let pt = self
+            .encoder()
+            .encode(&tiled, self.context().scale(), ct.num_limbs());
+        let mut prod = self.mul_plain(ct, &pt);
+        self.rescale(&mut prod);
+        self.sum_replicated(&prod, w.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyChain;
+    use crate::params::CkksParams;
+
+    fn setup(seed: u64) -> (Evaluator, Rng64) {
+        let ctx = CkksParams::toy().build();
+        let mut rng = Rng64::new(seed);
+        let keys = KeyChain::generate(&ctx, &mut rng);
+        (Evaluator::new(&keys), rng)
+    }
+
+    fn random_matrix(rows: usize, cols: usize, rng: &mut Rng64) -> Vec<Vec<f64>> {
+        (0..rows)
+            .map(|_| {
+                (0..cols)
+                    .map(|_| (rng.next_f32() as f64 - 0.5) * 2.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn random_vec(m: usize, rng: &mut Rng64) -> Vec<f64> {
+        (0..m).map(|_| (rng.next_f32() as f64 - 0.5)).collect()
+    }
+
+    #[test]
+    fn diag_matrix_plain_apply_matches_dense() {
+        let mut rng = Rng64::new(1);
+        let rows = random_matrix(8, 8, &mut rng);
+        let mat = DiagMatrix::from_rows(&rows);
+        let v = random_vec(8, &mut rng);
+        let got = mat.apply_plain(&v);
+        for i in 0..8 {
+            let want: f64 = (0..8).map(|j| rows[i][j] * v[j]).sum();
+            assert!((got[i] - want).abs() < 1e-12, "row {i}");
+        }
+    }
+
+    #[test]
+    fn rectangular_matrix_pads_to_pow2() {
+        let rows = vec![vec![1.0, 2.0, 3.0, 4.0, 5.0]; 3];
+        let mat = DiagMatrix::from_rows(&rows);
+        assert_eq!(mat.dim(), 8);
+        assert_eq!(mat.out_dim(), 3);
+        assert_eq!(mat.in_dim(), 5);
+        let mut v = vec![0.0; 8];
+        v[..5].copy_from_slice(&[1.0, 1.0, 1.0, 1.0, 1.0]);
+        let out = mat.apply_plain(&v);
+        assert!((out[0] - 15.0).abs() < 1e-12);
+        // Padded rows are zero.
+        assert!((out[3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_dim_padding() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let mat = DiagMatrix::from_rows_with_dim(&rows, 16);
+        assert_eq!(mat.dim(), 16);
+        let mut v = vec![0.0; 16];
+        v[0] = 1.0;
+        v[1] = 1.0;
+        let out = mat.apply_plain(&v);
+        assert!((out[0] - 3.0).abs() < 1e-12);
+        assert!((out[1] - 7.0).abs() < 1e-12);
+        assert!(out[2..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn scaled_multiplies_entries() {
+        let rows = vec![vec![1.0, -2.0], vec![0.5, 0.0]];
+        let mat = DiagMatrix::from_rows(&rows).scaled(3.0);
+        let v = vec![1.0, 1.0];
+        let out = mat.apply_plain(&v);
+        assert!((out[0] - -3.0).abs() < 1e-12);
+        assert!((out[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_has_one_diagonal() {
+        let id = DiagMatrix::identity(16);
+        assert_eq!(id.num_diagonals(), 1);
+        let v = random_vec(16, &mut Rng64::new(3));
+        assert_eq!(id.apply_plain(&v), v);
+    }
+
+    #[test]
+    fn encrypted_matvec_matches_plain() {
+        let (ev, mut rng) = setup(41);
+        let m = 8;
+        let rows = random_matrix(m, m, &mut rng);
+        let mat = DiagMatrix::from_rows(&rows);
+        let v = random_vec(m, &mut rng);
+        let ct = ev.encrypt_replicated(&v, &mut rng);
+        let out_ct = ev.matvec(&mat, &ct);
+        let got = ev.decrypt_values(&out_ct, m);
+        let want = mat.apply_plain(&v);
+        for i in 0..m {
+            assert!(
+                (got[i] - want[i]).abs() < 1e-2,
+                "slot {i}: {} vs {}",
+                got[i],
+                want[i]
+            );
+        }
+    }
+
+    #[test]
+    fn bsgs_matches_naive() {
+        let (ev, mut rng) = setup(42);
+        let m = 16;
+        let rows = random_matrix(m, m, &mut rng);
+        let mat = DiagMatrix::from_rows(&rows);
+        let v = random_vec(m, &mut rng);
+        let ct = ev.encrypt_replicated(&v, &mut rng);
+        let naive = ev.decrypt_values(&ev.matvec(&mat, &ct), m);
+        let bsgs = ev.decrypt_values(&ev.matvec_bsgs(&mat, &ct), m);
+        let want = mat.apply_plain(&v);
+        for i in 0..m {
+            assert!((naive[i] - want[i]).abs() < 2e-2, "naive slot {i}");
+            assert!((bsgs[i] - want[i]).abs() < 2e-2, "bsgs slot {i}");
+        }
+    }
+
+    #[test]
+    fn matvec_consumes_one_level() {
+        let (ev, mut rng) = setup(43);
+        let mat = DiagMatrix::identity(8);
+        let ct = ev.encrypt_replicated(&random_vec(8, &mut rng), &mut rng);
+        let before = ct.level();
+        assert_eq!(ev.matvec(&mat, &ct).level(), before - 1);
+        assert_eq!(ev.matvec_bsgs(&mat, &ct).level(), before - 1);
+    }
+
+    #[test]
+    fn sparse_matrix_uses_few_diagonals() {
+        // Circulant shift matrix: exactly one diagonal.
+        let m = 8;
+        let mut rows = vec![vec![0.0; m]; m];
+        for (i, row) in rows.iter_mut().enumerate() {
+            row[(i + 1) % m] = 1.0;
+        }
+        let mat = DiagMatrix::from_rows(&rows);
+        assert_eq!(mat.num_diagonals(), 1);
+        assert!(mat.density() < 0.2);
+    }
+
+    #[test]
+    fn bias_add_matches_plain() {
+        let (ev, mut rng) = setup(44);
+        let m = 8;
+        let v = random_vec(m, &mut rng);
+        let bias = random_vec(m, &mut rng);
+        let ct = ev.encrypt_replicated(&v, &mut rng);
+        let out = ev.decrypt_values(&ev.add_bias_replicated(&ct, &bias), m);
+        for i in 0..m {
+            assert!((out[i] - (v[i] + bias[i])).abs() < 1e-3, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn sum_replicated_totals_vector() {
+        let (ev, mut rng) = setup(45);
+        let m = 16;
+        let v = random_vec(m, &mut rng);
+        let total: f64 = v.iter().sum();
+        let ct = ev.encrypt_replicated(&v, &mut rng);
+        let out = ev.decrypt_values(&ev.sum_replicated(&ct, m), m);
+        for (i, got) in out.iter().enumerate() {
+            assert!((got - total).abs() < 1e-2, "slot {i}: {got} vs {total}");
+        }
+    }
+
+    #[test]
+    fn inner_product_matches_plain() {
+        let (ev, mut rng) = setup(46);
+        let m = 8;
+        let v = random_vec(m, &mut rng);
+        let w = random_vec(m, &mut rng);
+        let want: f64 = v.iter().zip(&w).map(|(a, b)| a * b).sum();
+        let ct = ev.encrypt_replicated(&v, &mut rng);
+        let out = ev.decrypt_values(&ev.inner_product_plain(&ct, &w), 1);
+        assert!((out[0] - want).abs() < 1e-2, "{} vs {want}", out[0]);
+    }
+
+    #[test]
+    fn chained_affine_stages() {
+        // Two matvecs back to back (the pipeline pattern heinfer uses).
+        let (ev, mut rng) = setup(47);
+        let m = 8;
+        let a = random_matrix(m, m, &mut rng);
+        let b = random_matrix(m, m, &mut rng);
+        let ma = DiagMatrix::from_rows(&a);
+        let mb = DiagMatrix::from_rows(&b);
+        let v = random_vec(m, &mut rng);
+        let ct = ev.encrypt_replicated(&v, &mut rng);
+        let stage1 = ev.matvec_bsgs(&ma, &ct);
+        let stage2 = ev.matvec_bsgs(&mb, &stage1);
+        let got = ev.decrypt_values(&stage2, m);
+        let want = mb.apply_plain(&ma.apply_plain(&v));
+        for i in 0..m {
+            assert!(
+                (got[i] - want[i]).abs() < 5e-2,
+                "slot {i}: {} vs {}",
+                got[i],
+                want[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide slot count")]
+    fn replicate_rejects_non_divisor() {
+        let _ = replicate(&[1.0, 2.0, 3.0], 128);
+    }
+
+    #[test]
+    fn zero_matrix_yields_zero_ciphertext() {
+        let (ev, mut rng) = setup(48);
+        let rows = vec![vec![0.0; 8]; 8];
+        let mat = DiagMatrix::from_rows(&rows);
+        assert_eq!(mat.num_diagonals(), 0);
+        let ct = ev.encrypt_replicated(&random_vec(8, &mut rng), &mut rng);
+        let out = ev.decrypt_values(&ev.matvec(&mat, &ct), 8);
+        for v in out {
+            assert!(v.abs() < 1e-3);
+        }
+    }
+}

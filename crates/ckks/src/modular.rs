@@ -1,0 +1,196 @@
+//! 64-bit prime-field arithmetic and NTT-friendly prime generation.
+
+/// Modular addition in `[0, q)`.
+#[inline]
+pub fn add_mod(a: u64, b: u64, q: u64) -> u64 {
+    let s = a + b; // q < 2^62 so no overflow
+    if s >= q {
+        s - q
+    } else {
+        s
+    }
+}
+
+/// Modular subtraction in `[0, q)`.
+#[inline]
+pub fn sub_mod(a: u64, b: u64, q: u64) -> u64 {
+    if a >= b {
+        a - b
+    } else {
+        a + q - b
+    }
+}
+
+/// Modular multiplication via 128-bit intermediate.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, q: u64) -> u64 {
+    ((a as u128 * b as u128) % q as u128) as u64
+}
+
+/// Modular exponentiation.
+pub fn pow_mod(mut base: u64, mut exp: u64, q: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= q;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, q);
+        }
+        base = mul_mod(base, base, q);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse of `a` modulo prime `q` (Fermat).
+///
+/// # Panics
+///
+/// Panics if `a == 0`.
+pub fn inv_mod(a: u64, q: u64) -> u64 {
+    assert!(a % q != 0, "inverse of zero");
+    pow_mod(a, q - 2, q)
+}
+
+/// Deterministic Miller-Rabin primality test for `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut r = 0;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Finds `count` distinct primes of roughly `bits` bits with
+/// `p ≡ 1 (mod 2n)` (NTT-friendly for ring dimension `n`), scanning
+/// downward from `2^bits`.
+///
+/// # Panics
+///
+/// Panics if not enough primes exist above `2^(bits-1)` (never happens
+/// for the parameter ranges used here) or if `bits > 62`.
+pub fn ntt_primes(bits: u32, count: usize, n: usize) -> Vec<u64> {
+    assert!(bits <= 62, "primes above 62 bits unsupported");
+    assert!(n.is_power_of_two(), "ring dimension must be a power of two");
+    let step = 2 * n as u64;
+    let mut candidate = (1u64 << bits) - ((1u64 << bits) % step) + 1;
+    let floor = 1u64 << (bits - 1);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        if candidate <= floor {
+            panic!("ran out of {bits}-bit NTT primes for n={n}");
+        }
+        if is_prime(candidate) {
+            out.push(candidate);
+        }
+        candidate -= step;
+    }
+    out
+}
+
+/// Finds a primitive `2n`-th root of unity modulo prime `q`
+/// (requires `q ≡ 1 mod 2n`).
+///
+/// # Panics
+///
+/// Panics if no such root exists (i.e. `q` is not NTT-friendly).
+pub fn primitive_root_2n(q: u64, n: usize) -> u64 {
+    let m = 2 * n as u64;
+    assert!((q - 1) % m == 0, "q not ≡ 1 mod 2n");
+    // Find a generator-ish element by trying small candidates: g is a
+    // primitive 2n-th root iff g^(n) == -1 where g = c^((q-1)/2n).
+    for c in 2u64.. {
+        let g = pow_mod(c, (q - 1) / m, q);
+        if pow_mod(g, n as u64, q) == q - 1 {
+            return g;
+        }
+        if c > 10_000 {
+            break;
+        }
+    }
+    panic!("no primitive 2n-th root found for q={q}, n={n}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let q = 97;
+        assert_eq!(add_mod(90, 10, q), 3);
+        assert_eq!(sub_mod(5, 10, q), 92);
+        assert_eq!(mul_mod(10, 10, q), 3);
+        assert_eq!(pow_mod(2, 10, q), 1024 % 97);
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        let q = 0x1000000000000001u64; // not prime; use a real one
+        let q = if is_prime(q) { q } else { 1152921504606846883 };
+        assert!(is_prime(q));
+        for a in [2u64, 12345, 99999999] {
+            let inv = inv_mod(a, q);
+            assert_eq!(mul_mod(a, inv, q), 1);
+        }
+    }
+
+    #[test]
+    fn primality_known_values() {
+        assert!(is_prime(2));
+        assert!(is_prime(3));
+        assert!(is_prime(1_000_000_007));
+        assert!(is_prime(0xFFFF_FFFF_FFFF_FFC5)); // largest u64 prime
+        assert!(!is_prime(1));
+        assert!(!is_prime(561)); // Carmichael
+        assert!(!is_prime(1_000_000_007u64 * 3));
+    }
+
+    #[test]
+    fn ntt_primes_are_valid() {
+        let primes = ntt_primes(40, 4, 4096);
+        assert_eq!(primes.len(), 4);
+        for &p in &primes {
+            assert!(is_prime(p));
+            assert_eq!((p - 1) % 8192, 0);
+            assert!(p < (1u64 << 40) && p > (1u64 << 39));
+        }
+        // Distinct.
+        let mut sorted = primes.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn primitive_root_properties() {
+        let q = ntt_primes(40, 1, 1024)[0];
+        let psi = primitive_root_2n(q, 1024);
+        assert_eq!(pow_mod(psi, 1024, q), q - 1); // psi^n = -1
+        assert_eq!(pow_mod(psi, 2048, q), 1); // psi^2n = 1
+    }
+}

@@ -1,0 +1,242 @@
+//! Negacyclic number-theoretic transform over `Z_q[X]/(X^n + 1)`.
+//!
+//! Standard Cooley-Tukey / Gentleman-Sande butterflies with
+//! bit-reversed tables of powers of a primitive `2n`-th root `psi`
+//! (Longa-Naehrig formulation). Polynomial multiplication in the ring
+//! is pointwise multiplication between forward transforms.
+
+use crate::modular::{add_mod, inv_mod, mul_mod, primitive_root_2n, sub_mod};
+
+/// Precomputed NTT tables for one prime.
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    /// The prime modulus.
+    pub q: u64,
+    n: usize,
+    psi_brv: Vec<u64>,
+    ipsi_brv: Vec<u64>,
+    n_inv: u64,
+}
+
+fn bit_reverse(i: usize, log_n: u32) -> usize {
+    i.reverse_bits() >> (usize::BITS - log_n)
+}
+
+impl NttTable {
+    /// Builds tables for ring dimension `n` (power of two) and prime
+    /// `q ≡ 1 mod 2n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or `q` is not NTT-friendly.
+    pub fn new(q: u64, n: usize) -> Self {
+        assert!(n.is_power_of_two(), "n must be a power of two");
+        let log_n = n.trailing_zeros();
+        let psi = primitive_root_2n(q, n);
+        let ipsi = inv_mod(psi, q);
+        let mut psi_brv = vec![0u64; n];
+        let mut ipsi_brv = vec![0u64; n];
+        let mut p = 1u64;
+        let mut ip = 1u64;
+        for i in 0..n {
+            psi_brv[bit_reverse(i, log_n)] = p;
+            ipsi_brv[bit_reverse(i, log_n)] = ip;
+            p = mul_mod(p, psi, q);
+            ip = mul_mod(ip, ipsi, q);
+        }
+        NttTable {
+            q,
+            n,
+            psi_brv,
+            ipsi_brv,
+            n_inv: inv_mod(n as u64, q),
+        }
+    }
+
+    /// Ring dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// In-place forward negacyclic NTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "length mismatch");
+        let q = self.q;
+        let mut t = self.n;
+        let mut m = 1;
+        while m < self.n {
+            t /= 2;
+            for i in 0..m {
+                let j1 = 2 * i * t;
+                let s = self.psi_brv[m + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = mul_mod(a[j + t], s, q);
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = sub_mod(u, v, q);
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != n`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "length mismatch");
+        let q = self.q;
+        let mut t = 1;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0;
+            for i in 0..h {
+                let s = self.ipsi_brv[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = mul_mod(sub_mod(u, v, q), s, q);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = mul_mod(*x, self.n_inv, q);
+        }
+    }
+
+    /// Schoolbook negacyclic multiplication — O(n²) reference used only
+    /// by tests to validate the NTT path.
+    pub fn negacyclic_mul_reference(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let n = self.n;
+        let q = self.q;
+        let mut out = vec![0u64; n];
+        for i in 0..n {
+            if a[i] == 0 {
+                continue;
+            }
+            for j in 0..n {
+                let prod = mul_mod(a[i], b[j], q);
+                let k = i + j;
+                if k < n {
+                    out[k] = add_mod(out[k], prod, q);
+                } else {
+                    out[k - n] = sub_mod(out[k - n], prod, q);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::{ntt_primes, pow_mod};
+
+    fn table(n: usize) -> NttTable {
+        let q = ntt_primes(40, 1, n)[0];
+        NttTable::new(q, n)
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let t = table(64);
+        let orig: Vec<u64> = (0..64).map(|i| (i * i + 7) as u64 % t.q).collect();
+        let mut a = orig.clone();
+        t.forward(&mut a);
+        assert_ne!(a, orig, "forward must change representation");
+        t.inverse(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn pointwise_mul_matches_schoolbook() {
+        let t = table(32);
+        let a: Vec<u64> = (0..32).map(|i| (i * 31 + 5) as u64).collect();
+        let b: Vec<u64> = (0..32).map(|i| (i * 17 + 11) as u64).collect();
+        let expect = t.negacyclic_mul_reference(&a, &b);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        let mut fc: Vec<u64> = fa
+            .iter()
+            .zip(&fb)
+            .map(|(&x, &y)| mul_mod(x, y, t.q))
+            .collect();
+        t.inverse(&mut fc);
+        assert_eq!(fc, expect);
+    }
+
+    #[test]
+    fn x_times_x_pow_nminus1_is_minus_one() {
+        // X * X^(n-1) = X^n = -1 in the negacyclic ring.
+        let t = table(16);
+        let mut a = vec![0u64; 16];
+        a[1] = 1;
+        let mut b = vec![0u64; 16];
+        b[15] = 1;
+        let c = t.negacyclic_mul_reference(&a, &b);
+        let mut expect = vec![0u64; 16];
+        expect[0] = t.q - 1;
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn ntt_is_linear() {
+        let t = table(32);
+        let a: Vec<u64> = (0..32).map(|i| (i * 13) as u64).collect();
+        let b: Vec<u64> = (0..32).map(|i| (i * 29 + 3) as u64).collect();
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| add_mod(x, y, t.q)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum.clone();
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        t.forward(&mut fs);
+        for i in 0..32 {
+            assert_eq!(fs[i], add_mod(fa[i], fb[i], t.q));
+        }
+    }
+
+    #[test]
+    fn constant_poly_transforms_to_constant_slots() {
+        let t = table(16);
+        let mut a = vec![0u64; 16];
+        a[0] = 42;
+        t.forward(&mut a);
+        assert!(a.iter().all(|&x| x == 42));
+    }
+
+    #[test]
+    fn works_at_large_dimension() {
+        let t = table(4096);
+        let mut a: Vec<u64> = (0..4096).map(|i| i as u64 * 997 % t.q).collect();
+        let orig = a.clone();
+        t.forward(&mut a);
+        t.inverse(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn sixty_bit_prime_roundtrip() {
+        let q = ntt_primes(60, 1, 256)[0];
+        let t = NttTable::new(q, 256);
+        let mut a: Vec<u64> = (0..256).map(|i| pow_mod(3, i as u64, q)).collect();
+        let orig = a.clone();
+        t.forward(&mut a);
+        t.inverse(&mut a);
+        assert_eq!(a, orig);
+    }
+}

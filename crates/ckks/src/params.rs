@@ -1,0 +1,130 @@
+//! Parameter presets.
+//!
+//! **Security disclaimer:** this crate is a *performance and accuracy
+//! simulator* for the SMART-PAF experiments, not a hardened FHE
+//! library. The presets trade ring dimension for wall-clock speed, so
+//! most of them fall well short of 128-bit security. Use
+//! [`CkksParams::paper_scale`] for parameters matching the paper's
+//! SEAL configuration (N = 32768, ~881-bit modulus).
+
+use crate::modular::ntt_primes;
+use crate::rns::CkksContext;
+use std::sync::Arc;
+
+/// A CKKS parameter preset: ring dimension, modulus chain layout and
+/// encoding scale.
+#[derive(Debug, Clone)]
+pub struct CkksParams {
+    /// Ring dimension (power of two).
+    pub n: usize,
+    /// Bit size of the base (decode) prime.
+    pub base_prime_bits: u32,
+    /// Bit size of each rescaling prime.
+    pub scale_prime_bits: u32,
+    /// Number of rescaling primes = supported multiplication depth.
+    pub depth: usize,
+}
+
+impl CkksParams {
+    /// Tiny parameters for unit tests: N = 256, depth 8.
+    pub fn toy() -> Self {
+        CkksParams {
+            n: 256,
+            base_prime_bits: 60,
+            scale_prime_bits: 40,
+            depth: 12,
+        }
+    }
+
+    /// Default working parameters: N = 4096, depth 12 — enough for the
+    /// 27-degree comparator's depth-10 sign evaluation plus the ReLU
+    /// construction multiply, with margin.
+    pub fn default_params() -> Self {
+        CkksParams {
+            n: 4096,
+            base_prime_bits: 60,
+            scale_prime_bits: 40,
+            depth: 12,
+        }
+    }
+
+    /// Benchmark parameters: N = 8192, depth 12. Latency trends match
+    /// the paper's setup at roughly quarter cost per ring op.
+    pub fn benchmark() -> Self {
+        CkksParams {
+            n: 8192,
+            base_prime_bits: 60,
+            scale_prime_bits: 40,
+            depth: 12,
+        }
+    }
+
+    /// Paper-matching scale: N = 32768 with ~881 modulus bits
+    /// (60 + 20×40 = 860), the configuration the paper used in SEAL.
+    /// Slow; opt-in for headline latency reproduction.
+    pub fn paper_scale() -> Self {
+        CkksParams {
+            n: 32768,
+            base_prime_bits: 60,
+            scale_prime_bits: 40,
+            depth: 20,
+        }
+    }
+
+    /// Total modulus bits in the chain.
+    pub fn modulus_bits(&self) -> u32 {
+        self.base_prime_bits + self.scale_prime_bits * self.depth as u32
+    }
+
+    /// Builds the runtime context (generates primes and NTT tables).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid dimensions (non-power-of-two `n`, prime sizes
+    /// above 62 bits).
+    pub fn build(&self) -> Arc<CkksContext> {
+        let mut primes = ntt_primes(self.base_prime_bits, 1, self.n);
+        primes.extend(ntt_primes(self.scale_prime_bits, self.depth, self.n));
+        let scale = 2f64.powi(self.scale_prime_bits as i32);
+        CkksContext::new(self.n, primes, scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_builds() {
+        let ctx = CkksParams::toy().build();
+        assert_eq!(ctx.n(), 256);
+        assert_eq!(ctx.primes().len(), 13);
+        assert_eq!(ctx.max_level(), 12);
+        assert_eq!(ctx.scale(), (1u64 << 40) as f64);
+    }
+
+    #[test]
+    fn default_depth_covers_comparator() {
+        // 27-degree PAF: depth 10 sign + 1 for ReLU = 11 < 12.
+        let p = CkksParams::default_params();
+        assert!(p.depth >= 11);
+    }
+
+    #[test]
+    fn primes_distinct_and_friendly() {
+        let ctx = CkksParams::toy().build();
+        let mut seen = std::collections::HashSet::new();
+        for &q in ctx.primes() {
+            assert!(seen.insert(q), "duplicate prime {q}");
+            assert_eq!((q - 1) % (2 * 256), 0);
+        }
+    }
+
+    #[test]
+    fn paper_scale_matches_published_magnitude() {
+        let p = CkksParams::paper_scale();
+        assert_eq!(p.n, 32768);
+        // Paper: 881 modulus bits; ours is the same magnitude.
+        assert!((p.modulus_bits() as i64 - 881).abs() < 30);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for the CKKS substrate.
+
+use crate::cipher::Evaluator;
+use crate::keys::KeyChain;
+use crate::params::CkksParams;
+use proptest::prelude::*;
+use smartpaf_tensor::Rng64;
+use std::sync::OnceLock;
+
+/// Key setup is expensive; share one across all property cases.
+fn shared() -> &'static Evaluator {
+    static EV: OnceLock<Evaluator> = OnceLock::new();
+    EV.get_or_init(|| {
+        let ctx = CkksParams::toy().build();
+        let mut rng = Rng64::new(777);
+        let keys = KeyChain::generate(&ctx, &mut rng);
+        Evaluator::new(&keys)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Homomorphic addition is exact up to noise for arbitrary slots.
+    #[test]
+    fn add_homomorphism(
+        a in proptest::collection::vec(-2.0f64..2.0, 8),
+        b in proptest::collection::vec(-2.0f64..2.0, 8),
+        seed in 0u64..1000,
+    ) {
+        let ev = shared();
+        let mut rng = Rng64::new(seed);
+        let ca = ev.encrypt_values(&a, &mut rng);
+        let cb = ev.encrypt_values(&b, &mut rng);
+        let out = ev.decrypt_values(&ev.add(&ca, &cb), 8);
+        for i in 0..8 {
+            prop_assert!((out[i] - (a[i] + b[i])).abs() < 1e-3);
+        }
+    }
+
+    /// Homomorphic multiplication is slotwise up to noise.
+    #[test]
+    fn mul_homomorphism(
+        a in proptest::collection::vec(-1.0f64..1.0, 8),
+        b in proptest::collection::vec(-1.0f64..1.0, 8),
+        seed in 0u64..1000,
+    ) {
+        let ev = shared();
+        let mut rng = Rng64::new(seed);
+        let ca = ev.encrypt_values(&a, &mut rng);
+        let cb = ev.encrypt_values(&b, &mut rng);
+        let mut prod = ev.mul(&ca, &cb);
+        ev.rescale(&mut prod);
+        let out = ev.decrypt_values(&prod, 8);
+        for i in 0..8 {
+            prop_assert!(
+                (out[i] - a[i] * b[i]).abs() < 1e-2,
+                "slot {i}: {} vs {}", out[i], a[i] * b[i]
+            );
+        }
+    }
+
+    /// Encrypting different plaintexts gives different ciphertexts, and
+    /// fresh randomness gives semantic-security-style non-determinism.
+    #[test]
+    fn encryption_randomised(v in -1.0f64..1.0, seed in 0u64..1000) {
+        let ev = shared();
+        let mut rng = Rng64::new(seed);
+        let c1 = ev.encrypt_values(&[v], &mut rng);
+        let c2 = ev.encrypt_values(&[v], &mut rng);
+        prop_assert_ne!(c1.c0.limb(0), c2.c0.limb(0));
+        // Both decrypt to the same value.
+        let d1 = ev.decrypt_values(&c1, 1)[0];
+        let d2 = ev.decrypt_values(&c2, 1)[0];
+        prop_assert!((d1 - v).abs() < 1e-4);
+        prop_assert!((d2 - v).abs() < 1e-4);
+    }
+
+    /// mul then decrypt == decrypt then multiply (ring homomorphism
+    /// composed with plain constants).
+    #[test]
+    fn const_mul_linear(v in -1.0f64..1.0, c in -3.0f64..3.0, seed in 0u64..1000) {
+        let ev = shared();
+        let mut rng = Rng64::new(seed);
+        let ct = ev.encrypt_values(&[v], &mut rng);
+        let out = ev.decrypt_values(&ev.mul_const(&ct, c), 1)[0];
+        prop_assert!((out - c * v).abs() < 1e-3, "{out} vs {}", c * v);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Rotation by any step count permutes slots cyclically.
+    #[test]
+    fn rotation_permutes_slots(
+        vals in proptest::collection::vec(-1.0f64..1.0, 16),
+        steps in 0usize..128,
+        seed in 0u64..1000,
+    ) {
+        let ev = shared();
+        let slots = ev.context().slots();
+        let mut rng = Rng64::new(seed);
+        let ct = ev.encrypt_replicated(&vals, &mut rng);
+        let rot = ev.rotate(&ct, steps as i64);
+        let out = ev.decrypt_values(&rot, 16);
+        for j in 0..16 {
+            let want = vals[(j + steps) % 16];
+            prop_assert!((out[j] - want).abs() < 5e-3, "slot {j}: {} vs {want}", out[j]);
+        }
+    }
+
+    /// Left and right rotations cancel.
+    #[test]
+    fn rotation_inverse(
+        vals in proptest::collection::vec(-1.0f64..1.0, 8),
+        steps in 1i64..64,
+        seed in 0u64..1000,
+    ) {
+        let ev = shared();
+        let mut rng = Rng64::new(seed);
+        let ct = ev.encrypt_replicated(&vals, &mut rng);
+        let back = ev.rotate(&ev.rotate(&ct, steps), -steps);
+        let out = ev.decrypt_values(&back, 8);
+        for j in 0..8 {
+            prop_assert!((out[j] - vals[j]).abs() < 5e-3);
+        }
+    }
+
+    /// Encrypted matvec agrees with the plaintext diagonal product for
+    /// random matrices and vectors.
+    #[test]
+    fn matvec_matches_plain(
+        flat in proptest::collection::vec(-1.0f64..1.0, 64),
+        v in proptest::collection::vec(-1.0f64..1.0, 8),
+        seed in 0u64..1000,
+        use_bsgs in proptest::bool::ANY,
+    ) {
+        let ev = shared();
+        let rows: Vec<Vec<f64>> = flat.chunks(8).map(<[f64]>::to_vec).collect();
+        let mat = crate::linear::DiagMatrix::from_rows(&rows);
+        let mut rng = Rng64::new(seed);
+        let ct = ev.encrypt_replicated(&v, &mut rng);
+        let out_ct = if use_bsgs { ev.matvec_bsgs(&mat, &ct) } else { ev.matvec(&mat, &ct) };
+        let got = ev.decrypt_values(&out_ct, 8);
+        let want = mat.apply_plain(&v);
+        for i in 0..8 {
+            prop_assert!((got[i] - want[i]).abs() < 3e-2, "slot {i}: {} vs {}", got[i], want[i]);
+        }
+    }
+
+    /// A bootstrap refresh preserves slot values and restores the top
+    /// level regardless of how deep the input sits.
+    #[test]
+    fn refresh_preserves_values(
+        vals in proptest::collection::vec(-1.0f64..1.0, 8),
+        burn in 0usize..6,
+        seed in 0u64..1000,
+    ) {
+        let ev = shared();
+        let mut rng = Rng64::new(seed);
+        let mut ct = ev.encrypt_replicated(&vals, &mut rng);
+        for _ in 0..burn {
+            ct = ev.mul_const(&ct, 1.0);
+        }
+        let bs = crate::noise::Bootstrapper::new(ev.clone(), 8, seed ^ 0xB007);
+        let fresh = bs.refresh(&ct);
+        prop_assert_eq!(fresh.level(), ev.context().max_level());
+        let out = ev.decrypt_values(&fresh, 8);
+        for j in 0..8 {
+            prop_assert!((out[j] - vals[j]).abs() < 5e-3);
+        }
+    }
+}

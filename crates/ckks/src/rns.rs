@@ -1,0 +1,680 @@
+//! RNS polynomial ring: elements of `Z_Q[X]/(X^n+1)` stored as one
+//! residue vector ("limb") per prime in the modulus chain.
+
+use crate::modular::{add_mod, inv_mod, mul_mod, sub_mod};
+use crate::ntt::NttTable;
+use smartpaf_tensor::Rng64;
+use std::sync::Arc;
+
+/// Shared CKKS ring context: dimension, prime chain, NTT tables and
+/// the default encoding scale.
+#[derive(Debug)]
+pub struct CkksContext {
+    n: usize,
+    primes: Vec<u64>,
+    ntt: Vec<NttTable>,
+    scale: f64,
+    sigma: f64,
+}
+
+impl CkksContext {
+    /// Builds a context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two, `primes` is empty, or any
+    /// prime is not NTT-friendly for `n`.
+    pub fn new(n: usize, primes: Vec<u64>, scale: f64) -> Arc<Self> {
+        assert!(n.is_power_of_two(), "n must be a power of two");
+        assert!(!primes.is_empty(), "empty prime chain");
+        let ntt = primes.iter().map(|&q| NttTable::new(q, n)).collect();
+        Arc::new(CkksContext {
+            n,
+            primes,
+            ntt,
+            scale,
+            sigma: 3.2,
+        })
+    }
+
+    /// Ring dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of SIMD slots (`n / 2`).
+    pub fn slots(&self) -> usize {
+        self.n / 2
+    }
+
+    /// The full prime chain, top level first consumed last.
+    pub fn primes(&self) -> &[u64] {
+        &self.primes
+    }
+
+    /// Highest level index (`primes.len() - 1`); a fresh ciphertext has
+    /// `level() + 1` limbs and supports `level()` rescales.
+    pub fn max_level(&self) -> usize {
+        self.primes.len() - 1
+    }
+
+    /// Default encoding scale Δ.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Error standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// NTT table for prime index `i`.
+    pub fn ntt(&self, i: usize) -> &NttTable {
+        &self.ntt[i]
+    }
+}
+
+/// An RNS ring element. `limbs[i]` holds the residues modulo
+/// `context.primes()[i]`; the number of limbs defines the element's
+/// level. `is_ntt` says which domain the limbs are in.
+#[derive(Debug, Clone)]
+pub struct RnsPoly {
+    ctx: Arc<CkksContext>,
+    limbs: Vec<Vec<u64>>,
+    is_ntt: bool,
+}
+
+impl RnsPoly {
+    /// The zero element with `num_limbs` limbs, in NTT form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_limbs` is zero or exceeds the chain length.
+    pub fn zero(ctx: &Arc<CkksContext>, num_limbs: usize) -> Self {
+        assert!(num_limbs >= 1 && num_limbs <= ctx.primes().len());
+        RnsPoly {
+            ctx: Arc::clone(ctx),
+            limbs: vec![vec![0u64; ctx.n()]; num_limbs],
+            is_ntt: true,
+        }
+    }
+
+    /// Builds from signed coefficients (coefficient domain), reducing
+    /// each modulo every prime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != n`.
+    pub fn from_signed_coeffs(ctx: &Arc<CkksContext>, coeffs: &[i64], num_limbs: usize) -> Self {
+        assert_eq!(coeffs.len(), ctx.n(), "coefficient count mismatch");
+        let limbs = (0..num_limbs)
+            .map(|i| {
+                let q = ctx.primes()[i];
+                coeffs
+                    .iter()
+                    .map(|&c| {
+                        if c >= 0 {
+                            c as u64 % q
+                        } else {
+                            q - ((-c) as u64 % q)
+                        }
+                    })
+                    .map(|r| if r == q { 0 } else { r })
+                    .collect()
+            })
+            .collect();
+        RnsPoly {
+            ctx: Arc::clone(ctx),
+            limbs,
+            is_ntt: false,
+        }
+    }
+
+    /// Builds from big signed coefficients given as `i128` (used by the
+    /// encoder, whose scaled values can exceed `i64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != n`.
+    pub fn from_signed_coeffs_i128(
+        ctx: &Arc<CkksContext>,
+        coeffs: &[i128],
+        num_limbs: usize,
+    ) -> Self {
+        assert_eq!(coeffs.len(), ctx.n(), "coefficient count mismatch");
+        let limbs = (0..num_limbs)
+            .map(|i| {
+                let q = ctx.primes()[i] as i128;
+                coeffs
+                    .iter()
+                    .map(|&c| {
+                        let r = c.rem_euclid(q);
+                        r as u64
+                    })
+                    .collect()
+            })
+            .collect();
+        RnsPoly {
+            ctx: Arc::clone(ctx),
+            limbs,
+            is_ntt: false,
+        }
+    }
+
+    /// Builds from small unsigned coefficients (each must be smaller
+    /// than every prime in the active chain), coefficient domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != n` or a coefficient is too large.
+    pub fn from_unsigned_coeffs(ctx: &Arc<CkksContext>, coeffs: &[u64], num_limbs: usize) -> Self {
+        assert_eq!(coeffs.len(), ctx.n(), "coefficient count mismatch");
+        let min_q = ctx.primes()[..num_limbs]
+            .iter()
+            .copied()
+            .min()
+            .expect("non-empty chain");
+        assert!(
+            coeffs.iter().all(|&c| c < min_q),
+            "coefficient exceeds smallest prime"
+        );
+        RnsPoly {
+            ctx: Arc::clone(ctx),
+            limbs: vec![coeffs.to_vec(); num_limbs],
+            is_ntt: false,
+        }
+    }
+
+    /// Uniformly random element (NTT form is fine since uniform is
+    /// domain-invariant).
+    pub fn random_uniform(ctx: &Arc<CkksContext>, num_limbs: usize, rng: &mut Rng64) -> Self {
+        let limbs = (0..num_limbs)
+            .map(|i| {
+                let q = ctx.primes()[i];
+                (0..ctx.n()).map(|_| rng.next_u64() % q).collect()
+            })
+            .collect();
+        RnsPoly {
+            ctx: Arc::clone(ctx),
+            limbs,
+            is_ntt: true,
+        }
+    }
+
+    /// Random ternary element with coefficients in `{-1, 0, 1}`
+    /// (coefficient domain).
+    pub fn random_ternary(ctx: &Arc<CkksContext>, num_limbs: usize, rng: &mut Rng64) -> Self {
+        let coeffs: Vec<i64> = (0..ctx.n()).map(|_| rng.next_below(3) as i64 - 1).collect();
+        Self::from_signed_coeffs(ctx, &coeffs, num_limbs)
+    }
+
+    /// Random error element with discrete-Gaussian-ish coefficients of
+    /// standard deviation `ctx.sigma()` (coefficient domain).
+    pub fn random_error(ctx: &Arc<CkksContext>, num_limbs: usize, rng: &mut Rng64) -> Self {
+        let sigma = ctx.sigma();
+        let coeffs: Vec<i64> = (0..ctx.n())
+            .map(|_| (rng.next_gaussian() as f64 * sigma).round() as i64)
+            .collect();
+        Self::from_signed_coeffs(ctx, &coeffs, num_limbs)
+    }
+
+    /// Number of limbs (level + 1).
+    pub fn num_limbs(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Whether the element is in NTT (evaluation) form.
+    pub fn is_ntt(&self) -> bool {
+        self.is_ntt
+    }
+
+    /// Raw limb access.
+    pub fn limb(&self, i: usize) -> &[u64] {
+        &self.limbs[i]
+    }
+
+    /// Mutable raw limb access.
+    pub fn limb_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.limbs[i]
+    }
+
+    /// Shared context.
+    pub fn context(&self) -> &Arc<CkksContext> {
+        &self.ctx
+    }
+
+    /// Converts to NTT form in place (no-op if already there).
+    pub fn to_ntt(&mut self) {
+        if self.is_ntt {
+            return;
+        }
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            self.ctx.ntt[i].forward(limb);
+        }
+        self.is_ntt = true;
+    }
+
+    /// Converts to coefficient form in place (no-op if already there).
+    pub fn to_coeff(&mut self) {
+        if !self.is_ntt {
+            return;
+        }
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            self.ctx.ntt[i].inverse(limb);
+        }
+        self.is_ntt = false;
+    }
+
+    fn binop(&self, other: &RnsPoly, f: impl Fn(u64, u64, u64) -> u64) -> RnsPoly {
+        assert_eq!(self.is_ntt, other.is_ntt, "domain mismatch");
+        assert_eq!(self.num_limbs(), other.num_limbs(), "level mismatch");
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(&other.limbs)
+            .enumerate()
+            .map(|(i, (a, b))| {
+                let q = self.ctx.primes()[i];
+                a.iter().zip(b).map(|(&x, &y)| f(x, y, q)).collect()
+            })
+            .collect();
+        RnsPoly {
+            ctx: Arc::clone(&self.ctx),
+            limbs,
+            is_ntt: self.is_ntt,
+        }
+    }
+
+    /// Ring addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level or domain mismatch.
+    pub fn add(&self, other: &RnsPoly) -> RnsPoly {
+        self.binop(other, add_mod)
+    }
+
+    /// Ring subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level or domain mismatch.
+    pub fn sub(&self, other: &RnsPoly) -> RnsPoly {
+        self.binop(other, sub_mod)
+    }
+
+    /// Ring multiplication (pointwise; both operands must be in NTT
+    /// form).
+    ///
+    /// # Panics
+    ///
+    /// Panics on level mismatch or if either operand is in coefficient
+    /// form.
+    pub fn mul(&self, other: &RnsPoly) -> RnsPoly {
+        assert!(self.is_ntt && other.is_ntt, "mul requires NTT form");
+        self.binop(other, mul_mod)
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> RnsPoly {
+        let limbs = self
+            .limbs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let q = self.ctx.primes()[i];
+                a.iter().map(|&x| if x == 0 { 0 } else { q - x }).collect()
+            })
+            .collect();
+        RnsPoly {
+            ctx: Arc::clone(&self.ctx),
+            limbs,
+            is_ntt: self.is_ntt,
+        }
+    }
+
+    /// Multiplies every limb by a per-limb scalar residue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scalars.len() != num_limbs()`.
+    pub fn mul_scalar_residues(&self, scalars: &[u64]) -> RnsPoly {
+        assert_eq!(scalars.len(), self.num_limbs(), "scalar count mismatch");
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(scalars)
+            .enumerate()
+            .map(|(i, (a, &s))| {
+                let q = self.ctx.primes()[i];
+                a.iter().map(|&x| mul_mod(x, s, q)).collect()
+            })
+            .collect();
+        RnsPoly {
+            ctx: Arc::clone(&self.ctx),
+            limbs,
+            is_ntt: self.is_ntt,
+        }
+    }
+
+    /// Drops the last limb without rescaling (plain modulus switch;
+    /// valid when the represented value is small enough).
+    ///
+    /// # Panics
+    ///
+    /// Panics if only one limb remains.
+    pub fn drop_last_limb(&mut self) {
+        assert!(self.num_limbs() > 1, "cannot drop the last limb");
+        self.limbs.pop();
+    }
+
+    /// CKKS rescale: divides by the last prime (rounding) and drops
+    /// that limb. Input may be in either domain; output stays in the
+    /// input domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if only one limb remains.
+    pub fn rescale(&mut self) {
+        assert!(self.num_limbs() > 1, "cannot rescale the last limb");
+        let was_ntt = self.is_ntt;
+        self.to_coeff();
+        let last = self.limbs.pop().expect("non-empty");
+        let q_last = self.ctx.primes()[self.limbs.len()];
+        let half = q_last / 2;
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let q = self.ctx.primes()[i];
+            let q_last_inv = inv_mod(q_last % q, q);
+            let q_last_mod = q_last % q;
+            for (x, &l) in limb.iter_mut().zip(&last) {
+                // Round(X / q_last) = (X - l') / q_last where l' is the
+                // centered remainder of X mod q_last.
+                let mut l_centered = l % q;
+                if l >= half {
+                    l_centered = sub_mod(l_centered, q_last_mod, q);
+                }
+                let num = sub_mod(*x, l_centered, q);
+                *x = mul_mod(num, q_last_inv, q);
+            }
+        }
+        if was_ntt {
+            self.to_ntt();
+        } else {
+            self.is_ntt = false;
+        }
+    }
+
+    /// Applies the Galois automorphism `X ↦ X^g` for odd `g`.
+    ///
+    /// In the negacyclic ring `Z_Q[X]/(X^n+1)` the monomial `X^i` maps
+    /// to `±X^{(i·g) mod n}` with the sign flipped whenever
+    /// `(i·g) mod 2n ≥ n` (because `X^n = −1`). The result is returned
+    /// in coefficient form regardless of the input domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is even or not in `1..2n`.
+    pub fn automorphism(&self, g: usize) -> RnsPoly {
+        let n = self.ctx.n();
+        assert!(g % 2 == 1 && g >= 1 && g < 2 * n, "invalid Galois element {g}");
+        let mut src = self.clone();
+        src.to_coeff();
+        let mut out = RnsPoly {
+            ctx: Arc::clone(&self.ctx),
+            limbs: vec![vec![0u64; n]; self.num_limbs()],
+            is_ntt: false,
+        };
+        for (limb_idx, limb) in src.limbs.iter().enumerate() {
+            let q = self.ctx.primes()[limb_idx];
+            let dst = &mut out.limbs[limb_idx];
+            for (i, &c) in limb.iter().enumerate() {
+                let e = (i * g) % (2 * n);
+                if e < n {
+                    dst[e] = c;
+                } else {
+                    dst[e - n] = if c == 0 { 0 } else { q - c };
+                }
+            }
+        }
+        out
+    }
+
+    /// Reconstructs the centered signed value of coefficient `idx`
+    /// using the first `use_limbs` limbs via exact CRT in `i128`.
+    ///
+    /// Only sound when the true centered value fits in the product of
+    /// those primes; callers use 1–2 limbs where values are ≤ 2^100.
+    ///
+    /// # Panics
+    ///
+    /// Panics in NTT form, or if `use_limbs` is 0, exceeds the limb
+    /// count, or the prime product overflows `i128` headroom.
+    pub fn coeff_to_i128(&self, idx: usize, use_limbs: usize) -> i128 {
+        assert!(!self.is_ntt, "coefficient access requires coefficient form");
+        assert!(use_limbs >= 1 && use_limbs <= self.num_limbs());
+        let mut q_prod: i128 = 1;
+        for i in 0..use_limbs {
+            q_prod = q_prod
+                .checked_mul(self.ctx.primes()[i] as i128)
+                .expect("prime product overflow");
+        }
+        // Garner / CRT via incremental reconstruction.
+        let mut x: i128 = self.limbs[0][idx] as i128;
+        let mut modulus: i128 = self.ctx.primes()[0] as i128;
+        for i in 1..use_limbs {
+            let q = self.ctx.primes()[i] as i128;
+            let r = self.limbs[i][idx] as i128;
+            // Find t with x + modulus * t ≡ r (mod q).
+            let m_inv = inv_mod((modulus.rem_euclid(q)) as u64, q as u64) as i128;
+            let t = ((r - x).rem_euclid(q) * m_inv).rem_euclid(q);
+            x += modulus * t;
+            modulus *= q;
+        }
+        debug_assert_eq!(modulus, q_prod);
+        if x > q_prod / 2 {
+            x - q_prod
+        } else {
+            x
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::ntt_primes;
+
+    fn ctx() -> Arc<CkksContext> {
+        let mut primes = ntt_primes(40, 3, 64);
+        primes.insert(0, ntt_primes(50, 1, 64)[0]);
+        CkksContext::new(64, primes, (1u64 << 30) as f64)
+    }
+
+    #[test]
+    fn from_signed_roundtrip() {
+        let c = ctx();
+        let coeffs: Vec<i64> = (0..64).map(|i| i as i64 - 32).collect();
+        let p = RnsPoly::from_signed_coeffs(&c, &coeffs, 2);
+        for (i, &v) in coeffs.iter().enumerate() {
+            assert_eq!(p.coeff_to_i128(i, 2), v as i128);
+        }
+    }
+
+    #[test]
+    fn ntt_roundtrip_preserves_value() {
+        let c = ctx();
+        let coeffs: Vec<i64> = (0..64).map(|i| (i as i64 * 7919) % 1000 - 500).collect();
+        let mut p = RnsPoly::from_signed_coeffs(&c, &coeffs, 3);
+        p.to_ntt();
+        p.to_coeff();
+        // Reconstruct with two limbs (the 50+40+40-bit product would
+        // overflow the i128 CRT headroom; values are tiny anyway).
+        for (i, &v) in coeffs.iter().enumerate() {
+            assert_eq!(p.coeff_to_i128(i, 2), v as i128);
+        }
+    }
+
+    #[test]
+    fn add_matches_integer_add() {
+        let c = ctx();
+        let a: Vec<i64> = (0..64).map(|i| i as i64).collect();
+        let b: Vec<i64> = (0..64).map(|i| 2 * i as i64 - 10).collect();
+        let pa = RnsPoly::from_signed_coeffs(&c, &a, 2);
+        let pb = RnsPoly::from_signed_coeffs(&c, &b, 2);
+        let s = pa.add(&pb);
+        for i in 0..64 {
+            assert_eq!(s.coeff_to_i128(i, 2), (a[i] + b[i]) as i128);
+        }
+    }
+
+    #[test]
+    fn mul_matches_negacyclic_reference() {
+        let c = ctx();
+        // a = X + 2, b = X^63 (so a*b = X^64 + 2X^63 = -1 + 2X^63).
+        let mut a = vec![0i64; 64];
+        a[0] = 2;
+        a[1] = 1;
+        let mut b = vec![0i64; 64];
+        b[63] = 1;
+        let mut pa = RnsPoly::from_signed_coeffs(&c, &a, 2);
+        let mut pb = RnsPoly::from_signed_coeffs(&c, &b, 2);
+        pa.to_ntt();
+        pb.to_ntt();
+        let mut prod = pa.mul(&pb);
+        prod.to_coeff();
+        assert_eq!(prod.coeff_to_i128(0, 2), -1);
+        assert_eq!(prod.coeff_to_i128(63, 2), 2);
+        for i in 1..63 {
+            assert_eq!(prod.coeff_to_i128(i, 2), 0);
+        }
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        let c = ctx();
+        let coeffs: Vec<i64> = (0..64).map(|i| i as i64 * 3 - 50).collect();
+        let p = RnsPoly::from_signed_coeffs(&c, &coeffs, 2);
+        let z = p.add(&p.neg());
+        for i in 0..64 {
+            assert_eq!(z.coeff_to_i128(i, 2), 0);
+        }
+    }
+
+    #[test]
+    fn rescale_divides_by_last_prime() {
+        let c = ctx();
+        let q_last = c.primes()[2] as i128;
+        // Encode values that are exact multiples of q_last.
+        let coeffs: Vec<i64> = (0..64).map(|i| i as i64 - 32).collect();
+        let scaled: Vec<i128> = coeffs.iter().map(|&v| v as i128 * q_last).collect();
+        let mut p = RnsPoly::from_signed_coeffs_i128(&c, &scaled, 3);
+        p.rescale();
+        assert_eq!(p.num_limbs(), 2);
+        for (i, &v) in coeffs.iter().enumerate() {
+            let got = p.coeff_to_i128(i, 2);
+            assert!((got - v as i128).abs() <= 1, "coeff {i}: {got} vs {v}");
+        }
+    }
+
+    #[test]
+    fn ternary_and_error_sampling_bounds() {
+        let c = ctx();
+        let mut rng = Rng64::new(5);
+        let mut t = RnsPoly::random_ternary(&c, 2, &mut rng);
+        t.to_coeff();
+        for i in 0..64 {
+            assert!(t.coeff_to_i128(i, 2).abs() <= 1);
+        }
+        let mut e = RnsPoly::random_error(&c, 2, &mut rng);
+        e.to_coeff();
+        for i in 0..64 {
+            assert!(e.coeff_to_i128(i, 2).abs() <= 30, "error too large");
+        }
+    }
+
+    #[test]
+    fn automorphism_identity() {
+        let c = ctx();
+        let coeffs: Vec<i64> = (0..64).map(|i| i as i64 * 13 - 100).collect();
+        let p = RnsPoly::from_signed_coeffs(&c, &coeffs, 2);
+        let q = p.automorphism(1);
+        for (i, &v) in coeffs.iter().enumerate() {
+            assert_eq!(q.coeff_to_i128(i, 2), v as i128);
+        }
+    }
+
+    #[test]
+    fn automorphism_monomial_sign_wrap() {
+        // X^1 under g = 2n-1 maps to X^(2n-1 mod 2n) = X^{n-1} with a
+        // sign flip (exponent 2n-1 >= n).
+        let c = ctx();
+        let n = 64;
+        let mut coeffs = vec![0i64; n];
+        coeffs[1] = 1;
+        let p = RnsPoly::from_signed_coeffs(&c, &coeffs, 2);
+        let q = p.automorphism(2 * n - 1);
+        assert_eq!(q.coeff_to_i128(n - 1, 2), -1);
+        for i in 0..n - 1 {
+            assert_eq!(q.coeff_to_i128(i, 2), 0, "coeff {i}");
+        }
+    }
+
+    #[test]
+    fn automorphism_composes() {
+        // φ_g ∘ φ_h = φ_{g·h mod 2n}.
+        let c = ctx();
+        let n = 64;
+        let coeffs: Vec<i64> = (0..n).map(|i| (i as i64 * 31) % 17 - 8).collect();
+        let p = RnsPoly::from_signed_coeffs(&c, &coeffs, 2);
+        let (g, h) = (5usize, 25usize);
+        let lhs = p.automorphism(g).automorphism(h);
+        let rhs = p.automorphism((g * h) % (2 * n));
+        for i in 0..n {
+            assert_eq!(lhs.coeff_to_i128(i, 2), rhs.coeff_to_i128(i, 2));
+        }
+    }
+
+    #[test]
+    fn automorphism_is_ring_homomorphism() {
+        // φ_g(a · b) = φ_g(a) · φ_g(b).
+        let c = ctx();
+        let n = 64;
+        let a: Vec<i64> = (0..n).map(|i| (i as i64 % 5) - 2).collect();
+        let b: Vec<i64> = (0..n).map(|i| ((i as i64 * 3) % 7) - 3).collect();
+        let mut pa = RnsPoly::from_signed_coeffs(&c, &a, 2);
+        let mut pb = RnsPoly::from_signed_coeffs(&c, &b, 2);
+        pa.to_ntt();
+        pb.to_ntt();
+        let prod = pa.mul(&pb);
+        let lhs = prod.automorphism(5);
+        let mut ga = pa.automorphism(5);
+        let mut gb = pb.automorphism(5);
+        ga.to_ntt();
+        gb.to_ntt();
+        let mut rhs = ga.mul(&gb);
+        rhs.to_coeff();
+        for i in 0..n {
+            assert_eq!(lhs.coeff_to_i128(i, 2), rhs.coeff_to_i128(i, 2), "coeff {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Galois element")]
+    fn automorphism_rejects_even_g() {
+        let c = ctx();
+        let p = RnsPoly::zero(&c, 2);
+        let _ = p.automorphism(4);
+    }
+
+    #[test]
+    fn drop_last_limb_keeps_value() {
+        let c = ctx();
+        let coeffs: Vec<i64> = (0..64).map(|i| i as i64).collect();
+        let mut p = RnsPoly::from_signed_coeffs(&c, &coeffs, 3);
+        p.drop_last_limb();
+        assert_eq!(p.num_limbs(), 2);
+        for (i, &v) in coeffs.iter().enumerate() {
+            assert_eq!(p.coeff_to_i128(i, 2), v as i128);
+        }
+    }
+}

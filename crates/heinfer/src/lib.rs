@@ -1,0 +1,70 @@
+//! End-to-end encrypted CNN inference: the paper's Fig. 2 pipeline as
+//! a runnable system.
+//!
+//! The SMART-PAF deployment model keeps the network weights public and
+//! the input private: every linear operator (convolution, batch norm,
+//! pooling, fully-connected) is an affine map evaluated directly on the
+//! encrypted activation vector, and every non-polynomial operator has
+//! been replaced by a PAF with a Static Scale. This crate compiles a
+//! stack of `smartpaf-nn` layers into that form and executes it under
+//! the `smartpaf-ckks` substrate:
+//!
+//! 1. **Probing** — each run of affine layers is linearised exactly by
+//!    a batched forward pass over unit inputs (eval-mode conv/BN/pool/
+//!    linear are affine, so probing is lossless), producing a
+//!    [`DiagMatrix`] + bias per segment.
+//! 2. **Packing** — the activation vector lives replicated across CKKS
+//!    slots; affine stages run as Halevi–Shoup diagonal matrix–vector
+//!    products with baby-step/giant-step rotations.
+//! 3. **PAF stages** — ReLU slots become `s · paf_relu(x/s)` (Static
+//!    Scaling, paper §4.5); MaxPool slots become window-tap selections
+//!    followed by the nested `paf_max` fold the paper analyses in
+//!    §5.4.3.
+//! 4. **Scale folding** — the optional [`HePipeline::fold_scales`]
+//!    pass absorbs the `1/s` and `s` multiplications into neighbouring
+//!    affine matrices, saving two levels per activation.
+//! 5. **Level management** — stages declare their depth; a
+//!    [`Bootstrapper`](smartpaf_ckks::Bootstrapper) refreshes the
+//!    ciphertext when the chain runs dry (simulated bootstrap,
+//!    DESIGN.md §2).
+//!
+//! # Example
+//!
+//! ```
+//! use smartpaf_ckks::{CkksParams, Evaluator, KeyChain, PafEvaluator};
+//! use smartpaf_heinfer::PipelineBuilder;
+//! use smartpaf_nn::Linear;
+//! use smartpaf_polyfit::{CompositePaf, PafForm};
+//! use smartpaf_tensor::Rng64;
+//!
+//! let mut rng = Rng64::new(7);
+//! let paf = CompositePaf::from_form(PafForm::F1G2);
+//! let pipeline = PipelineBuilder::new(&[8])
+//!     .affine(Linear::new(8, 8, &mut rng))
+//!     .paf_relu(&paf, 4.0)
+//!     .affine(Linear::new(8, 4, &mut rng))
+//!     .compile();
+//!
+//! let ctx = CkksParams::toy().build();
+//! let keys = KeyChain::generate(&ctx, &mut rng);
+//! let pe = PafEvaluator::new(Evaluator::new(&keys));
+//! let x: Vec<f64> = (0..8).map(|i| (i as f64 - 4.0) / 2.0).collect();
+//! let ct = pe.evaluator().encrypt_replicated(&pipeline.pad_input(&x), &mut rng);
+//! let (out_ct, stats) = pipeline.eval_encrypted(&pe, None, &ct);
+//! let enc = pe.evaluator().decrypt_values(&out_ct, 4);
+//! let plain = pipeline.eval_plain(&x);
+//! for (e, p) in enc.iter().zip(&plain) {
+//!     assert!((e - p).abs() < 0.1);
+//! }
+//! assert!(stats.bootstraps == 0);
+//! ```
+
+mod maxpool;
+#[cfg(test)]
+mod proptests;
+mod pipeline;
+mod runner;
+
+pub use maxpool::pool_taps;
+pub use pipeline::{HePipeline, PipelineBuilder, Stage};
+pub use runner::RunStats;

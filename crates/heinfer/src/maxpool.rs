@@ -1,0 +1,146 @@
+//! Window-tap selection matrices for encrypted max pooling.
+//!
+//! A `k×k` stride-`s` max pool over a `(C, H, W)` activation is
+//! expressed as `k²` sparse 0/1 selection matrices ("taps"), one per
+//! window offset: tap `(dy, dx)` maps flattened input position
+//! `(c, oy·s+dy, ox·s+dx)` to flattened output position `(c, oy, ox)`.
+//! The encrypted max then folds the `k²` tap ciphertexts through the
+//! PAF max operator — the nested composition whose error accumulation
+//! the paper quantifies in §5.4.3.
+
+use smartpaf_ckks::DiagMatrix;
+
+/// Builds the `k²` tap selection matrices for a `k×k` stride-`stride`
+/// pool over a `(channels, height, width)` input, padded to `dim`.
+///
+/// Returns `(taps, out_shape)`.
+///
+/// # Panics
+///
+/// Panics if the window does not tile the input exactly, or the
+/// flattened input/output exceed `dim`.
+pub fn pool_taps(
+    shape: &[usize],
+    k: usize,
+    stride: usize,
+    dim: usize,
+) -> (Vec<DiagMatrix>, Vec<usize>) {
+    assert_eq!(shape.len(), 3, "expected (C, H, W) shape");
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    assert!(k >= 1 && stride >= 1, "degenerate pool spec");
+    assert!(
+        h >= k && (h - k) % stride == 0 && w >= k && (w - k) % stride == 0,
+        "pool window must tile the input exactly ({h}x{w}, k={k}, stride={stride})"
+    );
+    let ho = (h - k) / stride + 1;
+    let wo = (w - k) / stride + 1;
+    let in_dim = c * h * w;
+    let out_dim = c * ho * wo;
+    assert!(in_dim <= dim && out_dim <= dim, "shape exceeds padded dim");
+
+    let mut taps = Vec::with_capacity(k * k);
+    for dy in 0..k {
+        for dx in 0..k {
+            let mut rows = vec![vec![0.0f64; in_dim]; out_dim];
+            for ci in 0..c {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let out_idx = (ci * ho + oy) * wo + ox;
+                        let iy = oy * stride + dy;
+                        let ix = ox * stride + dx;
+                        let in_idx = (ci * h + iy) * w + ix;
+                        rows[out_idx][in_idx] = 1.0;
+                    }
+                }
+            }
+            taps.push(DiagMatrix::from_rows_with_dim(&rows, dim));
+        }
+    }
+    (taps, vec![c, ho, wo])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plain_pool_max(x: &[f64], shape: &[usize], k: usize, stride: usize) -> Vec<f64> {
+        let (c, h, w) = (shape[0], shape[1], shape[2]);
+        let ho = (h - k) / stride + 1;
+        let wo = (w - k) / stride + 1;
+        let mut out = vec![f64::NEG_INFINITY; c * ho * wo];
+        for ci in 0..c {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let o = (ci * ho + oy) * wo + ox;
+                    for dy in 0..k {
+                        for dx in 0..k {
+                            let v = x[(ci * h + oy * stride + dy) * w + ox * stride + dx];
+                            if v > out[o] {
+                                out[o] = v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn taps_cover_every_window_position() {
+        let shape = [2usize, 4, 4];
+        let dim = 32;
+        let (taps, out_shape) = pool_taps(&shape, 2, 2, dim);
+        assert_eq!(taps.len(), 4);
+        assert_eq!(out_shape, vec![2, 2, 2]);
+        // Exact max via taking elementwise max across tap outputs must
+        // equal a direct max pool.
+        let x: Vec<f64> = (0..32).map(|i| ((i * 37) % 23) as f64 - 11.0).collect();
+        let mut padded = x.clone();
+        padded.resize(dim, 0.0);
+        let mut folded = vec![f64::NEG_INFINITY; dim];
+        for tap in &taps {
+            let sel = tap.apply_plain(&padded);
+            for (f, s) in folded.iter_mut().zip(&sel) {
+                *f = f.max(*s);
+            }
+        }
+        let want = plain_pool_max(&x, &shape, 2, 2);
+        for (i, w) in want.iter().enumerate() {
+            assert!((folded[i] - w).abs() < 1e-12, "pos {i}");
+        }
+    }
+
+    #[test]
+    fn taps_are_sparse_selections() {
+        let (taps, _) = pool_taps(&[1, 4, 4], 2, 2, 16);
+        for tap in &taps {
+            assert!(tap.density() <= 4.0 / 16.0);
+        }
+    }
+
+    #[test]
+    fn stride_one_overlapping_windows() {
+        let shape = [1usize, 3, 3];
+        let (taps, out_shape) = pool_taps(&shape, 2, 1, 16);
+        assert_eq!(out_shape, vec![1, 2, 2]);
+        assert_eq!(taps.len(), 4);
+        let x: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        let mut padded = x.clone();
+        padded.resize(16, 0.0);
+        let mut folded = vec![f64::NEG_INFINITY; 16];
+        for tap in &taps {
+            let sel = tap.apply_plain(&padded);
+            for (f, s) in folded.iter_mut().zip(&sel) {
+                *f = f.max(*s);
+            }
+        }
+        assert_eq!(&folded[..4], &[4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile the input exactly")]
+    fn rejects_untileable_window() {
+        let _ = pool_taps(&[1, 5, 5], 2, 2, 32);
+    }
+}

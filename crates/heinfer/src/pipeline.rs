@@ -1,0 +1,673 @@
+//! Pipeline construction: probing affine layer runs into diagonal
+//! matrices and compiling an alternating affine/PAF stage list.
+
+use crate::maxpool::pool_taps;
+use smartpaf_ckks::DiagMatrix;
+use smartpaf_nn::{Layer, Mode};
+use smartpaf_polyfit::CompositePaf;
+use smartpaf_tensor::Tensor;
+
+/// One compiled stage of an encrypted inference pipeline.
+pub enum Stage {
+    /// An affine map `x ↦ Mx + b` (conv / BN / pooling / linear runs,
+    /// linearised by probing). Costs one level.
+    Affine {
+        /// The padded diagonal matrix.
+        mat: DiagMatrix,
+        /// Bias, padded to the pipeline dimension.
+        bias: Vec<f64>,
+    },
+    /// A PAF-ReLU with Static Scaling:
+    /// `y = post_scale · paf_relu(pre_scale · x)`.
+    PafRelu {
+        /// The composite sign approximation.
+        paf: CompositePaf,
+        /// Input scale (normally `1/s`; 1.0 after folding).
+        pre_scale: f64,
+        /// Output scale (normally `s`; 1.0 after folding).
+        post_scale: f64,
+    },
+    /// A PAF max pool: window taps (pre-scaled by `1/s` at compile
+    /// time, so tap selection costs one level total) followed by the
+    /// nested PAF-max fold of §5.4.3, then `post_scale`.
+    PafMax {
+        /// One selection matrix per window offset, already scaled.
+        taps: Vec<DiagMatrix>,
+        /// The composite sign approximation.
+        paf: CompositePaf,
+        /// Output scale (normally `s`; 1.0 after folding).
+        post_scale: f64,
+    },
+}
+
+impl Stage {
+    /// Multiplicative levels this stage consumes.
+    pub fn levels(&self) -> usize {
+        match self {
+            Stage::Affine { .. } => 1,
+            Stage::PafRelu {
+                paf,
+                pre_scale,
+                post_scale,
+            } => {
+                let mut l = paf.mult_depth() + 1; // sign + ReLU product
+                if *pre_scale != 1.0 {
+                    l += 1;
+                }
+                if *post_scale != 1.0 {
+                    l += 1;
+                }
+                l
+            }
+            Stage::PafMax {
+                taps,
+                paf,
+                post_scale,
+            } => {
+                // Pairwise tree fold: ceil(log2(taps)) rounds deep.
+                let rounds = taps.len().next_power_of_two().trailing_zeros() as usize;
+                let mut l = 1 + rounds * (paf.mult_depth() + 1);
+                if *post_scale != 1.0 {
+                    l += 1;
+                }
+                l
+            }
+        }
+    }
+
+    /// Short label for logs.
+    pub fn label(&self) -> String {
+        match self {
+            Stage::Affine { mat, .. } => {
+                format!("affine[{}x{} diag={}]", mat.out_dim(), mat.in_dim(), mat.num_diagonals())
+            }
+            Stage::PafRelu { paf, .. } => format!("paf-relu[depth={}]", paf.mult_depth()),
+            Stage::PafMax { taps, paf, .. } => {
+                format!("paf-max[taps={} depth={}]", taps.len(), paf.mult_depth())
+            }
+        }
+    }
+}
+
+enum RawStage {
+    Affine {
+        rows: Vec<Vec<f64>>,
+        bias: Vec<f64>,
+    },
+    Relu {
+        paf: CompositePaf,
+        scale: f64,
+    },
+    Max {
+        shape: Vec<usize>,
+        k: usize,
+        stride: usize,
+        paf: CompositePaf,
+        scale: f64,
+    },
+}
+
+enum Spec {
+    Affine(Box<dyn Layer>),
+    Relu { paf: CompositePaf, scale: f64 },
+    Max {
+        k: usize,
+        stride: usize,
+        paf: CompositePaf,
+        scale: f64,
+    },
+}
+
+/// Builds an encrypted inference pipeline from `smartpaf-nn` layers and
+/// PAF activation specs.
+///
+/// Layers passed to [`PipelineBuilder::affine`] must be affine in eval
+/// mode (convolution, batch norm, linear, average pooling, flatten —
+/// anything without data-dependent branching). Consecutive affine
+/// layers are fused into one matrix by exact probing.
+pub struct PipelineBuilder {
+    input_shape: Vec<usize>,
+    specs: Vec<Spec>,
+}
+
+impl PipelineBuilder {
+    /// Starts a pipeline for inputs of the given (batch-free) shape,
+    /// e.g. `[3, 8, 8]` for a CHW image or `[16]` for a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or zero-sized shape.
+    pub fn new(input_shape: &[usize]) -> Self {
+        assert!(
+            !input_shape.is_empty() && input_shape.iter().all(|&d| d > 0),
+            "invalid input shape {input_shape:?}"
+        );
+        PipelineBuilder {
+            input_shape: input_shape.to_vec(),
+            specs: Vec::new(),
+        }
+    }
+
+    /// Appends an affine layer (builder style).
+    pub fn affine(mut self, layer: impl Layer + 'static) -> Self {
+        self.specs.push(Spec::Affine(Box::new(layer)));
+        self
+    }
+
+    /// Appends a PAF-ReLU with static scale `s` (inputs are divided by
+    /// `s` before the PAF and multiplied back after — paper §4.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn paf_relu(mut self, paf: &CompositePaf, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        self.specs.push(Spec::Relu {
+            paf: paf.clone(),
+            scale,
+        });
+        self
+    }
+
+    /// Appends a PAF max pool (`k×k`, stride `stride`) with static
+    /// scale `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn paf_maxpool(mut self, k: usize, stride: usize, paf: &CompositePaf, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        self.specs.push(Spec::Max {
+            k,
+            stride,
+            paf: paf.clone(),
+            scale,
+        });
+        self
+    }
+
+    /// Probes and compiles the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a max-pool window does not tile its input, or the
+    /// builder is empty.
+    pub fn compile(self) -> HePipeline {
+        assert!(!self.specs.is_empty(), "empty pipeline");
+        let input_dim: usize = self.input_shape.iter().product();
+        let mut shape = self.input_shape.clone();
+        let mut raw: Vec<RawStage> = Vec::new();
+        let mut pending: Vec<Box<dyn Layer>> = Vec::new();
+
+        let flush =
+            |pending: &mut Vec<Box<dyn Layer>>, shape: &mut Vec<usize>, raw: &mut Vec<RawStage>| {
+                if pending.is_empty() {
+                    return;
+                }
+                let (rows, bias, out_shape) = probe_affine(pending, shape);
+                *shape = out_shape;
+                raw.push(RawStage::Affine { rows, bias });
+                pending.clear();
+            };
+
+        for spec in self.specs {
+            match spec {
+                Spec::Affine(layer) => pending.push(layer),
+                Spec::Relu { paf, scale } => {
+                    flush(&mut pending, &mut shape, &mut raw);
+                    raw.push(RawStage::Relu { paf, scale });
+                }
+                Spec::Max {
+                    k,
+                    stride,
+                    paf,
+                    scale,
+                } => {
+                    flush(&mut pending, &mut shape, &mut raw);
+                    assert_eq!(shape.len(), 3, "max pool needs a (C,H,W) input");
+                    let in_shape = shape.clone();
+                    let ho = (shape[1] - k) / stride + 1;
+                    let wo = (shape[2] - k) / stride + 1;
+                    shape = vec![shape[0], ho, wo];
+                    raw.push(RawStage::Max {
+                        shape: in_shape,
+                        k,
+                        stride,
+                        paf,
+                        scale,
+                    });
+                }
+            }
+        }
+        flush(&mut pending, &mut shape, &mut raw);
+        let output_dim: usize = shape.iter().product();
+
+        // Global padded dimension: every stage shares one slot layout.
+        let mut dim = input_dim.max(output_dim);
+        for r in &raw {
+            if let RawStage::Affine { rows, .. } = r {
+                dim = dim.max(rows.len()).max(rows[0].len());
+            }
+            if let RawStage::Max { shape, .. } = r {
+                dim = dim.max(shape.iter().product());
+            }
+        }
+        let dim = dim.next_power_of_two();
+
+        let stages = raw
+            .into_iter()
+            .map(|r| match r {
+                RawStage::Affine { rows, bias } => {
+                    let mat = DiagMatrix::from_rows_with_dim(&rows, dim);
+                    let mut b = bias;
+                    b.resize(dim, 0.0);
+                    Stage::Affine { mat, bias: b }
+                }
+                RawStage::Relu { paf, scale } => Stage::PafRelu {
+                    paf,
+                    pre_scale: 1.0 / scale,
+                    post_scale: scale,
+                },
+                RawStage::Max {
+                    shape,
+                    k,
+                    stride,
+                    paf,
+                    scale,
+                } => {
+                    let (taps, _) = pool_taps(&shape, k, stride, dim);
+                    let taps = taps.into_iter().map(|t| t.scaled(1.0 / scale)).collect();
+                    Stage::PafMax {
+                        taps,
+                        paf,
+                        post_scale: scale,
+                    }
+                }
+            })
+            .collect();
+
+        HePipeline {
+            stages,
+            dim,
+            input_dim,
+            output_dim,
+        }
+    }
+}
+
+/// Linearises a run of affine layers by an exact batched probe:
+/// row 0 of the batch is the zero input (giving the bias), row `i+1`
+/// is the `i`-th unit vector (giving column `i`).
+fn probe_affine(
+    layers: &mut [Box<dyn Layer>],
+    in_shape: &[usize],
+) -> (Vec<Vec<f64>>, Vec<f64>, Vec<usize>) {
+    let d_in: usize = in_shape.iter().product();
+    let mut batch_dims = vec![d_in + 1];
+    batch_dims.extend_from_slice(in_shape);
+    let mut x = Tensor::zeros(&batch_dims);
+    for i in 0..d_in {
+        x.data_mut()[(i + 1) * d_in + i] = 1.0;
+    }
+    let mut acc = x;
+    for layer in layers.iter_mut() {
+        acc = layer.forward(&acc, Mode::Eval);
+    }
+    let out_shape = acc.dims()[1..].to_vec();
+    let d_out: usize = out_shape.iter().product();
+    let data = acc.data();
+    let bias: Vec<f64> = data[..d_out].iter().map(|&v| v as f64).collect();
+    let mut rows = vec![vec![0.0f64; d_in]; d_out];
+    for i in 0..d_in {
+        let base = (i + 1) * d_out;
+        for (o, row) in rows.iter_mut().enumerate() {
+            row[i] = data[base + o] as f64 - bias[o];
+        }
+    }
+    (rows, bias, out_shape)
+}
+
+/// A compiled encrypted inference pipeline (see the crate docs).
+pub struct HePipeline {
+    pub(crate) stages: Vec<Stage>,
+    pub(crate) dim: usize,
+    input_dim: usize,
+    output_dim: usize,
+}
+
+impl HePipeline {
+    /// The shared padded slot dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Logical input length.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Logical output length.
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// The compiled stages.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Total multiplicative levels one inference consumes without
+    /// bootstrapping.
+    pub fn total_levels(&self) -> usize {
+        self.stages.iter().map(Stage::levels).sum()
+    }
+
+    /// Zero-pads a logical input to the pipeline dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is longer than [`HePipeline::input_dim`].
+    pub fn pad_input(&self, x: &[f64]) -> Vec<f64> {
+        assert!(x.len() <= self.input_dim, "input too long");
+        let mut v = x.to_vec();
+        v.resize(self.dim, 0.0);
+        v
+    }
+
+    /// Exact plaintext reference of the compiled pipeline (same
+    /// arithmetic as the encrypted path, PAF approximation included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is longer than the input dimension.
+    pub fn eval_plain(&self, x: &[f64]) -> Vec<f64> {
+        let mut v = self.pad_input(x);
+        for stage in &self.stages {
+            v = match stage {
+                Stage::Affine { mat, bias } => {
+                    let mut y = mat.apply_plain(&v);
+                    for (yi, bi) in y.iter_mut().zip(bias) {
+                        *yi += bi;
+                    }
+                    y
+                }
+                Stage::PafRelu {
+                    paf,
+                    pre_scale,
+                    post_scale,
+                } => v
+                    .iter()
+                    .map(|&xi| post_scale * paf.relu(pre_scale * xi))
+                    .collect(),
+                Stage::PafMax {
+                    taps,
+                    paf,
+                    post_scale,
+                } => {
+                    // Pairwise tree fold, mirroring the encrypted
+                    // schedule exactly (PAF max is not associative up
+                    // to approximation error).
+                    let mut items: Vec<Vec<f64>> =
+                        taps.iter().map(|t| t.apply_plain(&v)).collect();
+                    while items.len() > 1 {
+                        let mut next = Vec::with_capacity(items.len().div_ceil(2));
+                        let mut it = items.into_iter();
+                        while let Some(a) = it.next() {
+                            match it.next() {
+                                Some(b) => next.push(
+                                    a.iter()
+                                        .zip(&b)
+                                        .map(|(&x, &y)| paf.max(x, y))
+                                        .collect(),
+                                ),
+                                None => next.push(a),
+                            }
+                        }
+                        items = next;
+                    }
+                    let acc = items.pop().expect("at least one tap");
+                    acc.iter().map(|&a| post_scale * a).collect()
+                }
+            };
+        }
+        v.truncate(self.output_dim);
+        v
+    }
+
+    /// Folds Static-Scaling multiplications into neighbouring affine
+    /// matrices: an affine stage directly before a PAF-ReLU absorbs the
+    /// `1/s` pre-scale, and an affine stage directly after any PAF
+    /// stage absorbs the `s` post-scale. Saves up to two levels per
+    /// activation with bit-identical plaintext semantics.
+    pub fn fold_scales(mut self) -> Self {
+        // Pre-fold: affine followed by PafRelu.
+        for i in 1..self.stages.len() {
+            let pre = match &self.stages[i] {
+                Stage::PafRelu { pre_scale, .. } if *pre_scale != 1.0 => *pre_scale,
+                _ => continue,
+            };
+            if let Stage::Affine { mat, bias } = &mut self.stages[i - 1] {
+                *mat = mat.scaled(pre);
+                for b in bias.iter_mut() {
+                    *b *= pre;
+                }
+                if let Stage::PafRelu { pre_scale, .. } = &mut self.stages[i] {
+                    *pre_scale = 1.0;
+                }
+            }
+        }
+        // Post-fold: PAF stage followed by affine.
+        for i in 0..self.stages.len().saturating_sub(1) {
+            let post = match &self.stages[i] {
+                Stage::PafRelu { post_scale, .. } if *post_scale != 1.0 => *post_scale,
+                Stage::PafMax { post_scale, .. } if *post_scale != 1.0 => *post_scale,
+                _ => continue,
+            };
+            if matches!(self.stages[i + 1], Stage::Affine { .. }) {
+                if let Stage::Affine { mat, .. } = &mut self.stages[i + 1] {
+                    *mat = mat.scaled(post);
+                }
+                match &mut self.stages[i] {
+                    Stage::PafRelu { post_scale, .. } => *post_scale = 1.0,
+                    Stage::PafMax { post_scale, .. } => *post_scale = 1.0,
+                    Stage::Affine { .. } => unreachable!(),
+                }
+            }
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartpaf_nn::{AvgPool2d, BatchNorm2d, Conv2d, Flatten, Linear};
+    use smartpaf_polyfit::PafForm;
+    use smartpaf_tensor::Rng64;
+
+    fn relu_paf() -> CompositePaf {
+        CompositePaf::from_form(PafForm::F1G2)
+    }
+
+    #[test]
+    fn probe_linear_layer_matches_weights() {
+        let mut rng = Rng64::new(3);
+        let lin = Linear::new(4, 3, &mut rng);
+        let pipe = PipelineBuilder::new(&[4]).affine(lin).compile();
+        assert_eq!(pipe.input_dim(), 4);
+        assert_eq!(pipe.output_dim(), 3);
+        assert_eq!(pipe.dim(), 4);
+        // Linearity check: f(2x) - f(0) = 2(f(x) - f(0)).
+        let x = [0.5, -1.0, 0.25, 2.0];
+        let x2: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+        let f0 = pipe.eval_plain(&[0.0; 4]);
+        let fx = pipe.eval_plain(&x);
+        let f2x = pipe.eval_plain(&x2);
+        for o in 0..3 {
+            let lhs = f2x[o] - f0[o];
+            let rhs = 2.0 * (fx[o] - f0[o]);
+            assert!((lhs - rhs).abs() < 1e-4, "output {o}");
+        }
+    }
+
+    #[test]
+    fn probed_conv_matches_direct_forward() {
+        let mut rng = Rng64::new(5);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::rand_normal(&[1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let want = conv.forward(&x, Mode::Eval);
+        let pipe = PipelineBuilder::new(&[2, 4, 4]).affine(conv).compile();
+        let flat: Vec<f64> = x.data().iter().map(|&v| v as f64).collect();
+        let got = pipe.eval_plain(&flat);
+        assert_eq!(got.len(), 3 * 4 * 4);
+        for (g, w) in got.iter().zip(want.data()) {
+            assert!((g - *w as f64).abs() < 1e-4, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn consecutive_affine_layers_fuse_into_one_stage() {
+        let mut rng = Rng64::new(7);
+        let pipe = PipelineBuilder::new(&[2, 4, 4])
+            .affine(Conv2d::new(2, 2, 3, 1, 1, &mut rng))
+            .affine(BatchNorm2d::new(2))
+            .affine(AvgPool2d::new(2, 2))
+            .affine(Flatten::new())
+            .affine(Linear::new(8, 4, &mut rng))
+            .compile();
+        assert_eq!(pipe.stages().len(), 1);
+        assert_eq!(pipe.output_dim(), 4);
+    }
+
+    #[test]
+    fn full_pipeline_matches_layerwise_reference() {
+        let mut rng = Rng64::new(11);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, &mut rng);
+        let mut lin = Linear::new(8, 3, &mut rng);
+        let paf = relu_paf();
+        let scale = 4.0;
+
+        let x = Tensor::rand_normal(&[1, 1, 4, 4], 0.0, 1.0, &mut rng);
+        // Reference: conv -> PAF relu -> avgpool -> flatten -> linear.
+        let h = conv.forward(&x, Mode::Eval);
+        let h = h.map(|v| (scale * paf.relu(v as f64 / scale)) as f32);
+        let mut pool = AvgPool2d::new(2, 2);
+        let h = pool.forward(&h, Mode::Eval);
+        let mut flat = Flatten::new();
+        let h = flat.forward(&h, Mode::Eval);
+        let want = lin.forward(&h, Mode::Eval);
+
+        let pipe = PipelineBuilder::new(&[1, 4, 4])
+            .affine(conv)
+            .paf_relu(&paf, scale)
+            .affine(pool)
+            .affine(flat)
+            .affine(lin)
+            .compile();
+        let flat_x: Vec<f64> = x.data().iter().map(|&v| v as f64).collect();
+        let got = pipe.eval_plain(&flat_x);
+        for (g, w) in got.iter().zip(want.data()) {
+            assert!((g - *w as f64).abs() < 1e-3, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn maxpool_stage_approximates_true_max() {
+        let mut rng = Rng64::new(13);
+        let conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
+        let paf = CompositePaf::from_form(PafForm::Alpha7);
+        let pipe = PipelineBuilder::new(&[1, 4, 4])
+            .affine(conv)
+            .paf_maxpool(2, 2, &paf, 8.0)
+            .compile();
+        let x: Vec<f64> = (0..16).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        let got = pipe.eval_plain(&x);
+        assert_eq!(got.len(), 4);
+        // Compare against exact max pooling of the conv output.
+        let probe = PipelineBuilder::new(&[1, 4, 4])
+            .affine(Conv2d::new(1, 1, 3, 1, 1, &mut Rng64::new(13)))
+            .compile();
+        let conv_out = probe.eval_plain(&x);
+        for oy in 0..2 {
+            for ox in 0..2 {
+                let mut m = f64::NEG_INFINITY;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        m = m.max(conv_out[(oy * 2 + dy) * 4 + ox * 2 + dx]);
+                    }
+                }
+                let g = got[oy * 2 + ox];
+                assert!((g - m).abs() < 0.25, "window ({oy},{ox}): {g} vs {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn total_levels_accounts_for_scales() {
+        let mut rng = Rng64::new(17);
+        let paf = relu_paf();
+        let pipe = PipelineBuilder::new(&[4])
+            .affine(Linear::new(4, 4, &mut rng))
+            .paf_relu(&paf, 2.0)
+            .affine(Linear::new(4, 2, &mut rng))
+            .compile();
+        // affine(1) + relu(pre 1 + depth+1 + post 1) + affine(1)
+        let relu_levels = paf.mult_depth() + 3;
+        assert_eq!(pipe.total_levels(), 2 + relu_levels);
+    }
+
+    #[test]
+    fn fold_scales_preserves_semantics_and_saves_levels() {
+        let mut rng = Rng64::new(19);
+        let paf = relu_paf();
+        let build = |rng: &mut Rng64| {
+            PipelineBuilder::new(&[4])
+                .affine(Linear::new(4, 4, rng))
+                .paf_relu(&paf, 3.0)
+                .affine(Linear::new(4, 4, rng))
+                .paf_relu(&paf, 5.0)
+                .affine(Linear::new(4, 2, rng))
+                .compile()
+        };
+        let plain = build(&mut Rng64::new(19));
+        let folded = build(&mut rng).fold_scales();
+        assert!(folded.total_levels() + 4 == plain.total_levels());
+        let x = [0.4, -0.8, 1.2, -0.1];
+        let a = plain.eval_plain(&x);
+        let b = folded.eval_plain(&x);
+        for (ai, bi) in a.iter().zip(&b) {
+            assert!((ai - bi).abs() < 1e-9, "{ai} vs {bi}");
+        }
+    }
+
+    #[test]
+    fn pad_input_fills_to_dim() {
+        let mut rng = Rng64::new(23);
+        let pipe = PipelineBuilder::new(&[3])
+            .affine(Linear::new(3, 5, &mut rng))
+            .compile();
+        assert_eq!(pipe.dim(), 8);
+        let padded = pipe.pad_input(&[1.0, 2.0, 3.0]);
+        assert_eq!(padded.len(), 8);
+        assert_eq!(&padded[..3], &[1.0, 2.0, 3.0]);
+        assert!(padded[3..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pipeline")]
+    fn empty_builder_rejected() {
+        let _ = PipelineBuilder::new(&[4]).compile();
+    }
+
+    #[test]
+    fn stage_labels_are_informative() {
+        let mut rng = Rng64::new(29);
+        let paf = relu_paf();
+        let pipe = PipelineBuilder::new(&[4])
+            .affine(Linear::new(4, 4, &mut rng))
+            .paf_relu(&paf, 2.0)
+            .compile();
+        assert!(pipe.stages()[0].label().starts_with("affine"));
+        assert!(pipe.stages()[1].label().starts_with("paf-relu"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for pipeline compilation.
+
+use crate::pipeline::PipelineBuilder;
+use proptest::prelude::*;
+use smartpaf_nn::Linear;
+use smartpaf_polyfit::{CompositePaf, PafForm};
+use smartpaf_tensor::Rng64;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A probed affine pipeline is actually affine:
+    /// f(x + y) - f(0) = (f(x) - f(0)) + (f(y) - f(0)).
+    #[test]
+    fn probed_pipeline_is_affine(
+        seed in 0u64..1000,
+        x in proptest::collection::vec(-2.0f64..2.0, 6),
+        y in proptest::collection::vec(-2.0f64..2.0, 6),
+    ) {
+        let mut rng = Rng64::new(seed);
+        let pipe = PipelineBuilder::new(&[6])
+            .affine(Linear::new(6, 5, &mut rng))
+            .affine(Linear::new(5, 4, &mut rng))
+            .compile();
+        let zero = pipe.eval_plain(&vec![0.0; 6]);
+        let fx = pipe.eval_plain(&x);
+        let fy = pipe.eval_plain(&y);
+        let xy: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let fxy = pipe.eval_plain(&xy);
+        for o in 0..4 {
+            let lhs = fxy[o] - zero[o];
+            let rhs = (fx[o] - zero[o]) + (fy[o] - zero[o]);
+            prop_assert!((lhs - rhs).abs() < 1e-3, "output {o}: {lhs} vs {rhs}");
+        }
+    }
+
+    /// Scale folding never changes plaintext semantics, for arbitrary
+    /// static scales.
+    #[test]
+    fn fold_scales_semantics_invariant(
+        seed in 0u64..1000,
+        s1 in 0.5f64..16.0,
+        s2 in 0.5f64..16.0,
+        x in proptest::collection::vec(-1.0f64..1.0, 4),
+    ) {
+        let paf = CompositePaf::from_form(PafForm::F1G2);
+        let build = |rng: &mut Rng64| {
+            PipelineBuilder::new(&[4])
+                .affine(Linear::new(4, 4, rng))
+                .paf_relu(&paf, s1)
+                .affine(Linear::new(4, 4, rng))
+                .paf_relu(&paf, s2)
+                .affine(Linear::new(4, 3, rng))
+                .compile()
+        };
+        let plain = build(&mut Rng64::new(seed));
+        let folded = build(&mut Rng64::new(seed)).fold_scales();
+        let a = plain.eval_plain(&x);
+        let b = folded.eval_plain(&x);
+        for (ai, bi) in a.iter().zip(&b) {
+            prop_assert!((ai - bi).abs() < 1e-6 * (1.0 + ai.abs()), "{ai} vs {bi}");
+        }
+    }
+
+    /// Stage level accounting is consistent: folding saves exactly the
+    /// number of eliminated scale multiplications.
+    #[test]
+    fn fold_scales_level_accounting(seed in 0u64..1000, s in 1.5f64..8.0) {
+        let paf = CompositePaf::from_form(PafForm::F2G2);
+        let build = |rng: &mut Rng64| {
+            PipelineBuilder::new(&[4])
+                .affine(Linear::new(4, 4, rng))
+                .paf_relu(&paf, s)
+                .affine(Linear::new(4, 2, rng))
+                .compile()
+        };
+        let plain = build(&mut Rng64::new(seed));
+        let folded = build(&mut Rng64::new(seed)).fold_scales();
+        // One PAF between two affines: both pre and post fold away.
+        prop_assert_eq!(folded.total_levels() + 2, plain.total_levels());
+    }
+}

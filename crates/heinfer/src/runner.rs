@@ -1,0 +1,348 @@
+//! Encrypted execution of a compiled pipeline with level management.
+
+use crate::pipeline::{HePipeline, Stage};
+use smartpaf_ckks::{Bootstrapper, Ciphertext, PafEvaluator};
+use std::time::{Duration, Instant};
+
+/// Execution statistics of one encrypted inference.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Levels consumed per stage, in order.
+    pub stage_levels: Vec<usize>,
+    /// Bootstraps (simulated refreshes) triggered.
+    pub bootstraps: usize,
+    /// Remaining rescale budget after the last stage.
+    pub final_level: usize,
+    /// Wall-clock time of the encrypted evaluation.
+    pub wall: Duration,
+}
+
+impl RunStats {
+    /// Total levels consumed across all stages.
+    pub fn total_levels(&self) -> usize {
+        self.stage_levels.iter().sum()
+    }
+}
+
+impl HePipeline {
+    /// Runs the pipeline on an encrypted (replicated, padded) input.
+    ///
+    /// Pass a [`Bootstrapper`] to refresh the ciphertext when a stage
+    /// needs more levels than remain; without one, running out of
+    /// levels panics — exactly the constraint that makes high-degree
+    /// PAFs expensive in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stage needs more levels than the whole chain offers,
+    /// or the chain runs dry and `bootstrapper` is `None`.
+    pub fn eval_encrypted(
+        &self,
+        pe: &PafEvaluator,
+        bootstrapper: Option<&Bootstrapper>,
+        ct: &Ciphertext,
+    ) -> (Ciphertext, RunStats) {
+        let ev = pe.evaluator();
+        assert!(
+            ev.context().slots() % self.dim == 0,
+            "pipeline dim {} must divide slot count {}",
+            self.dim,
+            ev.context().slots()
+        );
+        let start = Instant::now();
+        let mut stats = RunStats {
+            stage_levels: Vec::with_capacity(self.stages.len()),
+            bootstraps: 0,
+            final_level: 0,
+            wall: Duration::ZERO,
+        };
+        let max_level = ev.context().max_level();
+        // Refreshes `v` when it cannot afford `need` more levels. The
+        // `need` must be an *atomic* depth (a single PAF evaluation at
+        // most) — larger stages refresh between their atomic ops.
+        let ensure = |v: Ciphertext, need: usize, label: &str, stats: &mut RunStats| {
+            assert!(
+                need <= max_level,
+                "atomic op in `{label}` needs {need} levels but the chain only has {max_level}"
+            );
+            if v.level() >= need {
+                return v;
+            }
+            match bootstrapper {
+                Some(bs) => {
+                    stats.bootstraps += 1;
+                    bs.refresh(&v)
+                }
+                None => panic!(
+                    "level exhausted before `{label}` ({} < {need}); supply a Bootstrapper",
+                    v.level()
+                ),
+            }
+        };
+        let mut acc = ct.clone();
+        for stage in &self.stages {
+            let label = stage.label();
+            let before = acc.level();
+            let refreshes_before = stats.bootstraps;
+            acc = match stage {
+                Stage::Affine { mat, bias } => {
+                    let v = ensure(acc, 1, &label, &mut stats);
+                    let y = ev.matvec_bsgs(mat, &v);
+                    ev.add_bias_replicated(&y, bias)
+                }
+                Stage::PafRelu {
+                    paf,
+                    pre_scale,
+                    post_scale,
+                } => {
+                    let mut need = paf.mult_depth() + 1;
+                    if *pre_scale != 1.0 {
+                        need += 1;
+                    }
+                    if *post_scale != 1.0 {
+                        need += 1;
+                    }
+                    let mut v = ensure(acc, need, &label, &mut stats);
+                    if *pre_scale != 1.0 {
+                        v = ev.mul_const(&v, *pre_scale);
+                    }
+                    v = pe.relu(&v, paf);
+                    if *post_scale != 1.0 {
+                        v = ev.mul_const(&v, *post_scale);
+                    }
+                    v
+                }
+                Stage::PafMax {
+                    taps,
+                    paf,
+                    post_scale,
+                } => {
+                    let v = ensure(acc, 1, &label, &mut stats);
+                    let mut items: Vec<Ciphertext> =
+                        taps.iter().map(|t| ev.matvec_bsgs(t, &v)).collect();
+                    let fold_need = paf.mult_depth() + 1;
+                    // Pairwise tree fold with per-round refresh; all
+                    // items sit at the same level each round.
+                    while items.len() > 1 {
+                        if items[0].level() < fold_need {
+                            match bootstrapper {
+                                Some(bs) => {
+                                    stats.bootstraps += items.len();
+                                    items = items.iter().map(|c| bs.refresh(c)).collect();
+                                }
+                                None => panic!(
+                                    "level exhausted inside `{label}`; supply a Bootstrapper"
+                                ),
+                            }
+                        }
+                        let mut next = Vec::with_capacity(items.len().div_ceil(2));
+                        let mut it = items.into_iter();
+                        while let Some(a) = it.next() {
+                            match it.next() {
+                                Some(b) => next.push(pe.max(&a, &b, paf)),
+                                None => next.push(a),
+                            }
+                        }
+                        items = next;
+                    }
+                    let mut m = items.pop().expect("at least one tap");
+                    if *post_scale != 1.0 {
+                        m = ensure(m, 1, &label, &mut stats);
+                        m = ev.mul_const(&m, *post_scale);
+                    }
+                    m
+                }
+            };
+            // Measured consumption when the stage ran without a
+            // refresh; the nominal stage depth otherwise (a refresh
+            // resets the level mid-stage, making the difference
+            // meaningless).
+            let consumed = if stats.bootstraps == refreshes_before {
+                before - acc.level()
+            } else {
+                stage.levels()
+            };
+            stats.stage_levels.push(consumed);
+        }
+        stats.final_level = acc.level();
+        stats.wall = start.elapsed();
+        (acc, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::pipeline::PipelineBuilder;
+    use smartpaf_ckks::{Bootstrapper, CkksParams, Evaluator, KeyChain, PafEvaluator};
+    use smartpaf_nn::{Conv2d, Flatten, Linear};
+    use smartpaf_polyfit::{CompositePaf, PafForm};
+    use smartpaf_tensor::Rng64;
+
+    fn setup(seed: u64) -> (PafEvaluator, Rng64) {
+        let ctx = CkksParams::toy().build();
+        let mut rng = Rng64::new(seed);
+        let keys = KeyChain::generate(&ctx, &mut rng);
+        (PafEvaluator::new(Evaluator::new(&keys)), rng)
+    }
+
+    #[test]
+    fn encrypted_affine_matches_plain() {
+        let (pe, mut rng) = setup(61);
+        let pipe = PipelineBuilder::new(&[8])
+            .affine(Linear::new(8, 8, &mut rng))
+            .compile();
+        let x: Vec<f64> = (0..8).map(|i| (i as f64 - 4.0) / 4.0).collect();
+        let ct = pe
+            .evaluator()
+            .encrypt_replicated(&pipe.pad_input(&x), &mut rng);
+        let (out_ct, stats) = pipe.eval_encrypted(&pe, None, &ct);
+        let got = pe.evaluator().decrypt_values(&out_ct, 8);
+        let want = pipe.eval_plain(&x);
+        for i in 0..8 {
+            assert!(
+                (got[i] - want[i]).abs() < 2e-2,
+                "slot {i}: {} vs {}",
+                got[i],
+                want[i]
+            );
+        }
+        assert_eq!(stats.total_levels(), 1);
+        assert_eq!(stats.bootstraps, 0);
+    }
+
+    #[test]
+    fn encrypted_relu_pipeline_matches_plain() {
+        let (pe, mut rng) = setup(62);
+        let paf = CompositePaf::from_form(PafForm::F1G2);
+        let pipe = PipelineBuilder::new(&[8])
+            .affine(Linear::new(8, 8, &mut rng))
+            .paf_relu(&paf, 4.0)
+            .affine(Linear::new(8, 4, &mut rng))
+            .compile()
+            .fold_scales();
+        let x: Vec<f64> = (0..8).map(|i| (i as f64 - 3.0) / 3.0).collect();
+        let ct = pe
+            .evaluator()
+            .encrypt_replicated(&pipe.pad_input(&x), &mut rng);
+        let (out_ct, stats) = pipe.eval_encrypted(&pe, None, &ct);
+        let got = pe.evaluator().decrypt_values(&out_ct, 4);
+        let want = pipe.eval_plain(&x);
+        for i in 0..4 {
+            assert!(
+                (got[i] - want[i]).abs() < 6e-2,
+                "slot {i}: {} vs {}",
+                got[i],
+                want[i]
+            );
+        }
+        assert_eq!(stats.total_levels(), pipe.total_levels());
+    }
+
+    #[test]
+    fn encrypted_cnn_with_conv_matches_plain() {
+        let (pe, mut rng) = setup(63);
+        let paf = CompositePaf::from_form(PafForm::F1G2);
+        let pipe = PipelineBuilder::new(&[1, 4, 4])
+            .affine(Conv2d::new(1, 2, 3, 1, 1, &mut rng))
+            .paf_relu(&paf, 6.0)
+            .affine(Flatten::new())
+            .affine(Linear::new(32, 4, &mut rng))
+            .compile()
+            .fold_scales();
+        let x: Vec<f64> = (0..16).map(|i| ((i % 5) as f64 - 2.0) / 2.0).collect();
+        let ct = pe
+            .evaluator()
+            .encrypt_replicated(&pipe.pad_input(&x), &mut rng);
+        let (out_ct, _) = pipe.eval_encrypted(&pe, None, &ct);
+        let got = pe.evaluator().decrypt_values(&out_ct, 4);
+        let want = pipe.eval_plain(&x);
+        for i in 0..4 {
+            assert!(
+                (got[i] - want[i]).abs() < 0.1,
+                "slot {i}: {} vs {}",
+                got[i],
+                want[i]
+            );
+        }
+    }
+
+    #[test]
+    fn bootstrap_triggers_when_chain_runs_dry() {
+        let (pe, mut rng) = setup(64);
+        let paf = CompositePaf::from_form(PafForm::F1G2); // depth 5
+        // Three PAF blocks at depth 7 each + affines exceed the toy
+        // chain (12 levels), forcing at least one refresh.
+        let mut b = PipelineBuilder::new(&[4]);
+        for _ in 0..3 {
+            b = b
+                .affine(Linear::new(4, 4, &mut rng))
+                .paf_relu(&paf, 2.0);
+        }
+        let pipe = b.compile().fold_scales();
+        assert!(pipe.total_levels() > 12);
+        let bs = Bootstrapper::new(pe.evaluator().clone(), pipe.dim(), 5);
+        let x = [0.2, -0.4, 0.6, -0.8];
+        let ct = pe
+            .evaluator()
+            .encrypt_replicated(&pipe.pad_input(&x), &mut rng);
+        let (out_ct, stats) = pipe.eval_encrypted(&pe, Some(&bs), &ct);
+        assert!(stats.bootstraps >= 1);
+        assert_eq!(stats.bootstraps, bs.refresh_count());
+        let got = pe.evaluator().decrypt_values(&out_ct, 4);
+        let want = pipe.eval_plain(&x);
+        for i in 0..4 {
+            assert!(
+                (got[i] - want[i]).abs() < 0.15,
+                "slot {i}: {} vs {}",
+                got[i],
+                want[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "level exhausted")]
+    fn no_bootstrapper_panics_on_exhaustion() {
+        let (pe, mut rng) = setup(65);
+        let paf = CompositePaf::from_form(PafForm::F1G2);
+        let mut b = PipelineBuilder::new(&[4]);
+        for _ in 0..3 {
+            b = b
+                .affine(Linear::new(4, 4, &mut rng))
+                .paf_relu(&paf, 2.0);
+        }
+        let pipe = b.compile();
+        let ct = pe
+            .evaluator()
+            .encrypt_replicated(&pipe.pad_input(&[0.1; 4]), &mut rng);
+        let _ = pipe.eval_encrypted(&pe, None, &ct);
+    }
+
+    #[test]
+    fn encrypted_maxpool_matches_plain() {
+        let (pe, mut rng) = setup(66);
+        let paf = CompositePaf::from_form(PafForm::Alpha7);
+        let pipe = PipelineBuilder::new(&[1, 4, 4])
+            .paf_maxpool(2, 2, &paf, 4.0)
+            .compile();
+        let x: Vec<f64> = (0..16).map(|i| ((i * 3) % 7) as f64 / 2.0 - 1.5).collect();
+        let ct = pe
+            .evaluator()
+            .encrypt_replicated(&pipe.pad_input(&x), &mut rng);
+        // 1 + 2·(depth+1) = 15 levels > the toy chain's 12: the fold
+        // must refresh mid-stage.
+        let bs = Bootstrapper::new(pe.evaluator().clone(), pipe.dim(), 3);
+        let (out_ct, stats) = pipe.eval_encrypted(&pe, Some(&bs), &ct);
+        assert!(stats.bootstraps >= 1);
+        let got = pe.evaluator().decrypt_values(&out_ct, 4);
+        let want = pipe.eval_plain(&x);
+        for i in 0..4 {
+            assert!(
+                (got[i] - want[i]).abs() < 0.15,
+                "slot {i}: {} vs {}",
+                got[i],
+                want[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Softmax cross-entropy loss.
+
+use smartpaf_tensor::Tensor;
+
+/// Numerically stable softmax cross-entropy.
+///
+/// Returns `(mean loss, gradient w.r.t. logits)` for logits `[N, C]`
+/// and integer labels.
+///
+/// # Panics
+///
+/// Panics unless logits are 2-D with one label per row and every label
+/// is a valid class index.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().ndim(), 2, "logits must be [N, C]");
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), n, "one label per sample");
+    let mut grad = Tensor::zeros(&[n, c]);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let row = logits.row(i);
+        assert!(labels[i] < c, "label {} out of range", labels[i]);
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - m).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        let log_z = z.ln() + m;
+        total += (log_z - row[labels[i]]) as f64;
+        for j in 0..c {
+            let p = exps[j] / z;
+            grad.data_mut()[i * c + j] =
+                (p - if j == labels[i] { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    ((total / n as f64) as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_loss_is_log_c() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = cross_entropy(&logits, &[0, 3]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_correct_prediction_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0], &[1, 3]);
+        let (loss, _) = cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3, "loss {loss}");
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let (_, grad) = cross_entropy(&logits, &[2, 0]);
+        for i in 0..2 {
+            let s: f32 = grad.row(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.5, -0.2, 1.1, 0.0], &[1, 4]);
+        let (_, grad) = cross_entropy(&logits, &[1]);
+        let eps = 1e-2;
+        for i in 0..4 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let fd = (cross_entropy(&lp, &[1]).0 - cross_entropy(&lm, &[1]).0) / (2.0 * eps);
+            // f32 forward passes limit finite-difference precision.
+            assert!((fd - grad.data()[i]).abs() < 1e-3, "d[{i}]: {fd} vs {}", grad.data()[i]);
+        }
+    }
+
+    #[test]
+    fn stable_under_large_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, 0.0], &[1, 2]);
+        let (loss, grad) = cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite());
+        assert!(grad.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,83 @@
+//! Classification metrics.
+
+use smartpaf_tensor::Tensor;
+
+/// Top-1 accuracy of logits `[N, C]` against integer labels.
+///
+/// # Panics
+///
+/// Panics unless logits are 2-D with one label per row.
+pub fn top1_accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(logits.shape().ndim(), 2, "logits must be [N, C]");
+    assert_eq!(logits.dims()[0], labels.len(), "one label per sample");
+    let preds = logits.argmax_rows();
+    let correct = preds
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f32 / labels.len() as f32
+}
+
+/// Streaming accuracy accumulator over many batches.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AccuracyMeter {
+    correct: usize,
+    total: usize,
+}
+
+impl AccuracyMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        AccuracyMeter::default()
+    }
+
+    /// Adds a batch of predictions.
+    pub fn update(&mut self, logits: &Tensor, labels: &[usize]) {
+        let preds = logits.argmax_rows();
+        self.correct += preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        self.total += labels.len();
+    }
+
+    /// Current accuracy in `[0, 1]` (zero when empty).
+    pub fn accuracy(&self) -> f32 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f32 / self.total as f32
+        }
+    }
+
+    /// Number of samples seen.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_zero_accuracy() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert_eq!(top1_accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(top1_accuracy(&logits, &[1, 0]), 0.0);
+    }
+
+    #[test]
+    fn meter_accumulates() {
+        let mut m = AccuracyMeter::new();
+        let a = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]);
+        m.update(&a, &[0]);
+        m.update(&b, &[0]);
+        assert_eq!(m.accuracy(), 0.5);
+        assert_eq!(m.total(), 2);
+    }
+
+    #[test]
+    fn empty_meter_is_zero() {
+        assert_eq!(AccuracyMeter::new().accuracy(), 0.0);
+    }
+}

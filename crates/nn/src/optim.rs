@@ -1,0 +1,290 @@
+//! Optimisers with per-group hyperparameters.
+//!
+//! Tab. 5 of the paper trains PAF coefficients and "other layers" with
+//! different learning rates and weight decay; Alternate Training (AT)
+//! freezes one group while the other trains. Both needs are expressed
+//! with [`GroupConfig`] — set a group's learning rate to zero to
+//! freeze it.
+
+use crate::param::{Param, ParamGroup};
+
+/// Hyperparameters for one parameter group.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupConfig {
+    /// Learning rate (zero freezes the group).
+    pub lr: f32,
+    /// Decoupled (AdamW-style) weight decay.
+    pub weight_decay: f32,
+}
+
+/// Full optimiser configuration: one [`GroupConfig`] per group.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimConfig {
+    /// Configuration for PAF coefficients.
+    pub paf: GroupConfig,
+    /// Configuration for all other parameters.
+    pub other: GroupConfig,
+}
+
+impl OptimConfig {
+    /// The paper's Tab. 5 baseline hyperparameters: Adam, lr 1e-4 for
+    /// PAF coefficients (decay 0.01), lr 1e-5 for other layers
+    /// (decay 0.1).
+    pub fn paper_tab5() -> Self {
+        OptimConfig {
+            paf: GroupConfig {
+                lr: 1e-4,
+                weight_decay: 0.01,
+            },
+            other: GroupConfig {
+                lr: 1e-5,
+                weight_decay: 0.1,
+            },
+        }
+    }
+
+    /// Freezes the "other layers" group (AT step training PAFs only).
+    pub fn freeze_other(mut self) -> Self {
+        self.other.lr = 0.0;
+        self
+    }
+
+    /// Freezes the PAF-coefficient group (AT step training other
+    /// layers only).
+    pub fn freeze_paf(mut self) -> Self {
+        self.paf.lr = 0.0;
+        self
+    }
+
+    fn for_group(&self, g: ParamGroup) -> GroupConfig {
+        match g {
+            ParamGroup::PafCoeff => self.paf,
+            ParamGroup::Other => self.other,
+        }
+    }
+}
+
+/// Adam with decoupled weight decay and per-group configs.
+///
+/// State is positional: call [`Adam::step`] with the same parameter
+/// list (same order, same shapes) every time — true for any fixed
+/// network, and checked at runtime.
+pub struct Adam {
+    config: OptimConfig,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser.
+    pub fn new(config: OptimConfig) -> Self {
+        Adam {
+            config,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Updates the optimiser configuration (used by AT to swap which
+    /// group is frozen without losing moment state).
+    pub fn set_config(&mut self, config: OptimConfig) {
+        self.config = config;
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> OptimConfig {
+        self.config
+    }
+
+    /// Applies one update step to `params` and zeroes their gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter list changes shape between calls.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| vec![0.0; p.numel()]).collect();
+            self.v = params.iter().map(|p| vec![0.0; p.numel()]).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter list changed");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for (idx, p) in params.iter_mut().enumerate() {
+            assert_eq!(self.m[idx].len(), p.numel(), "parameter {idx} resized");
+            let cfg = self.config.for_group(p.group);
+            if cfg.lr == 0.0 {
+                p.zero_grad();
+                continue;
+            }
+            let m = &mut self.m[idx];
+            let v = &mut self.v[idx];
+            let gdata = p.grad.data().to_vec();
+            for (i, val) in p.value.data_mut().iter_mut().enumerate() {
+                let g = gdata[i];
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                *val -= cfg.lr * (mhat / (vhat.sqrt() + self.eps) + cfg.weight_decay * *val);
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+/// Plain SGD with per-group learning rates (no momentum) — used by the
+/// convergence analysis tests, which reason about SGD (paper §3.1).
+pub struct Sgd {
+    config: OptimConfig,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser.
+    pub fn new(config: OptimConfig) -> Self {
+        Sgd { config }
+    }
+
+    /// Applies one update step and zeroes gradients.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        for p in params.iter_mut() {
+            let cfg = self.config.for_group(p.group);
+            if cfg.lr != 0.0 {
+                let gdata = p.grad.data().to_vec();
+                for (val, g) in p.value.data_mut().iter_mut().zip(gdata) {
+                    *val -= cfg.lr * (g + cfg.weight_decay * *val);
+                }
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartpaf_tensor::Tensor;
+
+    fn quad_param(group: ParamGroup) -> Param {
+        Param::new(Tensor::from_vec(vec![5.0], &[1]), group)
+    }
+
+    /// Minimise f(x) = x² with analytic gradient 2x.
+    fn run_steps(opt: &mut Adam, p: &mut Param, steps: usize) {
+        for _ in 0..steps {
+            p.grad.data_mut()[0] = 2.0 * p.value.data()[0];
+            opt.step(&mut [p]);
+        }
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let cfg = OptimConfig {
+            paf: GroupConfig {
+                lr: 0.1,
+                weight_decay: 0.0,
+            },
+            other: GroupConfig {
+                lr: 0.1,
+                weight_decay: 0.0,
+            },
+        };
+        let mut opt = Adam::new(cfg);
+        let mut p = quad_param(ParamGroup::Other);
+        run_steps(&mut opt, &mut p, 200);
+        assert!(p.value.data()[0].abs() < 0.1, "{}", p.value.data()[0]);
+    }
+
+    #[test]
+    fn frozen_group_does_not_move() {
+        let cfg = OptimConfig::paper_tab5().freeze_paf();
+        let mut opt = Adam::new(cfg);
+        let mut p = quad_param(ParamGroup::PafCoeff);
+        run_steps(&mut opt, &mut p, 10);
+        assert_eq!(p.value.data()[0], 5.0);
+        // Gradients still get cleared so stale grads cannot leak.
+        assert_eq!(p.grad.data()[0], 0.0);
+    }
+
+    #[test]
+    fn groups_use_different_learning_rates() {
+        let cfg = OptimConfig {
+            paf: GroupConfig {
+                lr: 0.5,
+                weight_decay: 0.0,
+            },
+            other: GroupConfig {
+                lr: 0.001,
+                weight_decay: 0.0,
+            },
+        };
+        let mut opt = Adam::new(cfg);
+        let mut fast = quad_param(ParamGroup::PafCoeff);
+        let mut slow = quad_param(ParamGroup::Other);
+        for _ in 0..20 {
+            fast.grad.data_mut()[0] = 2.0 * fast.value.data()[0];
+            slow.grad.data_mut()[0] = 2.0 * slow.value.data()[0];
+            opt.step(&mut [&mut fast, &mut slow]);
+        }
+        let fast_move = (5.0 - fast.value.data()[0]).abs();
+        let slow_move = (5.0 - slow.value.data()[0]).abs();
+        assert!(fast_move > slow_move * 5.0, "{fast_move} vs {slow_move}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_without_gradient() {
+        let cfg = OptimConfig {
+            paf: GroupConfig {
+                lr: 0.1,
+                weight_decay: 0.5,
+            },
+            other: GroupConfig {
+                lr: 0.1,
+                weight_decay: 0.5,
+            },
+        };
+        let mut opt = Adam::new(cfg);
+        let mut p = quad_param(ParamGroup::Other);
+        // Zero gradient: only decay acts.
+        opt.step(&mut [&mut p]);
+        assert!(p.value.data()[0] < 5.0);
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let cfg = OptimConfig {
+            paf: GroupConfig {
+                lr: 0.1,
+                weight_decay: 0.0,
+            },
+            other: GroupConfig {
+                lr: 0.1,
+                weight_decay: 0.0,
+            },
+        };
+        let mut opt = Sgd::new(cfg);
+        let mut p = quad_param(ParamGroup::Other);
+        for _ in 0..100 {
+            p.grad.data_mut()[0] = 2.0 * p.value.data()[0];
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.data()[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn paper_tab5_values() {
+        let cfg = OptimConfig::paper_tab5();
+        assert_eq!(cfg.paf.lr, 1e-4);
+        assert_eq!(cfg.other.lr, 1e-5);
+        assert_eq!(cfg.paf.weight_decay, 0.01);
+        assert_eq!(cfg.other.weight_decay, 0.1);
+    }
+}

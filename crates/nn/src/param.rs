@@ -1,0 +1,67 @@
+//! Trainable parameters and parameter groups.
+
+use smartpaf_tensor::Tensor;
+
+/// Which optimiser group a parameter belongs to.
+///
+/// SMART-PAF's Alternate Training (AT) and the Tab. 5 hyperparameters
+/// hinge on this split: PAF coefficients and "other layers"
+/// (convolution, linear, batch-norm) get different learning rates,
+/// weight decay, and freeze schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamGroup {
+    /// Coefficients of a Polynomial Approximated Function.
+    PafCoeff,
+    /// Every other trainable parameter.
+    Other,
+}
+
+/// A trainable tensor with its gradient accumulator.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Optimiser group.
+    pub group: ParamGroup,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient.
+    pub fn new(value: Tensor, group: ParamGroup) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param { value, grad, group }
+    }
+
+    /// Zeroes the gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_in_place(|_| 0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::ones(&[3, 2]), ParamGroup::Other);
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.numel(), 6);
+        assert_eq!(p.group, ParamGroup::Other);
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut p = Param::new(Tensor::ones(&[2]), ParamGroup::PafCoeff);
+        p.grad.data_mut()[0] = 5.0;
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+}

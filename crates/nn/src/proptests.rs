@@ -1,0 +1,55 @@
+//! Property-based tests for the nn substrate.
+
+use crate::act::{PafActivation, ScaleMode};
+use crate::layer::Mode;
+use crate::loss::cross_entropy;
+use proptest::prelude::*;
+use smartpaf_polyfit::{CompositePaf, PafForm};
+use smartpaf_tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cross-entropy loss is non-negative and its gradient rows sum to 0.
+    #[test]
+    fn ce_loss_invariants(v in proptest::collection::vec(-5.0f32..5.0, 12), label in 0usize..4) {
+        let logits = Tensor::from_vec(v, &[3, 4]);
+        let (loss, grad) = cross_entropy(&logits, &[label, (label + 1) % 4, (label + 2) % 4]);
+        prop_assert!(loss >= 0.0);
+        for i in 0..3 {
+            let s: f32 = grad.row(i).iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    /// PAF-ReLU output is bounded relative to its input scale and the
+    /// activation is odd-symmetric in the sign component:
+    /// y(x) + y(-x) == x branch identity (x + x p + (-x) + (-x)(-p))/2 = 0... 
+    /// concretely: y(x) - y(-x) == x for a perfectly odd p.
+    #[test]
+    fn paf_relu_odd_decomposition(x in 0.05f32..0.95) {
+        let mut paf = PafActivation::from_composite(
+            &CompositePaf::from_form(PafForm::Alpha7),
+            ScaleMode::Static(1.0),
+        );
+        let t = Tensor::from_vec(vec![x, -x], &[1, 2]);
+        let y = paf.forward(&t, Mode::Eval);
+        // y(x) - y(-x) = x exactly (p odd), independent of PAF quality.
+        prop_assert!((y.data()[0] - y.data()[1] - x).abs() < 1e-4);
+    }
+
+    /// Dynamic scaling makes the PAF input land in [-1, 1], so outputs
+    /// stay bounded by |x| (plus approximation slack) even for huge inputs.
+    #[test]
+    fn dynamic_scale_bounds_output(scale in 1.0f32..1000.0) {
+        let mut paf = PafActivation::from_composite(
+            &CompositePaf::from_form(PafForm::F2G2),
+            ScaleMode::Dynamic,
+        );
+        let t = Tensor::from_vec(vec![scale, -scale, scale / 2.0], &[1, 3]);
+        let y = paf.forward(&t, Mode::Train);
+        for (yv, xv) in y.data().iter().zip(t.data()) {
+            prop_assert!(yv.abs() <= xv.abs() * 1.6 + 1e-3, "y {yv} vs x {xv}");
+        }
+    }
+}

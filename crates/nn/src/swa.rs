@@ -1,0 +1,111 @@
+//! Stochastic Weight Averaging (SWA).
+//!
+//! The SMART-PAF framework applies SWA at the end of every training
+//! group, averaging the weights of the group's epochs to smooth the
+//! update (Fig. 6, Fig. 9's yellow pentagons).
+
+use crate::param::Param;
+
+/// Accumulates running averages of a parameter list.
+#[derive(Debug, Default)]
+pub struct Swa {
+    sums: Vec<Vec<f64>>,
+    count: usize,
+}
+
+impl Swa {
+    /// Creates an empty averager.
+    pub fn new() -> Self {
+        Swa::default()
+    }
+
+    /// Number of snapshots accumulated.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Records a snapshot of the current parameter values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter list shape changes between calls.
+    pub fn record(&mut self, params: &[&mut Param]) {
+        if self.sums.is_empty() {
+            self.sums = params.iter().map(|p| vec![0.0; p.numel()]).collect();
+        }
+        assert_eq!(self.sums.len(), params.len(), "parameter list changed");
+        for (sum, p) in self.sums.iter_mut().zip(params) {
+            assert_eq!(sum.len(), p.numel(), "parameter resized");
+            for (s, &v) in sum.iter_mut().zip(p.value.data()) {
+                *s += v as f64;
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Writes the average back into the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no snapshots were recorded.
+    pub fn apply(&self, params: &mut [&mut Param]) {
+        assert!(self.count > 0, "no snapshots recorded");
+        for (sum, p) in self.sums.iter().zip(params.iter_mut()) {
+            for (v, &s) in p.value.data_mut().iter_mut().zip(sum) {
+                *v = (s / self.count as f64) as f32;
+            }
+        }
+    }
+
+    /// Clears all accumulated snapshots.
+    pub fn reset(&mut self) {
+        self.sums.clear();
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamGroup;
+    use smartpaf_tensor::Tensor;
+
+    #[test]
+    fn average_of_two_snapshots() {
+        let mut p = Param::new(Tensor::from_vec(vec![2.0, 4.0], &[2]), ParamGroup::Other);
+        let mut swa = Swa::new();
+        swa.record(&[&mut p]);
+        p.value.data_mut()[0] = 4.0;
+        p.value.data_mut()[1] = 8.0;
+        swa.record(&[&mut p]);
+        swa.apply(&mut [&mut p]);
+        assert_eq!(p.value.data(), &[3.0, 6.0]);
+        assert_eq!(swa.count(), 2);
+    }
+
+    #[test]
+    fn single_snapshot_is_identity() {
+        let mut p = Param::new(Tensor::from_vec(vec![1.5], &[1]), ParamGroup::Other);
+        let mut swa = Swa::new();
+        swa.record(&[&mut p]);
+        p.value.data_mut()[0] = 99.0;
+        swa.apply(&mut [&mut p]);
+        assert_eq!(p.value.data(), &[1.5]);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut p = Param::new(Tensor::from_vec(vec![1.0], &[1]), ParamGroup::Other);
+        let mut swa = Swa::new();
+        swa.record(&[&mut p]);
+        swa.reset();
+        assert_eq!(swa.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no snapshots")]
+    fn apply_without_record_panics() {
+        let mut p = Param::new(Tensor::from_vec(vec![1.0], &[1]), ParamGroup::Other);
+        Swa::new().apply(&mut [&mut p]);
+    }
+}

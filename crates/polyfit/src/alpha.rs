@@ -1,0 +1,110 @@
+//! α-parameterised minimax sign composites (Lee et al. 2021/2022).
+//!
+//! Lee et al. parameterise sign approximation by a precision target α:
+//! the composite must satisfy `|p(x) − sign(x)| ≤ 2^(1−α)` for all
+//! `|x| ∈ [2^(−α), 1]`. This module searches stage configurations with
+//! our Remez solver until the target is met — the generator behind the
+//! paper's "α = 7", "α = 10" comparator labels.
+
+use crate::composite::CompositePaf;
+use crate::remez::minimax_sign_composite;
+
+/// Result of an α-composite search.
+#[derive(Debug, Clone)]
+pub struct AlphaComposite {
+    /// The generated composite.
+    pub paf: CompositePaf,
+    /// The precision parameter it satisfies.
+    pub alpha: u32,
+    /// Achieved max error on `[2^-α, 1]`.
+    pub achieved_error: f64,
+    /// Stage odd-term counts used.
+    pub stage_terms: Vec<usize>,
+}
+
+/// Builds a minimax composite meeting precision `alpha`, preferring
+/// configurations with minimal multiplication depth.
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `3..=14` (the range used in the
+/// literature; larger values need deeper stacks than the search
+/// space covers).
+pub fn alpha_composite(alpha: u32) -> AlphaComposite {
+    assert!((3..=14).contains(&alpha), "alpha {alpha} out of range");
+    let eps = 2f64.powi(-(alpha as i32));
+    let target = 2f64.powi(1 - alpha as i32);
+    // Candidate stage configurations ordered by multiplication depth
+    // (each odd-term count t gives a degree 2t-1 stage of depth
+    // ceil(log2(2t))).
+    let candidates: &[&[usize]] = &[
+        &[2],
+        &[3],
+        &[4],
+        &[2, 2],
+        &[3, 2],
+        &[4, 2],
+        &[4, 3],
+        &[4, 4],
+        &[4, 4, 2],
+        &[4, 4, 4],
+        &[4, 4, 7],
+        &[4, 4, 4, 4],
+        &[4, 4, 4, 7],
+        &[7, 7, 7, 7],
+    ];
+    for stages in candidates {
+        let reports = minimax_sign_composite(stages, eps);
+        let paf = CompositePaf::new(reports.iter().map(|r| r.poly.clone()).collect());
+        let err = paf.sign_error(eps, 2000);
+        if err <= target {
+            return AlphaComposite {
+                paf,
+                alpha,
+                achieved_error: err,
+                stage_terms: stages.to_vec(),
+            };
+        }
+    }
+    panic!("no stage configuration reached alpha = {alpha}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha4_meets_target() {
+        let a = alpha_composite(4);
+        assert!(a.achieved_error <= 2f64.powi(-3), "{}", a.achieved_error);
+        assert_eq!(a.alpha, 4);
+    }
+
+    #[test]
+    fn alpha7_meets_target() {
+        let a = alpha_composite(7);
+        assert!(a.achieved_error <= 2f64.powi(-6), "{}", a.achieved_error);
+    }
+
+    #[test]
+    fn higher_alpha_needs_no_less_depth() {
+        let lo = alpha_composite(4);
+        let hi = alpha_composite(9);
+        assert!(
+            hi.paf.mult_depth() >= lo.paf.mult_depth(),
+            "alpha 9 depth {} vs alpha 4 depth {}",
+            hi.paf.mult_depth(),
+            lo.paf.mult_depth()
+        );
+    }
+
+    #[test]
+    fn achieved_error_holds_on_domain() {
+        let a = alpha_composite(6);
+        let eps = 2f64.powi(-6);
+        for i in 0..200 {
+            let x = eps + (1.0 - eps) * i as f64 / 199.0;
+            assert!((a.paf.eval(x) - 1.0).abs() <= a.achieved_error + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Chebyshev interpolation — the "traditional regression method" used
+//! to obtain initial PAF coefficients before Coefficient Tuning
+//! (paper §4.2 step 1).
+
+use crate::poly::Polynomial;
+
+/// Chebyshev nodes of the first kind mapped onto `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `lo >= hi`.
+pub fn chebyshev_nodes(n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one node");
+    assert!(lo < hi, "degenerate interval");
+    let mid = 0.5 * (lo + hi);
+    let half = 0.5 * (hi - lo);
+    (0..n)
+        .map(|k| {
+            let theta = std::f64::consts::PI * (2.0 * k as f64 + 1.0) / (2.0 * n as f64);
+            mid + half * theta.cos()
+        })
+        .collect()
+}
+
+/// Fits a degree-`degree` polynomial to `f` on `[lo, hi]` by
+/// interpolation at Chebyshev nodes, returned in the monomial basis.
+///
+/// Near-minimax for smooth `f`; for discontinuous targets like
+/// `sign(x)` use [`crate::minimax_sign`] on a split domain instead.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn chebyshev_fit(f: impl Fn(f64) -> f64, lo: f64, hi: f64, degree: usize) -> Polynomial {
+    let n = degree + 1;
+    let nodes = chebyshev_nodes(n, lo, hi);
+    let values: Vec<f64> = nodes.iter().map(|&x| f(x)).collect();
+    // Newton's divided differences, then expand to monomials.
+    let mut dd = values.clone();
+    for j in 1..n {
+        for i in (j..n).rev() {
+            dd[i] = (dd[i] - dd[i - 1]) / (nodes[i] - nodes[i - j]);
+        }
+    }
+    // p(x) = dd[0] + dd[1](x-x0) + dd[2](x-x0)(x-x1) + ...
+    let mut p = Polynomial::zero();
+    let mut basis = Polynomial::new(vec![1.0]);
+    for i in 0..n {
+        p = p.add(&basis.scale(dd[i]));
+        if i + 1 < n {
+            basis = basis.mul(&Polynomial::new(vec![-nodes[i], 1.0]));
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_inside_interval() {
+        let nodes = chebyshev_nodes(9, -2.0, 3.0);
+        assert_eq!(nodes.len(), 9);
+        assert!(nodes.iter().all(|&x| (-2.0..=3.0).contains(&x)));
+        // Strictly decreasing for first-kind nodes as generated.
+        for w in nodes.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn fit_reproduces_polynomial_exactly() {
+        let target = Polynomial::new(vec![2.0, -1.0, 0.0, 3.0]);
+        let fit = chebyshev_fit(|x| target.eval(x), -1.0, 1.0, 3);
+        for (a, b) in fit.coeffs().iter().zip(target.coeffs()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fit_sin_converges() {
+        let p5 = chebyshev_fit(f64::sin, -1.0, 1.0, 5);
+        let p9 = chebyshev_fit(f64::sin, -1.0, 1.0, 9);
+        let e5 = p5.max_error_on(f64::sin, -1.0, 1.0, 500);
+        let e9 = p9.max_error_on(f64::sin, -1.0, 1.0, 500);
+        assert!(e5 < 1e-4, "degree-5 error {e5}");
+        assert!(e9 < e5, "higher degree should not be worse");
+    }
+
+    #[test]
+    fn fit_on_shifted_interval() {
+        let p = chebyshev_fit(f64::exp, 1.0, 2.0, 8);
+        let err = p.max_error_on(f64::exp, 1.0, 2.0, 300);
+        assert!(err < 1e-7, "error {err}");
+    }
+
+    #[test]
+    fn odd_target_yields_nearly_odd_fit() {
+        let p = chebyshev_fit(|x| x.tanh(), -1.0, 1.0, 7);
+        for (i, &c) in p.coeffs().iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(c.abs() < 1e-9, "even coeff {i} = {c}");
+            }
+        }
+    }
+}

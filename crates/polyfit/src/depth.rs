@@ -1,0 +1,148 @@
+//! CKKS multiplication-depth accounting (paper App. C, Tab. 8, Fig. 10).
+//!
+//! Under leveled CKKS every ciphertext-ciphertext multiplication (plus
+//! rescale) consumes one level. Evaluating a degree-`n` polynomial with
+//! exponentiation-by-squaring needs `ceil(log2(n+1))` levels; a
+//! composite needs the sum over its stages.
+
+use std::fmt;
+
+/// Multiplication depth of a single degree-`deg` polynomial:
+/// `ceil(log2(deg + 1))`.
+pub fn poly_mult_depth(deg: usize) -> usize {
+    let target = deg + 1;
+    let mut depth = 0;
+    let mut reach = 1usize;
+    while reach < target {
+        reach *= 2;
+        depth += 1;
+    }
+    depth
+}
+
+/// One row of the Tab. 8 walkthrough: which intermediate values become
+/// available at a given depth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepthStep {
+    /// Depth level (0 = fresh ciphertext).
+    pub depth: usize,
+    /// Human-readable intermediate variables, e.g. `"c3*x, x^2"`.
+    pub variables: Vec<String>,
+}
+
+/// A symbolic depth trace of a composite PAF evaluation, reproducing
+/// the structure of paper Tab. 8 / Fig. 10.
+#[derive(Debug, Clone)]
+pub struct DepthTrace {
+    steps: Vec<DepthStep>,
+    total_depth: usize,
+}
+
+impl DepthTrace {
+    /// Builds the depth trace for a composite with the given stage
+    /// degrees (e.g. `[3, 5]` for `f1 ∘ g2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage_degrees` is empty or a stage has degree 0.
+    pub fn for_stage_degrees(stage_degrees: &[usize]) -> DepthTrace {
+        assert!(!stage_degrees.is_empty(), "no stages");
+        let mut steps = vec![DepthStep {
+            depth: 0,
+            variables: vec!["c, x".to_string()],
+        }];
+        let mut depth = 0;
+        for (s, &deg) in stage_degrees.iter().enumerate() {
+            assert!(deg > 0, "stage degree must be positive");
+            let var = if s == 0 { "x".to_string() } else { format!("y{s}") };
+            let d_stage = poly_mult_depth(deg);
+            // Exponentiation by squaring: after k levels the highest
+            // power of this stage's variable is 2^k.
+            for k in 1..=d_stage {
+                depth += 1;
+                let pow = 1usize << k;
+                let reached = pow.min(deg);
+                let label = if k == d_stage {
+                    format!("{var}^{reached} -> stage {s} output")
+                } else {
+                    format!("{var}^{pow}")
+                };
+                steps.push(DepthStep {
+                    depth,
+                    variables: vec![label],
+                });
+            }
+        }
+        DepthTrace {
+            steps,
+            total_depth: depth,
+        }
+    }
+
+    /// The trace rows.
+    pub fn steps(&self) -> &[DepthStep] {
+        &self.steps
+    }
+
+    /// Total levels consumed.
+    pub fn total_depth(&self) -> usize {
+        self.total_depth
+    }
+}
+
+impl fmt::Display for DepthTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.steps {
+            writeln!(f, "depth {:>2}: {}", s.depth, s.variables.join(", "))?;
+        }
+        write!(f, "total multiplication depth: {}", self.total_depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_formula_known_values() {
+        // ceil(log2(deg+1))
+        assert_eq!(poly_mult_depth(1), 1);
+        assert_eq!(poly_mult_depth(2), 2);
+        assert_eq!(poly_mult_depth(3), 2);
+        assert_eq!(poly_mult_depth(5), 3);
+        assert_eq!(poly_mult_depth(7), 3);
+        assert_eq!(poly_mult_depth(13), 4);
+        assert_eq!(poly_mult_depth(15), 4);
+        assert_eq!(poly_mult_depth(27), 5);
+    }
+
+    #[test]
+    fn f1_g2_trace_matches_paper_tab8() {
+        // f1 ∘ g2: degrees [3, 5] -> depth 2 + 3 = 5 (paper Tab. 2/8).
+        let trace = DepthTrace::for_stage_degrees(&[3, 5]);
+        assert_eq!(trace.total_depth(), 5);
+    }
+
+    #[test]
+    fn comparator_trace_depth_ten() {
+        let trace = DepthTrace::for_stage_degrees(&[7, 7, 13]);
+        assert_eq!(trace.total_depth(), 10);
+    }
+
+    #[test]
+    fn trace_depths_monotone() {
+        let trace = DepthTrace::for_stage_degrees(&[3, 3, 3, 3]);
+        assert_eq!(trace.total_depth(), 8); // f1²∘g1²
+        let mut prev = 0;
+        for s in trace.steps().iter().skip(1) {
+            assert_eq!(s.depth, prev + 1);
+            prev = s.depth;
+        }
+    }
+
+    #[test]
+    fn display_mentions_total() {
+        let s = format!("{}", DepthTrace::for_stage_degrees(&[3, 5]));
+        assert!(s.contains("total multiplication depth: 5"), "{s}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Small dense linear-algebra helpers used by the fitting routines.
+
+use crate::poly::Polynomial;
+
+/// Solves the dense system `A x = b` in place by Gaussian elimination
+/// with partial pivoting. `a` is row-major `n`×`n`.
+///
+/// Returns `None` if the matrix is numerically singular.
+///
+/// # Panics
+///
+/// Panics if `a.len() != n*n` or `b.len() != n`.
+pub fn solve_dense(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix size mismatch");
+    assert_eq!(b.len(), n, "rhs size mismatch");
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let mut piv = col;
+        for row in col + 1..n {
+            if m[row * n + col].abs() > m[piv * n + col].abs() {
+                piv = row;
+            }
+        }
+        if m[piv * n + col].abs() < 1e-300 {
+            return None;
+        }
+        if piv != col {
+            for k in 0..n {
+                m.swap(col * n + k, piv * n + k);
+            }
+            rhs.swap(col, piv);
+        }
+        let d = m[col * n + col];
+        for row in col + 1..n {
+            let factor = m[row * n + col] / d;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= factor * m[col * n + k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = rhs[row];
+        for k in row + 1..n {
+            s -= m[row * n + k] * x[k];
+        }
+        x[row] = s / m[row * n + row];
+    }
+    Some(x)
+}
+
+/// Weighted least-squares polynomial fit.
+///
+/// Finds the degree-`degree` polynomial minimising
+/// `sum_i w_i (p(x_i) - y_i)^2` via the normal equations. When
+/// `odd_only` is set the basis is restricted to odd powers, which is
+/// the right space for sign-function approximants and is much better
+/// conditioned.
+///
+/// This routine is the regression backend of **Coefficient Tuning**:
+/// the weights come from the profiled activation distribution of the
+/// layer being replaced (paper §4.2 step 3).
+///
+/// # Panics
+///
+/// Panics if input lengths differ or no samples are given.
+pub fn weighted_lsq_polyfit(
+    xs: &[f64],
+    ys: &[f64],
+    ws: &[f64],
+    degree: usize,
+    odd_only: bool,
+) -> Option<Polynomial> {
+    assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+    assert_eq!(xs.len(), ws.len(), "xs/ws length mismatch");
+    assert!(!xs.is_empty(), "empty sample set");
+
+    let powers: Vec<usize> = if odd_only {
+        (0..=degree).filter(|p| p % 2 == 1).collect()
+    } else {
+        (0..=degree).collect()
+    };
+    let nb = powers.len();
+    let mut ata = vec![0.0f64; nb * nb];
+    let mut atb = vec![0.0f64; nb];
+    let mut basis = vec![0.0f64; nb];
+    for ((&x, &y), &w) in xs.iter().zip(ys).zip(ws) {
+        for (j, &p) in powers.iter().enumerate() {
+            basis[j] = x.powi(p as i32);
+        }
+        for i in 0..nb {
+            let wbi = w * basis[i];
+            for j in i..nb {
+                ata[i * nb + j] += wbi * basis[j];
+            }
+            atb[i] += wbi * y;
+        }
+    }
+    // Symmetrise lower triangle.
+    for i in 0..nb {
+        for j in 0..i {
+            ata[i * nb + j] = ata[j * nb + i];
+        }
+    }
+    let sol = solve_dense(&ata, &atb, nb)?;
+    let mut coeffs = vec![0.0; degree + 1];
+    for (&p, &c) in powers.iter().zip(&sol) {
+        coeffs[p] = c;
+    }
+    Some(Polynomial::new(coeffs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_2x2() {
+        // x + y = 3 ; 2x - y = 0 -> x=1, y=2
+        let a = [1.0, 1.0, 2.0, -1.0];
+        let b = [3.0, 0.0];
+        let x = solve_dense(&a, &b, 2).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        assert!(solve_dense(&a, &[1.0, 2.0], 2).is_none());
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = [0.0, 1.0, 1.0, 0.0];
+        let x = solve_dense(&a, &[5.0, 7.0], 2).unwrap();
+        assert_eq!(x, vec![7.0, 5.0]);
+    }
+
+    #[test]
+    fn lsq_recovers_exact_polynomial() {
+        let p = Polynomial::new(vec![1.0, -2.0, 0.5]);
+        let xs: Vec<f64> = (0..50).map(|i| -1.0 + i as f64 / 24.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| p.eval(x)).collect();
+        let ws = vec![1.0; xs.len()];
+        let fit = weighted_lsq_polyfit(&xs, &ys, &ws, 2, false).unwrap();
+        for (a, b) in fit.coeffs().iter().zip(p.coeffs()) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn lsq_odd_only_fits_odd_function() {
+        let xs: Vec<f64> = (1..=60).map(|i| i as f64 / 30.0 - 1.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| x.sin()).collect();
+        let ws = vec![1.0; xs.len()];
+        let fit = weighted_lsq_polyfit(&xs, &ys, &ws, 5, true).unwrap();
+        assert!(fit.is_odd_function());
+        for &x in &xs {
+            assert!((fit.eval(x) - x.sin()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn lsq_weights_bias_the_fit() {
+        // Fit a constant to two points with asymmetric weights: the
+        // result must land nearer the heavier point.
+        let fit = weighted_lsq_polyfit(&[0.0, 1.0], &[0.0, 1.0], &[3.0, 1.0], 0, false).unwrap();
+        assert!((fit.coeffs()[0] - 0.25).abs() < 1e-12);
+    }
+}

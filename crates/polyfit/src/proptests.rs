@@ -1,0 +1,163 @@
+//! Property-based tests for the polynomial machinery.
+
+use crate::composite::{max_via_sign, relu_via_sign, sign_exact, CompositePaf, PafForm};
+use crate::linalg::{solve_dense, weighted_lsq_polyfit};
+use crate::poly::Polynomial;
+use proptest::prelude::*;
+
+fn coeffs() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-5.0f64..5.0, 1..6)
+}
+
+proptest! {
+    /// Polynomial addition commutes and agrees with pointwise addition.
+    #[test]
+    fn poly_add_pointwise(a in coeffs(), b in coeffs(), x in -2.0f64..2.0) {
+        let pa = Polynomial::new(a);
+        let pb = Polynomial::new(b);
+        let sum = pa.add(&pb);
+        prop_assert!((sum.eval(x) - (pa.eval(x) + pb.eval(x))).abs() < 1e-9);
+        prop_assert_eq!(pa.add(&pb), pb.add(&pa));
+    }
+
+    /// Polynomial multiplication agrees with pointwise multiplication.
+    #[test]
+    fn poly_mul_pointwise(a in coeffs(), b in coeffs(), x in -2.0f64..2.0) {
+        let pa = Polynomial::new(a);
+        let pb = Polynomial::new(b);
+        let prod = pa.mul(&pb);
+        prop_assert!((prod.eval(x) - pa.eval(x) * pb.eval(x)).abs() < 1e-6);
+    }
+
+    /// Symbolic composition agrees with functional composition.
+    #[test]
+    fn poly_compose_pointwise(a in coeffs(), b in coeffs(), x in -1.0f64..1.0) {
+        let pa = Polynomial::new(a);
+        let pb = Polynomial::new(b);
+        let comp = pa.compose(&pb);
+        prop_assert!((comp.eval(x) - pa.eval(pb.eval(x))).abs() < 1e-4);
+    }
+
+    /// Derivative obeys the product rule (checked pointwise).
+    #[test]
+    fn derivative_product_rule(a in coeffs(), b in coeffs(), x in -1.5f64..1.5) {
+        let pa = Polynomial::new(a);
+        let pb = Polynomial::new(b);
+        let lhs = pa.mul(&pb).derivative().eval(x);
+        let rhs = pa.derivative().eval(x) * pb.eval(x) + pa.eval(x) * pb.derivative().eval(x);
+        prop_assert!((lhs - rhs).abs() < 1e-6, "{lhs} vs {rhs}");
+    }
+
+    /// Odd polynomials are odd functions.
+    #[test]
+    fn odd_polys_are_odd(odd in proptest::collection::vec(-3.0f64..3.0, 1..5), x in -1.0f64..1.0) {
+        let p = Polynomial::from_odd(&odd);
+        prop_assert!((p.eval(-x) + p.eval(x)).abs() < 1e-9);
+    }
+
+    /// relu_via_sign with the *exact* sign recovers exact ReLU.
+    #[test]
+    fn relu_identity_with_exact_sign(x in -10.0f64..10.0) {
+        prop_assert_eq!(relu_via_sign(sign_exact, x), x.max(0.0));
+    }
+
+    /// max_via_sign with the exact sign recovers exact max, and is
+    /// symmetric in its arguments.
+    #[test]
+    fn max_identity_with_exact_sign(x in -5.0f64..5.0, y in -5.0f64..5.0) {
+        // (x+y) + (x−y) is not exactly 2·max in floats; allow one ulp-ish.
+        prop_assert!((max_via_sign(sign_exact, x, y) - x.max(y)).abs() < 1e-12);
+        let paf = CompositePaf::from_form(PafForm::Alpha7);
+        let s = |v: f64| paf.eval(v);
+        let a = max_via_sign(s, x, y);
+        let b = max_via_sign(s, y, x);
+        prop_assert!((a - b).abs() < 1e-9, "max not symmetric: {a} vs {b}");
+    }
+
+    /// solve_dense actually solves the system (well-conditioned inputs).
+    #[test]
+    fn solver_residual_small(
+        d in proptest::collection::vec(1.0f64..3.0, 3),
+        o in proptest::collection::vec(-0.3f64..0.3, 6),
+        b in proptest::collection::vec(-5.0f64..5.0, 3),
+    ) {
+        // Diagonally dominant 3x3.
+        let a = [
+            d[0], o[0], o[1],
+            o[2], d[1], o[3],
+            o[4], o[5], d[2],
+        ];
+        let x = solve_dense(&a, &b, 3).expect("diagonally dominant");
+        for i in 0..3 {
+            let r: f64 = (0..3).map(|j| a[i * 3 + j] * x[j]).sum::<f64>() - b[i];
+            prop_assert!(r.abs() < 1e-8, "residual {r}");
+        }
+    }
+
+    /// LSQ residual is orthogonal to the basis (normal equations hold).
+    #[test]
+    fn lsq_normal_equations(seed in 0u64..1000) {
+        let xs: Vec<f64> = (0..40).map(|i| -1.0 + i as f64 / 19.5).collect();
+        let ys: Vec<f64> = xs.iter().enumerate()
+            .map(|(i, &x)| x.tanh() + 0.01 * ((seed as f64 + i as f64).sin()))
+            .collect();
+        let ws = vec![1.0; xs.len()];
+        let fit = weighted_lsq_polyfit(&xs, &ys, &ws, 3, false).expect("solvable");
+        for p in 0..=3usize {
+            let dot: f64 = xs.iter().zip(&ys)
+                .map(|(&x, &y)| (fit.eval(x) - y) * x.powi(p as i32))
+                .sum();
+            prop_assert!(dot.abs() < 1e-6, "residual not orthogonal to x^{p}: {dot}");
+        }
+    }
+
+    /// Static-scale folding: paf.with_input_scale(s).eval(x) == paf.eval(s*x).
+    #[test]
+    fn scale_folding_identity(s in 0.1f64..3.0, x in -1.0f64..1.0) {
+        let paf = CompositePaf::from_form(PafForm::F2G2);
+        let folded = paf.with_input_scale(s);
+        let (a, b) = (folded.eval(x), paf.eval(s * x));
+        // Relative tolerance: far outside [-1,1] composite values blow up
+        // and powi-vs-Horner rounding differs in the last bits.
+        prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())), "{a} vs {b}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Search candidates report the same depth as their materialised
+    /// composite, for arbitrary stage sequences.
+    #[test]
+    fn search_candidate_depth_consistent(
+        picks in proptest::collection::vec(0usize..6, 1..4),
+    ) {
+        use crate::search::{BaseStage, SearchConfig, enumerate_composites};
+        let cfg = SearchConfig { max_stages: 3, samples: 21, ..SearchConfig::default() };
+        let all = BaseStage::all();
+        let stages: Vec<BaseStage> = picks.iter().map(|&i| all[i]).collect();
+        // Find this sequence among the enumeration (if bounded).
+        let cands = enumerate_composites(&cfg);
+        if let Some(c) = cands.iter().find(|c| c.stages == stages) {
+            let paf = c.to_composite();
+            prop_assert_eq!(c.depth, paf.mult_depth());
+            prop_assert_eq!(c.degree, paf.sum_degree());
+        }
+    }
+
+    /// The Pareto frontier is dominance-free: no member is beaten on
+    /// both axes by any enumerated candidate.
+    #[test]
+    fn frontier_members_undominated(eps in 0.02f64..0.2) {
+        use crate::search::{SearchConfig, enumerate_composites, pareto_frontier};
+        let cfg = SearchConfig { eps, max_stages: 2, samples: 41, ..SearchConfig::default() };
+        let cands = enumerate_composites(&cfg);
+        let front = pareto_frontier(cands.clone());
+        for f in &front {
+            for c in &cands {
+                let dominates = c.depth < f.depth && c.max_error < f.max_error;
+                prop_assert!(!dominates, "{} dominated by {}", f.name(), c.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Remez exchange for minimax sign-function approximation.
+//!
+//! Lee et al. 2021 obtain their high-degree PAF comparator by minimax
+//! (equioscillating) approximation of `sign(x)` over
+//! `[-1, -eps] ∪ [eps, 1]`. Because `sign` is odd, this is equivalent
+//! to approximating the constant `1` on `[eps, 1]` with an *odd*
+//! polynomial, which is what this module does.
+
+use crate::linalg::solve_dense;
+use crate::poly::Polynomial;
+
+/// Outcome of a Remez run.
+#[derive(Debug, Clone)]
+pub struct RemezReport {
+    /// The minimax odd polynomial.
+    pub poly: Polynomial,
+    /// The equioscillation error level |E|.
+    pub error: f64,
+    /// Number of exchange iterations performed.
+    pub iterations: usize,
+}
+
+/// Minimax odd approximation of `sign(x)` on `[-hi, -lo] ∪ [lo, hi]`
+/// with odd degree `2k+1` where `k = n_odd_terms - 1`.
+///
+/// # Panics
+///
+/// Panics if `n_odd_terms == 0` or the interval is degenerate.
+pub fn minimax_sign(n_odd_terms: usize, lo: f64, hi: f64) -> RemezReport {
+    assert!(n_odd_terms > 0, "need at least one basis term");
+    assert!(0.0 < lo && lo < hi, "invalid interval [{lo}, {hi}]");
+    let nb = n_odd_terms;
+    let m = nb + 1; // reference points
+
+    // Initial reference: Chebyshev-extrema-like distribution on [lo, hi].
+    let mut refs: Vec<f64> = (0..m)
+        .map(|i| {
+            let t = std::f64::consts::PI * i as f64 / (m - 1) as f64;
+            0.5 * (lo + hi) - 0.5 * (hi - lo) * t.cos()
+        })
+        .collect();
+
+    let grid_n = 4000;
+    let grid: Vec<f64> = (0..grid_n)
+        .map(|i| lo + (hi - lo) * i as f64 / (grid_n - 1) as f64)
+        .collect();
+
+    let mut poly = Polynomial::zero();
+    let mut level = 0.0f64;
+    let mut iterations = 0;
+    for it in 0..60 {
+        iterations = it + 1;
+        // Solve: sum_j c_j x_i^(2j+1) + (-1)^i E = 1 at the references.
+        let n = nb + 1;
+        let mut a = vec![0.0f64; n * n];
+        let mut b = vec![0.0f64; n];
+        for (i, &x) in refs.iter().enumerate() {
+            for j in 0..nb {
+                a[i * n + j] = x.powi(2 * j as i32 + 1);
+            }
+            a[i * n + nb] = if i % 2 == 0 { 1.0 } else { -1.0 };
+            b[i] = 1.0;
+        }
+        let sol = match solve_dense(&a, &b, n) {
+            Some(s) => s,
+            None => break, // keep last good iterate
+        };
+        poly = Polynomial::from_odd(&sol[..nb]);
+        let new_level = sol[nb].abs();
+
+        // Locate alternating extrema of the error on the dense grid.
+        let err: Vec<f64> = grid.iter().map(|&x| poly.eval(x) - 1.0).collect();
+        let mut extrema: Vec<(f64, f64)> = Vec::new(); // (x, e)
+        for i in 0..grid_n {
+            let is_ext = (i == 0 || (err[i] - err[i - 1]) * (if i + 1 < grid_n { err[i + 1] - err[i] } else { 0.0 }) <= 0.0)
+                && (i == 0 || i + 1 == grid_n || {
+                    let dl = err[i] - err[i - 1];
+                    let dr = err[i + 1] - err[i];
+                    dl * dr <= 0.0
+                });
+            if is_ext {
+                extrema.push((grid[i], err[i]));
+            }
+        }
+        // Enforce sign alternation: among consecutive same-sign extrema
+        // keep the largest magnitude.
+        let mut alt: Vec<(f64, f64)> = Vec::new();
+        for &(x, e) in &extrema {
+            match alt.last() {
+                Some(&(_, le)) if le.signum() == e.signum() => {
+                    if e.abs() > le.abs() {
+                        *alt.last_mut().unwrap() = (x, e);
+                    }
+                }
+                _ => alt.push((x, e)),
+            }
+        }
+        // Trim to exactly m points, dropping the smallest-magnitude end.
+        while alt.len() > m {
+            let first = alt.first().unwrap().1.abs();
+            let last = alt.last().unwrap().1.abs();
+            if first <= last {
+                alt.remove(0);
+            } else {
+                alt.pop();
+            }
+        }
+        if alt.len() < m {
+            // Degenerate (error too flat to resolve on the grid): done.
+            level = new_level;
+            break;
+        }
+        let new_refs: Vec<f64> = alt.iter().map(|&(x, _)| x).collect();
+        let converged = (new_level - level).abs() < 1e-13 * (1.0 + new_level);
+        level = new_level;
+        refs = new_refs;
+        if converged && it > 2 {
+            break;
+        }
+    }
+
+    RemezReport {
+        poly,
+        error: level,
+        iterations,
+    }
+}
+
+/// Builds a composite minimax sign approximation (Lee et al.'s
+/// construction): each stage is a minimax odd polynomial whose domain
+/// is the output range of the previous stage.
+///
+/// `odd_terms_per_stage[i]` is the number of odd basis terms of stage
+/// `i` (degree `2t-1`); `eps` is the smallest |x| resolved by stage 0.
+///
+/// Degrees `[4, 4, 7]` (i.e. 7, 7, 13) give the paper's "27-degree"
+/// depth-10 comparator: depth = 3 + 3 + 4 = 10, summed degree 27.
+///
+/// # Panics
+///
+/// Panics on an empty stage list or invalid `eps`.
+pub fn minimax_sign_composite(odd_terms_per_stage: &[usize], eps: f64) -> Vec<RemezReport> {
+    assert!(!odd_terms_per_stage.is_empty(), "no stages");
+    assert!(0.0 < eps && eps < 1.0, "eps must be in (0,1)");
+    let mut reports = Vec::with_capacity(odd_terms_per_stage.len());
+    let mut lo = eps;
+    let mut hi = 1.0;
+    for &t in odd_terms_per_stage {
+        let rep = minimax_sign(t, lo, hi);
+        // Output range of this stage on [lo, hi] is [1-E, 1+E].
+        lo = 1.0 - rep.error;
+        hi = 1.0 + rep.error;
+        reports.push(rep);
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree3_minimax_equioscillates() {
+        let rep = minimax_sign(2, 0.2, 1.0); // degree 3
+        // Error at the ends and interior extrema should all be ~|E|.
+        let e_lo = (rep.poly.eval(0.2) - 1.0).abs();
+        let e_hi = (rep.poly.eval(1.0) - 1.0).abs();
+        assert!((e_lo - rep.error).abs() < 1e-6, "{e_lo} vs {}", rep.error);
+        assert!((e_hi - rep.error).abs() < 1e-6, "{e_hi} vs {}", rep.error);
+    }
+
+    #[test]
+    fn error_decreases_with_degree() {
+        let e1 = minimax_sign(2, 0.25, 1.0).error;
+        let e2 = minimax_sign(4, 0.25, 1.0).error;
+        let e3 = minimax_sign(6, 0.25, 1.0).error;
+        assert!(e2 < e1, "{e2} !< {e1}");
+        assert!(e3 < e2, "{e3} !< {e2}");
+    }
+
+    #[test]
+    fn minimax_beats_uniform_lsq_in_sup_norm() {
+        use crate::linalg::weighted_lsq_polyfit;
+        let lo = 0.3;
+        let rep = minimax_sign(3, lo, 1.0);
+        let xs: Vec<f64> = (0..400).map(|i| lo + (1.0 - lo) * i as f64 / 399.0).collect();
+        let ys = vec![1.0; xs.len()];
+        let ws = vec![1.0; xs.len()];
+        let lsq = weighted_lsq_polyfit(&xs, &ys, &ws, 5, true).unwrap();
+        let sup_minimax = rep.poly.max_error_on(|_| 1.0, lo, 1.0, 2000);
+        let sup_lsq = lsq.max_error_on(|_| 1.0, lo, 1.0, 2000);
+        assert!(
+            sup_minimax <= sup_lsq + 1e-9,
+            "minimax {sup_minimax} vs lsq {sup_lsq}"
+        );
+    }
+
+    #[test]
+    fn odd_symmetry_gives_sign_on_negative_side() {
+        let rep = minimax_sign(3, 0.1, 1.0);
+        for i in 1..=10 {
+            let x = 0.1 + 0.09 * i as f64;
+            assert!((rep.poly.eval(-x) + rep.poly.eval(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn composite_sharpens_transition() {
+        let comps = minimax_sign_composite(&[4, 4], 0.05);
+        assert_eq!(comps.len(), 2);
+        // Composite error should be far smaller than single stage.
+        let single = minimax_sign(4, 0.05, 1.0);
+        let x = 0.05f64;
+        let composed = comps[1].poly.eval(comps[0].poly.eval(x));
+        let single_v = single.poly.eval(x);
+        assert!(
+            (composed - 1.0).abs() < (single_v - 1.0).abs(),
+            "composite {composed} vs single {single_v}"
+        );
+    }
+
+    #[test]
+    fn paper_comparator_depth_ten_geometry() {
+        // Stages of odd-terms [4,4,7] = degrees [7,7,13], summed 27.
+        let comps = minimax_sign_composite(&[4, 4, 7], 0.02);
+        let degs: Vec<usize> = comps.iter().map(|r| r.poly.degree()).collect();
+        assert_eq!(degs, vec![7, 7, 13]);
+        // Final accuracy: good sign approximation over the domain.
+        let eval = |x: f64| {
+            comps
+                .iter()
+                .fold(x, |acc, r| r.poly.eval(acc))
+        };
+        for &x in &[0.02, 0.1, 0.5, 1.0] {
+            assert!((eval(x) - 1.0).abs() < 1e-3, "x={x} -> {}", eval(x));
+            assert!((eval(-x) + 1.0).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Wall-clock PAF latency under CKKS (the latency axis of Fig. 1 and
+//! the latency columns of Tab. 4).
+
+use smartpaf_ckks::{CkksParams, Evaluator, KeyChain, PafEvaluator};
+use smartpaf_polyfit::{CompositePaf, PafForm};
+use smartpaf_tensor::Rng64;
+use std::time::{Duration, Instant};
+
+/// A latency measurement for one PAF form.
+#[derive(Debug, Clone)]
+pub struct LatencyReport {
+    /// The measured PAF form.
+    pub form: PafForm,
+    /// Median wall-clock time of one PAF-ReLU evaluation over a full
+    /// ciphertext (all slots in parallel).
+    pub relu_latency: Duration,
+    /// CKKS multiplication depth consumed.
+    pub depth: usize,
+    /// Ciphertext-ciphertext multiplication count (analytic).
+    pub ct_mults: usize,
+}
+
+/// A reusable latency measurement rig (context + keys are expensive to
+/// build, so share one across forms).
+pub struct LatencyRig {
+    paf_eval: PafEvaluator,
+    rng: Rng64,
+}
+
+impl LatencyRig {
+    /// Builds a rig with the given CKKS parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter depth cannot fit the deepest PAF
+    /// (depth 10 sign + 1 ReLU multiply).
+    pub fn new(params: &CkksParams, seed: u64) -> Self {
+        assert!(
+            params.depth >= 11,
+            "need depth >= 11 for the 27-degree comparator"
+        );
+        let ctx = params.build();
+        let mut rng = Rng64::new(seed);
+        let keys = KeyChain::generate(&ctx, &mut rng);
+        LatencyRig {
+            paf_eval: PafEvaluator::new(Evaluator::new(&keys)),
+            rng,
+        }
+    }
+
+    /// Access to the underlying PAF evaluator.
+    pub fn paf_evaluator(&self) -> &PafEvaluator {
+        &self.paf_eval
+    }
+
+    /// Measures the median PAF-ReLU latency of `form` over `iters`
+    /// runs (first run is a warm-up generating the per-level relin
+    /// keys, mirroring a deployment where keys exist up front).
+    pub fn measure_relu(&mut self, form: PafForm, iters: usize) -> LatencyReport {
+        let paf = CompositePaf::from_form(form);
+        let slots = self.paf_eval.evaluator().context().slots();
+        let values: Vec<f64> = (0..slots.min(64))
+            .map(|i| (i as f64 / 32.0) - 1.0)
+            .collect();
+        let ct = self
+            .paf_eval
+            .evaluator()
+            .encrypt_values(&values, &mut self.rng);
+        // Warm-up (generates relin keys for every level this PAF uses).
+        let _ = self.paf_eval.relu(&ct, &paf);
+        let mut times: Vec<Duration> = (0..iters.max(1))
+            .map(|_| {
+                let t0 = Instant::now();
+                let out = self.paf_eval.relu(&ct, &paf);
+                let dt = t0.elapsed();
+                std::hint::black_box(out);
+                dt
+            })
+            .collect();
+        times.sort();
+        LatencyReport {
+            form,
+            relu_latency: times[times.len() / 2],
+            depth: PafEvaluator::relu_depth(&paf),
+            ct_mults: paf.ct_mult_count() + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rig() -> LatencyRig {
+        // Toy ring keeps unit tests quick while exercising the full path.
+        LatencyRig::new(&CkksParams::toy(), 7)
+    }
+
+    #[test]
+    fn latency_increases_with_depth() {
+        let mut rig = rig();
+        let cheap = rig.measure_relu(PafForm::F1G2, 3);
+        let rich = rig.measure_relu(PafForm::MinimaxDeg27, 3);
+        assert!(
+            rich.relu_latency > cheap.relu_latency,
+            "27-degree {:?} should be slower than f1g2 {:?}",
+            rich.relu_latency,
+            cheap.relu_latency
+        );
+        assert_eq!(cheap.depth, 6);
+        assert_eq!(rich.depth, 11);
+    }
+
+    #[test]
+    fn report_fields_consistent() {
+        let mut rig = rig();
+        let r = rig.measure_relu(PafForm::Alpha7, 2);
+        assert_eq!(r.form, PafForm::Alpha7);
+        assert!(r.relu_latency.as_nanos() > 0);
+        assert!(r.ct_mults >= r.depth - 1);
+    }
+}

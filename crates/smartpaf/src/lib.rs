@@ -1,0 +1,49 @@
+//! SMART-PAF: the paper's primary contribution.
+//!
+//! Reproduces the framework of *"Accurate Low-Degree Polynomial
+//! Approximation of Non-Polynomial Operators for Fast Private
+//! Inference in Homomorphic Encryption"* (MLSys 2024): the four
+//! training techniques — Coefficient Tuning (CT), Progressive
+//! Approximation (PA), Alternate Training (AT), Dynamic/Static Scaling
+//! (DS/SS) — plus the Fig. 6 scheduler that composes them, the
+//! replacement engine, Pareto-frontier search, and CKKS wall-clock
+//! latency measurement.
+//!
+//! # Example
+//!
+//! ```
+//! use smartpaf::{TechniqueSet, TrainConfig, Workbench};
+//! use smartpaf_datasets::{SynthDataset, SynthSpec};
+//! use smartpaf_nn::mini_cnn;
+//! use smartpaf_polyfit::PafForm;
+//! use smartpaf_tensor::Rng64;
+//!
+//! let spec = SynthSpec::tiny(1);
+//! let dataset = SynthDataset::new(spec);
+//! let mut rng = Rng64::new(1);
+//! let model = mini_cnn(spec.classes, 0.25, &mut rng);
+//! let mut bench = Workbench::new(model, dataset, TrainConfig::test_scale(1), 2);
+//! let result = bench.run_cell(TechniqueSet::smartpaf(), PafForm::F1G2, false);
+//! assert!(result.final_acc >= 0.0);
+//! ```
+
+mod config;
+mod latency;
+mod pareto;
+mod pipeline;
+mod replace;
+mod relu_reduce;
+mod scheduler;
+mod trainer;
+
+pub use config::{TechniqueSet, TrainConfig};
+pub use latency::{LatencyReport, LatencyRig};
+pub use pareto::{pareto_frontier, ParetoPoint};
+pub use pipeline::{ExperimentResult, Workbench};
+pub use relu_reduce::{cull_least_sensitive, deepreduce_combo, relu_sensitivity, replace_survivors, ComboReport};
+pub use replace::{
+    coefficient_tune, coefficient_tune_all, collect_relu_pafs, freeze_scales, num_slots,
+    profile_slot, replace_all, replace_all_with, replace_slot, scale_static_scales,
+};
+pub use scheduler::{EventKind, Scheduler, TrainEvent};
+pub use trainer::{evaluate, pretrain, train_epoch};

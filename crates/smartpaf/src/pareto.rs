@@ -1,0 +1,79 @@
+//! Latency-accuracy Pareto frontier (paper Fig. 1).
+
+/// A candidate operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// Latency in milliseconds (lower is better).
+    pub latency_ms: f64,
+    /// Accuracy in [0, 1] (higher is better).
+    pub accuracy: f64,
+}
+
+/// Returns the indices of the Pareto-optimal points (no other point is
+/// both faster and at least as accurate, or as fast and more
+/// accurate), sorted by latency.
+pub fn pareto_frontier(points: &[ParetoPoint]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by(|&a, &b| {
+        points[a]
+            .latency_ms
+            .partial_cmp(&points[b].latency_ms)
+            .expect("finite latency")
+            .then(
+                points[b]
+                    .accuracy
+                    .partial_cmp(&points[a].accuracy)
+                    .expect("finite accuracy"),
+            )
+    });
+    let mut frontier = Vec::new();
+    let mut best_acc = f64::NEG_INFINITY;
+    for &i in &idx {
+        if points[i].accuracy > best_acc {
+            frontier.push(i);
+            best_acc = points[i].accuracy;
+        }
+    }
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(latency_ms: f64, accuracy: f64) -> ParetoPoint {
+        ParetoPoint {
+            latency_ms,
+            accuracy,
+        }
+    }
+
+    #[test]
+    fn dominated_points_excluded() {
+        let pts = vec![p(1.0, 0.5), p(2.0, 0.4), p(3.0, 0.9)];
+        // (2.0, 0.4) is dominated by (1.0, 0.5).
+        assert_eq!(pareto_frontier(&pts), vec![0, 2]);
+    }
+
+    #[test]
+    fn all_on_frontier_when_tradeoff_monotone() {
+        let pts = vec![p(1.0, 0.3), p(2.0, 0.5), p(3.0, 0.7)];
+        assert_eq!(pareto_frontier(&pts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_point() {
+        assert_eq!(pareto_frontier(&[p(5.0, 0.1)]), vec![0]);
+    }
+
+    #[test]
+    fn equal_latency_keeps_more_accurate() {
+        let pts = vec![p(1.0, 0.4), p(1.0, 0.6)];
+        assert_eq!(pareto_frontier(&pts), vec![1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+}

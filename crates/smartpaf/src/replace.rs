@@ -1,0 +1,289 @@
+//! The replacement engine: swapping non-polynomial slots for PAFs,
+//! Coefficient Tuning, and DS→SS conversion.
+
+use crate::config::TrainConfig;
+use smartpaf_datasets::{Split, SynthDataset};
+use smartpaf_nn::{Mode, Model, ScaleMode, SlotRef};
+use smartpaf_polyfit::{tune_composite, ActivationProfile, CompositePaf, TuneConfig};
+
+/// Number of non-polynomial slots in a model.
+pub fn num_slots(model: &mut Model) -> usize {
+    let mut n = 0;
+    model.visit_slots(&mut |_| n += 1);
+    n
+}
+
+/// Replaces the slot at `position` (inference order) with a PAF in
+/// Dynamic Scaling mode. Returns `true` when a slot was replaced.
+pub fn replace_slot(model: &mut Model, position: usize, paf: &CompositePaf) -> bool {
+    let mut i = 0;
+    let mut done = false;
+    model.visit_slots(&mut |s| {
+        if i == position && !done {
+            match s {
+                SlotRef::Relu(r) => r.replace_with(paf, ScaleMode::Dynamic),
+                SlotRef::MaxPool(p) => p.replace_with(paf, ScaleMode::Dynamic),
+            }
+            done = true;
+        }
+        i += 1;
+    });
+    done
+}
+
+/// Replaces every slot with (a copy of) the same PAF — the "direct
+/// replacement" the paper's baselines use. `relu_only` restricts the
+/// replacement to ReLU slots (Tab. 3's "Replace ReLU" block).
+pub fn replace_all(model: &mut Model, paf: &CompositePaf, relu_only: bool) {
+    model.visit_slots(&mut |s| match s {
+        SlotRef::Relu(r) => r.replace_with(paf, ScaleMode::Dynamic),
+        SlotRef::MaxPool(p) => {
+            if !relu_only {
+                p.replace_with(paf, ScaleMode::Dynamic);
+            }
+        }
+    });
+}
+
+/// Per-slot replacement with per-slot PAFs (used after CT).
+pub fn replace_all_with(model: &mut Model, pafs: &[CompositePaf], relu_only: bool) {
+    let mut i = 0;
+    model.visit_slots(&mut |s| {
+        let paf = &pafs[i % pafs.len()];
+        match s {
+            SlotRef::Relu(r) => r.replace_with(paf, ScaleMode::Dynamic),
+            SlotRef::MaxPool(p) => {
+                if !relu_only {
+                    p.replace_with(paf, ScaleMode::Dynamic);
+                }
+            }
+        }
+        i += 1;
+    });
+}
+
+/// Converts every replaced slot from Dynamic to Static Scaling at its
+/// running max — the DS→SS conversion required for FHE deployment.
+pub fn freeze_scales(model: &mut Model) {
+    model.visit_slots(&mut |s| match s {
+        SlotRef::Relu(r) => {
+            if let Some(p) = r.paf_mut() {
+                p.freeze_scale();
+            }
+        }
+        SlotRef::MaxPool(p) => p.freeze_scale(),
+    });
+}
+
+/// Multiplies every frozen static scale by `factor` — the §4.5
+/// sensitivity experiment: accuracy should peak at `factor = 1.0`
+/// (the running max) and fall off in both directions.
+pub fn scale_static_scales(model: &mut Model, factor: f32) {
+    model.visit_slots(&mut |s| match s {
+        SlotRef::Relu(r) => {
+            if let Some(p) = r.paf_mut() {
+                p.scale_static_by(factor);
+            }
+        }
+        SlotRef::MaxPool(p) => p.scale_static_by(factor),
+    });
+}
+
+/// Collects the (possibly fine-tuned) PAF of every replaced ReLU slot
+/// in inference order — the data behind the App. B coefficient tables.
+pub fn collect_relu_pafs(model: &mut Model) -> Vec<CompositePaf> {
+    let mut out = Vec::new();
+    model.visit_slots(&mut |s| {
+        if let SlotRef::Relu(r) = s {
+            if let Some(p) = r.paf() {
+                out.push(p.to_composite());
+            }
+        }
+    });
+    out
+}
+
+/// Profiles the input distribution of slot `position` by running
+/// validation batches with a probe attached (paper Fig. 3 step 2).
+///
+/// Samples are normalised by their abs-max (the PAF sees `x / s` under
+/// Dynamic Scaling) before histogramming.
+pub fn profile_slot(
+    model: &mut Model,
+    dataset: &SynthDataset,
+    config: &TrainConfig,
+    position: usize,
+) -> ActivationProfile {
+    // Attach probe.
+    let mut i = 0;
+    model.visit_slots(&mut |s| {
+        if i == position {
+            match s {
+                SlotRef::Relu(r) => r.start_probe(),
+                SlotRef::MaxPool(p) => p.start_probe(),
+            }
+        }
+        i += 1;
+    });
+    for b in 0..config.val_batches.max(2) {
+        let (x, _) = dataset.batch(Split::Train, b * config.batch_size, config.batch_size);
+        let _ = model.forward(&x, Mode::Eval);
+    }
+    // Detach and collect.
+    let mut samples = Vec::new();
+    let mut i = 0;
+    model.visit_slots(&mut |s| {
+        if i == position {
+            samples = match s {
+                SlotRef::Relu(r) => r.take_probe(),
+                SlotRef::MaxPool(p) => p.take_probe(),
+            };
+        }
+        i += 1;
+    });
+    let max = samples
+        .iter()
+        .fold(1e-6f32, |m, &v| m.max(v.abs()));
+    for v in &mut samples {
+        *v /= max;
+    }
+    ActivationProfile::from_samples(&samples, 64)
+}
+
+/// Coefficient Tuning for one slot: profile, tune, return the post-CT
+/// PAF (paper §4.2).
+pub fn coefficient_tune(
+    model: &mut Model,
+    dataset: &SynthDataset,
+    config: &TrainConfig,
+    position: usize,
+    base_paf: &CompositePaf,
+) -> CompositePaf {
+    let profile = profile_slot(model, dataset, config, position);
+    let (tuned, _report) = tune_composite(base_paf, &profile, &TuneConfig::default());
+    tuned
+}
+
+/// Coefficient Tuning for every slot (offline, before any training —
+/// the framework applies CT once up front, Fig. 6).
+pub fn coefficient_tune_all(
+    model: &mut Model,
+    dataset: &SynthDataset,
+    config: &TrainConfig,
+    base_paf: &CompositePaf,
+) -> Vec<CompositePaf> {
+    let n = num_slots(model);
+    (0..n)
+        .map(|i| coefficient_tune(model, dataset, config, i, base_paf))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartpaf_datasets::SynthSpec;
+    use smartpaf_nn::mini_cnn;
+    use smartpaf_polyfit::PafForm;
+    use smartpaf_tensor::Rng64;
+
+    fn setup() -> (Model, SynthDataset, TrainConfig) {
+        let spec = SynthSpec::tiny(21);
+        let dataset = SynthDataset::new(spec);
+        let config = TrainConfig::test_scale(21);
+        let mut rng = Rng64::new(21);
+        let model = mini_cnn(spec.classes, 0.25, &mut rng);
+        (model, dataset, config)
+    }
+
+    #[test]
+    fn slot_count_mini_cnn() {
+        let (mut model, ..) = setup();
+        assert_eq!(num_slots(&mut model), 8); // 6 ReLU + 2 MaxPool
+    }
+
+    #[test]
+    fn replace_single_slot() {
+        let (mut model, ..) = setup();
+        let paf = CompositePaf::from_form(PafForm::F1G2);
+        assert!(replace_slot(&mut model, 0, &paf));
+        let mut replaced = 0;
+        model.visit_slots(&mut |s| {
+            if let SlotRef::Relu(r) = s {
+                if r.is_replaced() {
+                    replaced += 1;
+                }
+            }
+        });
+        assert_eq!(replaced, 1);
+        // Out-of-range position replaces nothing.
+        assert!(!replace_slot(&mut model, 99, &paf));
+    }
+
+    #[test]
+    fn replace_all_relu_only() {
+        let (mut model, ..) = setup();
+        let paf = CompositePaf::from_form(PafForm::F1G2);
+        replace_all(&mut model, &paf, true);
+        let mut pools_replaced = 0;
+        let mut relus_replaced = 0;
+        model.visit_slots(&mut |s| match s {
+            SlotRef::Relu(r) => relus_replaced += r.is_replaced() as usize,
+            SlotRef::MaxPool(p) => pools_replaced += p.is_replaced() as usize,
+        });
+        assert_eq!(relus_replaced, 6);
+        assert_eq!(pools_replaced, 0);
+    }
+
+    #[test]
+    fn profile_reflects_activations() {
+        let (mut model, dataset, config) = setup();
+        let profile = profile_slot(&mut model, &dataset, &config, 0);
+        let total: f64 = profile.weights().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Normalised samples must occupy more than one bin.
+        let nonzero = profile.weights().iter().filter(|&&w| w > 0.0).count();
+        assert!(nonzero > 4, "{nonzero} bins");
+    }
+
+    #[test]
+    fn ct_produces_different_coefficients() {
+        let (mut model, dataset, config) = setup();
+        let base = CompositePaf::from_form(PafForm::F1G2);
+        let tuned = coefficient_tune(&mut model, &dataset, &config, 0, &base);
+        assert_ne!(
+            tuned.stages()[0].coeffs(),
+            base.stages()[0].coeffs(),
+            "CT should move the coefficients"
+        );
+    }
+
+    #[test]
+    fn freeze_scales_converts_to_static() {
+        let (mut model, dataset, config) = setup();
+        let paf = CompositePaf::from_form(PafForm::F1G2);
+        replace_all(&mut model, &paf, false);
+        // Run a training-mode forward so running maxima are populated.
+        let (x, _) = dataset.batch(Split::Train, 0, config.batch_size);
+        let _ = model.forward(&x, Mode::Train);
+        freeze_scales(&mut model);
+        model.visit_slots(&mut |s| {
+            if let SlotRef::Relu(r) = s {
+                if let Some(p) = r.paf_mut() {
+                    assert!(matches!(p.scale_mode, ScaleMode::Static(_)));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn collect_pafs_roundtrip() {
+        let (mut model, ..) = setup();
+        let paf = CompositePaf::from_form(PafForm::F2G2);
+        replace_all(&mut model, &paf, true);
+        let collected = collect_relu_pafs(&mut model);
+        assert_eq!(collected.len(), 6);
+        for c in &collected {
+            assert_eq!(c.num_stages(), paf.num_stages());
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! im2col-based 2-D convolution with full gradients.
+//!
+//! Layout convention: activations are `[N, C, H, W]`, weights are
+//! `[O, C, KH, KW]`, biases are `[O]`.
+
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl ConvSpec {
+    /// Creates a square-kernel spec.
+    pub fn new(k: usize, stride: usize, padding: usize) -> Self {
+        assert!(k > 0 && stride > 0, "kernel and stride must be positive");
+        ConvSpec {
+            kh: k,
+            kw: k,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial size for an input of extent `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn out_dim(&self, h: usize, k: usize) -> usize {
+        let padded = h + 2 * self.padding;
+        assert!(padded >= k, "kernel {k} larger than padded input {padded}");
+        (padded - k) / self.stride + 1
+    }
+}
+
+/// Gradients of a convolution with respect to all its inputs.
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient w.r.t. the input activations, `[N, C, H, W]`.
+    pub grad_input: Tensor,
+    /// Gradient w.r.t. the weights, `[O, C, KH, KW]`.
+    pub grad_weight: Tensor,
+    /// Gradient w.r.t. the bias, `[O]`.
+    pub grad_bias: Tensor,
+}
+
+/// Unfolds one sample `[C, H, W]` into a `[C*KH*KW, OH*OW]` matrix.
+///
+/// # Panics
+///
+/// Panics unless the input is 3-D.
+pub fn im2col(input: &Tensor, spec: &ConvSpec) -> Tensor {
+    assert_eq!(input.shape().ndim(), 3, "im2col expects [C,H,W]");
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let oh = spec.out_dim(h, spec.kh);
+    let ow = spec.out_dim(w, spec.kw);
+    let rows = c * spec.kh * spec.kw;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = input.data();
+    let pad = spec.padding as isize;
+    for ci in 0..c {
+        for ki in 0..spec.kh {
+            for kj in 0..spec.kw {
+                let r = (ci * spec.kh + ki) * spec.kw + kj;
+                for oi in 0..oh {
+                    let ii = (oi * spec.stride) as isize + ki as isize - pad;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    for oj in 0..ow {
+                        let jj = (oj * spec.stride) as isize + kj as isize - pad;
+                        if jj < 0 || jj >= w as isize {
+                            continue;
+                        }
+                        out[r * cols + oi * ow + oj] =
+                            data[(ci * h + ii as usize) * w + jj as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Folds a `[C*KH*KW, OH*OW]` matrix back onto a `[C, H, W]` grid,
+/// accumulating overlapping contributions (adjoint of [`im2col`]).
+fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: &ConvSpec) -> Tensor {
+    let oh = spec.out_dim(h, spec.kh);
+    let ow = spec.out_dim(w, spec.kw);
+    let ncols = oh * ow;
+    let mut out = vec![0.0f32; c * h * w];
+    let data = cols.data();
+    let pad = spec.padding as isize;
+    for ci in 0..c {
+        for ki in 0..spec.kh {
+            for kj in 0..spec.kw {
+                let r = (ci * spec.kh + ki) * spec.kw + kj;
+                for oi in 0..oh {
+                    let ii = (oi * spec.stride) as isize + ki as isize - pad;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    for oj in 0..ow {
+                        let jj = (oj * spec.stride) as isize + kj as isize - pad;
+                        if jj < 0 || jj >= w as isize {
+                            continue;
+                        }
+                        out[(ci * h + ii as usize) * w + jj as usize] +=
+                            data[r * ncols + oi * ow + oj];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[c, h, w])
+}
+
+/// Batched 2-D convolution: `[N,C,H,W] * [O,C,KH,KW] + [O] -> [N,O,OH,OW]`.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -> Tensor {
+    assert_eq!(input.shape().ndim(), 4, "conv2d input must be [N,C,H,W]");
+    assert_eq!(weight.shape().ndim(), 4, "conv2d weight must be [O,C,KH,KW]");
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let (o, wc, kh, kw) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    assert_eq!(c, wc, "channel mismatch: input {c}, weight {wc}");
+    assert_eq!((kh, kw), (spec.kh, spec.kw), "kernel/spec mismatch");
+    assert_eq!(bias.numel(), o, "bias length mismatch");
+    let oh = spec.out_dim(h, kh);
+    let ow = spec.out_dim(w, kw);
+    let wmat = weight.reshape(&[o, c * kh * kw]);
+    let mut out = Vec::with_capacity(n * o * oh * ow);
+    for b in 0..n {
+        let sample = input.slice_batch(b);
+        let cols = im2col(&sample, spec);
+        let y = wmat.matmul(&cols); // [O, OH*OW]
+        for oi in 0..o {
+            let bval = bias.data()[oi];
+            out.extend(y.row(oi).iter().map(|&v| v + bval));
+        }
+    }
+    Tensor::from_vec(out, &[n, o, oh, ow])
+}
+
+/// Backward pass of [`conv2d`].
+///
+/// `grad_output` must be `[N, O, OH, OW]` as produced by the forward
+/// pass on the same `input`/`weight`/`spec`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    spec: &ConvSpec,
+) -> Conv2dGrads {
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let (o, _, kh, kw) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    let oh = spec.out_dim(h, kh);
+    let ow = spec.out_dim(w, kw);
+    assert_eq!(
+        grad_output.dims(),
+        &[n, o, oh, ow],
+        "grad_output shape mismatch"
+    );
+
+    let wmat = weight.reshape(&[o, c * kh * kw]);
+    let wmat_t = wmat.transpose2d();
+    let mut grad_w = Tensor::zeros(&[o, c * kh * kw]);
+    let mut grad_b = Tensor::zeros(&[o]);
+    let mut grad_in = Vec::with_capacity(n * c * h * w);
+
+    for b in 0..n {
+        let sample = input.slice_batch(b);
+        let cols = im2col(&sample, spec);
+        let gout = grad_output.slice_batch(b).reshape(&[o, oh * ow]);
+        // dW += dY * cols^T
+        grad_w.add_assign(&gout.matmul(&cols.transpose2d()));
+        // db += row sums of dY
+        for oi in 0..o {
+            grad_b.data_mut()[oi] += gout.row(oi).iter().sum::<f32>();
+        }
+        // dX = col2im(W^T * dY)
+        let gcols = wmat_t.matmul(&gout);
+        let gx = col2im(&gcols, c, h, w, spec);
+        grad_in.extend_from_slice(gx.data());
+    }
+
+    Conv2dGrads {
+        grad_input: Tensor::from_vec(grad_in, &[n, c, h, w]),
+        grad_weight: grad_w.reshape(&[o, c, kh, kw]),
+        grad_bias: grad_b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Rng64;
+
+    #[test]
+    fn identity_kernel_passthrough() {
+        // 1x1 kernel of value 1 reproduces the input.
+        let x = Tensor::arange(9, 1.0, 1.0).reshape(&[1, 1, 3, 3]);
+        let w = Tensor::ones(&[1, 1, 1, 1]);
+        let b = Tensor::zeros(&[1]);
+        let spec = ConvSpec::new(1, 1, 0);
+        let y = conv2d(&x, &w, &b, &spec);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_sum_kernel() {
+        // All-ones 3x3 kernel over a 3x3 input with no padding = sum.
+        let x = Tensor::arange(9, 1.0, 1.0).reshape(&[1, 1, 3, 3]);
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let b = Tensor::full(&[1], 0.5);
+        let spec = ConvSpec::new(3, 1, 0);
+        let y = conv2d(&x, &w, &b, &spec);
+        assert_eq!(y.dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 45.5);
+    }
+
+    #[test]
+    fn padding_preserves_size() {
+        let x = Tensor::ones(&[2, 3, 8, 8]);
+        let w = Tensor::ones(&[4, 3, 3, 3]);
+        let b = Tensor::zeros(&[4]);
+        let spec = ConvSpec::new(3, 1, 1);
+        let y = conv2d(&x, &w, &b, &spec);
+        assert_eq!(y.dims(), &[2, 4, 8, 8]);
+        // Interior output = 3*3*3 = 27 ones.
+        assert_eq!(y.at(&[0, 0, 4, 4]), 27.0);
+        // Corner output sees only a 2x2 window per channel = 12.
+        assert_eq!(y.at(&[0, 0, 0, 0]), 12.0);
+    }
+
+    #[test]
+    fn stride_halves_output() {
+        let x = Tensor::ones(&[1, 1, 8, 8]);
+        let w = Tensor::ones(&[1, 1, 2, 2]);
+        let b = Tensor::zeros(&[1]);
+        let spec = ConvSpec {
+            kh: 2,
+            kw: 2,
+            stride: 2,
+            padding: 0,
+        };
+        let y = conv2d(&x, &w, &b, &spec);
+        assert_eq!(y.dims(), &[1, 1, 4, 4]);
+    }
+
+    /// Finite-difference check of all three conv gradients.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Rng64::new(11);
+        let x = Tensor::rand_normal(&[2, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let w = Tensor::rand_normal(&[3, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let b = Tensor::rand_normal(&[3], 0.0, 0.5, &mut rng);
+        let spec = ConvSpec::new(3, 1, 1);
+
+        // Loss = sum(conv(x)) so dL/dY = 1.
+        let y = conv2d(&x, &w, &b, &spec);
+        let gout = Tensor::ones(y.dims());
+        let grads = conv2d_backward(&x, &w, &gout, &spec);
+
+        let eps = 1e-2f32;
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| conv2d(x, w, b, &spec).sum();
+
+        // Check a scattering of coordinates in each gradient.
+        for &i in &[0usize, 17, 49, 99] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps);
+            let an = grads.grad_input.data()[i];
+            assert!((fd - an).abs() < 0.05, "dX[{i}]: fd {fd} vs an {an}");
+        }
+        for &i in &[0usize, 10, 25, 53] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let fd = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
+            let an = grads.grad_weight.data()[i];
+            assert!((fd - an).abs() < 0.05, "dW[{i}]: fd {fd} vs an {an}");
+        }
+        for i in 0..3 {
+            let mut bp = b.clone();
+            bp.data_mut()[i] += eps;
+            let mut bm = b.clone();
+            bm.data_mut()[i] -= eps;
+            let fd = (loss(&x, &w, &bp) - loss(&x, &w, &bm)) / (2.0 * eps);
+            let an = grads.grad_bias.data()[i];
+            assert!((fd - an).abs() < 0.05, "dB[{i}]: fd {fd} vs an {an}");
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> : the two ops are adjoint.
+        let mut rng = Rng64::new(3);
+        let x = Tensor::rand_normal(&[2, 6, 6], 0.0, 1.0, &mut rng);
+        let spec = ConvSpec::new(3, 2, 1);
+        let cols = im2col(&x, &spec);
+        let y = Tensor::rand_normal(cols.dims(), 0.0, 1.0, &mut rng);
+        let lhs = cols.dot(&y);
+        let folded = col2im(&y, 2, 6, 6, &spec);
+        let rhs = x.dot(&folded);
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

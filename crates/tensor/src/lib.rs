@@ -1,0 +1,41 @@
+//! Dense `f32` tensor substrate for the SMART-PAF reproduction.
+//!
+//! This crate provides the minimal numerical kernel the rest of the
+//! workspace builds on: a contiguous row-major [`Tensor`], elementwise
+//! and linear-algebra operations, im2col-based 2-D convolution with
+//! gradients, pooling with gradients, and deterministic random
+//! initialisation.
+//!
+//! Everything is `f32` and single-threaded by design: the SMART-PAF
+//! experiments care about *relative* accuracy/latency relations and
+//! deterministic reproducibility, not peak FLOPs.
+//!
+//! # Example
+//!
+//! ```
+//! use smartpaf_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+mod conv;
+mod init;
+mod ops;
+mod pool;
+mod shape;
+mod tensor;
+
+pub use conv::{conv2d, conv2d_backward, im2col, Conv2dGrads, ConvSpec};
+pub use init::Rng64;
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
+    max_pool2d_backward, MaxPoolIndices, PoolSpec,
+};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+#[cfg(test)]
+mod proptests;

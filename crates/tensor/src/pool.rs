@@ -1,0 +1,298 @@
+//! Pooling operators with gradients.
+//!
+//! MaxPooling is one of the two non-polynomial operators SMART-PAF
+//! replaces, so the plaintext reference implementation here is the
+//! ground truth every PAF-based Max approximation is compared against.
+
+use crate::tensor::Tensor;
+
+/// Geometry of a pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSpec {
+    /// Window size (square).
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl PoolSpec {
+    /// Creates a pooling spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `stride` is zero.
+    pub fn new(k: usize, stride: usize) -> Self {
+        assert!(k > 0 && stride > 0, "pool window and stride must be positive");
+        PoolSpec { k, stride }
+    }
+
+    fn out_dim(&self, h: usize) -> usize {
+        assert!(h >= self.k, "pool window {} larger than input {h}", self.k);
+        (h - self.k) / self.stride + 1
+    }
+}
+
+/// Flat indices of the winners of a max-pool, needed for the backward
+/// pass.
+#[derive(Debug, Clone)]
+pub struct MaxPoolIndices {
+    indices: Vec<usize>,
+    input_dims: Vec<usize>,
+}
+
+/// Max pooling over `[N, C, H, W]`.
+///
+/// Returns the pooled tensor and the winner indices for
+/// [`max_pool2d_backward`].
+///
+/// # Panics
+///
+/// Panics unless the input is 4-D and the window fits.
+pub fn max_pool2d(input: &Tensor, spec: &PoolSpec) -> (Tensor, MaxPoolIndices) {
+    assert_eq!(input.shape().ndim(), 4, "max_pool2d input must be [N,C,H,W]");
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let oh = spec.out_dim(h);
+    let ow = spec.out_dim(w);
+    let mut out = Vec::with_capacity(n * c * oh * ow);
+    let mut idx = Vec::with_capacity(n * c * oh * ow);
+    let data = input.data();
+    for b in 0..n {
+        for ci in 0..c {
+            let base = (b * c + ci) * h * w;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_at = 0;
+                    for ki in 0..spec.k {
+                        for kj in 0..spec.k {
+                            let p = base + (oi * spec.stride + ki) * w + oj * spec.stride + kj;
+                            if data[p] > best {
+                                best = data[p];
+                                best_at = p;
+                            }
+                        }
+                    }
+                    out.push(best);
+                    idx.push(best_at);
+                }
+            }
+        }
+    }
+    (
+        Tensor::from_vec(out, &[n, c, oh, ow]),
+        MaxPoolIndices {
+            indices: idx,
+            input_dims: input.dims().to_vec(),
+        },
+    )
+}
+
+/// Backward pass of [`max_pool2d`]: routes each output gradient to the
+/// window winner.
+///
+/// # Panics
+///
+/// Panics if `grad_output` has a different element count than the
+/// forward output.
+pub fn max_pool2d_backward(grad_output: &Tensor, indices: &MaxPoolIndices) -> Tensor {
+    assert_eq!(
+        grad_output.numel(),
+        indices.indices.len(),
+        "grad_output size mismatch"
+    );
+    let mut grad_in = Tensor::zeros(&indices.input_dims);
+    for (g, &p) in grad_output.data().iter().zip(&indices.indices) {
+        grad_in.data_mut()[p] += g;
+    }
+    grad_in
+}
+
+/// Average pooling over `[N, C, H, W]`.
+///
+/// # Panics
+///
+/// Panics unless the input is 4-D and the window fits.
+pub fn avg_pool2d(input: &Tensor, spec: &PoolSpec) -> Tensor {
+    assert_eq!(input.shape().ndim(), 4, "avg_pool2d input must be [N,C,H,W]");
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let oh = spec.out_dim(h);
+    let ow = spec.out_dim(w);
+    let inv = 1.0 / (spec.k * spec.k) as f32;
+    let mut out = Vec::with_capacity(n * c * oh * ow);
+    let data = input.data();
+    for b in 0..n {
+        for ci in 0..c {
+            let base = (b * c + ci) * h * w;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut s = 0.0;
+                    for ki in 0..spec.k {
+                        for kj in 0..spec.k {
+                            s += data[base + (oi * spec.stride + ki) * w + oj * spec.stride + kj];
+                        }
+                    }
+                    out.push(s * inv);
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
+/// Backward pass of [`avg_pool2d`], spreading gradients uniformly over
+/// each window.
+pub fn avg_pool2d_backward(grad_output: &Tensor, input_dims: &[usize], spec: &PoolSpec) -> Tensor {
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let oh = spec.out_dim(h);
+    let ow = spec.out_dim(w);
+    assert_eq!(grad_output.dims(), &[n, c, oh, ow], "grad_output mismatch");
+    let inv = 1.0 / (spec.k * spec.k) as f32;
+    let mut grad_in = Tensor::zeros(input_dims);
+    let g = grad_output.data();
+    for b in 0..n {
+        for ci in 0..c {
+            let base = (b * c + ci) * h * w;
+            let obase = (b * c + ci) * oh * ow;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let gv = g[obase + oi * ow + oj] * inv;
+                    for ki in 0..spec.k {
+                        for kj in 0..spec.k {
+                            grad_in.data_mut()
+                                [base + (oi * spec.stride + ki) * w + oj * spec.stride + kj] += gv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    grad_in
+}
+
+/// Global average pool: `[N, C, H, W] -> [N, C]`.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    assert_eq!(input.shape().ndim(), 4, "global_avg_pool input must be 4-D");
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let inv = 1.0 / (h * w) as f32;
+    let mut out = Vec::with_capacity(n * c);
+    for b in 0..n {
+        for ci in 0..c {
+            let base = (b * c + ci) * h * w;
+            out.push(input.data()[base..base + h * w].iter().sum::<f32>() * inv);
+        }
+    }
+    Tensor::from_vec(out, &[n, c])
+}
+
+/// Backward pass of [`global_avg_pool`].
+pub fn global_avg_pool_backward(grad_output: &Tensor, input_dims: &[usize]) -> Tensor {
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    assert_eq!(grad_output.dims(), &[n, c], "grad_output mismatch");
+    let inv = 1.0 / (h * w) as f32;
+    let mut grad_in = Tensor::zeros(input_dims);
+    for b in 0..n {
+        for ci in 0..c {
+            let gv = grad_output.data()[b * c + ci] * inv;
+            let base = (b * c + ci) * h * w;
+            for p in 0..h * w {
+                grad_in.data_mut()[base + p] = gv;
+            }
+        }
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Rng64;
+
+    #[test]
+    fn maxpool_known_values() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 3.0, //
+                4.0, 0.0, 1.0, 2.0, //
+                7.0, 1.0, 0.0, 0.0, //
+                2.0, 3.0, 4.0, 9.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let (y, _) = max_pool2d(&x, &PoolSpec::new(2, 2));
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_winner() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let (_, idx) = max_pool2d(&x, &PoolSpec::new(2, 2));
+        let g = Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]);
+        let gx = max_pool2d_backward(&g, &idx);
+        assert_eq!(gx.data(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn avgpool_known_values() {
+        let x = Tensor::arange(16, 0.0, 1.0).reshape(&[1, 1, 4, 4]);
+        let y = avg_pool2d(&x, &PoolSpec::new(2, 2));
+        assert_eq!(y.data(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn avgpool_backward_finite_difference() {
+        let mut rng = Rng64::new(21);
+        let x = Tensor::rand_normal(&[1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let spec = PoolSpec::new(2, 2);
+        let y = avg_pool2d(&x, &spec);
+        let gout = Tensor::ones(y.dims());
+        let gx = avg_pool2d_backward(&gout, x.dims(), &spec);
+        let eps = 1e-2;
+        for &i in &[0usize, 7, 15, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (avg_pool2d(&xp, &spec).sum() - avg_pool2d(&xm, &spec).sum()) / (2.0 * eps);
+            assert!((fd - gx.data()[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn global_avg_matches_mean() {
+        let x = Tensor::arange(8, 1.0, 1.0).reshape(&[1, 2, 2, 2]);
+        let y = global_avg_pool(&x);
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.data(), &[2.5, 6.5]);
+    }
+
+    #[test]
+    fn global_avg_backward_uniform() {
+        let g = Tensor::from_vec(vec![4.0, 8.0], &[1, 2]);
+        let gx = global_avg_pool_backward(&g, &[1, 2, 2, 2]);
+        assert_eq!(gx.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn overlapping_maxpool_stride_one() {
+        let x = Tensor::from_vec(vec![1.0, 5.0, 2.0, 3.0, 4.0, 0.0, 6.0, 1.0, 2.0], &[1, 1, 3, 3]);
+        let (y, _) = max_pool2d(&x, &PoolSpec::new(2, 1));
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[5.0, 5.0, 6.0, 4.0]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for core tensor invariants.
+
+use crate::conv::{conv2d, conv2d_backward, ConvSpec};
+use crate::init::Rng64;
+use crate::pool::{avg_pool2d, max_pool2d, max_pool2d_backward, PoolSpec};
+use crate::tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    /// add is commutative.
+    #[test]
+    fn add_commutative(a in small_vec(24), b in small_vec(24)) {
+        let ta = Tensor::from_vec(a, &[4, 6]);
+        let tb = Tensor::from_vec(b, &[4, 6]);
+        prop_assert_eq!(ta.add(&tb), tb.add(&ta));
+    }
+
+    /// (a - b) + b == a up to float rounding.
+    #[test]
+    fn sub_add_roundtrip(a in small_vec(12), b in small_vec(12)) {
+        let ta = Tensor::from_vec(a, &[12]);
+        let tb = Tensor::from_vec(b, &[12]);
+        let r = ta.sub(&tb).add(&tb);
+        for (x, y) in r.data().iter().zip(ta.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// matmul distributes over addition: A(B+C) = AB + AC.
+    #[test]
+    fn matmul_distributive(a in small_vec(6), b in small_vec(6), c in small_vec(6)) {
+        let ta = Tensor::from_vec(a, &[2, 3]);
+        let tb = Tensor::from_vec(b, &[3, 2]);
+        let tc = Tensor::from_vec(c, &[3, 2]);
+        let lhs = ta.matmul(&tb.add(&tc));
+        let rhs = ta.matmul(&tb).add(&ta.matmul(&tc));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// (AB)^T == B^T A^T.
+    #[test]
+    fn matmul_transpose_law(a in small_vec(6), b in small_vec(6)) {
+        let ta = Tensor::from_vec(a, &[2, 3]);
+        let tb = Tensor::from_vec(b, &[3, 2]);
+        let lhs = ta.matmul(&tb).transpose2d();
+        let rhs = tb.transpose2d().matmul(&ta.transpose2d());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// max pooling output is >= average pooling output elementwise.
+    #[test]
+    fn maxpool_dominates_avgpool(v in small_vec(32)) {
+        let x = Tensor::from_vec(v, &[1, 2, 4, 4]);
+        let spec = PoolSpec::new(2, 2);
+        let (mx, _) = max_pool2d(&x, &spec);
+        let av = avg_pool2d(&x, &spec);
+        for (m, a) in mx.data().iter().zip(av.data()) {
+            prop_assert!(m >= a);
+        }
+    }
+
+    /// maxpool backward conserves total gradient mass.
+    #[test]
+    fn maxpool_backward_mass(v in small_vec(32), g in small_vec(8)) {
+        let x = Tensor::from_vec(v, &[1, 2, 4, 4]);
+        let (_, idx) = max_pool2d(&x, &PoolSpec::new(2, 2));
+        let gout = Tensor::from_vec(g, &[1, 2, 2, 2]);
+        let gin = max_pool2d_backward(&gout, &idx);
+        prop_assert!((gin.sum() - gout.sum()).abs() < 1e-3);
+    }
+
+    /// conv2d is linear in the input: conv(ax) == a * conv(x) (zero bias).
+    #[test]
+    fn conv_linear_in_input(v in small_vec(32), alpha in -3.0f32..3.0) {
+        let x = Tensor::from_vec(v, &[1, 2, 4, 4]);
+        let mut rng = Rng64::new(99);
+        let w = Tensor::rand_normal(&[2, 2, 3, 3], 0.0, 1.0, &mut rng);
+        let b = Tensor::zeros(&[2]);
+        let spec = ConvSpec::new(3, 1, 1);
+        let lhs = conv2d(&x.scale(alpha), &w, &b, &spec);
+        let rhs = conv2d(&x, &w, &b, &spec).scale(alpha);
+        for (p, q) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((p - q).abs() < 1e-2);
+        }
+    }
+
+    /// Weight gradient is linear in grad_output.
+    #[test]
+    fn conv_backward_linear(v in small_vec(32)) {
+        let x = Tensor::from_vec(v, &[1, 2, 4, 4]);
+        let mut rng = Rng64::new(7);
+        let w = Tensor::rand_normal(&[2, 2, 3, 3], 0.0, 1.0, &mut rng);
+        let spec = ConvSpec::new(3, 1, 1);
+        let g1 = Tensor::ones(&[1, 2, 4, 4]);
+        let g2 = g1.scale(2.0);
+        let d1 = conv2d_backward(&x, &w, &g1, &spec);
+        let d2 = conv2d_backward(&x, &w, &g2, &spec);
+        for (p, q) in d2.grad_weight.data().iter().zip(d1.grad_weight.data()) {
+            prop_assert!((p - 2.0 * q).abs() < 1e-2);
+        }
+    }
+
+    /// reshape preserves data and sum.
+    #[test]
+    fn reshape_preserves_sum(v in small_vec(24)) {
+        let t = Tensor::from_vec(v, &[2, 3, 4]);
+        let r = t.reshape(&[6, 4]);
+        prop_assert_eq!(t.data(), r.data());
+    }
+}

@@ -1,0 +1,6 @@
+//! Shared helpers for the SMART-PAF examples.
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}

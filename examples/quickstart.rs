@@ -1,0 +1,62 @@
+//! Quickstart: approximate ReLU with a low-degree PAF, evaluate it
+//! both in plaintext and under CKKS encryption, and compare.
+//!
+//! Run with: `cargo run -p smartpaf-examples --release --bin quickstart`
+
+use smartpaf_ckks::{CkksParams, Evaluator, KeyChain, PafEvaluator};
+use smartpaf_polyfit::{CompositePaf, PafForm};
+use smartpaf_tensor::Rng64;
+
+fn main() {
+    println!("SMART-PAF quickstart: PAF-ReLU in plaintext and under CKKS\n");
+
+    // 1. Build the paper's sweet-spot 14-degree PAF (f1^2 ∘ g1^2).
+    let paf = CompositePaf::from_form(PafForm::F1SqG1Sq);
+    println!(
+        "PAF {}: multiplication depth {}, sum degree {}",
+        paf,
+        paf.mult_depth(),
+        paf.sum_degree()
+    );
+
+    // 2. Plaintext sanity: relu(x) ~ (x + x*paf(x))/2.
+    println!("\n{:>8} {:>12} {:>12} {:>12}", "x", "exact", "paf", "error");
+    for &x in &[-0.9, -0.5, -0.1, 0.1, 0.5, 0.9] {
+        let exact = f64::max(x, 0.0);
+        let approx = paf.relu(x);
+        println!(
+            "{x:>8.2} {exact:>12.6} {approx:>12.6} {:>12.2e}",
+            (approx - exact).abs()
+        );
+    }
+
+    // 3. Encrypted evaluation: same computation on CKKS ciphertexts.
+    println!("\nBuilding CKKS context (N = 4096, depth 12)...");
+    let ctx = CkksParams::default_params().build();
+    let mut rng = Rng64::new(2024);
+    let keys = KeyChain::generate(&ctx, &mut rng);
+    let pe = PafEvaluator::new(Evaluator::new(&keys));
+
+    let inputs = vec![-0.9, -0.5, -0.1, 0.1, 0.5, 0.9];
+    let ct = pe.evaluator().encrypt_values(&inputs, &mut rng);
+    println!(
+        "fresh ciphertext: {} limbs, scale 2^{:.0}",
+        ct.num_limbs(),
+        ct.scale.log2()
+    );
+
+    let t0 = std::time::Instant::now();
+    let relu_ct = pe.relu(&ct, &paf);
+    let elapsed = t0.elapsed();
+    let out = pe.evaluator().decrypt_values(&relu_ct, inputs.len());
+
+    println!(
+        "encrypted PAF-ReLU took {elapsed:?} (depth consumed: {})",
+        ct.level() - relu_ct.level()
+    );
+    println!("\n{:>8} {:>12} {:>14}", "x", "plain paf", "encrypted paf");
+    for (x, enc) in inputs.iter().zip(&out) {
+        println!("{x:>8.2} {:>12.6} {enc:>14.6}", paf.relu(*x));
+    }
+    println!("\nDone. The encrypted results match the plaintext PAF up to CKKS noise.");
+}

@@ -1,0 +1,43 @@
+//! The SMART-PAF framework end to end: pretrain a CNN, replace its
+//! non-polynomial operators with a low-degree PAF, and recover the
+//! accuracy with CT + PA + AT + DS/SS.
+//!
+//! Run with: `cargo run -p smartpaf-examples --release --bin smartpaf_training`
+
+use smartpaf::{TechniqueSet, TrainConfig, Workbench};
+use smartpaf_datasets::{SynthDataset, SynthSpec};
+use smartpaf_nn::mini_cnn;
+use smartpaf_polyfit::PafForm;
+use smartpaf_tensor::Rng64;
+
+fn main() {
+    println!("SMART-PAF training demo (MiniCNN on the synthetic CIFAR-like task)\n");
+    let spec = SynthSpec::tiny(5);
+    let dataset = SynthDataset::new(spec);
+    let config = TrainConfig::harness_scale(5);
+    let mut rng = Rng64::new(5);
+    let model = mini_cnn(spec.classes, 0.25, &mut rng);
+
+    println!("pretraining the exact model...");
+    let mut bench = Workbench::new(model, dataset, config, 10);
+    println!("original accuracy: {:.1}%\n", bench.original_acc() * 100.0);
+
+    let form = PafForm::F1G2; // cheapest, most accuracy-hostile PAF
+    println!("replacing ALL non-polynomial operators with {form}\n");
+
+    for (name, techniques) in [
+        ("prior work (baseline + SS)", TechniqueSet::baseline_ss()),
+        ("baseline + DS", TechniqueSet::baseline_ds()),
+        ("SMART-PAF (CT+PA+AT+SS)", TechniqueSet::smartpaf()),
+    ] {
+        let r = bench.run_cell(techniques, form, false);
+        println!(
+            "{name:<28} post-replacement {:>5.1}%   final {:>5.1}%",
+            r.post_replacement_acc * 100.0,
+            r.final_acc * 100.0
+        );
+    }
+
+    println!("\nThe SMART-PAF row should recover most of the replacement damage;");
+    println!("the prior-work static-scale row shows why DS-during-training matters.");
+}

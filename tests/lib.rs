@@ -1,0 +1,24 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use smartpaf::{TrainConfig, Workbench};
+use smartpaf_datasets::{SynthDataset, SynthSpec};
+use smartpaf_nn::mini_cnn;
+use smartpaf_tensor::Rng64;
+
+/// A small pretrained MiniCNN workbench for end-to-end tests.
+///
+/// Pretraining runs to (near) convergence: the paper's claims are
+/// about replacing operators in *trained* networks, and an under-fit
+/// model can be accidentally improved by the PAF's smoothing.
+pub fn mini_workbench(seed: u64) -> Workbench {
+    let spec = SynthSpec::tiny(seed);
+    let dataset = SynthDataset::new(spec);
+    let config = TrainConfig {
+        batches_per_epoch: 6,
+        val_batches: 4,
+        ..TrainConfig::test_scale(seed)
+    };
+    let mut rng = Rng64::new(seed);
+    let model = mini_cnn(spec.classes, 0.25, &mut rng);
+    Workbench::new(model, dataset, config, 12)
+}

@@ -1,0 +1,68 @@
+//! Integration: paper-published constants and structural facts that
+//! must hold across crates.
+
+use smartpaf_ckks::CkksParams;
+use smartpaf_nn::{resnet18, vgg19, OptimConfig};
+use smartpaf_polyfit::{paper_coeffs, CompositePaf, PafForm};
+use smartpaf_tensor::Rng64;
+
+#[test]
+fn model_nonpoly_counts_match_paper_section_5_1() {
+    let mut rng = Rng64::new(1);
+    let mut vgg = vgg19(10, 0.0625, &mut rng);
+    assert_eq!(vgg.slot_counts(), (18, 5), "VGG-19: 18 ReLU + 5 MaxPool");
+    let mut resnet = resnet18(10, 0.0625, &mut rng);
+    assert_eq!(resnet.slot_counts(), (17, 1), "ResNet-18: 17 ReLU + 1 MaxPool");
+}
+
+#[test]
+fn tab2_depth_row() {
+    let expected = [
+        (PafForm::MinimaxDeg27, 10),
+        (PafForm::F1SqG1Sq, 8),
+        (PafForm::Alpha7, 6),
+        (PafForm::F2G3, 6),
+        (PafForm::F2G2, 6),
+        (PafForm::F1G2, 5),
+    ];
+    for (form, depth) in expected {
+        assert_eq!(
+            CompositePaf::from_form(form).mult_depth(),
+            depth,
+            "{form} depth"
+        );
+    }
+}
+
+#[test]
+fn tab5_hyperparameters() {
+    let cfg = OptimConfig::paper_tab5();
+    assert_eq!(cfg.paf.lr, 1e-4);
+    assert_eq!(cfg.other.lr, 1e-5);
+    assert_eq!(cfg.paf.weight_decay, 0.01);
+    assert_eq!(cfg.other.weight_decay, 0.1);
+}
+
+#[test]
+fn appendix_tables_cover_all_resnet_relus() {
+    assert_eq!(paper_coeffs::RESNET18_RELU_LAYERS, 17);
+    assert_eq!(paper_coeffs::F1G2_BEST.len(), 17);
+    assert_eq!(paper_coeffs::F1SQ_G1SQ_BEST.len(), 17);
+    assert_eq!(paper_coeffs::F2G3_BEST.len(), 17);
+    assert_eq!(paper_coeffs::F2G2_BEST.len(), 17);
+}
+
+#[test]
+fn paper_ckks_parameters_magnitude() {
+    // Paper: SEAL CKKS with degree 32768 and 881 modulus bits.
+    let p = CkksParams::paper_scale();
+    assert_eq!(p.n, 32768);
+    assert!((860..=900).contains(&p.modulus_bits()));
+}
+
+#[test]
+fn comparator_sum_degree_is_27() {
+    let paf = CompositePaf::from_form(PafForm::MinimaxDeg27);
+    assert_eq!(paf.sum_degree(), 27);
+    assert_eq!(paf.mult_depth(), 10);
+}
