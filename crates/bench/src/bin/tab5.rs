@@ -5,8 +5,8 @@ use smartpaf_nn::OptimConfig;
 fn main() {
     let cfg = OptimConfig::paper_tab5();
     println!("Tab. 5 — baseline training hyperparameters");
-    println!("{:<34} {}", "Replaced layer", "ReLU & MaxPooling");
-    println!("{:<34} {}", "Optimizer", "Adam");
+    println!("{:<34} ReLU & MaxPooling", "Replaced layer");
+    println!("{:<34} Adam", "Optimizer");
     println!("{:<34} {:e}", "learning rate for PAF", cfg.paf.lr);
     println!("{:<34} {:e}", "learning rate for other layers", cfg.other.lr);
     println!("{:<34} {}", "Weight decay for PAF", cfg.paf.weight_decay);
@@ -14,6 +14,6 @@ fn main() {
         "{:<34} {}",
         "Weight decay for other layers", cfg.other.weight_decay
     );
-    println!("{:<34} {}", "BatchNorm Tracking", "False");
-    println!("{:<34} {}", "Dropout", "False");
+    println!("{:<34} False", "BatchNorm Tracking");
+    println!("{:<34} False", "Dropout");
 }

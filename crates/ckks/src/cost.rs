@@ -189,7 +189,7 @@ mod tests {
             let paf = CompositePaf::from_form(form);
             let c = relu_op_counts(&params, &paf);
             assert!(
-                c.rescales >= paf.mult_depth() + 1,
+                c.rescales > paf.mult_depth(),
                 "{form}: {} rescales",
                 c.rescales
             );

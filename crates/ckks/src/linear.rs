@@ -165,7 +165,7 @@ impl DiagMatrix {
 /// Panics unless `v.len()` divides `slots`.
 pub fn replicate(v: &[f64], slots: usize) -> Vec<f64> {
     assert!(
-        !v.is_empty() && slots % v.len() == 0,
+        !v.is_empty() && slots.is_multiple_of(v.len()),
         "vector length {} must divide slot count {slots}",
         v.len()
     );
@@ -189,7 +189,7 @@ impl Evaluator {
     }
 
     /// Matrix–vector product by the naive diagonal method: one rotation
-    /// + one plaintext multiply per nonzero diagonal. Consumes one
+    /// and one plaintext multiply per nonzero diagonal. Consumes one
     /// level.
     ///
     /// # Panics
@@ -197,7 +197,7 @@ impl Evaluator {
     /// Panics unless `mat.dim()` divides the slot count.
     pub fn matvec(&self, mat: &DiagMatrix, ct: &Ciphertext) -> Ciphertext {
         let slots = self.context().slots();
-        assert!(slots % mat.dim() == 0, "matrix dim must divide slots");
+        assert!(slots.is_multiple_of(mat.dim()), "matrix dim must divide slots");
         let mut acc: Option<Ciphertext> = None;
         for (&d, diag) in &mat.diags {
             let rot = self.rotate(ct, d as i64);
@@ -236,7 +236,7 @@ impl Evaluator {
     pub fn matvec_bsgs(&self, mat: &DiagMatrix, ct: &Ciphertext) -> Ciphertext {
         let slots = self.context().slots();
         let m = mat.dim();
-        assert!(slots % m == 0, "matrix dim must divide slots");
+        assert!(slots.is_multiple_of(m), "matrix dim must divide slots");
         if mat.diags.is_empty() {
             return self.matvec(mat, ct); // zero path
         }
@@ -310,7 +310,7 @@ impl Evaluator {
     /// Panics unless `m` is a power of two dividing the slot count.
     pub fn sum_replicated(&self, ct: &Ciphertext, m: usize) -> Ciphertext {
         assert!(m.is_power_of_two(), "m must be a power of two");
-        assert!(self.context().slots() % m == 0, "m must divide slots");
+        assert!(self.context().slots().is_multiple_of(m), "m must divide slots");
         let mut acc = ct.clone();
         let mut step = 1usize;
         while step < m {
@@ -365,7 +365,7 @@ mod tests {
     }
 
     fn random_vec(m: usize, rng: &mut Rng64) -> Vec<f64> {
-        (0..m).map(|_| (rng.next_f32() as f64 - 0.5)).collect()
+        (0..m).map(|_| rng.next_f32() as f64 - 0.5).collect()
     }
 
     #[test]

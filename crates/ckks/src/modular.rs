@@ -47,7 +47,7 @@ pub fn pow_mod(mut base: u64, mut exp: u64, q: u64) -> u64 {
 ///
 /// Panics if `a == 0`.
 pub fn inv_mod(a: u64, q: u64) -> u64 {
-    assert!(a % q != 0, "inverse of zero");
+    assert!(!a.is_multiple_of(q), "inverse of zero");
     pow_mod(a, q - 2, q)
 }
 
@@ -60,13 +60,13 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut r = 0;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -121,7 +121,7 @@ pub fn ntt_primes(bits: u32, count: usize, n: usize) -> Vec<u64> {
 /// Panics if no such root exists (i.e. `q` is not NTT-friendly).
 pub fn primitive_root_2n(q: u64, n: usize) -> u64 {
     let m = 2 * n as u64;
-    assert!((q - 1) % m == 0, "q not ≡ 1 mod 2n");
+    assert!((q - 1).is_multiple_of(m), "q not ≡ 1 mod 2n");
     // Find a generator-ish element by trying small candidates: g is a
     // primitive 2n-th root iff g^(n) == -1 where g = c^((q-1)/2n).
     for c in 2u64.. {

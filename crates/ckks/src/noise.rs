@@ -110,7 +110,7 @@ impl Bootstrapper {
         self.refreshes.fetch_add(1, Ordering::Relaxed);
         let values = self.ev.decrypt_values(ct, self.slots_in_use);
         let mut rng = self.rng.lock().expect("poisoned");
-        if self.ev.context().slots() % self.slots_in_use == 0 {
+        if self.ev.context().slots().is_multiple_of(self.slots_in_use) {
             self.ev.encrypt_replicated(&values, &mut rng)
         } else {
             self.ev.encrypt_values(&values, &mut rng)

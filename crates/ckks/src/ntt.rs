@@ -121,12 +121,12 @@ impl NttTable {
         let n = self.n;
         let q = self.q;
         let mut out = vec![0u64; n];
-        for i in 0..n {
-            if a[i] == 0 {
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
                 continue;
             }
-            for j in 0..n {
-                let prod = mul_mod(a[i], b[j], q);
+            for (j, &bj) in b.iter().enumerate() {
+                let prod = mul_mod(ai, bj, q);
                 let k = i + j;
                 if k < n {
                     out[k] = add_mod(out[k], prod, q);

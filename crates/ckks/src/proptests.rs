@@ -99,7 +99,6 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let ev = shared();
-        let slots = ev.context().slots();
         let mut rng = Rng64::new(seed);
         let ct = ev.encrypt_replicated(&vals, &mut rng);
         let rot = ev.rotate(&ct, steps as i64);

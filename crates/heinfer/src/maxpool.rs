@@ -29,7 +29,7 @@ pub fn pool_taps(
     let (c, h, w) = (shape[0], shape[1], shape[2]);
     assert!(k >= 1 && stride >= 1, "degenerate pool spec");
     assert!(
-        h >= k && (h - k) % stride == 0 && w >= k && (w - k) % stride == 0,
+        h >= k && (h - k).is_multiple_of(stride) && w >= k && (w - k).is_multiple_of(stride),
         "pool window must tile the input exactly ({h}x{w}, k={k}, stride={stride})"
     );
     let ho = (h - k) / stride + 1;
@@ -128,7 +128,7 @@ mod tests {
         let x: Vec<f64> = (0..9).map(|i| i as f64).collect();
         let mut padded = x.clone();
         padded.resize(16, 0.0);
-        let mut folded = vec![f64::NEG_INFINITY; 16];
+        let mut folded = [f64::NEG_INFINITY; 16];
         for tap in &taps {
             let sel = tap.apply_plain(&padded);
             for (f, s) in folded.iter_mut().zip(&sel) {

@@ -22,7 +22,7 @@ proptest! {
             .affine(Linear::new(6, 5, &mut rng))
             .affine(Linear::new(5, 4, &mut rng))
             .compile();
-        let zero = pipe.eval_plain(&vec![0.0; 6]);
+        let zero = pipe.eval_plain(&[0.0; 6]);
         let fx = pipe.eval_plain(&x);
         let fy = pipe.eval_plain(&y);
         let xy: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();

@@ -44,7 +44,7 @@ impl HePipeline {
     ) -> (Ciphertext, RunStats) {
         let ev = pe.evaluator();
         assert!(
-            ev.context().slots() % self.dim == 0,
+            ev.context().slots().is_multiple_of(self.dim),
             "pipeline dim {} must divide slot count {}",
             self.dim,
             ev.context().slots()

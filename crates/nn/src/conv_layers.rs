@@ -210,7 +210,7 @@ impl Layer for BatchNorm2d {
         assert_eq!(c, self.channels, "channel mismatch");
         let mut y = Tensor::zeros(x.dims());
         let mut x_hat = Tensor::zeros(x.dims());
-        let mut inv_stds = vec![0.0f32; c];
+        let mut inv_stds = Vec::with_capacity(c);
         for ci in 0..c {
             let (mean, var) = if mode == Mode::Train {
                 let (m, v) = self.stats(x, ci);
@@ -225,7 +225,7 @@ impl Layer for BatchNorm2d {
                 (self.running_mean[ci], self.running_var[ci])
             };
             let inv_std = 1.0 / (var + self.eps).sqrt();
-            inv_stds[ci] = inv_std;
+            inv_stds.push(inv_std);
             let g = self.gamma.value.data()[ci];
             let b = self.beta.value.data()[ci];
             for bi in 0..n {

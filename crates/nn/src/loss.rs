@@ -25,8 +25,8 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
         let z: f32 = exps.iter().sum();
         let log_z = z.ln() + m;
         total += (log_z - row[labels[i]]) as f64;
-        for j in 0..c {
-            let p = exps[j] / z;
+        for (j, &e) in exps.iter().enumerate() {
+            let p = e / z;
             grad.data_mut()[i * c + j] =
                 (p - if j == labels[i] { 1.0 } else { 0.0 }) / n as f32;
         }

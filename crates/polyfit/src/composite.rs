@@ -274,7 +274,7 @@ impl CompositePaf {
         self.stages
             .iter()
             .map(|p| {
-                let n_odd = (p.degree() + 1) / 2;
+                let n_odd = p.degree().div_ceil(2);
                 // x^2 costs 1; each odd power above x costs 1; each
                 // coefficient term beyond the first costs 0 (plain mult).
                 // Summation model mirrors ckks::PafEvaluator.

@@ -43,9 +43,12 @@ pub const F1G2_BEST: [(f64, f64, f64, f64, f64); RESNET18_RELU_LAYERS] = [
     (3.042621136, -3.979726553, 3.910200596, -7.521365166, 4.733543873),
 ];
 
-/// Tab. 9: best per-layer `f1² ∘ g1²` coefficients
+/// One per-layer `f1² ∘ g1²` coefficient row
 /// `(c0_1, c0_3, c1_1, c1_3, d0_1, d0_3, d1_1, d1_3)`.
-pub const F1SQ_G1SQ_BEST: [(f64, f64, f64, f64, f64, f64, f64, f64); RESNET18_RELU_LAYERS] = [
+pub type F1SqG1SqRow = (f64, f64, f64, f64, f64, f64, f64, f64);
+
+/// Tab. 9: best per-layer `f1² ∘ g1²` coefficients.
+pub const F1SQ_G1SQ_BEST: [F1SqG1SqRow; RESNET18_RELU_LAYERS] = [
     (2.736806631, -3.864239931, 2.115309238, -2.268822908, 2.239115477, -2.424801588, 2.189934731, -1.481475353),
     (2.609737396, -2.629375458, 2.115823507, -1.854049206, 2.300836086, -2.241225243, 2.231765747, -1.455139399),
     (2.572752714, -2.620458364, 2.008517504, -1.673257470, 2.017426491, -1.779745221, 2.066540718, -1.300397515),

@@ -64,10 +64,10 @@ pub fn ps_eval(p: &Polynomial, x: f64) -> f64 {
     let mut acc = 0.0;
     for blk in (0..plan.blocks).rev() {
         let mut block_val = 0.0;
-        for i in 0..k {
+        for (i, &pow) in baby.iter().enumerate() {
             let idx = blk * k + i;
             if idx < coeffs.len() {
-                block_val += coeffs[idx] * baby[i];
+                block_val += coeffs[idx] * pow;
             }
         }
         acc = acc * xk + block_val;

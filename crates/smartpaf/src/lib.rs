@@ -11,7 +11,11 @@
 //!
 //! # Example
 //!
-//! ```
+//! Training-scale (pretrains a MiniCNN, then fine-tunes through a full
+//! replacement cell), so compile-checked only; `tests/e2e_smartpaf.rs`
+//! runs the same flow in the test suite.
+//!
+//! ```no_run
 //! use smartpaf::{TechniqueSet, TrainConfig, Workbench};
 //! use smartpaf_datasets::{SynthDataset, SynthSpec};
 //! use smartpaf_nn::mini_cnn;

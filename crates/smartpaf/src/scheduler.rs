@@ -265,7 +265,7 @@ mod tests {
         let mut sched = Scheduler::new(config, TechniqueSet::baseline_ds());
         let paf = CompositePaf::from_form(PafForm::F1G2);
         let acc = sched.run(&mut model, &dataset, &[paf], false);
-        assert!(acc >= 0.0 && acc <= 1.0);
+        assert!((0.0..=1.0).contains(&acc));
         assert!(sched
             .events()
             .iter()

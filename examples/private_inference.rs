@@ -61,8 +61,8 @@ fn main() {
     let hidden: Vec<Ciphertext> = (0..4)
         .map(|h| {
             let mut acc = ev.mul_const(&enc_feats[0], w1.at(&[h, 0]) as f64);
-            for f in 1..feat_dim {
-                let term = ev.mul_const(&enc_feats[f], w1.at(&[h, f]) as f64);
+            for (f, feat) in enc_feats.iter().enumerate().take(feat_dim).skip(1) {
+                let term = ev.mul_const(feat, w1.at(&[h, f]) as f64);
                 acc = ev.add(&acc, &term);
             }
             pe.relu(&acc, &paf)
@@ -72,8 +72,8 @@ fn main() {
     let logits: Vec<Ciphertext> = (0..spec.classes)
         .map(|c| {
             let mut acc = ev.mul_const(&hidden[0], w2.at(&[c, 0]) as f64);
-            for h in 1..4 {
-                let term = ev.mul_const(&hidden[h], w2.at(&[c, h]) as f64);
+            for (h, hid) in hidden.iter().enumerate().skip(1) {
+                let term = ev.mul_const(hid, w2.at(&[c, h]) as f64);
                 acc = ev.add(&acc, &term);
             }
             acc

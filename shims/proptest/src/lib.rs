@@ -1,0 +1,294 @@
+//! Offline drop-in subset of the [`proptest`] crate.
+//!
+//! The build container has no registry access, so this shim provides
+//! exactly the API surface the SmartPAF property tests use:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! - range strategies (`-1.0f64..1.0`, `0usize..6`, ...),
+//! - [`collection::vec`] with fixed or ranged lengths,
+//! - [`bool::ANY`],
+//! - [`ProptestConfig::with_cases`].
+//!
+//! Generation is deterministic: each test derives its RNG seed from the
+//! test function name (plus `PROPTEST_SEED` if set), so failures are
+//! reproducible run-to-run. There is no shrinking — a failing case
+//! panics with the regular assertion message.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of random values of one type. Mirror of proptest's
+    /// `Strategy`, reduced to generation (no shrinking).
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    impl Strategy for core::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            self.start + (self.end - self.start) * rng.unit_f64() as f32
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy producing one fixed value (proptest's `Just`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic splitmix64 generator seeding each property test.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a label (the test name) so every property test
+        /// walks its own reproducible sequence. `PROPTEST_SEED` mixes
+        /// in an extra seed for exploratory reruns.
+        pub fn deterministic(label: &str) -> Self {
+            let mut state = 0x9e37_79b9_7f4a_7c15u64;
+            for b in label.bytes() {
+                state = state.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+            }
+            if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+                if let Ok(n) = extra.trim().parse::<u64>() {
+                    state = state.wrapping_add(n.wrapping_mul(0x2545_F491_4F6C_DD1D));
+                }
+            }
+            TestRng { state }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in [0, 1).
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Smaller than upstream's 256: tier-1 `cargo test` must stay
+            // minutes-scale with CKKS ops inside the property bodies.
+            Config { cases: 32 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length spec for [`vec`]: a fixed `usize` or a `Range<usize>`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: a Vec of values from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform boolean strategy (`proptest::bool::ANY`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies, re-running each body `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            (<$crate::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    let __case: u32 = __case;
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug)]
+    struct Seen(Vec<f64>);
+
+    proptest! {
+        /// Range strategies stay inside their bounds.
+        #[test]
+        fn ranges_in_bounds(x in -2.0f64..2.0, n in 3usize..7) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((3..7).contains(&n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        /// Vec strategies honour fixed and ranged lengths.
+        #[test]
+        fn vec_lengths(a in crate::collection::vec(-1.0f64..1.0, 4),
+                       b in crate::collection::vec(0.0f64..1.0, 1..3)) {
+            prop_assert_eq!(a.len(), 4);
+            prop_assert!(b.len() == 1 || b.len() == 2);
+            prop_assert_ne!(Seen(a).0.len(), 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_reproduces() {
+        let mut a = crate::test_runner::TestRng::deterministic("label");
+        let mut b = crate::test_runner::TestRng::deterministic("label");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
