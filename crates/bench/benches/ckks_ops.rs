@@ -2,8 +2,8 @@
 //! behind every latency number in the paper reproduction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use smartpaf_ckks::{CkksParams, Evaluator, KeyChain, NttTable};
 use smartpaf_ckks::modular::ntt_primes;
+use smartpaf_ckks::{CkksParams, Evaluator, KeyChain, NttTable};
 use smartpaf_tensor::Rng64;
 
 fn bench_ntt(c: &mut Criterion) {
@@ -40,9 +40,7 @@ fn bench_cipher_ops(c: &mut Criterion) {
     let _ = ev.mul(&ct, &ct);
 
     c.bench_function("ckks_encrypt_n4096", |b| {
-        let pt = ev
-            .encoder()
-            .encode(&vals, ctx.scale(), ctx.primes().len());
+        let pt = ev.encoder().encode(&vals, ctx.scale(), ctx.primes().len());
         let mut r = Rng64::new(2);
         b.iter(|| std::hint::black_box(ev.encrypt(&pt, &mut r)))
     });

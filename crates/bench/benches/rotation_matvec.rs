@@ -41,7 +41,11 @@ fn bench_matvec(c: &mut Criterion) {
     let (ev, mut rng) = setup();
     let m = 64usize;
     let rows: Vec<Vec<f64>> = (0..m)
-        .map(|i| (0..m).map(|j| ((i * 7 + j * 3) % 13) as f64 / 13.0 - 0.5).collect())
+        .map(|i| {
+            (0..m)
+                .map(|j| ((i * 7 + j * 3) % 13) as f64 / 13.0 - 0.5)
+                .collect()
+        })
         .collect();
     let mat = DiagMatrix::from_rows(&rows);
     let v: Vec<f64> = (0..m).map(|i| (i as f64 - 32.0) / 64.0).collect();
@@ -80,7 +84,9 @@ fn bench_slot_sums(c: &mut Criterion) {
     let _ = ev.sum_replicated(&ct, m);
     let mut g = c.benchmark_group("slot_sums");
     g.sample_size(10);
-    g.bench_function("sum_replicated_64", |b| b.iter(|| ev.sum_replicated(&ct, m)));
+    g.bench_function("sum_replicated_64", |b| {
+        b.iter(|| ev.sum_replicated(&ct, m))
+    });
     g.bench_function("inner_product_64", |b| {
         b.iter(|| ev.inner_product_plain(&ct, &w))
     });

@@ -75,8 +75,7 @@ fn main() {
             "activation", "exact acc", "post-replace", "post-finetune", "drop"
         );
         for (label, paf) in variants {
-            let (exact, dropped, tuned) =
-                run_variant(label, paf, spec, &config, pre, ft, w);
+            let (exact, dropped, tuned) = run_variant(label, paf, spec, &config, pre, ft, w);
             println!(
                 "{:<26} {:>10.1}% {:>12.1}% {:>12.1}% {:>7.1}%",
                 label,

@@ -19,11 +19,20 @@ fn main() {
 
     println!("Tab. 6 (paper): f1∘g2 best per-layer coefficients (first 4 of 17 rows)");
     for (i, row) in paper_coeffs::F1G2_BEST.iter().take(4).enumerate() {
-        println!("  layer {i}: c=({:.4}, {:.4}) d=({:.4}, {:.4}, {:.4})", row.0, row.1, row.2, row.3, row.4);
+        println!(
+            "  layer {i}: c=({:.4}, {:.4}) d=({:.4}, {:.4}, {:.4})",
+            row.0, row.1, row.2, row.3, row.4
+        );
     }
-    println!("  ... ({} rows total; see polyfit::paper_coeffs)\n", paper_coeffs::F1G2_BEST.len());
+    println!(
+        "  ... ({} rows total; see polyfit::paper_coeffs)\n",
+        paper_coeffs::F1G2_BEST.len()
+    );
 
-    println!("Tab. 9 (paper): f1²∘g1² row 0: {:?}\n", paper_coeffs::F1SQ_G1SQ_BEST[0]);
+    println!(
+        "Tab. 9 (paper): f1²∘g1² row 0: {:?}\n",
+        paper_coeffs::F1SQ_G1SQ_BEST[0]
+    );
 
     // Now train our own per-layer coefficients with the full pipeline.
     println!("--- our trained per-layer f1∘g2 coefficients ({scale:?} scale) ---");
@@ -37,7 +46,10 @@ fn main() {
     let mut wb = Workbench::new(model, dataset, train_config(scale, 13), 6);
     let _ = wb.run_cell(TechniqueSet::smartpaf_ds(), PafForm::F1G2, true);
     let pafs = wb.current_relu_pafs();
-    println!("{} ReLU layers replaced; per-layer odd coefficients:", pafs.len());
+    println!(
+        "{} ReLU layers replaced; per-layer odd coefficients:",
+        pafs.len()
+    );
     for (i, paf) in pafs.iter().enumerate() {
         let f: Vec<String> = paf.stages()[0]
             .odd_coeffs()

@@ -34,7 +34,10 @@ fn main() {
     let baseline = wb.run_cell(TechniqueSet::baseline_ds(), PafForm::F1SqG1Sq, true);
     let smart = wb.run_cell(TechniqueSet::smartpaf_ds(), PafForm::F1SqG1Sq, true);
 
-    print_curve("baseline (direct replacement + joint training)", &baseline.events);
+    print_curve(
+        "baseline (direct replacement + joint training)",
+        &baseline.events,
+    );
     print_curve("SMART-PAF (CT + PA + AT + DS)", &smart.events);
 
     println!(

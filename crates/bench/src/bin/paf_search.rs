@@ -20,7 +20,10 @@ fn main() {
     );
 
     println!("\n(depth, error) Pareto frontier:");
-    println!("{:<16} {:>6} {:>8} {:>12} {:>8}", "composite", "depth", "degree", "max error", "α");
+    println!(
+        "{:<16} {:>6} {:>8} {:>12} {:>8}",
+        "composite", "depth", "degree", "max error", "α"
+    );
     for c in pareto_frontier(enumerate_composites(&cfg)) {
         println!(
             "{:<16} {:>6} {:>8} {:>12.3e} {:>8.2}",
@@ -33,7 +36,10 @@ fn main() {
     }
 
     println!("\nTab. 2 regeneration — minimal depth under a degree budget:");
-    println!("{:<8} {:<16} {:>6} {:>12}", "budget", "pick", "depth", "max error");
+    println!(
+        "{:<8} {:<16} {:>6} {:>12}",
+        "budget", "pick", "depth", "max error"
+    );
     for budget in [5usize, 8, 10, 12, 14] {
         match min_depth_under_degree(&cfg, budget) {
             Some(c) => println!(
@@ -48,7 +54,10 @@ fn main() {
     }
 
     println!("\nα sweep — minimal depth achieving error ≤ 2^-α:");
-    println!("{:<6} {:<16} {:>6} {:>12}", "α", "pick", "depth", "max error");
+    println!(
+        "{:<6} {:<16} {:>6} {:>12}",
+        "α", "pick", "depth", "max error"
+    );
     for alpha in 2..=7 {
         let tol = 2f64.powi(-alpha);
         match min_depth_composite(&cfg, tol) {

@@ -37,10 +37,22 @@ fn main() {
     println!("Tab. 1 — scheme comparison, quantitative reconstruction");
     println!("(paper: SafeNet/CryptoNet/HEAX rows ✗ comm; F1/BTS rows ✗ latency; SMART-PAF ✓✓✓)");
     let resnet = WorkloadSpec::resnet18_imagenet();
-    print_matrix("ResNet-18 / ImageNet-1k, LAN (10 Gbit/s)", &resnet, &NetworkConfig::lan());
-    print_matrix("ResNet-18 / ImageNet-1k, WAN (100 Mbit/s)", &resnet, &NetworkConfig::wan());
+    print_matrix(
+        "ResNet-18 / ImageNet-1k, LAN (10 Gbit/s)",
+        &resnet,
+        &NetworkConfig::lan(),
+    );
+    print_matrix(
+        "ResNet-18 / ImageNet-1k, WAN (100 Mbit/s)",
+        &resnet,
+        &NetworkConfig::wan(),
+    );
     let vgg = WorkloadSpec::vgg19_cifar();
-    print_matrix("VGG-19 / CIFAR-10, WAN (100 Mbit/s)", &vgg, &NetworkConfig::wan());
+    print_matrix(
+        "VGG-19 / CIFAR-10, WAN (100 Mbit/s)",
+        &vgg,
+        &NetworkConfig::wan(),
+    );
 
     println!("\nCrossover bandwidths (hybrid comm latency = SMART-PAF FHE latency):");
     for s in [Scheme::GazelleHybrid, Scheme::DelphiHybrid] {

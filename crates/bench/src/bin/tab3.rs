@@ -32,10 +32,7 @@ fn rows() -> Vec<(&'static str, TechniqueSet)> {
         ("baseline + SS (prior work)", TechniqueSet::baseline_ss()),
         ("baseline + AT + DS", TechniqueSet { at: true, ..base }),
         ("baseline + PA + DS", TechniqueSet { pa: true, ..base }),
-        (
-            "baseline + CT + PA + AT + DS",
-            TechniqueSet::smartpaf_ds(),
-        ),
+        ("baseline + CT + PA + AT + DS", TechniqueSet::smartpaf_ds()),
         ("SMART-PAF: CT + PA + AT + SS", TechniqueSet::smartpaf()),
     ]
 }
@@ -49,7 +46,10 @@ fn forms() -> Vec<PafForm> {
 }
 
 fn block(title: &str, wb: &mut Workbench, relu_only: bool, forms: &[PafForm]) {
-    println!("--- {title} (original accuracy {}) ---", pct(wb.original_acc()));
+    println!(
+        "--- {title} (original accuracy {}) ---",
+        pct(wb.original_acc())
+    );
     print!("{:<36}", "technique setup");
     for f in forms {
         print!(" {:>12}", f.paper_name());

@@ -8,7 +8,10 @@ fn main() {
     println!("{:<34} ReLU & MaxPooling", "Replaced layer");
     println!("{:<34} Adam", "Optimizer");
     println!("{:<34} {:e}", "learning rate for PAF", cfg.paf.lr);
-    println!("{:<34} {:e}", "learning rate for other layers", cfg.other.lr);
+    println!(
+        "{:<34} {:e}",
+        "learning rate for other layers", cfg.other.lr
+    );
     println!("{:<34} {}", "Weight decay for PAF", cfg.paf.weight_decay);
     println!(
         "{:<34} {}",

@@ -101,7 +101,12 @@ pub fn resnet_workbench(scale: Scale, seed: u64) -> Workbench {
     let dataset = SynthDataset::new(spec);
     let mut rng = Rng64::new(seed);
     let model: Model = resnet18(spec.classes, width(scale), &mut rng);
-    Workbench::new(model, dataset, train_config(scale, seed), pretrain_epochs(scale))
+    Workbench::new(
+        model,
+        dataset,
+        train_config(scale, seed),
+        pretrain_epochs(scale),
+    )
 }
 
 /// VGG-19 workbench on the CIFAR-like task.
@@ -110,7 +115,12 @@ pub fn vgg_workbench(scale: Scale, seed: u64) -> Workbench {
     let dataset = SynthDataset::new(spec);
     let mut rng = Rng64::new(seed);
     let model: Model = vgg19(spec.classes, width(scale), &mut rng);
-    Workbench::new(model, dataset, train_config(scale, seed), pretrain_epochs(scale))
+    Workbench::new(
+        model,
+        dataset,
+        train_config(scale, seed),
+        pretrain_epochs(scale),
+    )
 }
 
 /// Prints a percentage cell.

@@ -139,7 +139,7 @@ impl Evaluator {
     }
 
     /// Homomorphic addition (auto-aligns levels; scales must agree to
-    /// within [`SCALE_TOLERANCE`]).
+    /// within the internal `SCALE_TOLERANCE`).
     ///
     /// # Panics
     ///

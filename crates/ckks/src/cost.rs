@@ -6,7 +6,7 @@
 //! without running it.
 
 use crate::params::CkksParams;
-use smartpaf_polyfit::CompositePaf;
+use smartpaf_polyfit::{CompositePaf, OddPowerSchedule};
 
 /// Primitive-operation counts for one encrypted PAF-ReLU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,15 +68,16 @@ pub fn relu_op_counts(params: &CkksParams, paf: &CompositePaf) -> OpCounts {
     };
 
     for stage in paf.stages() {
-        let odd = stage.odd_coeffs();
-        let k_max = odd.len() - 1;
-        if k_max == 0 {
+        // Same schedule object the PafEvaluator executes.
+        let sched = OddPowerSchedule::new(stage);
+        let odd = sched.odd_coeffs();
+        if sched.k_max() == 0 {
             add_const(&mut c, level);
             add_rescale(&mut c, level - 1);
             level -= 1;
             continue;
         }
-        let bits = usize::BITS - k_max.leading_zeros();
+        let bits = sched.ladder_bits();
         // Ladder squarings.
         for j in 0..bits {
             let limbs = level - j as usize;
@@ -133,7 +134,12 @@ pub fn rotation_modmuls(params: &CkksParams, limbs: usize) -> u128 {
 /// Work of one Halevi–Shoup matrix–vector product with `diagonals`
 /// nonzero diagonals using the baby-step/giant-step schedule, in
 /// modular multiplies.
-pub fn matvec_bsgs_modmuls(params: &CkksParams, dim: usize, diagonals: usize, limbs: usize) -> u128 {
+pub fn matvec_bsgs_modmuls(
+    params: &CkksParams,
+    dim: usize,
+    diagonals: usize,
+    limbs: usize,
+) -> u128 {
     let n = params.n as u128;
     let g1 = (dim as f64).sqrt().ceil() as usize;
     let g2 = dim.div_ceil(g1);
@@ -237,8 +243,7 @@ mod tests {
         let params = CkksParams::default_params();
         let limbs = 8;
         let dense = matvec_bsgs_modmuls(&params, 64, 64, limbs);
-        let naive = 64 * rotation_modmuls(&params, limbs)
-            + 64 * (limbs as u128) * params.n as u128;
+        let naive = 64 * rotation_modmuls(&params, limbs) + 64 * (limbs as u128) * params.n as u128;
         assert!(dense < naive, "bsgs {dense} vs naive {naive}");
     }
 

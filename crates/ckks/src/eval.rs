@@ -7,7 +7,7 @@
 //! consumption per stage is `ceil(log2(deg+1))`, matching Tab. 2.
 
 use crate::cipher::{Ciphertext, Evaluator};
-use smartpaf_polyfit::{CompositePaf, Polynomial};
+use smartpaf_polyfit::{CompositePaf, OddPowerSchedule, Polynomial};
 
 /// Evaluates composite PAFs, PAF-ReLU and PAF-Max on ciphertexts.
 #[derive(Debug, Clone)]
@@ -39,18 +39,19 @@ impl PafEvaluator {
     /// Panics if the stage is not an odd function, is constant, or the
     /// ciphertext lacks the required levels.
     pub fn eval_odd_stage(&self, x: &Ciphertext, stage: &Polynomial) -> Ciphertext {
-        assert!(stage.is_odd_function(), "stage must be odd");
-        let odd = stage.odd_coeffs();
-        assert!(!odd.is_empty(), "constant stage");
-        let k_max = odd.len() - 1;
+        // The packed coefficients and ladder shape come from the shared
+        // evaluation engine, so the plaintext and ciphertext paths
+        // execute the same schedule.
+        let sched = OddPowerSchedule::new(stage);
+        let odd = sched.odd_coeffs();
 
         // Degree-1 stage: a0 * x, one level.
-        if k_max == 0 {
+        if sched.k_max() == 0 {
             return self.ev.mul_const(x, odd[0]);
         }
 
         // Even power ladder: ladder[j] = x^(2^(j+1)).
-        let bits_needed = usize::BITS - k_max.leading_zeros(); // msb index + 1
+        let bits_needed = sched.ladder_bits();
         let mut ladder: Vec<Ciphertext> = Vec::with_capacity(bits_needed as usize);
         let mut x2 = self.ev.square(x);
         self.ev.rescale(&mut x2);
@@ -233,10 +234,7 @@ mod tests {
         let out = pe.evaluator().decrypt_values(&out_ct, xs.len());
         for (x, got) in xs.iter().zip(&out) {
             let want = paf.relu(*x);
-            assert!(
-                (got - want).abs() < 3e-2,
-                "relu({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 3e-2, "relu({x}) = {got}, want {want}");
         }
     }
 

@@ -101,7 +101,9 @@ mod tests {
     }
 
     fn ramp(slots: usize) -> Vec<f64> {
-        (0..slots).map(|i| (i as f64 - slots as f64 / 2.0) / slots as f64).collect()
+        (0..slots)
+            .map(|i| (i as f64 - slots as f64 / 2.0) / slots as f64)
+            .collect()
     }
 
     #[test]
@@ -124,7 +126,11 @@ mod tests {
         let out = ev.decrypt_values(&rot, slots);
         for j in 0..slots {
             let want = vals[(j + 1) % slots];
-            assert!((out[j] - want).abs() < 5e-3, "slot {j}: {} vs {want}", out[j]);
+            assert!(
+                (out[j] - want).abs() < 5e-3,
+                "slot {j}: {} vs {want}",
+                out[j]
+            );
         }
     }
 
@@ -243,7 +249,11 @@ mod tests {
         let out = ev.decrypt_values(&rot, slots);
         for j in (0..slots).step_by(17) {
             let want = va[(j + 4) % slots] * vb[(j + 4) % slots];
-            assert!((out[j] - want).abs() < 2e-2, "slot {j}: {} vs {want}", out[j]);
+            assert!(
+                (out[j] - want).abs() < 2e-2,
+                "slot {j}: {} vs {want}",
+                out[j]
+            );
         }
     }
 }

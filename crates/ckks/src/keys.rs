@@ -138,7 +138,11 @@ impl KeyChain {
     }
 
     fn generate_relin(&self, num_limbs: usize) -> RelinKey {
-        let mut rng = self.relin_rng.lock().expect("poisoned").fork(num_limbs as u64);
+        let mut rng = self
+            .relin_rng
+            .lock()
+            .expect("poisoned")
+            .fork(num_limbs as u64);
         let s_trunc = truncate(&self.sk.s, num_limbs);
         let s2 = s_trunc.mul(&s_trunc);
         self.generate_ksk(&s2, num_limbs, &mut rng)
@@ -155,12 +159,7 @@ impl KeyChain {
     pub fn galois_key(&self, g: usize, num_limbs: usize) -> Arc<RelinKey> {
         assert!(num_limbs <= self.ctx.primes().len());
         let cache_key = (g, num_limbs);
-        if let Some(k) = self
-            .galois_cache
-            .lock()
-            .expect("poisoned")
-            .get(&cache_key)
-        {
+        if let Some(k) = self.galois_cache.lock().expect("poisoned").get(&cache_key) {
             return Arc::clone(k);
         }
         let mut rng = self

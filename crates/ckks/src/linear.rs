@@ -53,10 +53,7 @@ impl DiagMatrix {
     pub fn from_rows_with_dim(rows: &[Vec<f64>], dim: usize) -> Self {
         assert!(!rows.is_empty(), "empty matrix");
         let in_dim = rows[0].len();
-        assert!(
-            rows.iter().all(|r| r.len() == in_dim),
-            "ragged matrix rows"
-        );
+        assert!(rows.iter().all(|r| r.len() == in_dim), "ragged matrix rows");
         assert!(in_dim > 0, "empty matrix rows");
         let out_dim = rows.len();
         assert!(dim.is_power_of_two(), "dim must be a power of two");
@@ -68,9 +65,7 @@ impl DiagMatrix {
                     continue;
                 }
                 let d = (j + dim - i % dim) % dim;
-                diags
-                    .entry(d)
-                    .or_insert_with(|| vec![0.0; dim])[i] = v;
+                diags.entry(d).or_insert_with(|| vec![0.0; dim])[i] = v;
             }
         }
         DiagMatrix {
@@ -197,7 +192,10 @@ impl Evaluator {
     /// Panics unless `mat.dim()` divides the slot count.
     pub fn matvec(&self, mat: &DiagMatrix, ct: &Ciphertext) -> Ciphertext {
         let slots = self.context().slots();
-        assert!(slots.is_multiple_of(mat.dim()), "matrix dim must divide slots");
+        assert!(
+            slots.is_multiple_of(mat.dim()),
+            "matrix dim must divide slots"
+        );
         let mut acc: Option<Ciphertext> = None;
         for (&d, diag) in &mat.diags {
             let rot = self.rotate(ct, d as i64);
@@ -214,11 +212,9 @@ impl Evaluator {
         }
         let mut out = acc.unwrap_or_else(|| {
             // All-zero matrix: a zero ciphertext at product scale.
-            let pt = self.encoder().encode_constant(
-                0.0,
-                self.context().scale(),
-                ct.num_limbs(),
-            );
+            let pt = self
+                .encoder()
+                .encode_constant(0.0, self.context().scale(), ct.num_limbs());
             self.mul_plain(ct, &pt)
         });
         self.rescale(&mut out);
@@ -269,9 +265,9 @@ impl Evaluator {
                 for (s, p) in pre.iter_mut().enumerate() {
                     *p = tiled[(s + slots - shift) % slots];
                 }
-                let pt =
-                    self.encoder()
-                        .encode(&pre, self.context().scale(), rot_v.num_limbs());
+                let pt = self
+                    .encoder()
+                    .encode(&pre, self.context().scale(), rot_v.num_limbs());
                 let term = self.mul_plain(rot_v, &pt);
                 inner = Some(match inner {
                     None => term,
@@ -310,7 +306,10 @@ impl Evaluator {
     /// Panics unless `m` is a power of two dividing the slot count.
     pub fn sum_replicated(&self, ct: &Ciphertext, m: usize) -> Ciphertext {
         assert!(m.is_power_of_two(), "m must be a power of two");
-        assert!(self.context().slots().is_multiple_of(m), "m must divide slots");
+        assert!(
+            self.context().slots().is_multiple_of(m),
+            "m must divide slots"
+        );
         let mut acc = ct.clone();
         let mut step = 1usize;
         while step < m {

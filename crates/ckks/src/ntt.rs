@@ -198,7 +198,11 @@ mod tests {
         let t = table(32);
         let a: Vec<u64> = (0..32).map(|i| (i * 13) as u64).collect();
         let b: Vec<u64> = (0..32).map(|i| (i * 29 + 3) as u64).collect();
-        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| add_mod(x, y, t.q)).collect();
+        let sum: Vec<u64> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| add_mod(x, y, t.q))
+            .collect();
         let mut fa = a.clone();
         let mut fb = b.clone();
         let mut fs = sum.clone();

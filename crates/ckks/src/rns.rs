@@ -416,7 +416,10 @@ impl RnsPoly {
     /// Panics if `g` is even or not in `1..2n`.
     pub fn automorphism(&self, g: usize) -> RnsPoly {
         let n = self.ctx.n();
-        assert!(g % 2 == 1 && g >= 1 && g < 2 * n, "invalid Galois element {g}");
+        assert!(
+            g % 2 == 1 && g >= 1 && g < 2 * n,
+            "invalid Galois element {g}"
+        );
         let mut src = self.clone();
         src.to_coeff();
         let mut out = RnsPoly {
@@ -654,7 +657,11 @@ mod tests {
         let mut rhs = ga.mul(&gb);
         rhs.to_coeff();
         for i in 0..n {
-            assert_eq!(lhs.coeff_to_i128(i, 2), rhs.coeff_to_i128(i, 2), "coeff {i}");
+            assert_eq!(
+                lhs.coeff_to_i128(i, 2),
+                rhs.coeff_to_i128(i, 2),
+                "coeff {i}"
+            );
         }
     }
 

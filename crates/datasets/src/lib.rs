@@ -175,7 +175,14 @@ impl SynthDataset {
         let scale = 0.8 + 0.4 * rng.next_f32();
         let mut img = self.prototypes[label].scale(scale);
         if s.jitter > 0.0 {
-            let deform = smooth_field(s.channels, s.image_size, s.image_size, 4, s.jitter, &mut rng);
+            let deform = smooth_field(
+                s.channels,
+                s.image_size,
+                s.image_size,
+                4,
+                s.jitter,
+                &mut rng,
+            );
             img.add_assign(&deform);
         }
         if s.distractor > 0.0 && s.classes > 1 {

@@ -12,7 +12,7 @@
 //! 1. **Probing** — each run of affine layers is linearised exactly by
 //!    a batched forward pass over unit inputs (eval-mode conv/BN/pool/
 //!    linear are affine, so probing is lossless), producing a
-//!    [`DiagMatrix`] + bias per segment.
+//!    [`DiagMatrix`](smartpaf_ckks::DiagMatrix) + bias per segment.
 //! 2. **Packing** — the activation vector lives replicated across CKKS
 //!    slots; affine stages run as Halevi–Shoup diagonal matrix–vector
 //!    products with baby-step/giant-step rotations.
@@ -60,9 +60,9 @@
 //! ```
 
 mod maxpool;
+mod pipeline;
 #[cfg(test)]
 mod proptests;
-mod pipeline;
 mod runner;
 
 pub use maxpool::pool_taps;

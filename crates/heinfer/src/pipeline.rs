@@ -4,7 +4,7 @@
 use crate::maxpool::pool_taps;
 use smartpaf_ckks::DiagMatrix;
 use smartpaf_nn::{Layer, Mode};
-use smartpaf_polyfit::CompositePaf;
+use smartpaf_polyfit::{CompositeEval, CompositePaf};
 use smartpaf_tensor::Tensor;
 
 /// One compiled stage of an encrypted inference pipeline.
@@ -79,7 +79,12 @@ impl Stage {
     pub fn label(&self) -> String {
         match self {
             Stage::Affine { mat, .. } => {
-                format!("affine[{}x{} diag={}]", mat.out_dim(), mat.in_dim(), mat.num_diagonals())
+                format!(
+                    "affine[{}x{} diag={}]",
+                    mat.out_dim(),
+                    mat.in_dim(),
+                    mat.num_diagonals()
+                )
             }
             Stage::PafRelu { paf, .. } => format!("paf-relu[depth={}]", paf.mult_depth()),
             Stage::PafMax { taps, paf, .. } => {
@@ -109,7 +114,10 @@ enum RawStage {
 
 enum Spec {
     Affine(Box<dyn Layer>),
-    Relu { paf: CompositePaf, scale: f64 },
+    Relu {
+        paf: CompositePaf,
+        scale: f64,
+    },
     Max {
         k: usize,
         stride: usize,
@@ -254,7 +262,7 @@ impl PipelineBuilder {
         }
         let dim = dim.next_power_of_two();
 
-        let stages = raw
+        let stages: Vec<Stage> = raw
             .into_iter()
             .map(|r| match r {
                 RawStage::Affine { rows, bias } => {
@@ -286,13 +294,28 @@ impl PipelineBuilder {
             })
             .collect();
 
+        let prepared = prepare_stage_engines(&stages);
         HePipeline {
             stages,
+            prepared,
             dim,
             input_dim,
             output_dim,
         }
     }
+}
+
+/// One prepared plaintext evaluation engine per PAF stage (`None` for
+/// affine stages), built once at compile time so `eval_plain` pays no
+/// per-call preparation.
+fn prepare_stage_engines(stages: &[Stage]) -> Vec<Option<CompositeEval>> {
+    stages
+        .iter()
+        .map(|s| match s {
+            Stage::Affine { .. } => None,
+            Stage::PafRelu { paf, .. } | Stage::PafMax { paf, .. } => Some(paf.prepare()),
+        })
+        .collect()
 }
 
 /// Linearises a run of affine layers by an exact batched probe:
@@ -330,6 +353,8 @@ fn probe_affine(
 /// A compiled encrypted inference pipeline (see the crate docs).
 pub struct HePipeline {
     pub(crate) stages: Vec<Stage>,
+    /// Prepared plaintext engines, parallel to `stages`.
+    prepared: Vec<Option<CompositeEval>>,
     pub(crate) dim: usize,
     input_dim: usize,
     output_dim: usize,
@@ -382,7 +407,7 @@ impl HePipeline {
     /// Panics if `x` is longer than the input dimension.
     pub fn eval_plain(&self, x: &[f64]) -> Vec<f64> {
         let mut v = self.pad_input(x);
-        for stage in &self.stages {
+        for (stage, prepared) in self.stages.iter().zip(&self.prepared) {
             v = match stage {
                 Stage::Affine { mat, bias } => {
                     let mut y = mat.apply_plain(&v);
@@ -392,34 +417,42 @@ impl HePipeline {
                     y
                 }
                 Stage::PafRelu {
-                    paf,
+                    paf: _,
                     pre_scale,
                     post_scale,
-                } => v
-                    .iter()
-                    .map(|&xi| post_scale * paf.relu(pre_scale * xi))
-                    .collect(),
+                } => {
+                    // The compile-time-prepared engine takes the whole
+                    // activation vector through the batch backend.
+                    let eng = prepared.as_ref().expect("PAF stage has an engine");
+                    let scaled: Vec<f64> = v.iter().map(|&xi| pre_scale * xi).collect();
+                    let mut out = vec![0.0; scaled.len()];
+                    eng.relu_slice(&scaled, &mut out);
+                    for o in out.iter_mut() {
+                        *o *= post_scale;
+                    }
+                    out
+                }
                 Stage::PafMax {
                     taps,
-                    paf,
+                    paf: _,
                     post_scale,
                 } => {
                     // Pairwise tree fold, mirroring the encrypted
                     // schedule exactly (PAF max is not associative up
-                    // to approximation error).
-                    let mut items: Vec<Vec<f64>> =
-                        taps.iter().map(|t| t.apply_plain(&v)).collect();
+                    // to approximation error); each round runs as one
+                    // batched max over the paired tap vectors.
+                    let eng = prepared.as_ref().expect("PAF stage has an engine");
+                    let mut items: Vec<Vec<f64>> = taps.iter().map(|t| t.apply_plain(&v)).collect();
                     while items.len() > 1 {
                         let mut next = Vec::with_capacity(items.len().div_ceil(2));
                         let mut it = items.into_iter();
                         while let Some(a) = it.next() {
                             match it.next() {
-                                Some(b) => next.push(
-                                    a.iter()
-                                        .zip(&b)
-                                        .map(|(&x, &y)| paf.max(x, y))
-                                        .collect(),
-                                ),
+                                Some(b) => {
+                                    let mut m = vec![0.0; a.len()];
+                                    eng.max_slice(&a, &b, &mut m);
+                                    next.push(m);
+                                }
                                 None => next.push(a),
                             }
                         }

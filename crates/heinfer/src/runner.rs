@@ -270,13 +270,11 @@ mod tests {
     fn bootstrap_triggers_when_chain_runs_dry() {
         let (pe, mut rng) = setup(64);
         let paf = CompositePaf::from_form(PafForm::F1G2); // depth 5
-        // Three PAF blocks at depth 7 each + affines exceed the toy
-        // chain (12 levels), forcing at least one refresh.
+                                                          // Three PAF blocks at depth 7 each + affines exceed the toy
+                                                          // chain (12 levels), forcing at least one refresh.
         let mut b = PipelineBuilder::new(&[4]);
         for _ in 0..3 {
-            b = b
-                .affine(Linear::new(4, 4, &mut rng))
-                .paf_relu(&paf, 2.0);
+            b = b.affine(Linear::new(4, 4, &mut rng)).paf_relu(&paf, 2.0);
         }
         let pipe = b.compile().fold_scales();
         assert!(pipe.total_levels() > 12);
@@ -307,9 +305,7 @@ mod tests {
         let paf = CompositePaf::from_form(PafForm::F1G2);
         let mut b = PipelineBuilder::new(&[4]);
         for _ in 0..3 {
-            b = b
-                .affine(Linear::new(4, 4, &mut rng))
-                .paf_relu(&paf, 2.0);
+            b = b.affine(Linear::new(4, 4, &mut rng)).paf_relu(&paf, 2.0);
         }
         let pipe = b.compile();
         let ct = pe

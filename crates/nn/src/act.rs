@@ -8,7 +8,10 @@
 use crate::layer::{Layer, Mode, SlotRef};
 use crate::param::{Param, ParamGroup};
 use smartpaf_polyfit::{CompositePaf, Polynomial};
-use smartpaf_tensor::{avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d, max_pool2d_backward, MaxPoolIndices, PoolSpec, Tensor};
+use smartpaf_tensor::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
+    max_pool2d_backward, MaxPoolIndices, PoolSpec, Tensor,
+};
 
 /// How a PAF's input is scaled into its accurate range (paper §4.5).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -213,7 +216,9 @@ impl PafActivation {
 }
 
 enum ReluMode {
-    Exact { mask: Option<Tensor> },
+    Exact {
+        mask: Option<Tensor>,
+    },
     Paf(Box<PafActivation>),
     /// Identity pass-through: the slot's non-linearity has been culled
     /// (DeepReDuce-style ReLU reduction, paper §7 "orthogonal" work).
@@ -496,8 +501,8 @@ impl MaxPoolSlot {
                                 if ki == 0 && kj == 0 {
                                     continue;
                                 }
-                                let v = data[base + (oi * stride + ki) * w + oj * stride + kj]
-                                    as f64;
+                                let v =
+                                    data[base + (oi * stride + ki) * w + oj * stride + kj] as f64;
                                 let d = acc - v;
                                 acc = ((acc + v) + d * paf.eval(d / s)) / 2.0;
                             }
@@ -652,8 +657,8 @@ mod tests {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let fd =
-                (paf.forward(&xp, Mode::Eval).sum() - paf.forward(&xm, Mode::Eval).sum()) / (2.0 * eps);
+            let fd = (paf.forward(&xp, Mode::Eval).sum() - paf.forward(&xm, Mode::Eval).sum())
+                / (2.0 * eps);
             assert!(
                 (fd - gx.data()[i]).abs() < 1e-2,
                 "dX[{i}]: fd {fd} vs {}",
@@ -834,5 +839,4 @@ mod tests {
         let y = slot.forward(&x, Mode::Eval);
         assert_eq!(y.data(), &[0.0, 1.0]);
     }
-
 }

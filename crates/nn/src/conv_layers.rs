@@ -49,10 +49,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let x = self
-            .cached_input
-            .as_ref()
-            .expect("backward before forward");
+        let x = self.cached_input.as_ref().expect("backward before forward");
         let grads = conv2d_backward(x, &self.weight.value, grad_output, &self.spec);
         self.weight.grad.add_assign(&grads.grad_weight);
         self.bias.grad.add_assign(&grads.grad_bias);
@@ -107,10 +104,7 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let x = self
-            .cached_input
-            .as_ref()
-            .expect("backward before forward");
+        let x = self.cached_input.as_ref().expect("backward before forward");
         // dW = dY^T X ; db = column sums of dY ; dX = dY W
         self.weight
             .grad
@@ -346,7 +340,12 @@ mod tests {
         assert_eq!(gx.dims(), x.dims());
         assert_eq!(conv.params_mut().len(), 2);
         // Gradients were accumulated.
-        let wsum: f32 = conv.params_mut()[0].grad.data().iter().map(|v| v.abs()).sum();
+        let wsum: f32 = conv.params_mut()[0]
+            .grad
+            .data()
+            .iter()
+            .map(|v| v.abs())
+            .sum();
         assert!(wsum > 0.0);
     }
 

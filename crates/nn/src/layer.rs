@@ -187,7 +187,11 @@ impl Layer for Dropout {
         let keep = 1.0 - self.p;
         let mut mask = Tensor::zeros(x.dims());
         for m in mask.data_mut() {
-            *m = if self.rng.next_f32() < keep { 1.0 / keep } else { 0.0 };
+            *m = if self.rng.next_f32() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            };
         }
         self.mask = Some(mask.clone());
         x.mul(&mask)
@@ -219,7 +223,9 @@ mod tests {
 
     #[test]
     fn sequential_backward_reverses() {
-        let mut net = Sequential::new("t").push(ReluSlot::new(0)).push(Flatten::new());
+        let mut net = Sequential::new("t")
+            .push(ReluSlot::new(0))
+            .push(Flatten::new());
         let x = Tensor::from_vec(vec![1.0, -1.0], &[1, 2]);
         let _ = net.forward(&x, Mode::Train);
         let g = net.backward(&Tensor::ones(&[1, 2]));

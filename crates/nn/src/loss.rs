@@ -27,8 +27,7 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
         total += (log_z - row[labels[i]]) as f64;
         for (j, &e) in exps.iter().enumerate() {
             let p = e / z;
-            grad.data_mut()[i * c + j] =
-                (p - if j == labels[i] { 1.0 } else { 0.0 }) / n as f32;
+            grad.data_mut()[i * c + j] = (p - if j == labels[i] { 1.0 } else { 0.0 }) / n as f32;
         }
     }
     ((total / n as f64) as f32, grad)
@@ -74,7 +73,11 @@ mod tests {
             lm.data_mut()[i] -= eps;
             let fd = (cross_entropy(&lp, &[1]).0 - cross_entropy(&lm, &[1]).0) / (2.0 * eps);
             // f32 forward passes limit finite-difference precision.
-            assert!((fd - grad.data()[i]).abs() < 1e-3, "d[{i}]: {fd} vs {}", grad.data()[i]);
+            assert!(
+                (fd - grad.data()[i]).abs() < 1e-3,
+                "d[{i}]: {fd} vs {}",
+                grad.data()[i]
+            );
         }
     }
 

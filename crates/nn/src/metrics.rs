@@ -11,11 +11,7 @@ pub fn top1_accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
     assert_eq!(logits.shape().ndim(), 2, "logits must be [N, C]");
     assert_eq!(logits.dims()[0], labels.len(), "one label per sample");
     let preds = logits.argmax_rows();
-    let correct = preds
-        .iter()
-        .zip(labels)
-        .filter(|(p, l)| p == l)
-        .count();
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
     correct as f32 / labels.len() as f32
 }
 

@@ -157,7 +157,12 @@ pub fn resnet18(num_classes: usize, width_mult: f32, rng: &mut Rng64) -> Model {
     net.push_boxed(Box::new(MaxPoolSlot::new(slot, 3, 2)));
     slot += 1;
     // Four stages of two basic blocks.
-    let widths = [c64, ch(128, width_mult), ch(256, width_mult), ch(512, width_mult)];
+    let widths = [
+        c64,
+        ch(128, width_mult),
+        ch(256, width_mult),
+        ch(512, width_mult),
+    ];
     let mut in_ch = c64;
     for (i, &w) in widths.iter().enumerate() {
         let stride = if i == 0 { 1 } else { 2 };

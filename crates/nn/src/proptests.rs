@@ -24,7 +24,7 @@ proptest! {
 
     /// PAF-ReLU output is bounded relative to its input scale and the
     /// activation is odd-symmetric in the sign component:
-    /// y(x) + y(-x) == x branch identity (x + x p + (-x) + (-x)(-p))/2 = 0... 
+    /// y(x) + y(-x) == x branch identity (x + x p + (-x) + (-x)(-p))/2 = 0...
     /// concretely: y(x) - y(-x) == x for a perfectly odd p.
     #[test]
     fn paf_relu_odd_decomposition(x in 0.05f32..0.95) {

@@ -102,9 +102,28 @@ impl Interval {
 ///
 /// Panics if `p` is not an odd function.
 pub fn poly_enclosure(p: &Polynomial, x: Interval) -> Interval {
+    packed_enclosure(&pack_stage(p), x)
+}
+
+/// Packs one stage's odd coefficients; the constant zero stage (an odd
+/// function of degree 0) packs to the empty slice, which encloses to
+/// `{0}`.
+///
+/// # Panics
+///
+/// Panics if `p` is not an odd function.
+fn pack_stage(p: &Polynomial) -> Vec<f64> {
     assert!(p.is_odd_function(), "PAF stages are odd functions");
-    let odd = p.odd_coeffs();
-    // p(x) = x · q(x²) with q evaluated by interval Horner.
+    if p.degree() == 0 {
+        Vec::new()
+    } else {
+        p.odd_coeffs()
+    }
+}
+
+/// Interval Horner over packed odd coefficients — the interval twin of
+/// the engine's `OddHorner` backend: `p(x) = x · q(x²)`.
+fn packed_enclosure(odd: &[f64], x: Interval) -> Interval {
     let x2 = x.square();
     let mut acc = Interval::point(0.0);
     for &c in odd.iter().rev() {
@@ -113,17 +132,28 @@ pub fn poly_enclosure(p: &Polynomial, x: Interval) -> Interval {
     acc.mul(x)
 }
 
-/// Chains per-stage enclosures through a composite: returns
-/// `[X0 = x, X1 ⊇ s1(X0), ..., XS]`.
-pub fn composite_enclosure(paf: &CompositePaf, x: Interval) -> Vec<Interval> {
-    let mut out = Vec::with_capacity(paf.num_stages() + 1);
+/// Packs every stage's odd coefficients once so subdivision loops do
+/// not re-extract them per piece.
+fn prepare_schedules(paf: &CompositePaf) -> Vec<Vec<f64>> {
+    paf.stages().iter().map(pack_stage).collect()
+}
+
+/// Chains prepared per-stage enclosures through a composite.
+fn chained_enclosure(packed: &[Vec<f64>], x: Interval) -> Vec<Interval> {
+    let mut out = Vec::with_capacity(packed.len() + 1);
     out.push(x);
     let mut cur = x;
-    for stage in paf.stages() {
-        cur = poly_enclosure(stage, cur);
+    for odd in packed {
+        cur = packed_enclosure(odd, cur);
         out.push(cur);
     }
     out
+}
+
+/// Chains per-stage enclosures through a composite: returns
+/// `[X0 = x, X1 ⊇ s1(X0), ..., XS]`.
+pub fn composite_enclosure(paf: &CompositePaf, x: Interval) -> Vec<Interval> {
+    chained_enclosure(&prepare_schedules(paf), x)
 }
 
 /// Certified upper bound on `max_{x ∈ [eps, 1]} |paf(x) − 1|` by
@@ -137,12 +167,13 @@ pub fn composite_enclosure(paf: &CompositePaf, x: Interval) -> Vec<Interval> {
 pub fn certified_sign_error(paf: &CompositePaf, eps: f64, pieces: usize) -> f64 {
     assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
     assert!(pieces >= 1, "need at least one piece");
+    let schedules = prepare_schedules(paf);
     let step = (1.0 - eps) / pieces as f64;
     let mut worst = 0.0f64;
     for i in 0..pieces {
         let lo = eps + i as f64 * step;
         let hi = if i + 1 == pieces { 1.0 } else { lo + step };
-        let enc = *composite_enclosure(paf, Interval::new(lo, hi))
+        let enc = *chained_enclosure(&schedules, Interval::new(lo, hi))
             .last()
             .expect("non-empty");
         worst = worst.max(enc.max_distance_to(1.0));
@@ -155,13 +186,14 @@ pub fn certified_sign_error(paf: &CompositePaf, eps: f64, pieces: usize) -> f64 
 /// check, but proven rather than sampled).
 pub fn certified_value_bound(paf: &CompositePaf, pieces: usize) -> f64 {
     assert!(pieces >= 1, "need at least one piece");
+    let schedules = prepare_schedules(paf);
     // Odd symmetry: bound on [0, 1] suffices.
     let step = 1.0 / pieces as f64;
     let mut worst = 0.0f64;
     for i in 0..pieces {
         let lo = i as f64 * step;
         let hi = if i + 1 == pieces { 1.0 } else { lo + step };
-        for enc in composite_enclosure(paf, Interval::new(lo, hi)) {
+        for enc in chained_enclosure(&schedules, Interval::new(lo, hi)) {
             worst = worst.max(enc.abs_max());
         }
     }
@@ -239,7 +271,10 @@ mod tests {
         assert!(fine <= coarse + 1e-12, "fine {fine} vs coarse {coarse}");
         // And at high resolution it approaches the sampled error.
         let sampled = paf.sign_error(0.1, 400);
-        assert!(fine <= sampled * 4.0 + 0.05, "fine {fine} vs sampled {sampled}");
+        assert!(
+            fine <= sampled * 4.0 + 0.05,
+            "fine {fine} vs sampled {sampled}"
+        );
     }
 
     #[test]
@@ -270,5 +305,20 @@ mod tests {
     #[should_panic(expected = "inverted interval")]
     fn inverted_interval_rejected() {
         let _ = Interval::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn zero_stage_encloses_to_zero() {
+        // A constant zero stage is a degenerate but constructible
+        // composite; both enclosure entry points must tolerate it.
+        let zero = Polynomial::zero();
+        let enc = poly_enclosure(&zero, Interval::new(0.1, 1.0));
+        assert_eq!(enc.lo, 0.0);
+        assert_eq!(enc.hi, 0.0);
+        let paf = CompositePaf::new(vec![zero]);
+        let encs = composite_enclosure(&paf, Interval::new(0.1, 1.0));
+        assert_eq!(encs.len(), 2);
+        assert_eq!(encs[1].lo, 0.0);
+        assert_eq!(encs[1].hi, 0.0);
     }
 }

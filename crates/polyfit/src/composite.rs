@@ -6,6 +6,7 @@
 
 use crate::depth::poly_mult_depth;
 use crate::poly::Polynomial;
+use crate::polyeval::{CompositeEval, OddPowerSchedule};
 use crate::remez::minimax_sign_composite;
 use std::fmt;
 
@@ -252,7 +253,10 @@ impl CompositePaf {
     /// CKKS multiplication depth: sum over stages of
     /// `ceil(log2(degree+1))` (paper App. C).
     pub fn mult_depth(&self) -> usize {
-        self.stages.iter().map(|p| poly_mult_depth(p.degree())).sum()
+        self.stages
+            .iter()
+            .map(|p| poly_mult_depth(p.degree()))
+            .sum()
     }
 
     /// Sum of stage degrees — the paper's "27-degree" style count.
@@ -265,23 +269,28 @@ impl CompositePaf {
         self.stages.iter().map(Polynomial::degree).product()
     }
 
+    /// Prepares the evaluation engine for this composite: one packed
+    /// [`crate::PolyEval`] plan per stage. Use this on hot paths that
+    /// evaluate the same composite many times (batch ReLU, error
+    /// grids).
+    pub fn prepare(&self) -> CompositeEval {
+        CompositeEval::new(self)
+    }
+
     /// Number of ciphertext-ciphertext multiplications needed to
     /// evaluate all stages with the odd power basis
     /// (per stage: powers x², x³, then x⁵, x⁷, ... plus products).
     ///
-    /// This is the latency-dominating count under CKKS.
+    /// This is the latency-dominating count under CKKS; the per-stage
+    /// model lives in [`OddPowerSchedule::modelled_ct_mults`].
     pub fn ct_mult_count(&self) -> usize {
         self.stages
             .iter()
             .map(|p| {
-                let n_odd = p.degree().div_ceil(2);
-                // x^2 costs 1; each odd power above x costs 1; each
-                // coefficient term beyond the first costs 0 (plain mult).
-                // Summation model mirrors ckks::PafEvaluator.
-                if n_odd <= 1 {
+                if p.degree() == 0 {
                     0
                 } else {
-                    1 + (n_odd - 1)
+                    OddPowerSchedule::new(p).modelled_ct_mults()
                 }
             })
             .sum()
@@ -299,14 +308,26 @@ impl CompositePaf {
     }
 
     /// Max |paf(x) − sign(x)| over `[-1, -eps] ∪ [eps, 1]`.
+    ///
+    /// Prepares the evaluation engine once and sweeps both half-grids
+    /// through the batch backend.
     pub fn sign_error(&self, eps: f64, samples: usize) -> f64 {
-        let mut worst: f64 = 0.0;
-        for i in 0..samples {
-            let x = eps + (1.0 - eps) * i as f64 / (samples - 1) as f64;
-            worst = worst.max((self.eval(x) - 1.0).abs());
-            worst = worst.max((self.eval(-x) + 1.0).abs());
-        }
-        worst
+        let eng = self.prepare();
+        let xs: Vec<f64> = (0..samples)
+            .map(|i| eps + (1.0 - eps) * i as f64 / (samples - 1) as f64)
+            .collect();
+        let mut out = vec![0.0; samples];
+        eng.eval_slice(&xs, &mut out);
+        // paf(-x) = -paf(x) for odd stages, so |paf(-x) + 1| = |paf(x) - 1|
+        // only when the composite is odd; evaluate the negative half
+        // explicitly to keep the contract for arbitrary stages.
+        let neg: Vec<f64> = xs.iter().map(|&x| -x).collect();
+        let mut out_neg = vec![0.0; samples];
+        eng.eval_slice(&neg, &mut out_neg);
+        out.iter()
+            .map(|&v| (v - 1.0).abs())
+            .chain(out_neg.iter().map(|&v| (v + 1.0).abs()))
+            .fold(0.0, f64::max)
     }
 }
 
@@ -337,7 +358,9 @@ mod tests {
         for form in PafForm::all() {
             let paf = CompositePaf::from_form(form);
             // Mid-domain values should be close to ±1.
-            let e = (paf.eval(0.6) - 1.0).abs().max((paf.eval(-0.6) + 1.0).abs());
+            let e = (paf.eval(0.6) - 1.0)
+                .abs()
+                .max((paf.eval(-0.6) + 1.0).abs());
             assert!(e < 0.25, "{form}: error {e}");
         }
     }
@@ -370,7 +393,11 @@ mod tests {
         let paf = CompositePaf::from_form(PafForm::F1SqG1Sq);
         for i in 1..=20 {
             let x = i as f64 / 20.0;
-            assert!((paf.relu(x) - x).abs() < 0.05, "relu({x}) = {}", paf.relu(x));
+            assert!(
+                (paf.relu(x) - x).abs() < 0.05,
+                "relu({x}) = {}",
+                paf.relu(x)
+            );
             assert!(paf.relu(-x).abs() < 0.05, "relu({}) = {}", -x, paf.relu(-x));
         }
     }
@@ -453,5 +480,4 @@ mod tests {
             assert!(q.mult_depth() < CompositePaf::from_form(form).mult_depth());
         }
     }
-
 }

@@ -211,7 +211,9 @@ mod tests {
             .map(|_| {
                 let mut s = 0.0f32;
                 for _ in 0..12 {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     s += (state >> 40) as f32 / (1u64 << 24) as f32;
                 }
                 mean + std * (s - 6.0)
@@ -264,8 +266,7 @@ mod tests {
         let profile = ActivationProfile::from_samples(&samples, 64);
         let cfg = TuneConfig::default();
         let (_, low) = tune_composite(&CompositePaf::from_form(PafForm::F1G2), &profile, &cfg);
-        let (_, high) =
-            tune_composite(&CompositePaf::from_form(PafForm::F1SqG1Sq), &profile, &cfg);
+        let (_, high) = tune_composite(&CompositePaf::from_form(PafForm::F1SqG1Sq), &profile, &cfg);
         assert!(
             low.improvement() > high.improvement() * 0.5,
             "low {} vs high {}",

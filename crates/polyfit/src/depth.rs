@@ -54,7 +54,11 @@ impl DepthTrace {
         let mut depth = 0;
         for (s, &deg) in stage_degrees.iter().enumerate() {
             assert!(deg > 0, "stage degree must be positive");
-            let var = if s == 0 { "x".to_string() } else { format!("y{s}") };
+            let var = if s == 0 {
+                "x".to_string()
+            } else {
+                format!("y{s}")
+            };
             let d_stage = poly_mult_depth(deg);
             // Exponentiation by squaring: after k levels the highest
             // power of this stage's variable is 2^k.

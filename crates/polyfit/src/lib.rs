@@ -21,29 +21,38 @@
 //! ```
 
 mod alpha;
+pub mod bounds;
 mod cheb;
 mod composite;
 mod ct;
 mod depth;
 mod linalg;
-pub mod bounds;
 pub mod paper_coeffs;
-pub mod search;
 mod poly;
+pub mod polyeval;
 mod ps;
 mod remez;
+pub mod search;
 
 pub use alpha::{alpha_composite, AlphaComposite};
-pub use bounds::{certified_sign_error, certified_value_bound, composite_enclosure, poly_enclosure, Interval};
+pub use bounds::{
+    certified_sign_error, certified_value_bound, composite_enclosure, poly_enclosure, Interval,
+};
 pub use cheb::{chebyshev_fit, chebyshev_nodes};
-pub use composite::{max_via_sign, quadratic_paf, relu_via_sign, sign_exact, CompositePaf, PafForm};
+pub use composite::{
+    max_via_sign, quadratic_paf, relu_via_sign, sign_exact, CompositePaf, PafForm,
+};
 pub use ct::{tune_composite, ActivationProfile, TuneConfig, TuneReport};
 pub use depth::{poly_mult_depth, DepthStep, DepthTrace};
 pub use linalg::{solve_dense, weighted_lsq_polyfit};
 pub use poly::Polynomial;
+pub use polyeval::{CompositeEval, EvalPlan, OddPowerSchedule, PolyEval};
 pub use ps::{ps_eval, ps_plan, squaring_schedule_mults, PsPlan};
 pub use remez::{minimax_sign, minimax_sign_composite, RemezReport};
-pub use search::{enumerate_composites, min_depth_composite, min_depth_under_degree, pareto_frontier, BaseStage, Candidate, SearchConfig};
+pub use search::{
+    enumerate_composites, min_depth_composite, min_depth_under_degree, pareto_frontier, BaseStage,
+    Candidate, SearchConfig,
+};
 
 #[cfg(test)]
 mod proptests;

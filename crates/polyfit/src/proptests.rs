@@ -3,10 +3,33 @@
 use crate::composite::{max_via_sign, relu_via_sign, sign_exact, CompositePaf, PafForm};
 use crate::linalg::{solve_dense, weighted_lsq_polyfit};
 use crate::poly::Polynomial;
+use crate::polyeval::{CompositeEval, EvalPlan, PolyEval};
 use proptest::prelude::*;
 
 fn coeffs() -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(-5.0f64..5.0, 1..6)
+}
+
+/// Reference evaluation by explicit `powi` monomials — the backend the
+/// engine proptests compare everything against.
+fn naive_powi_eval(p: &Polynomial, x: f64) -> f64 {
+    p.coeffs()
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| c * x.powi(i as i32))
+        .sum()
+}
+
+/// ULP-scale agreement tolerance: reassociating a degree-`d` sum
+/// perturbs each partial by a few eps of the running magnitude.
+fn reassociation_tol(p: &Polynomial, x: f64) -> f64 {
+    let mag: f64 = p
+        .coeffs()
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c * x.powi(i as i32)).abs())
+        .sum();
+    8.0 * (p.degree() as f64 + 2.0) * f64::EPSILON * (1.0 + mag)
 }
 
 proptest! {
@@ -120,6 +143,84 @@ proptest! {
         // Relative tolerance: far outside [-1,1] composite values blow up
         // and powi-vs-Horner rounding differs in the last bits.
         prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())), "{a} vs {b}");
+    }
+
+    /// Every dense engine backend — scalar and batch — agrees with
+    /// naive powi evaluation to ULP scale on random degree ≤ 31 inputs.
+    #[test]
+    fn polyeval_dense_backends_match_naive(
+        c in proptest::collection::vec(-3.0f64..3.0, 1..32),
+        x in -1.5f64..1.5,
+    ) {
+        let p = Polynomial::new(c);
+        let want = naive_powi_eval(&p, x);
+        let tol = reassociation_tol(&p, x);
+        for plan in [EvalPlan::DenseHorner, EvalPlan::DenseEstrin, EvalPlan::DensePs] {
+            let pe = PolyEval::with_plan(&p, plan);
+            let got = pe.eval(x);
+            prop_assert!((got - want).abs() <= tol, "{plan:?}: {got} vs {want}");
+            // Batch backend must agree at every slice position.
+            let xs = [x, -x, 0.5 * x, 0.0, x];
+            let out = pe.eval_vec(&xs);
+            for (&xi, &oi) in xs.iter().zip(&out) {
+                let w = naive_powi_eval(&p, xi);
+                prop_assert!(
+                    (oi - w).abs() <= reassociation_tol(&p, xi),
+                    "{plan:?} batch at {xi}: {oi} vs {w}"
+                );
+            }
+        }
+    }
+
+    /// Odd-only inputs: the packed odd backends agree with naive powi
+    /// (and with the auto-selected plan) to ULP scale up to degree 31.
+    #[test]
+    fn polyeval_odd_backends_match_naive(
+        odd in proptest::collection::vec(-3.0f64..3.0, 1..17),
+        x in -1.5f64..1.5,
+    ) {
+        let p = Polynomial::from_odd(&odd); // degree ≤ 31, odd terms only
+        let want = naive_powi_eval(&p, x);
+        let tol = reassociation_tol(&p, x);
+        for plan in [EvalPlan::OddHorner, EvalPlan::OddEstrin, EvalPlan::DenseHorner] {
+            let pe = PolyEval::with_plan(&p, plan);
+            let got = pe.eval(x);
+            prop_assert!((got - want).abs() <= tol, "{plan:?}: {got} vs {want}");
+        }
+        let auto = PolyEval::new(&p);
+        prop_assert!(auto.plan().is_odd(), "odd input must pick a packed plan");
+        let xs: Vec<f64> = (0..11).map(|i| x * (i as f64 / 10.0)).collect();
+        let out = auto.eval_vec(&xs);
+        for (&xi, &oi) in xs.iter().zip(&out) {
+            let w = naive_powi_eval(&p, xi);
+            prop_assert!(
+                (oi - w).abs() <= reassociation_tol(&p, xi),
+                "auto batch at {xi}: {oi} vs {w}"
+            );
+        }
+    }
+
+    /// The prepared composite engine matches the unprepared composite
+    /// on scalars and slices, ReLU construction included.
+    #[test]
+    fn composite_engine_matches_unprepared(
+        odd_a in proptest::collection::vec(-2.0f64..2.0, 1..5),
+        odd_b in proptest::collection::vec(-2.0f64..2.0, 1..5),
+        x in -1.0f64..1.0,
+    ) {
+        let paf = CompositePaf::new(vec![
+            Polynomial::from_odd(&odd_a),
+            Polynomial::from_odd(&odd_b),
+        ]);
+        let eng = CompositeEval::new(&paf);
+        prop_assert!((eng.eval(x) - paf.eval(x)).abs() < 1e-9 * (1.0 + paf.eval(x).abs()));
+        prop_assert!((eng.relu(x) - paf.relu(x)).abs() < 1e-9 * (1.0 + paf.relu(x).abs()));
+        let xs = [x, -x, 0.3];
+        let mut out = [0.0; 3];
+        eng.relu_slice(&xs, &mut out);
+        for (&xi, &oi) in xs.iter().zip(&out) {
+            prop_assert!((oi - paf.relu(xi)).abs() < 1e-9 * (1.0 + oi.abs()));
+        }
     }
 }
 

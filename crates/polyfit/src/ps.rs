@@ -8,6 +8,7 @@
 //! (DESIGN.md §5 ablation).
 
 use crate::poly::Polynomial;
+use crate::polyeval::{EvalPlan, PolyEval};
 
 /// Plan for a Paterson–Stockmeyer evaluation of one polynomial.
 #[derive(Debug, Clone)]
@@ -46,33 +47,12 @@ pub fn ps_plan(d: usize) -> PsPlan {
 /// Evaluates `p(x)` with the Paterson–Stockmeyer schedule. Numerically
 /// identical to Horner up to floating-point reassociation; exists so
 /// tests can validate the schedule the ciphertext evaluator would use.
+///
+/// One-shot wrapper over the evaluation engine's
+/// [`EvalPlan::DensePs`] backend — prepare a [`PolyEval`] directly to
+/// amortise the packing across calls.
 pub fn ps_eval(p: &Polynomial, x: f64) -> f64 {
-    let coeffs = p.coeffs();
-    let d = p.degree();
-    if d == 0 {
-        return coeffs[0];
-    }
-    let plan = ps_plan(d);
-    let k = plan.block;
-    // Baby powers x^0..x^(k-1) and the giant base x^k.
-    let mut baby = vec![1.0; k];
-    for i in 1..k {
-        baby[i] = baby[i - 1] * x;
-    }
-    let xk = baby[k - 1] * x;
-    // Combine blocks highest-first (Horner in x^k).
-    let mut acc = 0.0;
-    for blk in (0..plan.blocks).rev() {
-        let mut block_val = 0.0;
-        for (i, &pow) in baby.iter().enumerate() {
-            let idx = blk * k + i;
-            if idx < coeffs.len() {
-                block_val += coeffs[idx] * pow;
-            }
-        }
-        acc = acc * xk + block_val;
-    }
-    acc
+    PolyEval::with_plan(p, EvalPlan::DensePs).eval(x)
 }
 
 /// Non-scalar multiplication count of the exponentiation-by-squaring

@@ -72,7 +72,14 @@ pub fn minimax_sign(n_odd_terms: usize, lo: f64, hi: f64) -> RemezReport {
         let err: Vec<f64> = grid.iter().map(|&x| poly.eval(x) - 1.0).collect();
         let mut extrema: Vec<(f64, f64)> = Vec::new(); // (x, e)
         for i in 0..grid_n {
-            let is_ext = (i == 0 || (err[i] - err[i - 1]) * (if i + 1 < grid_n { err[i + 1] - err[i] } else { 0.0 }) <= 0.0)
+            let is_ext = (i == 0
+                || (err[i] - err[i - 1])
+                    * (if i + 1 < grid_n {
+                        err[i + 1] - err[i]
+                    } else {
+                        0.0
+                    })
+                    <= 0.0)
                 && (i == 0 || i + 1 == grid_n || {
                     let dl = err[i] - err[i - 1];
                     let dr = err[i + 1] - err[i];
@@ -162,7 +169,7 @@ mod tests {
     #[test]
     fn degree3_minimax_equioscillates() {
         let rep = minimax_sign(2, 0.2, 1.0); // degree 3
-        // Error at the ends and interior extrema should all be ~|E|.
+                                             // Error at the ends and interior extrema should all be ~|E|.
         let e_lo = (rep.poly.eval(0.2) - 1.0).abs();
         let e_hi = (rep.poly.eval(1.0) - 1.0).abs();
         assert!((e_lo - rep.error).abs() < 1e-6, "{e_lo} vs {}", rep.error);
@@ -183,7 +190,9 @@ mod tests {
         use crate::linalg::weighted_lsq_polyfit;
         let lo = 0.3;
         let rep = minimax_sign(3, lo, 1.0);
-        let xs: Vec<f64> = (0..400).map(|i| lo + (1.0 - lo) * i as f64 / 399.0).collect();
+        let xs: Vec<f64> = (0..400)
+            .map(|i| lo + (1.0 - lo) * i as f64 / 399.0)
+            .collect();
         let ys = vec![1.0; xs.len()];
         let ws = vec![1.0; xs.len()];
         let lsq = weighted_lsq_polyfit(&xs, &ys, &ws, 5, true).unwrap();
@@ -226,11 +235,7 @@ mod tests {
         let degs: Vec<usize> = comps.iter().map(|r| r.poly.degree()).collect();
         assert_eq!(degs, vec![7, 7, 13]);
         // Final accuracy: good sign approximation over the domain.
-        let eval = |x: f64| {
-            comps
-                .iter()
-                .fold(x, |acc, r| r.poly.eval(acc))
-        };
+        let eval = |x: f64| comps.iter().fold(x, |acc, r| r.poly.eval(acc));
         for &x in &[0.02, 0.1, 0.5, 1.0] {
             assert!((eval(x) - 1.0).abs() < 1e-3, "x={x} -> {}", eval(x));
             assert!((eval(-x) + 1.0).abs() < 1e-3);

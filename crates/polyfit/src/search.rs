@@ -48,7 +48,9 @@ impl BaseStage {
         match self {
             BaseStage::F1 => Polynomial::from_odd(&[1.5, -0.5]),
             BaseStage::F2 => Polynomial::from_odd(&[1.875, -1.25, 0.375]),
-            BaseStage::F3 => Polynomial::from_odd(&[35.0 / 16.0, -35.0 / 16.0, 21.0 / 16.0, -5.0 / 16.0]),
+            BaseStage::F3 => {
+                Polynomial::from_odd(&[35.0 / 16.0, -35.0 / 16.0, 21.0 / 16.0, -5.0 / 16.0])
+            }
             BaseStage::G1 => Polynomial::from_odd(&[2126.0 / 1024.0, -1359.0 / 1024.0]),
             BaseStage::G2 => {
                 Polynomial::from_odd(&[3334.0 / 1024.0, -6108.0 / 1024.0, 3796.0 / 1024.0])
@@ -323,7 +325,12 @@ mod tests {
         };
         let loose = min_depth_composite(&c, 0.2).expect("loose tolerance reachable");
         let tight = min_depth_composite(&c, 0.02).expect("tight tolerance reachable");
-        assert!(tight.depth >= loose.depth, "{} < {}", tight.depth, loose.depth);
+        assert!(
+            tight.depth >= loose.depth,
+            "{} < {}",
+            tight.depth,
+            loose.depth
+        );
         assert!(tight.max_error <= 0.02);
     }
 

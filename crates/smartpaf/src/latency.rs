@@ -2,7 +2,7 @@
 //! the latency columns of Tab. 4).
 
 use smartpaf_ckks::{CkksParams, Evaluator, KeyChain, PafEvaluator};
-use smartpaf_polyfit::{CompositePaf, PafForm};
+use smartpaf_polyfit::{CompositePaf, OddPowerSchedule, PafForm};
 use smartpaf_tensor::Rng64;
 use std::time::{Duration, Instant};
 
@@ -14,10 +14,33 @@ pub struct LatencyReport {
     /// Median wall-clock time of one PAF-ReLU evaluation over a full
     /// ciphertext (all slots in parallel).
     pub relu_latency: Duration,
+    /// Median wall-clock time of the same batch of slots through the
+    /// plaintext evaluation engine (`CompositeEval::relu_slice`) — the
+    /// denominator of the encrypted-vs-plain slowdown the paper's
+    /// latency discussion is about.
+    pub plain_latency: Duration,
     /// CKKS multiplication depth consumed.
     pub depth: usize,
-    /// Ciphertext-ciphertext multiplication count (analytic).
+    /// Ciphertext-ciphertext multiplication count (coarse analytic
+    /// model, `CompositePaf::ct_mult_count` + the ReLU product).
     pub ct_mults: usize,
+    /// Exact ciphertext multiplication count of the even-power-ladder
+    /// schedule (`OddPowerSchedule::exact_ct_mults` + the ReLU
+    /// product).
+    pub ct_mults_exact: usize,
+}
+
+impl LatencyReport {
+    /// Encrypted-over-plain slowdown factor (∞-safe: returns
+    /// `f64::INFINITY` when the plain batch was too fast to resolve).
+    pub fn slowdown(&self) -> f64 {
+        let plain = self.plain_latency.as_secs_f64();
+        if plain == 0.0 {
+            f64::INFINITY
+        } else {
+            self.relu_latency.as_secs_f64() / plain
+        }
+    }
 }
 
 /// A reusable latency measurement rig (context + keys are expensive to
@@ -78,11 +101,33 @@ impl LatencyRig {
             })
             .collect();
         times.sort();
+        // Plaintext twin: the same slot batch through the prepared
+        // evaluation engine.
+        let eng = paf.prepare();
+        let mut plain_out = vec![0.0; values.len()];
+        eng.relu_slice(&values, &mut plain_out); // warm-up
+        let mut plain_times: Vec<Duration> = (0..iters.max(1))
+            .map(|_| {
+                let t0 = Instant::now();
+                eng.relu_slice(&values, &mut plain_out);
+                let dt = t0.elapsed();
+                std::hint::black_box(&plain_out);
+                dt
+            })
+            .collect();
+        plain_times.sort();
+        let exact: usize = paf
+            .stages()
+            .iter()
+            .map(|p| OddPowerSchedule::new(p).exact_ct_mults())
+            .sum();
         LatencyReport {
             form,
             relu_latency: times[times.len() / 2],
+            plain_latency: plain_times[plain_times.len() / 2],
             depth: PafEvaluator::relu_depth(&paf),
             ct_mults: paf.ct_mult_count() + 1,
+            ct_mults_exact: exact + 1,
         }
     }
 }
@@ -118,5 +163,24 @@ mod tests {
         assert_eq!(r.form, PafForm::Alpha7);
         assert!(r.relu_latency.as_nanos() > 0);
         assert!(r.ct_mults >= r.depth - 1);
+        // The exact ladder schedule can only cost more than the coarse
+        // model (it charges the per-term bit products too).
+        assert!(r.ct_mults_exact >= r.ct_mults);
+    }
+
+    #[test]
+    fn encrypted_eval_dwarfs_plain_engine() {
+        // The quantitative form of the paper's motivation: even on the
+        // toy ring, one encrypted PAF-ReLU costs orders of magnitude
+        // more than the plaintext engine's batch over the same slots.
+        let mut rig = rig();
+        let r = rig.measure_relu(PafForm::F1G2, 2);
+        assert!(
+            r.relu_latency > r.plain_latency,
+            "encrypted {:?} should exceed plain {:?}",
+            r.relu_latency,
+            r.plain_latency
+        );
+        assert!(r.slowdown() > 10.0, "slowdown {}", r.slowdown());
     }
 }

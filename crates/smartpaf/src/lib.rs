@@ -35,8 +35,8 @@ mod config;
 mod latency;
 mod pareto;
 mod pipeline;
-mod replace;
 mod relu_reduce;
+mod replace;
 mod scheduler;
 mod trainer;
 
@@ -44,7 +44,9 @@ pub use config::{TechniqueSet, TrainConfig};
 pub use latency::{LatencyReport, LatencyRig};
 pub use pareto::{pareto_frontier, ParetoPoint};
 pub use pipeline::{ExperimentResult, Workbench};
-pub use relu_reduce::{cull_least_sensitive, deepreduce_combo, relu_sensitivity, replace_survivors, ComboReport};
+pub use relu_reduce::{
+    cull_least_sensitive, deepreduce_combo, relu_sensitivity, replace_survivors, ComboReport,
+};
 pub use replace::{
     coefficient_tune, coefficient_tune_all, collect_relu_pafs, freeze_scales, num_slots,
     profile_slot, replace_all, replace_all_with, replace_slot, scale_static_scales,

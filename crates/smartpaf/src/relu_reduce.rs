@@ -74,7 +74,11 @@ pub fn cull_least_sensitive(model: &mut Model, sensitivity: &[f32], k: usize) ->
         .enumerate()
         .filter(|(_, s)| s.is_finite())
         .collect();
-    assert!(k <= ranked.len(), "cannot cull {k} of {} ReLUs", ranked.len());
+    assert!(
+        k <= ranked.len(),
+        "cannot cull {k} of {} ReLUs",
+        ranked.len()
+    );
     ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite sensitivity"));
     let mut targets: Vec<usize> = ranked[..k].iter().map(|&(i, _)| i).collect();
     targets.sort_unstable();
@@ -181,7 +185,10 @@ mod tests {
         let before = evaluate(&mut model, &dataset, &config);
         let _ = relu_sensitivity(&mut model, &dataset, &config);
         let after = evaluate(&mut model, &dataset, &config);
-        assert_eq!(before, after, "sensitivity probing must be side-effect free");
+        assert_eq!(
+            before, after,
+            "sensitivity probing must be side-effect free"
+        );
     }
 
     #[test]

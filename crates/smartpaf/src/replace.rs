@@ -141,9 +141,7 @@ pub fn profile_slot(
         }
         i += 1;
     });
-    let max = samples
-        .iter()
-        .fold(1e-6f32, |m, &v| m.max(v.abs()));
+    let max = samples.iter().fold(1e-6f32, |m, &v| m.max(v.abs()));
     for v in &mut samples {
         *v /= max;
     }

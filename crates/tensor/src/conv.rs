@@ -132,7 +132,11 @@ fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: &ConvSpec) -> Tenso
 /// Panics on rank or channel mismatches.
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -> Tensor {
     assert_eq!(input.shape().ndim(), 4, "conv2d input must be [N,C,H,W]");
-    assert_eq!(weight.shape().ndim(), 4, "conv2d weight must be [O,C,KH,KW]");
+    assert_eq!(
+        weight.shape().ndim(),
+        4,
+        "conv2d weight must be [O,C,KH,KW]"
+    );
     let (n, c, h, w) = (
         input.dims()[0],
         input.dims()[1],

@@ -22,7 +22,10 @@ impl PoolSpec {
     ///
     /// Panics if `k` or `stride` is zero.
     pub fn new(k: usize, stride: usize) -> Self {
-        assert!(k > 0 && stride > 0, "pool window and stride must be positive");
+        assert!(
+            k > 0 && stride > 0,
+            "pool window and stride must be positive"
+        );
         PoolSpec { k, stride }
     }
 
@@ -49,7 +52,11 @@ pub struct MaxPoolIndices {
 ///
 /// Panics unless the input is 4-D and the window fits.
 pub fn max_pool2d(input: &Tensor, spec: &PoolSpec) -> (Tensor, MaxPoolIndices) {
-    assert_eq!(input.shape().ndim(), 4, "max_pool2d input must be [N,C,H,W]");
+    assert_eq!(
+        input.shape().ndim(),
+        4,
+        "max_pool2d input must be [N,C,H,W]"
+    );
     let (n, c, h, w) = (
         input.dims()[0],
         input.dims()[1],
@@ -118,7 +125,11 @@ pub fn max_pool2d_backward(grad_output: &Tensor, indices: &MaxPoolIndices) -> Te
 ///
 /// Panics unless the input is 4-D and the window fits.
 pub fn avg_pool2d(input: &Tensor, spec: &PoolSpec) -> Tensor {
-    assert_eq!(input.shape().ndim(), 4, "avg_pool2d input must be [N,C,H,W]");
+    assert_eq!(
+        input.shape().ndim(),
+        4,
+        "avg_pool2d input must be [N,C,H,W]"
+    );
     let (n, c, h, w) = (
         input.dims()[0],
         input.dims()[1],
@@ -290,7 +301,10 @@ mod tests {
 
     #[test]
     fn overlapping_maxpool_stride_one() {
-        let x = Tensor::from_vec(vec![1.0, 5.0, 2.0, 3.0, 4.0, 0.0, 6.0, 1.0, 2.0], &[1, 1, 3, 3]);
+        let x = Tensor::from_vec(
+            vec![1.0, 5.0, 2.0, 3.0, 4.0, 0.0, 6.0, 1.0, 2.0],
+            &[1, 1, 3, 3],
+        );
         let (y, _) = max_pool2d(&x, &PoolSpec::new(2, 1));
         assert_eq!(y.dims(), &[1, 1, 2, 2]);
         assert_eq!(y.data(), &[5.0, 5.0, 6.0, 4.0]);

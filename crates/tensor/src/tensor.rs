@@ -187,7 +187,11 @@ impl Tensor {
     /// Panics if element counts differ.
     pub fn reshape_in_place(&mut self, dims: &[usize]) {
         let shape = Shape::new(dims);
-        assert_eq!(shape.numel(), self.numel(), "reshape element count mismatch");
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "reshape element count mismatch"
+        );
         self.shape = shape;
     }
 
@@ -369,7 +373,11 @@ mod tests {
         let mut rng = Rng64::new(7);
         let t = Tensor::rand_normal(&[20000], 1.0, 2.0, &mut rng);
         let mean = t.data().iter().sum::<f32>() / t.numel() as f32;
-        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = t
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / t.numel() as f32;
         assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");

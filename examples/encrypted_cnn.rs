@@ -57,8 +57,7 @@ fn main() {
     .build();
     let keys = KeyChain::generate(&ctx, &mut rng);
     let pe = PafEvaluator::new(Evaluator::new(&keys));
-    let bootstrapper =
-        smartpaf_ckks::Bootstrapper::new(pe.evaluator().clone(), pipeline.dim(), 7);
+    let bootstrapper = smartpaf_ckks::Bootstrapper::new(pe.evaluator().clone(), pipeline.dim(), 7);
 
     // A synthetic 8×8 "image".
     let image: Vec<f64> = (0..64)
@@ -68,7 +67,10 @@ fn main() {
         })
         .collect();
 
-    println!("\nencrypting one {}-pixel image into one ciphertext...", image.len());
+    println!(
+        "\nencrypting one {}-pixel image into one ciphertext...",
+        image.len()
+    );
     let ct = pe
         .evaluator()
         .encrypt_replicated(&pipeline.pad_input(&image), &mut rng);
@@ -77,11 +79,19 @@ fn main() {
     let (out_ct, stats) = pipeline.eval_encrypted(&pe, Some(&bootstrapper), &ct);
     let wall = t0.elapsed();
 
-    let enc_logits = pe.evaluator().decrypt_values(&out_ct, pipeline.output_dim());
+    let enc_logits = pe
+        .evaluator()
+        .decrypt_values(&out_ct, pipeline.output_dim());
     let plain_logits = pipeline.eval_plain(&image);
 
-    println!("encrypted inference: {wall:.2?} ({} simulated bootstraps)", stats.bootstraps);
-    println!("\n{:>5} {:>14} {:>14} {:>10}", "class", "plain logit", "enc logit", "abs err");
+    println!(
+        "encrypted inference: {wall:.2?} ({} simulated bootstraps)",
+        stats.bootstraps
+    );
+    println!(
+        "\n{:>5} {:>14} {:>14} {:>10}",
+        "class", "plain logit", "enc logit", "abs err"
+    );
     let mut max_err = 0.0f64;
     for (i, (p, e)) in plain_logits.iter().zip(&enc_logits).enumerate() {
         let err = (p - e).abs();

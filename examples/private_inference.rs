@@ -117,9 +117,7 @@ fn main() {
             if plain_pred == enc_pred { "yes" } else { "NO" }
         );
     }
-    println!(
-        "\n{agree}/{batch} encrypted predictions match the plaintext PAF model."
-    );
+    println!("\n{agree}/{batch} encrypted predictions match the plaintext PAF model.");
 }
 
 fn plain_features(x: &Tensor) -> Tensor {

@@ -12,12 +12,12 @@
 //! Run with: `cargo run -p smartpaf-examples --release --bin train_then_encrypt`
 
 use smartpaf_ckks::{Bootstrapper, CkksParams, Evaluator, KeyChain, PafEvaluator};
+use smartpaf_datasets::{Split, SynthDataset, SynthSpec};
 use smartpaf_heinfer::PipelineBuilder;
 use smartpaf_nn::{
     cross_entropy, Adam, BatchNorm2d, Conv2d, GlobalAvgPool, GroupConfig, Layer, Linear, Mode,
     OptimConfig, ReluSlot, ScaleMode,
 };
-use smartpaf_datasets::{Split, SynthDataset, SynthSpec};
 use smartpaf_polyfit::{CompositePaf, PafForm};
 use smartpaf_tensor::{Rng64, Tensor};
 
@@ -111,24 +111,39 @@ fn main() {
 
     // Phase 1: pretrain with exact ReLU.
     let mut pre_opt = Adam::new(OptimConfig {
-        paf: GroupConfig { lr: 1e-3, weight_decay: 0.0 },
-        other: GroupConfig { lr: 1e-3, weight_decay: 0.0 },
+        paf: GroupConfig {
+            lr: 1e-3,
+            weight_decay: 0.0,
+        },
+        other: GroupConfig {
+            lr: 1e-3,
+            weight_decay: 0.0,
+        },
     });
     train(&mut net, &dataset, &mut pre_opt, 80, batch);
     let exact_acc = net.accuracy(&dataset, 8, batch);
-    println!("[1] pretrained with exact ReLU:        val acc {:.1}%", exact_acc * 100.0);
+    println!(
+        "[1] pretrained with exact ReLU:        val acc {:.1}%",
+        exact_acc * 100.0
+    );
 
     // Phase 2: replace ReLU with a low-degree PAF (Dynamic Scaling) and
     // fine-tune coefficients with the paper's Tab. 5 hyperparameters.
     let base = CompositePaf::from_form(PafForm::F1G2);
     net.relu.replace_with(&base, ScaleMode::Dynamic);
     let drop_acc = net.accuracy(&dataset, 8, batch);
-    println!("[2] PAF-replaced (before fine-tune):   val acc {:.1}%", drop_acc * 100.0);
+    println!(
+        "[2] PAF-replaced (before fine-tune):   val acc {:.1}%",
+        drop_acc * 100.0
+    );
 
     let mut ft_opt = Adam::new(OptimConfig::paper_tab5());
     train(&mut net, &dataset, &mut ft_opt, 10, batch);
     let ft_acc = net.accuracy(&dataset, 8, batch);
-    println!("[3] after Tab. 5 fine-tuning (DS):     val acc {:.1}%", ft_acc * 100.0);
+    println!(
+        "[3] after Tab. 5 fine-tuning (DS):     val acc {:.1}%",
+        ft_acc * 100.0
+    );
 
     // Phase 3: DS → SS conversion and extraction of the trained PAF.
     net.relu.paf_mut().expect("replaced").freeze_scale();
@@ -138,10 +153,19 @@ fn main() {
         ScaleMode::Static(s) => s as f64,
         ScaleMode::Dynamic => unreachable!("frozen above"),
     };
-    println!("[4] Static Scaling (s = {scale:.3}):       val acc {:.1}%", ss_acc * 100.0);
+    println!(
+        "[4] Static Scaling (s = {scale:.3}):       val acc {:.1}%",
+        ss_acc * 100.0
+    );
 
     // Phase 4: compile the trained layers into the encrypted pipeline.
-    let Net { conv, bn, relu: _, pool, lin } = net;
+    let Net {
+        conv,
+        bn,
+        relu: _,
+        pool,
+        lin,
+    } = net;
     let pipeline = PipelineBuilder::new(&[3, 8, 8])
         .affine(conv)
         .affine(bn)
@@ -171,7 +195,10 @@ fn main() {
     let mut enc_hits = 0usize;
     let mut agree = 0usize;
     let t0 = std::time::Instant::now();
-    println!("\n{:>6} {:>6} {:>11} {:>10} {:>7}", "sample", "label", "plain pred", "enc pred", "match");
+    println!(
+        "\n{:>6} {:>6} {:>11} {:>10} {:>7}",
+        "sample", "label", "plain pred", "enc pred", "match"
+    );
     for i in 0..n_eval {
         let (x, label) = dataset.sample(Split::Val, i);
         let flat: Vec<f64> = x.data().iter().map(|&v| v as f64).collect();
@@ -180,7 +207,9 @@ fn main() {
             .evaluator()
             .encrypt_replicated(&pipeline.pad_input(&flat), &mut rng);
         let (out_ct, _) = pipeline.eval_encrypted(&pe, Some(&bs), &ct);
-        let enc_logits = pe.evaluator().decrypt_values(&out_ct, pipeline.output_dim());
+        let enc_logits = pe
+            .evaluator()
+            .decrypt_values(&out_ct, pipeline.output_dim());
         let p = argmax(&plain_logits);
         let e = argmax(&enc_logits);
         plain_hits += (p == label) as usize;

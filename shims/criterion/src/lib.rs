@@ -13,10 +13,29 @@
 //! `sample_size` samples. Passing `--test` (as `cargo test` does for
 //! bench targets) runs every routine exactly once without timing.
 //!
+//! Machine-readable output: [`Criterion::json_output`] (or the
+//! `CRITERION_JSON` environment variable) names a file that receives
+//! one JSON document with every benchmark's id and min/mean/max
+//! nanoseconds when the harness finishes. In `--test` fast-path mode
+//! the file is still written (timings zero, `"mode": "test"`), so CI
+//! smoke jobs can assert the emission works without paying for real
+//! samples.
+//!
 //! [`criterion`]: https://docs.rs/criterion
 
 use std::fmt;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// One benchmark's aggregate, destined for the JSON report.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    id: String,
+    samples: usize,
+    min_ns: u128,
+    mean_ns: u128,
+    max_ns: u128,
+}
 
 /// Opaque value barrier preventing the optimiser from deleting the
 /// benchmarked computation.
@@ -31,11 +50,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -67,6 +90,8 @@ impl Bencher<'_> {
 pub struct Criterion {
     sample_size: usize,
     test_mode: bool,
+    json_path: Option<PathBuf>,
+    records: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
@@ -74,6 +99,8 @@ impl Default for Criterion {
         Criterion {
             sample_size: 100,
             test_mode: std::env::args().any(|a| a == "--test"),
+            json_path: std::env::var_os("CRITERION_JSON").map(PathBuf::from),
+            records: Vec::new(),
         }
     }
 }
@@ -86,11 +113,22 @@ impl Criterion {
         self
     }
 
+    /// Writes a machine-readable JSON report to `path` when the
+    /// harness finishes (builder-style). The `CRITERION_JSON`
+    /// environment variable overrides this at run time.
+    pub fn json_output(mut self, path: impl Into<PathBuf>) -> Self {
+        if self.json_path.is_none() {
+            self.json_path = Some(path.into());
+        }
+        self
+    }
+
     pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(id, self.sample_size, self.test_mode, f);
+        let rec = run_one(id, self.sample_size, self.test_mode, f);
+        self.records.push(rec);
         self
     }
 
@@ -99,9 +137,56 @@ impl Criterion {
             name: group_name.into(),
             sample_size: self.sample_size,
             test_mode: self.test_mode,
-            _criterion: self,
+            criterion: self,
         }
     }
+}
+
+impl Drop for Criterion {
+    /// Flushes the JSON report when the group runner finishes with
+    /// this `Criterion` (the `criterion_group!`-generated function owns
+    /// it for exactly one run).
+    fn drop(&mut self) {
+        let Some(path) = self.json_path.take() else {
+            return;
+        };
+        if self.records.is_empty() {
+            return;
+        }
+        let mode = if self.test_mode { "test" } else { "bench" };
+        let mut body = String::from("{\n");
+        body.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+        body.push_str("  \"benchmarks\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let sep = if i + 1 == self.records.len() { "" } else { "," };
+            body.push_str(&format!(
+                "    {{\"id\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}}}{sep}\n",
+                json_escape(&r.id),
+                r.samples,
+                r.min_ns,
+                r.mean_ns,
+                r.max_ns
+            ));
+        }
+        body.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("criterion shim: failed to write {}: {e}", path.display());
+        } else {
+            println!("criterion shim: wrote JSON report to {}", path.display());
+        }
+    }
+}
+
+/// Minimal JSON string escaping for benchmark ids.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// A named group of related benchmarks sharing configuration.
@@ -109,7 +194,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     test_mode: bool,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -124,16 +209,23 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
-        run_one(&full, self.sample_size, self.test_mode, f);
+        let rec = run_one(&full, self.sample_size, self.test_mode, f);
+        self.criterion.records.push(rec);
         self
     }
 
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id.id);
-        run_one(&full, self.sample_size, self.test_mode, |b| f(b, input));
+        let rec = run_one(&full, self.sample_size, self.test_mode, |b| f(b, input));
+        self.criterion.records.push(rec);
         self
     }
 
@@ -153,21 +245,39 @@ impl IntoBenchmarkId for BenchmarkId {
 
 impl IntoBenchmarkId for &str {
     fn into_benchmark_id(self) -> BenchmarkId {
-        BenchmarkId { id: self.to_string() }
+        BenchmarkId {
+            id: self.to_string(),
+        }
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, test_mode: bool, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    test_mode: bool,
+    mut f: F,
+) -> BenchRecord {
     let mut samples = Vec::with_capacity(sample_size);
-    let mut bencher = Bencher { sample_size, test_mode, samples: &mut samples };
+    let mut bencher = Bencher {
+        sample_size,
+        test_mode,
+        samples: &mut samples,
+    };
     f(&mut bencher);
+    let zero = BenchRecord {
+        id: id.to_string(),
+        samples: 0,
+        min_ns: 0,
+        mean_ns: 0,
+        max_ns: 0,
+    };
     if test_mode {
         println!("{id}: ok (test mode)");
-        return;
+        return zero;
     }
     if samples.is_empty() {
         println!("{id}: no samples recorded");
-        return;
+        return zero;
     }
     let total: Duration = samples.iter().sum();
     let mean = total / samples.len() as u32;
@@ -179,6 +289,13 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, test_mode: bool
         fmt_duration(mean),
         fmt_duration(max)
     );
+    BenchRecord {
+        id: id.to_string(),
+        samples: samples.len(),
+        min_ns: min.as_nanos(),
+        mean_ns: mean.as_nanos(),
+        max_ns: max.as_nanos(),
+    }
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -246,5 +363,35 @@ mod tests {
     #[test]
     fn group_runner_executes() {
         benches();
+    }
+
+    #[test]
+    fn json_report_emitted_on_drop() {
+        let path = std::env::temp_dir().join("criterion_shim_json_test.json");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut c = Criterion {
+                sample_size: 2,
+                test_mode: false,
+                json_path: Some(path.clone()),
+                records: Vec::new(),
+            };
+            c.bench_function("json_demo", |b| b.iter(|| (0..10u64).sum::<u64>()));
+            let mut g = c.benchmark_group("grp");
+            g.bench_function("inner", |b| b.iter(|| 1u64 + 1));
+            g.finish();
+        } // drop flushes the report
+        let body = std::fs::read_to_string(&path).expect("report written");
+        assert!(body.contains("\"id\": \"json_demo\""), "{body}");
+        assert!(body.contains("\"id\": \"grp/inner\""), "{body}");
+        assert!(body.contains("\"mode\": \"bench\""), "{body}");
+        assert!(body.contains("\"mean_ns\""), "{body}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\tend"), "tab\\u0009end");
     }
 }

@@ -139,7 +139,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length spec for [`vec`]: a fixed `usize` or a `Range<usize>`.
+    /// Length spec for [`vec()`]: a fixed `usize` or a `Range<usize>`.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -155,7 +155,10 @@ pub mod collection {
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec length range");
-            SizeRange { lo: r.start, hi: r.end }
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
         }
     }
 
@@ -166,7 +169,10 @@ pub mod collection {
 
     /// `proptest::collection::vec`: a Vec of values from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {

@@ -19,9 +19,7 @@ fn every_form_relu_matches_plaintext() {
     for form in PafForm::all() {
         let paf = CompositePaf::from_form(form);
         let ct = pe.evaluator().encrypt_values(&xs, &mut rng);
-        let out = pe
-            .evaluator()
-            .decrypt_values(&pe.relu(&ct, &paf), xs.len());
+        let out = pe.evaluator().decrypt_values(&pe.relu(&ct, &paf), xs.len());
         for (x, got) in xs.iter().zip(&out) {
             let want = paf.relu(*x);
             assert!(
@@ -62,9 +60,6 @@ fn static_scale_folding_matches_encrypted_path() {
         .decrypt_values(&pe.eval_composite(&ct, &folded), xs.len());
     for (x, got) in xs.iter().zip(&out) {
         let want = paf.eval(x / s);
-        assert!(
-            (got - want).abs() < 5e-2,
-            "x={x}: {got} vs {want}"
-        );
+        assert!((got - want).abs() < 5e-2, "x={x}: {got} vs {want}");
     }
 }

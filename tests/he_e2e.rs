@@ -28,9 +28,7 @@ fn ct_tuned_paf_runs_encrypted() {
     // Profile: activations concentrated in [-0.3, 0.3] (post-BN conv
     // outputs scaled by the running max).
     let mut rng = Rng64::new(71);
-    let samples: Vec<f32> = (0..4096)
-        .map(|_| (rng.next_f32() - 0.5) * 0.6)
-        .collect();
+    let samples: Vec<f32> = (0..4096).map(|_| (rng.next_f32() - 0.5) * 0.6).collect();
     let profile = ActivationProfile::from_samples(&samples, 64);
     let base = CompositePaf::from_form(PafForm::F1G2);
     let (tuned, _) = tune_composite(&base, &profile, &TuneConfig::default());
@@ -80,7 +78,10 @@ fn searched_composite_signs_under_encryption() {
     };
     let cand = min_depth_composite(&cfg, 0.25).expect("tolerance reachable");
     let paf = cand.to_composite();
-    assert!(paf.mult_depth() <= 8, "search should find a shallow composite");
+    assert!(
+        paf.mult_depth() <= 8,
+        "search should find a shallow composite"
+    );
 
     let (pe, mut rng) = setup_he(73);
     let xs: Vec<f64> = vec![-0.9, -0.5, -0.1, 0.1, 0.5, 0.9];

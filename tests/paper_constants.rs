@@ -12,7 +12,11 @@ fn model_nonpoly_counts_match_paper_section_5_1() {
     let mut vgg = vgg19(10, 0.0625, &mut rng);
     assert_eq!(vgg.slot_counts(), (18, 5), "VGG-19: 18 ReLU + 5 MaxPool");
     let mut resnet = resnet18(10, 0.0625, &mut rng);
-    assert_eq!(resnet.slot_counts(), (17, 1), "ResNet-18: 17 ReLU + 1 MaxPool");
+    assert_eq!(
+        resnet.slot_counts(),
+        (17, 1),
+        "ResNet-18: 17 ReLU + 1 MaxPool"
+    );
 }
 
 #[test]

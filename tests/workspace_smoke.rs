@@ -22,7 +22,11 @@ fn ckks_stack_constructs() {
     let pe = PafEvaluator::new(Evaluator::new(&keys));
     let ct = pe.evaluator().encrypt_values(&[0.25], &mut rng);
     let out = pe.evaluator().decrypt_values(&ct, 1);
-    assert!((out[0] - 0.25).abs() < 1e-2, "round trip drifted: {}", out[0]);
+    assert!(
+        (out[0] - 0.25).abs() < 1e-2,
+        "round trip drifted: {}",
+        out[0]
+    );
 }
 
 /// tensor → mini_cnn → one forward pass over a synthetic batch.
@@ -44,7 +48,9 @@ fn polyfit_and_heinfer_construct() {
     assert_eq!(p.eval(0.5), 0.5);
 
     let paf = CompositePaf::from_form(PafForm::F1G2);
-    let pipe = PipelineBuilder::new(&[1, 4, 4]).paf_relu(&paf, 1.0).compile();
+    let pipe = PipelineBuilder::new(&[1, 4, 4])
+        .paf_relu(&paf, 1.0)
+        .compile();
     let x = vec![0.25f64; 16];
     let y = pipe.eval_plain(&x);
     assert_eq!(y.len(), 16);
