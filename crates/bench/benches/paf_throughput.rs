@@ -1,0 +1,90 @@
+//! Criterion benchmark: batched pipeline throughput across thread
+//! counts.
+//!
+//! The ablation pipeline is the MNIST-scale CNN (8×8 input, conv →
+//! PAF-ReLU → PAF-maxpool → linear head) compiled once; a fixed batch
+//! of inputs then runs through `BatchRunner` at 1/2/4/8 worker
+//! threads, plus the single-input `eval_plain` loop as the sequential
+//! reference. Group metadata records the threads × batch dims so the
+//! JSON report (`BENCH_throughput.json` via `CRITERION_JSON`) is
+//! self-describing.
+//!
+//! The interesting ratio is `threads_4` vs `sequential`: on a
+//! multi-core host the sharded runner should deliver ≥ 2× the
+//! sequential throughput; on a single-core container the numbers
+//! collapse to parity, which the recorded `threads` metadata makes
+//! visible instead of mysterious.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smartpaf_heinfer::{BatchRunner, HePipeline, PipelineBuilder};
+use smartpaf_nn::{Conv2d, Flatten, Linear};
+use smartpaf_polyfit::{CompositePaf, PafForm};
+use smartpaf_tensor::Rng64;
+
+const BATCH: usize = 256;
+const INPUT_DIM: usize = 64; // 1×8×8
+
+fn ablation_pipeline() -> HePipeline {
+    let mut rng = Rng64::new(42);
+    let relu = CompositePaf::from_form(PafForm::F1G2);
+    let pool = CompositePaf::from_form(PafForm::Alpha7);
+    PipelineBuilder::new(&[1, 8, 8])
+        .affine(Conv2d::new(1, 4, 3, 1, 1, &mut rng))
+        .paf_relu(&relu, 6.0)
+        .paf_maxpool(2, 2, &pool, 8.0)
+        .affine(Flatten::new())
+        .affine(Linear::new(64, 10, &mut rng))
+        .compile()
+        .fold_scales()
+}
+
+fn batch_inputs() -> Vec<Vec<f64>> {
+    (0..BATCH)
+        .map(|i| {
+            (0..INPUT_DIM)
+                .map(|j| (((i * INPUT_DIM + j) * 131) % 257) as f64 / 128.5 - 1.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let pipe = ablation_pipeline();
+    let inputs = batch_inputs();
+
+    let mut group = c.benchmark_group("paf_throughput");
+    group.sample_size(10);
+    group.meta("batch", format!("{BATCH}x{INPUT_DIM}"));
+    group.meta("stages", pipe.stages().len());
+
+    // Sequential reference: the single-input entry point in a loop.
+    group.meta("threads", 0);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for x in &inputs {
+                acc += pipe.eval_plain(x)[0];
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    for threads in [1usize, 2, 4, 8] {
+        let runner = BatchRunner::new(threads);
+        group.meta("threads", threads);
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                let run = runner.run_plain(&pipe, &inputs).expect("valid batch");
+                std::hint::black_box(run.outputs.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().json_output("BENCH_throughput.json");
+    targets = bench_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,281 @@
+//! Quantitative bench-regression gate.
+//!
+//! Diffs a freshly emitted criterion-shim JSON report against a
+//! committed reference with a *normalized* tolerance band: per-id
+//! ratios `current/reference` are divided by the run's median ratio,
+//! so a uniformly slower or faster host (CI runner vs the machine the
+//! reference was recorded on) cancels out and only *relative*
+//! regressions — one benchmark drifting away from its peers, like the
+//! PR-1 `horner_odd_deg7` incident — trip the gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_diff <current.json> <reference.json> [tolerance]
+//! ```
+//!
+//! `tolerance` (default 3.0, override with the third argument or the
+//! `BENCH_DIFF_TOL` environment variable) is the maximum allowed
+//! normalized ratio. Comparisons use each record's `min_ns` — the
+//! best-of-samples statistic, which is far less sensitive to scheduler
+//! hiccups than the mean on shared CI runners. A current report in
+//! `--test` mode (all timings zero) downgrades to a structural check:
+//! every reference id must still exist. Exit code 1 on any regression
+//! or missing id.
+
+use std::process::ExitCode;
+
+/// One parsed benchmark record.
+#[derive(Debug, Clone, PartialEq)]
+struct Record {
+    id: String,
+    best_ns: u128,
+}
+
+/// Extracts the string value following `"key": "` on a line.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    // Ids are shim-escaped; unescape the two sequences we emit.
+    let end = {
+        let bytes = rest.as_bytes();
+        let mut i = 0;
+        loop {
+            match bytes.get(i)? {
+                b'\\' => i += 2,
+                b'"' => break i,
+                _ => i += 1,
+            }
+        }
+    };
+    Some(rest[..end].replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+/// Extracts the integer value following `"key": ` on a line.
+fn int_field(line: &str, key: &str) -> Option<u128> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Parses a criterion-shim JSON report into (mode, records).
+fn parse_report(body: &str) -> (String, Vec<Record>) {
+    let mode = body
+        .lines()
+        .find_map(|l| string_field(l, "mode"))
+        .unwrap_or_else(|| "bench".to_string());
+    let records = body
+        .lines()
+        .filter(|l| l.contains("\"id\": "))
+        .filter_map(|l| {
+            Some(Record {
+                id: string_field(l, "id")?,
+                best_ns: int_field(l, "min_ns")?,
+            })
+        })
+        .collect();
+    (mode, records)
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    values[values.len() / 2]
+}
+
+fn run(current_body: &str, reference_body: &str, tolerance: f64) -> Result<String, String> {
+    let (cur_mode, current) = parse_report(current_body);
+    let (ref_mode, reference) = parse_report(reference_body);
+    if ref_mode != "bench" {
+        return Err("reference report must be a timed run (mode \"bench\")".into());
+    }
+    if reference.is_empty() {
+        return Err("reference report has no benchmarks".into());
+    }
+
+    let missing: Vec<&str> = reference
+        .iter()
+        .filter(|r| !current.iter().any(|c| c.id == r.id))
+        .map(|r| r.id.as_str())
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!(
+            "{} reference benchmark(s) missing from the current report: {}",
+            missing.len(),
+            missing.join(", ")
+        ));
+    }
+
+    if cur_mode == "test" {
+        return Ok(format!(
+            "structural check only (current report is --test mode): all {} reference ids present",
+            reference.len()
+        ));
+    }
+
+    let mut pairs: Vec<(&str, f64)> = Vec::new();
+    for r in &reference {
+        if r.best_ns == 0 {
+            continue;
+        }
+        let cur = current
+            .iter()
+            .find(|c| c.id == r.id)
+            .expect("checked above");
+        pairs.push((&r.id, cur.best_ns as f64 / r.best_ns as f64));
+    }
+    if pairs.is_empty() {
+        return Err("no timed benchmarks to compare".into());
+    }
+    let mut ratios: Vec<f64> = pairs.iter().map(|(_, r)| *r).collect();
+    let m = median(&mut ratios);
+    if m <= 0.0 {
+        return Err("degenerate median ratio".into());
+    }
+
+    let mut report = format!(
+        "compared {} benchmarks; host speed factor (median ratio) {m:.3}, tolerance {tolerance}x\n",
+        pairs.len()
+    );
+    let mut regressions = Vec::new();
+    for (id, ratio) in &pairs {
+        let normalized = ratio / m;
+        let flag = if normalized > tolerance {
+            regressions.push(format!("{id}: {normalized:.2}x over the fleet median"));
+            "  REGRESSION"
+        } else {
+            ""
+        };
+        report.push_str(&format!(
+            "  {id:<44} ratio {ratio:>7.3}  normalized {normalized:>6.3}{flag}\n"
+        ));
+    }
+    if regressions.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!(
+            "{report}\nquantitative regressions:\n  {}",
+            regressions.join("\n  ")
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: bench_diff <current.json> <reference.json> [tolerance]");
+        return ExitCode::FAILURE;
+    }
+    // An explicit tolerance (argument or env var) that fails to parse
+    // must abort, not silently fall back — a typo'd band would let
+    // real regressions through a looser default gate.
+    let tolerance = match args
+        .get(3)
+        .cloned()
+        .or_else(|| std::env::var("BENCH_DIFF_TOL").ok())
+    {
+        Some(s) => match s.parse::<f64>() {
+            Ok(t) if t > 0.0 => t,
+            _ => {
+                eprintln!("bench_diff: invalid tolerance {s:?} (need a positive number)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => 3.0,
+    };
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let result = read(&args[1])
+        .and_then(|cur| read(&args[2]).map(|re| (cur, re)))
+        .and_then(|(cur, re)| run(&cur, &re, tolerance));
+    match result {
+        Ok(report) => {
+            println!("bench_diff: OK\n{report}");
+            ExitCode::SUCCESS
+        }
+        Err(report) => {
+            eprintln!("bench_diff: FAILED\n{report}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(mode: &str, entries: &[(&str, u128)]) -> String {
+        let mut body = format!("{{\n  \"mode\": \"{mode}\",\n  \"benchmarks\": [\n");
+        for (i, (id, mean)) in entries.iter().enumerate() {
+            let sep = if i + 1 == entries.len() { "" } else { "," };
+            body.push_str(&format!(
+                "    {{\"id\": \"{id}\", \"samples\": 3, \"min_ns\": {mean}, \"mean_ns\": {mean}, \"max_ns\": {mean}}}{sep}\n"
+            ));
+        }
+        body.push_str("  ]\n}\n");
+        body
+    }
+
+    #[test]
+    fn parses_shim_output_with_and_without_meta() {
+        let body = "{\n  \"mode\": \"bench\",\n  \"benchmarks\": [\n    {\"id\": \"a/b\", \"samples\": 2, \"min_ns\": 5, \"mean_ns\": 7, \"max_ns\": 9, \"meta\": {\"threads\": \"4\"}}\n  ]\n}\n";
+        let (mode, recs) = parse_report(body);
+        assert_eq!(mode, "bench");
+        assert_eq!(
+            recs,
+            vec![Record {
+                id: "a/b".into(),
+                best_ns: 5
+            }]
+        );
+    }
+
+    #[test]
+    fn uniform_slowdown_passes() {
+        // 2.5× slower across the board: a slower host, not a regression.
+        let reference = report("bench", &[("a", 100), ("b", 200), ("c", 400)]);
+        let current = report("bench", &[("a", 250), ("b", 500), ("c", 1000)]);
+        assert!(run(&current, &reference, 3.0).is_ok());
+    }
+
+    #[test]
+    fn single_benchmark_regression_fails() {
+        // One benchmark 10× over its peers' drift.
+        let reference = report("bench", &[("a", 100), ("b", 200), ("c", 400)]);
+        let current = report("bench", &[("a", 100), ("b", 200), ("c", 4000)]);
+        let err = run(&current, &reference, 3.0).unwrap_err();
+        assert!(err.contains("REGRESSION"), "{err}");
+        assert!(err.contains('c'), "{err}");
+    }
+
+    #[test]
+    fn missing_reference_id_fails() {
+        let reference = report("bench", &[("a", 100), ("gone", 200)]);
+        let current = report("bench", &[("a", 100)]);
+        let err = run(&current, &reference, 3.0).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+        assert!(err.contains("gone"), "{err}");
+    }
+
+    #[test]
+    fn test_mode_downgrades_to_structural_check() {
+        let reference = report("bench", &[("a", 100), ("b", 200)]);
+        let current = report("test", &[("a", 0), ("b", 0)]);
+        let ok = run(&current, &reference, 3.0).unwrap();
+        assert!(ok.contains("structural"), "{ok}");
+        // But a missing id still fails even in test mode.
+        let partial = report("test", &[("a", 0)]);
+        assert!(run(&partial, &reference, 3.0).is_err());
+    }
+
+    #[test]
+    fn reference_must_be_timed() {
+        let reference = report("test", &[("a", 0)]);
+        let current = report("bench", &[("a", 100)]);
+        assert!(run(&current, &reference, 3.0).is_err());
+    }
+}

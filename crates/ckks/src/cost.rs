@@ -31,6 +31,28 @@ fn digits_for(bits: u32) -> usize {
     bits.div_ceil(crate::keys::DIGIT_BITS) as usize
 }
 
+/// Work of one ciphertext-ciphertext multiply + relinearisation at
+/// `limbs` limbs, in 64-bit modular multiplies: 4 limb-wise ring mults
+/// for the tensor product, then per prime `digits` decomposed polys
+/// each multiplied against 2 key components.
+pub fn ct_mult_modmuls(params: &CkksParams, limbs: usize) -> u128 {
+    let n = params.n as u128;
+    let digits = digits_for(params.scale_prime_bits); // scale primes dominate
+    (limbs as u128) * n * (4 + 2 * (limbs * digits) as u128)
+}
+
+/// Work of one rescale leaving `limbs` limbs, in modular multiplies
+/// (iNTT + NTT per remaining limb plus the division pass).
+pub fn rescale_modmuls(params: &CkksParams, limbs: usize) -> u128 {
+    (limbs as u128) * (params.n as u128) * 3
+}
+
+/// Work of one plaintext-constant multiply at `limbs` limbs, in
+/// modular multiplies.
+pub fn const_mult_modmuls(params: &CkksParams, limbs: usize) -> u128 {
+    (limbs as u128) * (params.n as u128)
+}
+
 /// Counts the operations of one PAF-ReLU at the given parameters.
 ///
 /// Mirrors the `PafEvaluator` schedule: per stage, an even-power
@@ -39,7 +61,6 @@ fn digits_for(bits: u32) -> usize {
 /// construction.
 pub fn relu_op_counts(params: &CkksParams, paf: &CompositePaf) -> OpCounts {
     let mut level = params.depth + 1; // limbs at the current point
-    let n = params.n as u128;
     let mut c = OpCounts {
         ct_mults: 0,
         const_mults: 0,
@@ -49,22 +70,18 @@ pub fn relu_op_counts(params: &CkksParams, paf: &CompositePaf) -> OpCounts {
     };
     let add_ct_mult = |c: &mut OpCounts, limbs: usize| {
         c.ct_mults += 1;
-        // 4 limb-wise ring mults for the tensor product + relin:
-        // per prime, `digits` decomposed polys each multiplied against
-        // 2 key components, plus the NTTs to lift the digits.
-        let digits = digits_for(40); // scale primes dominate
+        let digits = digits_for(params.scale_prime_bits);
         c.ntts += limbs * digits; // digit lifts
-        c.modmuls += (limbs as u128) * n * (4 + 2 * (limbs * digits) as u128);
+        c.modmuls += ct_mult_modmuls(params, limbs);
     };
     let add_rescale = |c: &mut OpCounts, limbs: usize| {
         c.rescales += 1;
-        // iNTT + NTT per remaining limb plus the division pass.
         c.ntts += 2 * limbs;
-        c.modmuls += (limbs as u128) * n * 3;
+        c.modmuls += rescale_modmuls(params, limbs);
     };
     let add_const = |c: &mut OpCounts, limbs: usize| {
         c.const_mults += 1;
-        c.modmuls += (limbs as u128) * n;
+        c.modmuls += const_mult_modmuls(params, limbs);
     };
 
     for stage in paf.stages() {
@@ -253,6 +270,26 @@ mod tests {
         let sparse = matvec_bsgs_modmuls(&params, 64, 4, 8);
         let dense = matvec_bsgs_modmuls(&params, 64, 64, 8);
         assert!(sparse < dense);
+    }
+
+    #[test]
+    fn primitive_helpers_compose_into_relu_counts() {
+        // The public per-op helpers must stay the building blocks of
+        // the full ReLU model: a hand-assembled degree-1 stage
+        // (const mult + rescale, then the ReLU ct-mult + const + two
+        // rescales) reproduces `relu_op_counts` exactly.
+        let params = CkksParams::default_params();
+        let paf = CompositePaf::new(vec![smartpaf_polyfit::Polynomial::from_odd(&[2.0])]);
+        let c = relu_op_counts(&params, &paf);
+        let top = params.depth + 1;
+        let want = const_mult_modmuls(&params, top)
+            + rescale_modmuls(&params, top - 1)
+            + ct_mult_modmuls(&params, top - 1)
+            + rescale_modmuls(&params, top - 2)
+            + const_mult_modmuls(&params, top - 1)
+            + rescale_modmuls(&params, top - 2);
+        assert_eq!(c.modmuls, want);
+        assert!(ct_mult_modmuls(&params, 8) > const_mult_modmuls(&params, 8));
     }
 
     #[test]

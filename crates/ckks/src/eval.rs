@@ -26,8 +26,12 @@ impl PafEvaluator {
         &self.ev
     }
 
-    /// Levels a ReLU evaluation with this PAF will consume
-    /// (sign depth + 1 for the `x·sign(x)` product).
+    /// Levels a ReLU evaluation with this PAF will consume (sign depth
+    /// plus one for the `x·sign(x)` product). A PAF-Max costs the same
+    /// — sign of the difference plus the `(x−y)·sign(x−y)` product —
+    /// so this is also the atomic depth of each round of an encrypted
+    /// max-pool fold (`smartpaf-heinfer`'s `PafOp::atomic_depth`
+    /// delegates here).
     pub fn relu_depth(paf: &CompositePaf) -> usize {
         paf.mult_depth() + 1
     }

@@ -1,0 +1,346 @@
+//! Threaded batch execution of a compiled pipeline.
+//!
+//! [`BatchRunner`] shards a batch of independent inputs across
+//! `std::thread` workers. Each worker gets its own backend (one
+//! [`PafEvaluator`] clone per worker on the encrypted path), inputs are
+//! split into contiguous index ranges, and results come back in input
+//! order. On the plain path a 4-thread run is bit-identical to the
+//! sequential one, only faster. The encrypted path keeps the same
+//! deterministic result *order*, but a shared [`Bootstrapper`] draws
+//! its re-encryption randomness from one RNG, so when refreshes fire
+//! the exact ciphertext bits (not the decrypted values) depend on
+//! thread interleaving.
+
+use crate::backends::{CkksBackend, PlainBackend};
+use crate::exec::{RunError, RunStats};
+use crate::pipeline::HePipeline;
+use smartpaf_ckks::{Bootstrapper, Ciphertext, PafEvaluator};
+use std::time::{Duration, Instant};
+
+/// Result of one batch run: outputs and per-input statistics, both in
+/// input order.
+#[derive(Debug, Clone)]
+pub struct BatchRun<T> {
+    /// One output per input, in input order.
+    pub outputs: Vec<T>,
+    /// Per-input run statistics, parallel to `outputs`.
+    pub stats: Vec<RunStats>,
+    /// Wall-clock time of the whole batch (including sharding).
+    pub wall: Duration,
+    /// Worker threads the batch actually used (configured count,
+    /// clamped to the number of contiguous shards the batch split
+    /// into).
+    pub threads: usize,
+}
+
+impl<T> BatchRun<T> {
+    /// Total bootstraps across the batch.
+    pub fn total_bootstraps(&self) -> usize {
+        self.stats.iter().map(|s| s.bootstraps).sum()
+    }
+
+    /// Total levels consumed across the batch.
+    pub fn total_levels(&self) -> usize {
+        self.stats.iter().map(RunStats::total_levels).sum()
+    }
+
+    /// Inputs processed per second of wall-clock time
+    /// (`f64::INFINITY` when the batch was too fast to resolve).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.outputs.len() as f64 / secs
+        }
+    }
+}
+
+/// Shards batches of pipeline inputs across worker threads.
+///
+/// # Example
+///
+/// ```
+/// use smartpaf_heinfer::{BatchRunner, PipelineBuilder};
+/// use smartpaf_nn::Linear;
+/// use smartpaf_polyfit::{CompositePaf, PafForm};
+/// use smartpaf_tensor::Rng64;
+///
+/// let mut rng = Rng64::new(5);
+/// let paf = CompositePaf::from_form(PafForm::F1G2);
+/// let pipe = PipelineBuilder::new(&[4])
+///     .affine(Linear::new(4, 4, &mut rng))
+///     .paf_relu(&paf, 2.0)
+///     .compile();
+/// let inputs: Vec<Vec<f64>> = (0..8)
+///     .map(|i| vec![i as f64 / 4.0 - 1.0; 4])
+///     .collect();
+/// let run = BatchRunner::new(2).run_plain(&pipe, &inputs).unwrap();
+/// assert_eq!(run.outputs.len(), 8);
+/// assert_eq!(run.outputs[3], pipe.eval_plain(&inputs[3]));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRunner {
+    threads: usize,
+}
+
+impl BatchRunner {
+    /// Creates a runner with the given worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one worker thread");
+        BatchRunner { threads }
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs a batch of plaintext inputs through the pipeline's plain
+    /// backend. Outputs are truncated to the logical output dimension,
+    /// exactly like [`HePipeline::eval_plain`].
+    pub fn run_plain(
+        &self,
+        pipe: &HePipeline,
+        inputs: &[Vec<f64>],
+    ) -> Result<BatchRun<Vec<f64>>, RunError> {
+        // Validate every input up front so no thread spawns for a
+        // malformed batch.
+        let padded: Vec<Vec<f64>> = inputs
+            .iter()
+            .map(|x| pipe.try_pad_input(x))
+            .collect::<Result<_, _>>()?;
+        self.run_sharded(
+            &padded,
+            || PlainBackend,
+            |backend, x| {
+                let (mut out, stats) = pipe.run(backend, x.clone())?;
+                out.truncate(pipe.output_dim());
+                Ok((out, stats))
+            },
+        )
+    }
+
+    /// Runs a batch of encrypted inputs, one evaluator clone per
+    /// worker. The optional [`Bootstrapper`] is shared — its refresh
+    /// counter aggregates across the whole batch.
+    pub fn run_encrypted(
+        &self,
+        pipe: &HePipeline,
+        pe: &PafEvaluator,
+        bootstrapper: Option<&Bootstrapper>,
+        inputs: &[Ciphertext],
+    ) -> Result<BatchRun<Ciphertext>, RunError> {
+        self.run_sharded(
+            inputs,
+            || pe.clone(),
+            |worker_pe, ct| {
+                let mut backend = CkksBackend::new(worker_pe, bootstrapper);
+                pipe.run(&mut backend, ct.clone())
+            },
+        )
+    }
+
+    /// The generic shard-spawn-join loop: contiguous input ranges, one
+    /// worker state per thread, results re-assembled in input order.
+    fn run_sharded<I, O, W>(
+        &self,
+        inputs: &[I],
+        make_worker: impl Fn() -> W + Sync,
+        eval: impl Fn(&mut W, &I) -> Result<(O, RunStats), RunError> + Sync,
+    ) -> Result<BatchRun<O>, RunError>
+    where
+        I: Sync,
+        O: Send,
+    {
+        let start = Instant::now();
+        let workers = self.threads.min(inputs.len()).max(1);
+        let chunk = inputs.len().div_ceil(workers);
+        // Chunk rounding can leave fewer shards than `workers` (e.g.
+        // 5 inputs on 4 threads → chunks of 2 → 3 shards); report the
+        // count that actually runs.
+        let workers = if inputs.is_empty() {
+            1
+        } else {
+            inputs.len().div_ceil(chunk)
+        };
+        let mut outputs = Vec::with_capacity(inputs.len());
+        let mut stats = Vec::with_capacity(inputs.len());
+        if workers == 1 {
+            // Sequential fast path: no spawn overhead, same code path
+            // the workers run.
+            let mut w = make_worker();
+            for input in inputs {
+                let (o, s) = eval(&mut w, input)?;
+                outputs.push(o);
+                stats.push(s);
+            }
+        } else {
+            let shard_results: Vec<Result<Vec<(O, RunStats)>, RunError>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = inputs
+                        .chunks(chunk)
+                        .map(|shard| {
+                            scope.spawn(|| {
+                                let mut w = make_worker();
+                                shard
+                                    .iter()
+                                    .map(|input| eval(&mut w, input))
+                                    .collect::<Result<Vec<_>, _>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("batch worker panicked"))
+                        .collect()
+                });
+            for shard in shard_results {
+                for (o, s) in shard? {
+                    outputs.push(o);
+                    stats.push(s);
+                }
+            }
+        }
+        Ok(BatchRun {
+            outputs,
+            stats,
+            wall: start.elapsed(),
+            threads: workers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineBuilder;
+    use smartpaf_ckks::{CkksParams, Evaluator, KeyChain};
+    use smartpaf_nn::{Conv2d, Flatten, Linear};
+    use smartpaf_polyfit::{CompositePaf, PafForm};
+    use smartpaf_tensor::Rng64;
+
+    /// An MNIST-scale (downsampled digit) CNN pipeline: conv → PAF-ReLU
+    /// → PAF-maxpool → linear head over an 8×8 image.
+    fn mnist_scale_pipeline(seed: u64) -> crate::pipeline::HePipeline {
+        let mut rng = Rng64::new(seed);
+        let relu = CompositePaf::from_form(PafForm::F1G2);
+        let pool = CompositePaf::from_form(PafForm::Alpha7);
+        PipelineBuilder::new(&[1, 8, 8])
+            .affine(Conv2d::new(1, 2, 3, 1, 1, &mut rng))
+            .paf_relu(&relu, 6.0)
+            .paf_maxpool(2, 2, &pool, 8.0)
+            .affine(Flatten::new())
+            .affine(Linear::new(32, 10, &mut rng))
+            .compile()
+            .fold_scales()
+    }
+
+    fn batch_inputs(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                (0..64)
+                    .map(|j| (((i * 64 + j) * 37) % 41) as f64 / 20.5 - 1.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn four_threads_bit_identical_to_sequential() {
+        let pipe = mnist_scale_pipeline(201);
+        let inputs = batch_inputs(16);
+        let seq = BatchRunner::new(1).run_plain(&pipe, &inputs).unwrap();
+        let par = BatchRunner::new(4).run_plain(&pipe, &inputs).unwrap();
+        assert_eq!(seq.outputs.len(), 16);
+        assert_eq!(par.threads, 4);
+        // Bit-identical outputs in the same order...
+        for (i, (s, p)) in seq.outputs.iter().zip(&par.outputs).enumerate() {
+            assert_eq!(s, p, "input {i} diverged across thread counts");
+        }
+        // ...and identical stage orderings/consumption per input.
+        for (s, p) in seq.stats.iter().zip(&par.stats) {
+            assert_eq!(s.stage_levels, p.stage_levels);
+        }
+        // Both match the single-input entry point exactly.
+        for (x, o) in inputs.iter().zip(&seq.outputs) {
+            assert_eq!(&pipe.eval_plain(x), o);
+        }
+    }
+
+    #[test]
+    fn thread_counts_beyond_batch_are_clamped() {
+        let pipe = mnist_scale_pipeline(202);
+        let inputs = batch_inputs(3);
+        let run = BatchRunner::new(16).run_plain(&pipe, &inputs).unwrap();
+        assert_eq!(run.threads, 3);
+        assert_eq!(run.outputs.len(), 3);
+        assert!(run.throughput() > 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let pipe = mnist_scale_pipeline(203);
+        let run = BatchRunner::new(4).run_plain(&pipe, &[]).unwrap();
+        assert!(run.outputs.is_empty());
+        assert!(run.stats.is_empty());
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_before_spawning() {
+        let pipe = mnist_scale_pipeline(204);
+        let mut inputs = batch_inputs(4);
+        inputs[2] = vec![0.0; 65]; // longer than the 8×8 input
+        let err = BatchRunner::new(2).run_plain(&pipe, &inputs).unwrap_err();
+        assert!(matches!(err, RunError::InputTooLong { len: 65, max: 64 }));
+    }
+
+    #[test]
+    fn encrypted_batch_matches_sequential_eval() {
+        let ctx = CkksParams::toy().build();
+        let mut rng = Rng64::new(205);
+        let keys = KeyChain::generate(&ctx, &mut rng);
+        let pe = smartpaf_ckks::PafEvaluator::new(Evaluator::new(&keys));
+        let paf = CompositePaf::from_form(PafForm::F1G2);
+        let pipe = PipelineBuilder::new(&[8])
+            .affine(Linear::new(8, 8, &mut rng))
+            .paf_relu(&paf, 4.0)
+            .affine(Linear::new(8, 4, &mut rng))
+            .compile()
+            .fold_scales();
+        let batch: Vec<Vec<f64>> = (0..4)
+            .map(|i| (0..8).map(|j| ((i + j) as f64 - 5.0) / 5.0).collect())
+            .collect();
+        let cts: Vec<_> = batch
+            .iter()
+            .map(|x| {
+                pe.evaluator()
+                    .encrypt_replicated(&pipe.pad_input(x), &mut rng)
+            })
+            .collect();
+        let run = BatchRunner::new(2)
+            .run_encrypted(&pipe, &pe, None, &cts)
+            .unwrap();
+        assert_eq!(run.outputs.len(), 4);
+        assert_eq!(run.total_bootstraps(), 0);
+        for (i, (x, out_ct)) in batch.iter().zip(&run.outputs).enumerate() {
+            let got = pe.evaluator().decrypt_values(out_ct, 4);
+            let want = pipe.eval_plain(x);
+            for k in 0..4 {
+                assert!(
+                    (got[k] - want[k]).abs() < 6e-2,
+                    "input {i} slot {k}: {} vs {}",
+                    got[k],
+                    want[k]
+                );
+            }
+        }
+        // Per-input stats mirror the single-input wrapper.
+        let (_, solo) = pipe.eval_encrypted(&pe, None, &cts[0]);
+        assert_eq!(run.stats[0].stage_levels, solo.stage_levels);
+    }
+}

@@ -1,0 +1,342 @@
+//! The shared stage interpreter and the [`InferenceBackend`] trait.
+//!
+//! A compiled [`HePipeline`] is a list of [`Stage`]s; *how* each stage
+//! executes — batched `f64` arithmetic, leveled CKKS, or a pure cost
+//! trace — is a backend concern. This module owns the single
+//! interpreter loop ([`HePipeline::run`]) that walks the stage list,
+//! delegates every operation to an [`InferenceBackend`], and does the
+//! level/bootstrap bookkeeping that used to be duplicated between
+//! `eval_plain` and `eval_encrypted`. The three backends live in
+//! [`crate::backends`]; the threaded batch driver in [`crate::batch`].
+
+use crate::pipeline::{HePipeline, Stage};
+use smartpaf_ckks::{DiagMatrix, PafEvaluator};
+use smartpaf_polyfit::{CompositeEval, CompositePaf};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Typed failure of pipeline compilation or execution.
+///
+/// The legacy `panic!`/`assert!` exits of `eval_encrypted` and
+/// `PipelineBuilder::compile` map onto these variants; the panicking
+/// entry points remain as thin wrappers whose messages are exactly the
+/// `Display` strings below.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The builder was compiled with no stages.
+    EmptyPipeline,
+    /// A max pool was applied to a non-`(C, H, W)` activation.
+    NotChw {
+        /// The offending shape.
+        dims: Vec<usize>,
+    },
+    /// A pool window does not tile its input exactly.
+    PoolUntileable {
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+        /// Window size.
+        k: usize,
+        /// Window stride.
+        stride: usize,
+    },
+    /// An input vector exceeds the pipeline's logical input dimension.
+    InputTooLong {
+        /// Supplied length.
+        len: usize,
+        /// Maximum accepted length.
+        max: usize,
+    },
+    /// The pipeline's padded dimension does not divide the ciphertext
+    /// slot count, so replicated packing cannot hold the activation.
+    SlotMismatch {
+        /// Pipeline padded dimension.
+        dim: usize,
+        /// Ciphertext slot count.
+        slots: usize,
+    },
+    /// The modulus chain ran dry and no bootstrapper was supplied.
+    OutOfLevels {
+        /// Label of the stage that could not start (or continue).
+        label: String,
+        /// Levels still available.
+        available: usize,
+        /// Levels the next atomic operation needs.
+        needed: usize,
+        /// True when the exhaustion happened inside a stage (a
+        /// max-pool fold round), false at a stage boundary.
+        mid_stage: bool,
+    },
+    /// A single atomic operation needs more levels than the whole
+    /// modulus chain offers — no amount of bootstrapping helps.
+    AtomicDepthExceeded {
+        /// Label of the offending stage.
+        label: String,
+        /// Levels the atomic operation needs.
+        needed: usize,
+        /// Total levels the chain offers.
+        max_level: usize,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::EmptyPipeline => f.write_str("empty pipeline"),
+            RunError::NotChw { dims } => {
+                write!(f, "max pool needs a (C,H,W) input, got {dims:?}")
+            }
+            RunError::PoolUntileable { h, w, k, stride } => write!(
+                f,
+                "pool window must tile the input exactly ({h}x{w}, k={k}, stride={stride})"
+            ),
+            RunError::InputTooLong { len, max } => {
+                write!(f, "input too long ({len} > {max})")
+            }
+            RunError::SlotMismatch { dim, slots } => {
+                write!(f, "pipeline dim {dim} must divide slot count {slots}")
+            }
+            RunError::OutOfLevels {
+                label,
+                available,
+                needed,
+                mid_stage,
+            } => {
+                if *mid_stage {
+                    write!(
+                        f,
+                        "level exhausted inside `{label}` ({available} < {needed}); \
+                         supply a Bootstrapper"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "level exhausted before `{label}` ({available} < {needed}); \
+                         supply a Bootstrapper"
+                    )
+                }
+            }
+            RunError::AtomicDepthExceeded {
+                label,
+                needed,
+                max_level,
+            } => write!(
+                f,
+                "atomic op in `{label}` needs {needed} levels but the chain only has {max_level}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Execution statistics of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Levels consumed per stage, in order. Backends without level
+    /// semantics (the plain backend) report each stage's nominal
+    /// [`Stage::levels`].
+    pub stage_levels: Vec<usize>,
+    /// Bootstraps (simulated refreshes) triggered.
+    pub bootstraps: usize,
+    /// Remaining rescale budget after the last stage (0 for backends
+    /// without level semantics).
+    pub final_level: usize,
+    /// Wall-clock time of the evaluation.
+    pub wall: Duration,
+}
+
+impl RunStats {
+    /// Total levels consumed across all stages.
+    pub fn total_levels(&self) -> usize {
+        self.stage_levels.iter().sum()
+    }
+}
+
+/// One PAF activation as a backend sees it: the composite polynomial
+/// (ciphertext-side schedule source) plus the compile-time-prepared
+/// plaintext evaluation engine.
+pub struct PafOp<'a> {
+    /// The composite sign approximation.
+    pub paf: &'a CompositePaf,
+    /// The prepared plaintext engine (built once at pipeline compile).
+    pub engine: &'a CompositeEval,
+}
+
+impl PafOp<'_> {
+    /// Levels one ReLU / one max-fold round with this PAF consumes —
+    /// the ciphertext evaluator's own depth formula, so the backends
+    /// can never drift from what [`PafEvaluator`] actually consumes.
+    pub fn atomic_depth(&self) -> usize {
+        PafEvaluator::relu_depth(self.paf)
+    }
+}
+
+/// One execution mode of a compiled pipeline.
+///
+/// The interpreter ([`HePipeline::run`]) calls exactly one method per
+/// stage; backends own all representation- and level-specific
+/// behaviour. `Value` is the activation representation flowing through
+/// the stages: `Vec<f64>` for plain slices, `Ciphertext` for CKKS, and
+/// `()` for the arithmetic-free trace.
+pub trait InferenceBackend {
+    /// The activation representation this backend transforms.
+    type Value;
+
+    /// Called once before the first stage; backends validate pipeline
+    /// compatibility here (e.g. slot packing).
+    fn begin(&mut self, _pipe: &HePipeline) -> Result<(), RunError> {
+        Ok(())
+    }
+
+    /// Affine stage: `v ← M·v + b`.
+    fn affine(
+        &mut self,
+        v: &mut Self::Value,
+        mat: &DiagMatrix,
+        bias: &[f64],
+        label: &str,
+    ) -> Result<(), RunError>;
+
+    /// PAF-ReLU stage with Static Scaling:
+    /// `v ← post_scale · paf_relu(pre_scale · v)`.
+    fn paf_relu(
+        &mut self,
+        v: &mut Self::Value,
+        op: &PafOp<'_>,
+        pre_scale: f64,
+        post_scale: f64,
+        label: &str,
+    ) -> Result<(), RunError>;
+
+    /// PAF max-pool stage: tap selection followed by the pairwise
+    /// PAF-max tree fold, then `post_scale`.
+    fn paf_max(
+        &mut self,
+        v: &mut Self::Value,
+        taps: &[DiagMatrix],
+        op: &PafOp<'_>,
+        post_scale: f64,
+        label: &str,
+    ) -> Result<(), RunError>;
+
+    /// Remaining rescale budget of a value, for backends with level
+    /// semantics. The interpreter uses this for per-stage consumption
+    /// accounting; `None` falls back to nominal stage depths.
+    fn level_of(&self, _v: &Self::Value) -> Option<usize> {
+        None
+    }
+
+    /// Bootstraps performed so far.
+    fn bootstraps(&self) -> usize {
+        0
+    }
+}
+
+impl HePipeline {
+    /// Runs the compiled stage list through a backend — the single
+    /// interpreter loop behind `eval_plain`, `eval_encrypted`, and the
+    /// trace dry run.
+    ///
+    /// Per-stage level consumption is measured from
+    /// [`InferenceBackend::level_of`] when the stage ran without a
+    /// refresh, and falls back to the nominal [`Stage::levels`]
+    /// otherwise (a refresh resets the level mid-stage, making the
+    /// difference meaningless).
+    pub fn run<B: InferenceBackend>(
+        &self,
+        backend: &mut B,
+        mut value: B::Value,
+    ) -> Result<(B::Value, RunStats), RunError> {
+        backend.begin(self)?;
+        let start = Instant::now();
+        let mut stats = RunStats {
+            stage_levels: Vec::with_capacity(self.stages.len()),
+            bootstraps: 0,
+            final_level: 0,
+            wall: Duration::ZERO,
+        };
+        for (stage, prepared) in self.stages.iter().zip(self.prepared_engines()) {
+            let label = stage.label();
+            let before = backend.level_of(&value);
+            let refreshes_before = backend.bootstraps();
+            match stage {
+                Stage::Affine { mat, bias } => backend.affine(&mut value, mat, bias, &label)?,
+                Stage::PafRelu {
+                    paf,
+                    pre_scale,
+                    post_scale,
+                } => {
+                    let op = PafOp {
+                        paf,
+                        engine: prepared.as_ref().expect("PAF stage has an engine"),
+                    };
+                    backend.paf_relu(&mut value, &op, *pre_scale, *post_scale, &label)?
+                }
+                Stage::PafMax {
+                    taps,
+                    paf,
+                    post_scale,
+                } => {
+                    let op = PafOp {
+                        paf,
+                        engine: prepared.as_ref().expect("PAF stage has an engine"),
+                    };
+                    backend.paf_max(&mut value, taps, &op, *post_scale, &label)?
+                }
+            }
+            let consumed = match (before, backend.level_of(&value)) {
+                (Some(b), Some(a)) if backend.bootstraps() == refreshes_before => b - a,
+                _ => stage.levels(),
+            };
+            stats.stage_levels.push(consumed);
+        }
+        stats.bootstraps = backend.bootstraps();
+        stats.final_level = backend.level_of(&value).unwrap_or(0);
+        stats.wall = start.elapsed();
+        Ok((value, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_error_display_strings_are_stable() {
+        // The panicking wrappers format these errors verbatim; seed
+        // tests match on the substrings, so the wording is load-bearing.
+        assert_eq!(RunError::EmptyPipeline.to_string(), "empty pipeline");
+        let e = RunError::OutOfLevels {
+            label: "paf-relu[depth=5]".into(),
+            available: 2,
+            needed: 6,
+            mid_stage: false,
+        };
+        assert!(e.to_string().contains("level exhausted before"));
+        assert!(e.to_string().contains("supply a Bootstrapper"));
+        let e = RunError::OutOfLevels {
+            label: "paf-max[taps=4 depth=6]".into(),
+            available: 2,
+            needed: 7,
+            mid_stage: true,
+        };
+        assert!(e.to_string().contains("level exhausted inside"));
+        let e = RunError::PoolUntileable {
+            h: 5,
+            w: 5,
+            k: 2,
+            stride: 2,
+        };
+        assert!(e.to_string().contains("tile the input exactly"));
+        let e = RunError::SlotMismatch { dim: 64, slots: 96 };
+        assert_eq!(e.to_string(), "pipeline dim 64 must divide slot count 96");
+        let e = RunError::AtomicDepthExceeded {
+            label: "x".into(),
+            needed: 9,
+            max_level: 8,
+        };
+        assert!(e.to_string().contains("needs 9 levels"));
+    }
+}

@@ -28,6 +28,22 @@
 //!    ciphertext when the chain runs dry (simulated bootstrap,
 //!    DESIGN.md §2).
 //!
+//! # Execution backends
+//!
+//! One interpreter loop ([`HePipeline::run`]) drives every execution
+//! mode through the [`InferenceBackend`] trait:
+//!
+//! - [`PlainBackend`] — batched `f64` slices through the prepared
+//!   evaluation engines; `eval_plain` is a thin wrapper over it.
+//! - [`CkksBackend`] — leveled CKKS with bootstrap-on-exhaustion;
+//!   `eval_encrypted` is a thin wrapper over it.
+//! - [`TraceBackend`] — no arithmetic: records per-stage levels,
+//!   bootstraps, and exact ct-mult counts ([`HePipeline::dry_run`]),
+//!   an instant cost oracle for schedulers.
+//!
+//! [`BatchRunner`] shards batches of inputs across `std::thread`
+//! workers over any of these, with deterministic input-order results.
+//!
 //! # Example
 //!
 //! ```
@@ -59,12 +75,17 @@
 //! assert!(stats.bootstraps == 0);
 //! ```
 
+mod backends;
+mod batch;
+mod exec;
 mod maxpool;
 mod pipeline;
 #[cfg(test)]
 mod proptests;
 mod runner;
 
+pub use backends::{CkksBackend, PlainBackend, StageTrace, TraceBackend, TraceReport};
+pub use batch::{BatchRun, BatchRunner};
+pub use exec::{InferenceBackend, PafOp, RunError, RunStats};
 pub use maxpool::pool_taps;
 pub use pipeline::{HePipeline, PipelineBuilder, Stage};
-pub use runner::RunStats;

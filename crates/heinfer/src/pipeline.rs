@@ -1,6 +1,7 @@
 //! Pipeline construction: probing affine layer runs into diagonal
 //! matrices and compiling an alternating affine/PAF stage list.
 
+use crate::exec::RunError;
 use crate::maxpool::pool_taps;
 use smartpaf_ckks::DiagMatrix;
 use smartpaf_nn::{Layer, Mode};
@@ -199,9 +200,19 @@ impl PipelineBuilder {
     /// # Panics
     ///
     /// Panics if a max-pool window does not tile its input, or the
-    /// builder is empty.
+    /// builder is empty ([`PipelineBuilder::try_compile`] returns the
+    /// same conditions as typed [`RunError`]s instead).
     pub fn compile(self) -> HePipeline {
-        assert!(!self.specs.is_empty(), "empty pipeline");
+        self.try_compile().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Probes and compiles the pipeline, reporting structural problems
+    /// (empty builder, untileable pool window, non-CHW pool input) as
+    /// typed [`RunError`]s.
+    pub fn try_compile(self) -> Result<HePipeline, RunError> {
+        if self.specs.is_empty() {
+            return Err(RunError::EmptyPipeline);
+        }
         let input_dim: usize = self.input_shape.iter().product();
         let mut shape = self.input_shape.clone();
         let mut raw: Vec<RawStage> = Vec::new();
@@ -232,10 +243,25 @@ impl PipelineBuilder {
                     scale,
                 } => {
                     flush(&mut pending, &mut shape, &mut raw);
-                    assert_eq!(shape.len(), 3, "max pool needs a (C,H,W) input");
+                    if shape.len() != 3 {
+                        return Err(RunError::NotChw { dims: shape });
+                    }
+                    let (h, w) = (shape[1], shape[2]);
+                    // k == 0 / stride == 0 are degenerate specs that
+                    // would divide by zero below; fold them into the
+                    // same typed error as an untileable window.
+                    if k == 0
+                        || stride == 0
+                        || h < k
+                        || w < k
+                        || !(h - k).is_multiple_of(stride)
+                        || !(w - k).is_multiple_of(stride)
+                    {
+                        return Err(RunError::PoolUntileable { h, w, k, stride });
+                    }
                     let in_shape = shape.clone();
-                    let ho = (shape[1] - k) / stride + 1;
-                    let wo = (shape[2] - k) / stride + 1;
+                    let ho = (h - k) / stride + 1;
+                    let wo = (w - k) / stride + 1;
                     shape = vec![shape[0], ho, wo];
                     raw.push(RawStage::Max {
                         shape: in_shape,
@@ -295,13 +321,13 @@ impl PipelineBuilder {
             .collect();
 
         let prepared = prepare_stage_engines(&stages);
-        HePipeline {
+        Ok(HePipeline {
             stages,
             prepared,
             dim,
             input_dim,
             output_dim,
-        }
+        })
     }
 }
 
@@ -387,84 +413,49 @@ impl HePipeline {
         self.stages.iter().map(Stage::levels).sum()
     }
 
+    /// The prepared plaintext engines, parallel to the stage list
+    /// (`None` for affine stages).
+    pub(crate) fn prepared_engines(&self) -> &[Option<CompositeEval>] {
+        &self.prepared
+    }
+
     /// Zero-pads a logical input to the pipeline dimension.
     ///
     /// # Panics
     ///
     /// Panics if `x` is longer than [`HePipeline::input_dim`].
     pub fn pad_input(&self, x: &[f64]) -> Vec<f64> {
-        assert!(x.len() <= self.input_dim, "input too long");
+        self.try_pad_input(x).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Zero-pads a logical input, reporting an over-long input as a
+    /// typed [`RunError`].
+    pub fn try_pad_input(&self, x: &[f64]) -> Result<Vec<f64>, RunError> {
+        if x.len() > self.input_dim {
+            return Err(RunError::InputTooLong {
+                len: x.len(),
+                max: self.input_dim,
+            });
+        }
         let mut v = x.to_vec();
         v.resize(self.dim, 0.0);
-        v
+        Ok(v)
     }
 
     /// Exact plaintext reference of the compiled pipeline (same
-    /// arithmetic as the encrypted path, PAF approximation included).
+    /// arithmetic as the encrypted path, PAF approximation included) —
+    /// a thin wrapper over the shared interpreter with
+    /// [`PlainBackend`](crate::PlainBackend).
     ///
     /// # Panics
     ///
     /// Panics if `x` is longer than the input dimension.
     pub fn eval_plain(&self, x: &[f64]) -> Vec<f64> {
-        let mut v = self.pad_input(x);
-        for (stage, prepared) in self.stages.iter().zip(&self.prepared) {
-            v = match stage {
-                Stage::Affine { mat, bias } => {
-                    let mut y = mat.apply_plain(&v);
-                    for (yi, bi) in y.iter_mut().zip(bias) {
-                        *yi += bi;
-                    }
-                    y
-                }
-                Stage::PafRelu {
-                    paf: _,
-                    pre_scale,
-                    post_scale,
-                } => {
-                    // The compile-time-prepared engine takes the whole
-                    // activation vector through the batch backend.
-                    let eng = prepared.as_ref().expect("PAF stage has an engine");
-                    let scaled: Vec<f64> = v.iter().map(|&xi| pre_scale * xi).collect();
-                    let mut out = vec![0.0; scaled.len()];
-                    eng.relu_slice(&scaled, &mut out);
-                    for o in out.iter_mut() {
-                        *o *= post_scale;
-                    }
-                    out
-                }
-                Stage::PafMax {
-                    taps,
-                    paf: _,
-                    post_scale,
-                } => {
-                    // Pairwise tree fold, mirroring the encrypted
-                    // schedule exactly (PAF max is not associative up
-                    // to approximation error); each round runs as one
-                    // batched max over the paired tap vectors.
-                    let eng = prepared.as_ref().expect("PAF stage has an engine");
-                    let mut items: Vec<Vec<f64>> = taps.iter().map(|t| t.apply_plain(&v)).collect();
-                    while items.len() > 1 {
-                        let mut next = Vec::with_capacity(items.len().div_ceil(2));
-                        let mut it = items.into_iter();
-                        while let Some(a) = it.next() {
-                            match it.next() {
-                                Some(b) => {
-                                    let mut m = vec![0.0; a.len()];
-                                    eng.max_slice(&a, &b, &mut m);
-                                    next.push(m);
-                                }
-                                None => next.push(a),
-                            }
-                        }
-                        items = next;
-                    }
-                    let acc = items.pop().expect("at least one tap");
-                    acc.iter().map(|&a| post_scale * a).collect()
-                }
-            };
-        }
-        v.truncate(self.output_dim);
-        v
+        let (mut out, _) = self
+            .run(&mut crate::backends::PlainBackend, self.pad_input(x))
+            .expect("the plain backend has no failure modes");
+        out.truncate(self.output_dim);
+        out
     }
 
     /// Folds Static-Scaling multiplications into neighbouring affine
@@ -690,6 +681,24 @@ mod tests {
     #[should_panic(expected = "empty pipeline")]
     fn empty_builder_rejected() {
         let _ = PipelineBuilder::new(&[4]).compile();
+    }
+
+    #[test]
+    fn degenerate_pool_specs_are_typed_errors() {
+        // stride == 0 and k == 0 would divide by zero in the shape
+        // arithmetic; both must surface as PoolUntileable, not panics.
+        let paf = relu_paf();
+        for (k, stride) in [(2usize, 0usize), (0, 1)] {
+            let err = PipelineBuilder::new(&[1, 2, 2])
+                .paf_maxpool(k, stride, &paf, 1.0)
+                .try_compile()
+                .err()
+                .expect("degenerate spec rejected");
+            assert!(
+                matches!(err, crate::RunError::PoolUntileable { .. }),
+                "k={k} stride={stride}: {err}"
+            );
+        }
     }
 
     #[test]

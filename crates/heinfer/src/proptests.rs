@@ -1,7 +1,9 @@
-//! Property-based tests for pipeline compilation.
+//! Property-based tests for pipeline compilation and the execution
+//! backends.
 
 use crate::pipeline::PipelineBuilder;
 use proptest::prelude::*;
+use smartpaf_ckks::{CkksParams, Evaluator, KeyChain, PafEvaluator};
 use smartpaf_nn::Linear;
 use smartpaf_polyfit::{CompositePaf, PafForm};
 use smartpaf_tensor::Rng64;
@@ -78,5 +80,57 @@ proptest! {
         let folded = build(&mut Rng64::new(seed)).fold_scales();
         // One PAF between two affines: both pre and post fold away.
         prop_assert_eq!(folded.total_levels() + 2, plain.total_levels());
+    }
+}
+
+proptest! {
+    // CKKS keygen per case keeps these heavier: a handful of cases
+    // still covers random shapes, scales, and inputs.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Backend agreement across random small pipelines: the plain
+    /// backend's output matches the decrypted CKKS backend output
+    /// within the simulator's noise bound, and the trace backend's
+    /// per-stage level counts equal the levels the CKKS backend
+    /// actually consumed.
+    #[test]
+    fn backends_agree_on_random_pipelines(
+        seed in 0u64..500,
+        scale in 1.0f64..6.0,
+        hidden in 4usize..9,
+        x in proptest::collection::vec(-1.0f64..1.0, 8),
+    ) {
+        let mut rng = Rng64::new(seed);
+        let paf = CompositePaf::from_form(PafForm::F1G2);
+        let pipe = PipelineBuilder::new(&[8])
+            .affine(Linear::new(8, hidden, &mut rng))
+            .paf_relu(&paf, scale)
+            .affine(Linear::new(hidden, 4, &mut rng))
+            .compile();
+
+        let ctx = CkksParams::toy().build();
+        let keys = KeyChain::generate(&ctx, &mut rng);
+        let pe = PafEvaluator::new(Evaluator::new(&keys));
+        let ct = pe
+            .evaluator()
+            .encrypt_replicated(&pipe.pad_input(&x), &mut rng);
+        let (out_ct, enc_stats) = pipe.eval_encrypted(&pe, None, &ct);
+
+        // PlainBackend ≈ decrypt(CkksBackend ...) within noise.
+        let plain = pipe.eval_plain(&x);
+        let dec = pe.evaluator().decrypt_values(&out_ct, 4);
+        for (i, (p, d)) in plain.iter().zip(&dec).enumerate() {
+            prop_assert!((p - d).abs() < 0.1, "slot {i}: plain {p} vs decrypted {d}");
+        }
+
+        // TraceBackend level counts == levels CkksBackend consumed.
+        let max_level = pe.evaluator().context().max_level();
+        let (report, trace_stats) = pipe
+            .dry_run(max_level, false)
+            .expect("pipeline fits the toy chain");
+        prop_assert_eq!(&trace_stats.stage_levels, &enc_stats.stage_levels);
+        prop_assert_eq!(trace_stats.bootstraps, enc_stats.bootstraps);
+        prop_assert_eq!(trace_stats.final_level, enc_stats.final_level);
+        prop_assert_eq!(report.total_levels(), enc_stats.total_levels());
     }
 }

@@ -1,28 +1,12 @@
-//! Encrypted execution of a compiled pipeline with level management.
+//! Encrypted execution of a compiled pipeline with level management —
+//! thin wrappers over the shared interpreter ([`HePipeline::run`])
+//! driving the [`CkksBackend`]. The threaded batch driver is
+//! [`crate::BatchRunner`] (defined in [`crate::batch`]).
 
-use crate::pipeline::{HePipeline, Stage};
+use crate::backends::CkksBackend;
+use crate::exec::{RunError, RunStats};
+use crate::pipeline::HePipeline;
 use smartpaf_ckks::{Bootstrapper, Ciphertext, PafEvaluator};
-use std::time::{Duration, Instant};
-
-/// Execution statistics of one encrypted inference.
-#[derive(Debug, Clone)]
-pub struct RunStats {
-    /// Levels consumed per stage, in order.
-    pub stage_levels: Vec<usize>,
-    /// Bootstraps (simulated refreshes) triggered.
-    pub bootstraps: usize,
-    /// Remaining rescale budget after the last stage.
-    pub final_level: usize,
-    /// Wall-clock time of the encrypted evaluation.
-    pub wall: Duration,
-}
-
-impl RunStats {
-    /// Total levels consumed across all stages.
-    pub fn total_levels(&self) -> usize {
-        self.stage_levels.iter().sum()
-    }
-}
 
 impl HePipeline {
     /// Runs the pipeline on an encrypted (replicated, padded) input.
@@ -31,6 +15,8 @@ impl HePipeline {
     /// needs more levels than remain; without one, running out of
     /// levels panics — exactly the constraint that makes high-degree
     /// PAFs expensive in the paper.
+    /// [`HePipeline::try_eval_encrypted`] reports the same conditions
+    /// as typed [`RunError`]s instead.
     ///
     /// # Panics
     ///
@@ -42,131 +28,20 @@ impl HePipeline {
         bootstrapper: Option<&Bootstrapper>,
         ct: &Ciphertext,
     ) -> (Ciphertext, RunStats) {
-        let ev = pe.evaluator();
-        assert!(
-            ev.context().slots().is_multiple_of(self.dim),
-            "pipeline dim {} must divide slot count {}",
-            self.dim,
-            ev.context().slots()
-        );
-        let start = Instant::now();
-        let mut stats = RunStats {
-            stage_levels: Vec::with_capacity(self.stages.len()),
-            bootstraps: 0,
-            final_level: 0,
-            wall: Duration::ZERO,
-        };
-        let max_level = ev.context().max_level();
-        // Refreshes `v` when it cannot afford `need` more levels. The
-        // `need` must be an *atomic* depth (a single PAF evaluation at
-        // most) — larger stages refresh between their atomic ops.
-        let ensure = |v: Ciphertext, need: usize, label: &str, stats: &mut RunStats| {
-            assert!(
-                need <= max_level,
-                "atomic op in `{label}` needs {need} levels but the chain only has {max_level}"
-            );
-            if v.level() >= need {
-                return v;
-            }
-            match bootstrapper {
-                Some(bs) => {
-                    stats.bootstraps += 1;
-                    bs.refresh(&v)
-                }
-                None => panic!(
-                    "level exhausted before `{label}` ({} < {need}); supply a Bootstrapper",
-                    v.level()
-                ),
-            }
-        };
-        let mut acc = ct.clone();
-        for stage in &self.stages {
-            let label = stage.label();
-            let before = acc.level();
-            let refreshes_before = stats.bootstraps;
-            acc = match stage {
-                Stage::Affine { mat, bias } => {
-                    let v = ensure(acc, 1, &label, &mut stats);
-                    let y = ev.matvec_bsgs(mat, &v);
-                    ev.add_bias_replicated(&y, bias)
-                }
-                Stage::PafRelu {
-                    paf,
-                    pre_scale,
-                    post_scale,
-                } => {
-                    let mut need = paf.mult_depth() + 1;
-                    if *pre_scale != 1.0 {
-                        need += 1;
-                    }
-                    if *post_scale != 1.0 {
-                        need += 1;
-                    }
-                    let mut v = ensure(acc, need, &label, &mut stats);
-                    if *pre_scale != 1.0 {
-                        v = ev.mul_const(&v, *pre_scale);
-                    }
-                    v = pe.relu(&v, paf);
-                    if *post_scale != 1.0 {
-                        v = ev.mul_const(&v, *post_scale);
-                    }
-                    v
-                }
-                Stage::PafMax {
-                    taps,
-                    paf,
-                    post_scale,
-                } => {
-                    let v = ensure(acc, 1, &label, &mut stats);
-                    let mut items: Vec<Ciphertext> =
-                        taps.iter().map(|t| ev.matvec_bsgs(t, &v)).collect();
-                    let fold_need = paf.mult_depth() + 1;
-                    // Pairwise tree fold with per-round refresh; all
-                    // items sit at the same level each round.
-                    while items.len() > 1 {
-                        if items[0].level() < fold_need {
-                            match bootstrapper {
-                                Some(bs) => {
-                                    stats.bootstraps += items.len();
-                                    items = items.iter().map(|c| bs.refresh(c)).collect();
-                                }
-                                None => panic!(
-                                    "level exhausted inside `{label}`; supply a Bootstrapper"
-                                ),
-                            }
-                        }
-                        let mut next = Vec::with_capacity(items.len().div_ceil(2));
-                        let mut it = items.into_iter();
-                        while let Some(a) = it.next() {
-                            match it.next() {
-                                Some(b) => next.push(pe.max(&a, &b, paf)),
-                                None => next.push(a),
-                            }
-                        }
-                        items = next;
-                    }
-                    let mut m = items.pop().expect("at least one tap");
-                    if *post_scale != 1.0 {
-                        m = ensure(m, 1, &label, &mut stats);
-                        m = ev.mul_const(&m, *post_scale);
-                    }
-                    m
-                }
-            };
-            // Measured consumption when the stage ran without a
-            // refresh; the nominal stage depth otherwise (a refresh
-            // resets the level mid-stage, making the difference
-            // meaningless).
-            let consumed = if stats.bootstraps == refreshes_before {
-                before - acc.level()
-            } else {
-                stage.levels()
-            };
-            stats.stage_levels.push(consumed);
-        }
-        stats.final_level = acc.level();
-        stats.wall = start.elapsed();
-        (acc, stats)
+        self.try_eval_encrypted(pe, bootstrapper, ct)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs the pipeline on an encrypted input, reporting level
+    /// exhaustion and packing mismatches as typed [`RunError`]s.
+    pub fn try_eval_encrypted(
+        &self,
+        pe: &PafEvaluator,
+        bootstrapper: Option<&Bootstrapper>,
+        ct: &Ciphertext,
+    ) -> Result<(Ciphertext, RunStats), RunError> {
+        let mut backend = CkksBackend::new(pe, bootstrapper);
+        self.run(&mut backend, ct.clone())
     }
 }
 

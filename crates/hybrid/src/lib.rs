@@ -20,8 +20,9 @@
 //! assert!(smart.low_communication && smart.low_accuracy_degradation && smart.low_latency);
 //! ```
 
-use smartpaf_ckks::cost::{project_seconds, relu_op_counts};
+use smartpaf_ckks::cost::{bootstrap_modmuls, ct_mult_modmuls, rescale_modmuls};
 use smartpaf_ckks::CkksParams;
+use smartpaf_heinfer::{PipelineBuilder, TraceReport};
 use smartpaf_polyfit::{CompositePaf, PafForm};
 use std::fmt;
 
@@ -197,21 +198,56 @@ pub fn scheme_cost(scheme: Scheme, w: &WorkloadSpec, net: &NetworkConfig) -> Sch
     }
 }
 
+/// Converts a dry-run trace into modelled 64-bit modular multiplies:
+/// every exact ct-mult (+ its rescale) is charged at the trace's mean
+/// live limb count, and every forced refresh at the full analytic
+/// bootstrap cost.
+fn trace_modmuls(params: &CkksParams, report: &TraceReport) -> u128 {
+    let top = params.depth + 1;
+    let avg_limbs = (top + report.final_level + 1).div_ceil(2).max(1);
+    let per_ct_mult = ct_mult_modmuls(params, avg_limbs) + rescale_modmuls(params, avg_limbs - 1);
+    report.total_ct_mults() as u128 * per_ct_mult
+        + report.total_bootstraps() as u128 * bootstrap_modmuls(params)
+}
+
+/// FHE latency rows from the trace execution backend: a single
+/// PAF-ReLU stage and a single 2×2 PAF-max-pool stage are compiled and
+/// dry-run (no ciphertext arithmetic), and the recorded level /
+/// bootstrap / exact-ct-mult schedule is priced with the analytic
+/// per-op costs. Unlike the earlier analytic-only model, the pool row
+/// now follows the *actual* pairwise fold schedule — including any
+/// bootstraps the paper-scale chain forces — rather than a flat 0.75×
+/// ReLU heuristic.
 fn fhe_cost(paf: &CompositePaf, w: &WorkloadSpec, accuracy_drop_pct: f64) -> SchemeCost {
     let params = CkksParams::paper_scale();
-    let counts = relu_op_counts(&params, paf);
     let slots = (params.n / 2) as f64;
-    let per_element = project_seconds(&counts, SECONDS_PER_MODMUL) / slots;
-    let relu_cost = w.relu_elements as f64 * per_element;
-    // MaxPool: each 2×2 window folds 3 nested sign evaluations over a
-    // quarter of the input elements → 0.75× the per-element rate.
-    let pool_cost = w.maxpool_elements as f64 * 0.75 * per_element;
+
+    // One slot-batch of ReLU: `slots` elements per run.
+    let relu_pipe = PipelineBuilder::new(&[8]).paf_relu(paf, 1.0).compile();
+    let (relu_trace, _) = relu_pipe
+        .dry_run(params.depth, true)
+        .expect("paper-scale chain runs any PAF with bootstrapping");
+    let relu_per_element = trace_modmuls(&params, &relu_trace) as f64 * SECONDS_PER_MODMUL / slots;
+
+    // One slot-batch of 2×2 max pooling: the trace covers 4 input
+    // elements per window, 3 pairwise PAF-max folds — per input
+    // element this is the 0.75× sign-eval rate the old heuristic
+    // assumed, but with the fold's real level schedule.
+    let pool_pipe = PipelineBuilder::new(&[1, 2, 2])
+        .paf_maxpool(2, 2, paf, 1.0)
+        .compile();
+    let (pool_trace, _) = pool_pipe
+        .dry_run(params.depth, true)
+        .expect("paper-scale chain runs the fold with bootstrapping");
+    let pool_per_element = trace_modmuls(&params, &pool_trace) as f64 * SECONDS_PER_MODMUL / slots;
+
     SchemeCost {
         // Only the input/output ciphertexts travel; non-polynomial ops
         // are computed server-side.
         online_bytes: 2.0 * (params.n as f64) * 8.0 * (params.depth as f64 + 1.0),
         offline_bytes: 0.0,
-        latency_sec: relu_cost + pool_cost,
+        latency_sec: w.relu_elements as f64 * relu_per_element
+            + w.maxpool_elements as f64 * pool_per_element,
         accuracy_drop_pct,
     }
 }
@@ -273,6 +309,7 @@ pub fn crossover_bandwidth(scheme: Scheme, w: &WorkloadSpec) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smartpaf_ckks::cost::{project_seconds, relu_op_counts};
 
     #[test]
     fn hybrid_ships_orders_of_magnitude_more_bytes() {
@@ -343,6 +380,58 @@ mod tests {
         assert!(delphi.online_bytes < gazelle.online_bytes / 10.0);
         assert!(delphi.offline_bytes > 0.0);
         assert!(delphi.latency_sec < gazelle.latency_sec);
+    }
+
+    #[test]
+    fn traced_rows_stay_in_the_analytic_regime() {
+        // The trace-driven rows price the same ct-mult schedule the
+        // old analytic-only model counted, so a ReLU-only workload
+        // must land within a small constant factor of it.
+        let w = WorkloadSpec {
+            relu_elements: 1_000_000,
+            maxpool_elements: 0,
+            nonpoly_layers: 1,
+        };
+        let params = CkksParams::paper_scale();
+        let slots = (params.n / 2) as f64;
+        let net = NetworkConfig::lan();
+        for (scheme, form) in [
+            (Scheme::SmartPaf, PafForm::F1SqG1Sq),
+            (Scheme::Fhe27Degree, PafForm::MinimaxDeg27),
+        ] {
+            let traced = scheme_cost(scheme, &w, &net).latency_sec;
+            let counts = relu_op_counts(&params, &CompositePaf::from_form(form));
+            let analytic =
+                w.relu_elements as f64 * project_seconds(&counts, SECONDS_PER_MODMUL) / slots;
+            let ratio = traced / analytic;
+            assert!(
+                ratio > 0.2 && ratio < 5.0,
+                "{scheme}: traced {traced} vs analytic {analytic} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_pool_fold_pays_for_bootstraps() {
+        // The 27-degree comparator's 2×2 pool fold cannot finish the
+        // paper-scale chain leveled — the traced row charges real
+        // bootstraps where the old heuristic charged a flat 0.75×.
+        let pool_only = WorkloadSpec {
+            relu_elements: 0,
+            maxpool_elements: 802_816,
+            nonpoly_layers: 1,
+        };
+        let net = NetworkConfig::lan();
+        let deep = scheme_cost(Scheme::Fhe27Degree, &pool_only, &net);
+        let smart = scheme_cost(Scheme::SmartPaf, &pool_only, &net);
+        // Well beyond the bare exact-ct-mult ratio (~2.8): bootstraps
+        // dominate the deep fold.
+        assert!(
+            deep.latency_sec > 4.0 * smart.latency_sec,
+            "deep {} vs smart {}",
+            deep.latency_sec,
+            smart.latency_sec
+        );
     }
 
     #[test]

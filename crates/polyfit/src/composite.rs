@@ -296,6 +296,23 @@ impl CompositePaf {
             .sum()
     }
 
+    /// Exact ciphertext-ciphertext multiplication count of evaluating
+    /// all stages with the even-power-ladder schedule
+    /// ([`OddPowerSchedule::exact_ct_mults`] summed) — the number the
+    /// trace execution backend records per PAF stage.
+    pub fn exact_ct_mult_count(&self) -> usize {
+        self.stages
+            .iter()
+            .map(|p| {
+                if p.degree() == 0 {
+                    0
+                } else {
+                    OddPowerSchedule::new(p).exact_ct_mults()
+                }
+            })
+            .sum()
+    }
+
     /// Folds a static input scale into the first stage:
     /// evaluating the result at `x` equals evaluating `self` at `s·x`.
     pub fn with_input_scale(&self, s: f64) -> CompositePaf {

@@ -536,6 +536,10 @@ impl OddPowerSchedule {
 #[derive(Debug, Clone)]
 pub struct CompositeEval {
     stages: Vec<PolyEval>,
+    /// One ciphertext-side schedule per odd non-constant stage (`None`
+    /// for stages the even-power ladder cannot express), prepared once
+    /// so cost oracles pay no per-query schedule construction.
+    schedules: Vec<Option<OddPowerSchedule>>,
 }
 
 impl CompositeEval {
@@ -543,12 +547,44 @@ impl CompositeEval {
     pub fn new(paf: &CompositePaf) -> Self {
         CompositeEval {
             stages: paf.stages().iter().map(PolyEval::new).collect(),
+            schedules: paf
+                .stages()
+                .iter()
+                .map(|p| (p.is_odd_function() && p.degree() >= 1).then(|| OddPowerSchedule::new(p)))
+                .collect(),
         }
     }
 
     /// The prepared per-stage plans.
     pub fn stages(&self) -> &[PolyEval] {
         &self.stages
+    }
+
+    /// The prepared ciphertext-side schedules, parallel to
+    /// [`CompositeEval::stages`].
+    pub fn schedules(&self) -> &[Option<OddPowerSchedule>] {
+        &self.schedules
+    }
+
+    /// Exact ciphertext-ciphertext multiplications of one composite
+    /// (sign) evaluation under the even-power-ladder schedule — the sum
+    /// of [`OddPowerSchedule::exact_ct_mults`] over the stages.
+    pub fn exact_ct_mults(&self) -> usize {
+        self.schedules
+            .iter()
+            .flatten()
+            .map(OddPowerSchedule::exact_ct_mults)
+            .sum()
+    }
+
+    /// Coarse modelled ciphertext multiplications of one composite
+    /// evaluation ([`OddPowerSchedule::modelled_ct_mults`] summed).
+    pub fn modelled_ct_mults(&self) -> usize {
+        self.schedules
+            .iter()
+            .flatten()
+            .map(OddPowerSchedule::modelled_ct_mults)
+            .sum()
     }
 
     /// Composite sign approximation at one point.
@@ -732,6 +768,25 @@ mod tests {
         let lin = OddPowerSchedule::new(&Polynomial::from_odd(&[2.0]));
         assert_eq!(lin.ladder_bits(), 0);
         assert_eq!(lin.exact_ct_mults(), 0);
+    }
+
+    #[test]
+    fn composite_eval_schedule_accessors() {
+        let paf = CompositePaf::from_form(PafForm::Alpha7);
+        let eng = CompositeEval::new(&paf);
+        assert_eq!(eng.schedules().len(), eng.stages().len());
+        assert!(eng.schedules().iter().all(Option::is_some));
+        let exact: usize = paf
+            .stages()
+            .iter()
+            .map(|p| OddPowerSchedule::new(p).exact_ct_mults())
+            .sum();
+        assert_eq!(eng.exact_ct_mults(), exact);
+        assert_eq!(eng.exact_ct_mults(), paf.exact_ct_mult_count());
+        assert_eq!(eng.modelled_ct_mults(), paf.ct_mult_count());
+        // The exact ladder schedule charges the per-term bit products
+        // the coarse model folds into one product per term.
+        assert!(eng.exact_ct_mults() >= eng.modelled_ct_mults());
     }
 
     #[test]

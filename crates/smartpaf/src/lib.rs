@@ -51,5 +51,5 @@ pub use replace::{
     coefficient_tune, coefficient_tune_all, collect_relu_pafs, freeze_scales, num_slots,
     profile_slot, replace_all, replace_all_with, replace_slot, scale_static_scales,
 };
-pub use scheduler::{EventKind, Scheduler, TrainEvent};
+pub use scheduler::{rank_forms_by_dry_run, EventKind, FormCost, Scheduler, TrainEvent};
 pub use trainer::{evaluate, pretrain, train_epoch};

@@ -35,6 +35,9 @@ struct BenchRecord {
     min_ns: u128,
     mean_ns: u128,
     max_ns: u128,
+    /// Group-level metadata (e.g. `threads`, `batch`), attached to
+    /// every record of the group; empty for ungrouped benchmarks.
+    meta: Vec<(String, String)>,
 }
 
 /// Opaque value barrier preventing the optimiser from deleting the
@@ -137,6 +140,7 @@ impl Criterion {
             name: group_name.into(),
             sample_size: self.sample_size,
             test_mode: self.test_mode,
+            meta: Vec::new(),
             criterion: self,
         }
     }
@@ -159,8 +163,20 @@ impl Drop for Criterion {
         body.push_str("  \"benchmarks\": [\n");
         for (i, r) in self.records.iter().enumerate() {
             let sep = if i + 1 == self.records.len() { "" } else { "," };
+            // `meta` is an optional trailing field: omitted when empty,
+            // so consumers of the original shape keep parsing untouched.
+            let meta = if r.meta.is_empty() {
+                String::new()
+            } else {
+                let fields: Vec<String> = r
+                    .meta
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+                    .collect();
+                format!(", \"meta\": {{{}}}", fields.join(", "))
+            };
             body.push_str(&format!(
-                "    {{\"id\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}}}{sep}\n",
+                "    {{\"id\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}{meta}}}{sep}\n",
                 json_escape(&r.id),
                 r.samples,
                 r.min_ns,
@@ -194,6 +210,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     test_mode: bool,
+    meta: Vec<(String, String)>,
     criterion: &'a mut Criterion,
 }
 
@@ -204,12 +221,27 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Attaches a group-level metadata key (e.g. thread count × batch
+    /// dims) to every benchmark recorded from this point on. The JSON
+    /// report emits it as an optional `"meta"` object per record, so
+    /// the output shape stays backward-compatible when unused.
+    pub fn meta(&mut self, key: impl Into<String>, value: impl fmt::Display) -> &mut Self {
+        let key = key.into();
+        let value = value.to_string();
+        match self.meta.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = value,
+            None => self.meta.push((key, value)),
+        }
+        self
+    }
+
     pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
-        let rec = run_one(&full, self.sample_size, self.test_mode, f);
+        let mut rec = run_one(&full, self.sample_size, self.test_mode, f);
+        rec.meta = self.meta.clone();
         self.criterion.records.push(rec);
         self
     }
@@ -224,7 +256,8 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id.id);
-        let rec = run_one(&full, self.sample_size, self.test_mode, |b| f(b, input));
+        let mut rec = run_one(&full, self.sample_size, self.test_mode, |b| f(b, input));
+        rec.meta = self.meta.clone();
         self.criterion.records.push(rec);
         self
     }
@@ -251,6 +284,12 @@ impl IntoBenchmarkId for &str {
     }
 }
 
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(
     id: &str,
     sample_size: usize,
@@ -270,6 +309,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
         min_ns: 0,
         mean_ns: 0,
         max_ns: 0,
+        meta: Vec::new(),
     };
     if test_mode {
         println!("{id}: ok (test mode)");
@@ -295,6 +335,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
         min_ns: min.as_nanos(),
         mean_ns: mean.as_nanos(),
         max_ns: max.as_nanos(),
+        meta: Vec::new(),
     }
 }
 
@@ -386,6 +427,38 @@ mod tests {
         assert!(body.contains("\"id\": \"grp/inner\""), "{body}");
         assert!(body.contains("\"mode\": \"bench\""), "{body}");
         assert!(body.contains("\"mean_ns\""), "{body}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_meta_lands_in_json_report() {
+        let path = std::env::temp_dir().join("criterion_shim_meta_test.json");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut c = Criterion {
+                sample_size: 2,
+                test_mode: false,
+                json_path: Some(path.clone()),
+                records: Vec::new(),
+            };
+            let mut g = c.benchmark_group("tp");
+            g.meta("threads", 4).meta("batch", "256x64");
+            g.meta("threads", 4); // idempotent update, no duplicate key
+            g.bench_function("run", |b| b.iter(|| 1u64 + 1));
+            g.finish();
+            // Records without meta keep the original shape.
+            c.bench_function("bare", |b| b.iter(|| 2u64 + 2));
+        }
+        let body = std::fs::read_to_string(&path).expect("report written");
+        assert!(
+            body.contains("\"meta\": {\"threads\": \"4\", \"batch\": \"256x64\"}"),
+            "{body}"
+        );
+        let bare_line = body
+            .lines()
+            .find(|l| l.contains("\"id\": \"bare\""))
+            .expect("bare record");
+        assert!(!bare_line.contains("meta"), "{bare_line}");
         let _ = std::fs::remove_file(&path);
     }
 
