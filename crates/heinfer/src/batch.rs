@@ -84,6 +84,13 @@ pub struct BatchRunner {
     threads: usize,
 }
 
+impl Default for BatchRunner {
+    /// Machine-sized runner ([`BatchRunner::auto`]).
+    fn default() -> Self {
+        BatchRunner::auto()
+    }
+}
+
 impl BatchRunner {
     /// Creates a runner with the given worker-thread count.
     ///
@@ -93,6 +100,30 @@ impl BatchRunner {
     pub fn new(threads: usize) -> Self {
         assert!(threads >= 1, "need at least one worker thread");
         BatchRunner { threads }
+    }
+
+    /// Creates a runner sized for this machine: the `SMARTPAF_THREADS`
+    /// environment variable when set to a positive integer, otherwise
+    /// [`std::thread::available_parallelism`] (falling back to 1 when
+    /// the parallelism query fails). Prefer this over hard-coding a
+    /// worker count.
+    pub fn auto() -> Self {
+        Self::auto_from(std::env::var("SMARTPAF_THREADS").ok().as_deref())
+    }
+
+    /// The override-parsing core of [`BatchRunner::auto`], taking the
+    /// env value as a parameter so tests never mutate process-global
+    /// state.
+    fn auto_from(override_threads: Option<&str>) -> Self {
+        let threads = override_threads
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        BatchRunner::new(threads)
     }
 
     /// The configured worker-thread count.
@@ -280,6 +311,21 @@ mod tests {
         assert_eq!(run.threads, 3);
         assert_eq!(run.outputs.len(), 3);
         assert!(run.throughput() > 0.0);
+    }
+
+    #[test]
+    fn auto_runner_honours_env_override() {
+        assert_eq!(BatchRunner::auto_from(Some("3")).threads(), 3);
+        assert_eq!(BatchRunner::auto_from(Some(" 5 ")).threads(), 5);
+        // Unparsable and zero overrides fall back to detection.
+        let detected = BatchRunner::auto_from(None).threads();
+        assert!(detected >= 1);
+        assert_eq!(
+            BatchRunner::auto_from(Some("not-a-number")).threads(),
+            detected
+        );
+        assert_eq!(BatchRunner::auto_from(Some("0")).threads(), detected);
+        assert!(BatchRunner::default().threads() >= 1);
     }
 
     #[test]

@@ -129,6 +129,17 @@ impl fmt::Display for RunError {
     }
 }
 
+impl RunError {
+    /// True when the failure means the configuration can *never*
+    /// execute on this modulus chain ([`RunError::AtomicDepthExceeded`])
+    /// — no bootstrap schedule helps. Planners use this to drop a
+    /// candidate form from the search instead of aborting the whole
+    /// plan; every other variant is a real error worth surfacing.
+    pub fn is_infeasible_form(&self) -> bool {
+        matches!(self, RunError::AtomicDepthExceeded { .. })
+    }
+}
+
 impl std::error::Error for RunError {}
 
 /// Execution statistics of one pipeline run.

@@ -42,7 +42,13 @@
 //!   an instant cost oracle for schedulers.
 //!
 //! [`BatchRunner`] shards batches of inputs across `std::thread`
-//! workers over any of these, with deterministic input-order results.
+//! workers over any of these, with deterministic input-order results;
+//! [`BatchRunner::auto`] sizes the pool from the machine (or the
+//! `SMARTPAF_THREADS` override). [`HePipeline::with_paf`] swaps the
+//! PAF composite of every activation stage without re-probing the
+//! affine segments, so planners (the `smartpaf` Session API) can
+//! enumerate candidate forms and price each one with
+//! [`HePipeline::dry_run`] in microseconds.
 //!
 //! # Example
 //!

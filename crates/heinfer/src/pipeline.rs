@@ -9,6 +9,7 @@ use smartpaf_polyfit::{CompositeEval, CompositePaf};
 use smartpaf_tensor::Tensor;
 
 /// One compiled stage of an encrypted inference pipeline.
+#[derive(Clone)]
 pub enum Stage {
     /// An affine map `x ↦ Mx + b` (conv / BN / pooling / linear runs,
     /// linearised by probing). Costs one level.
@@ -160,6 +161,14 @@ impl PipelineBuilder {
     /// Appends an affine layer (builder style).
     pub fn affine(mut self, layer: impl Layer + 'static) -> Self {
         self.specs.push(Spec::Affine(Box::new(layer)));
+        self
+    }
+
+    /// Appends an already-boxed affine layer — the dynamic twin of
+    /// [`PipelineBuilder::affine`], for builders that assemble stage
+    /// lists at run time (the smartpaf Session API).
+    pub fn affine_boxed(mut self, layer: Box<dyn Layer>) -> Self {
+        self.specs.push(Spec::Affine(layer));
         self
     }
 
@@ -458,6 +467,57 @@ impl HePipeline {
         out
     }
 
+    /// Number of PAF stages (ReLU + MaxPool) in the compiled pipeline.
+    pub fn num_paf_stages(&self) -> usize {
+        self.stages
+            .iter()
+            .filter(|s| !matches!(s, Stage::Affine { .. }))
+            .count()
+    }
+
+    /// Rebuilds this pipeline with every PAF stage's composite replaced
+    /// by `paf`, keeping the probed affine matrices, scales, taps, and
+    /// slot layout untouched and re-preparing the plaintext engines.
+    ///
+    /// Probing affine runs is the expensive part of
+    /// [`PipelineBuilder::try_compile`]; this hook lets a planner probe
+    /// once and then enumerate candidate PAF forms in microseconds (one
+    /// engine preparation per swap), which is what makes trace-priced
+    /// Pareto search over forms practical.
+    pub fn with_paf(&self, paf: &CompositePaf) -> HePipeline {
+        let stages: Vec<Stage> = self
+            .stages
+            .iter()
+            .map(|s| match s {
+                Stage::Affine { .. } => s.clone(),
+                Stage::PafRelu {
+                    pre_scale,
+                    post_scale,
+                    ..
+                } => Stage::PafRelu {
+                    paf: paf.clone(),
+                    pre_scale: *pre_scale,
+                    post_scale: *post_scale,
+                },
+                Stage::PafMax {
+                    taps, post_scale, ..
+                } => Stage::PafMax {
+                    taps: taps.clone(),
+                    paf: paf.clone(),
+                    post_scale: *post_scale,
+                },
+            })
+            .collect();
+        let prepared = prepare_stage_engines(&stages);
+        HePipeline {
+            stages,
+            prepared,
+            dim: self.dim,
+            input_dim: self.input_dim,
+            output_dim: self.output_dim,
+        }
+    }
+
     /// Folds Static-Scaling multiplications into neighbouring affine
     /// matrices: an affine stage directly before a PAF-ReLU absorbs the
     /// `1/s` pre-scale, and an affine stage directly after any PAF
@@ -699,6 +759,35 @@ mod tests {
                 "k={k} stride={stride}: {err}"
             );
         }
+    }
+
+    #[test]
+    fn with_paf_swaps_forms_without_reprobing() {
+        let mut rng = Rng64::new(31);
+        let scale = 4.0;
+        let base = PipelineBuilder::new(&[4])
+            .affine(Linear::new(4, 4, &mut rng))
+            .paf_relu(&relu_paf(), scale)
+            .compile()
+            .fold_scales();
+        let rich = CompositePaf::from_form(PafForm::Alpha7);
+        let swapped = base.with_paf(&rich);
+        assert_eq!(swapped.dim(), base.dim());
+        assert_eq!(swapped.num_paf_stages(), 1);
+        // The swapped pipeline equals compiling with the new form
+        // directly (same probed affine matrices, same folded scales).
+        let direct = PipelineBuilder::new(&[4])
+            .affine(Linear::new(4, 4, &mut Rng64::new(31)))
+            .paf_relu(&rich, scale)
+            .compile()
+            .fold_scales();
+        let x = [0.4, -0.8, 1.2, -0.1];
+        let a = swapped.eval_plain(&x);
+        let b = direct.eval_plain(&x);
+        for (ai, bi) in a.iter().zip(&b) {
+            assert!((ai - bi).abs() < 1e-12, "{ai} vs {bi}");
+        }
+        assert_eq!(swapped.total_levels(), direct.total_levels());
     }
 
     #[test]

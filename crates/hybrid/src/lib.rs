@@ -7,8 +7,12 @@
 //! This crate makes the matrix quantitative: a network model
 //! (bandwidth + RTT), per-operator communication footprints published
 //! for the hybrid protocols, and the [`smartpaf_ckks::cost`] analytic
-//! model for in-FHE PAF latency. The ✓/✗ pattern then *emerges* from
-//! thresholds instead of being asserted.
+//! model for in-FHE PAF latency. The FHE rows are traced through the
+//! same [`Session`] plan path a deployment takes
+//! ([`Objective::FixedForm`] over single-stage probe pipelines), so
+//! the table prices exactly the schedule a compiled session executes.
+//! The ✓/✗ pattern then *emerges* from thresholds instead of being
+//! asserted.
 //!
 //! # Example
 //!
@@ -20,15 +24,17 @@
 //! assert!(smart.low_communication && smart.low_accuracy_degradation && smart.low_latency);
 //! ```
 
-use smartpaf_ckks::cost::{bootstrap_modmuls, ct_mult_modmuls, rescale_modmuls};
+use smartpaf::{trace_modmuls, Objective, Session};
 use smartpaf_ckks::CkksParams;
-use smartpaf_heinfer::{PipelineBuilder, TraceReport};
-use smartpaf_polyfit::{CompositePaf, PafForm};
+use smartpaf_heinfer::TraceReport;
+use smartpaf_polyfit::PafForm;
 use std::fmt;
 
 /// Calibrated cost of one 64-bit modular multiply on a workstation
-/// core (order-of-magnitude of the paper's AMD 2990WX).
-pub const SECONDS_PER_MODMUL: f64 = 1.2e-9;
+/// core (order-of-magnitude of the paper's AMD 2990WX) — re-exported
+/// from [`smartpaf::SECONDS_PER_MODMUL`] so the Tab. 1 rows and the
+/// Session planner's priced frontier can never drift apart.
+pub const SECONDS_PER_MODMUL: f64 = smartpaf::SECONDS_PER_MODMUL;
 
 /// Network link between the data owner and the compute server.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -183,13 +189,13 @@ pub fn scheme_cost(scheme: Scheme, w: &WorkloadSpec, net: &NetworkConfig) -> Sch
             }
         }
         Scheme::Fhe27Degree => fhe_cost(
-            &CompositePaf::from_form(PafForm::MinimaxDeg27),
+            PafForm::MinimaxDeg27,
             w,
             // The 27-degree comparator preserves accuracy (69.3%).
             0.0,
         ),
         Scheme::SmartPaf => fhe_cost(
-            &CompositePaf::from_form(PafForm::F1SqG1Sq),
+            PafForm::F1SqG1Sq,
             w,
             // Paper Tab. 4: 69.4% vs original 69.3% — no degradation
             // after SMART-PAF training.
@@ -198,47 +204,46 @@ pub fn scheme_cost(scheme: Scheme, w: &WorkloadSpec, net: &NetworkConfig) -> Sch
     }
 }
 
-/// Converts a dry-run trace into modelled 64-bit modular multiplies:
-/// every exact ct-mult (+ its rescale) is charged at the trace's mean
-/// live limb count, and every forced refresh at the full analytic
-/// bootstrap cost.
-fn trace_modmuls(params: &CkksParams, report: &TraceReport) -> u128 {
-    let top = params.depth + 1;
-    let avg_limbs = (top + report.final_level + 1).div_ceil(2).max(1);
-    let per_ct_mult = ct_mult_modmuls(params, avg_limbs) + rescale_modmuls(params, avg_limbs - 1);
-    report.total_ct_mults() as u128 * per_ct_mult
-        + report.total_bootstraps() as u128 * bootstrap_modmuls(params)
+/// Plans a single-stage probe pipeline through the Session API with a
+/// fixed form and returns the traced schedule — the same plan → trace
+/// path a deployment takes, so Tab. 1 prices exactly what a
+/// [`smartpaf::CompiledSession`] would execute.
+fn session_trace(form: PafForm, pool: bool) -> TraceReport {
+    let builder = if pool {
+        Session::builder(&[1, 2, 2]).maxpool(2, 2, 1.0)
+    } else {
+        Session::builder(&[8]).relu(1.0)
+    };
+    builder
+        .params(CkksParams::paper_scale())
+        .objective(Objective::FixedForm(form))
+        .plan()
+        .expect("the paper-scale chain runs any PAF with bootstrapping")
+        .chosen_trace()
+        .clone()
 }
 
-/// FHE latency rows from the trace execution backend: a single
-/// PAF-ReLU stage and a single 2×2 PAF-max-pool stage are compiled and
-/// dry-run (no ciphertext arithmetic), and the recorded level /
-/// bootstrap / exact-ct-mult schedule is priced with the analytic
-/// per-op costs. Unlike the earlier analytic-only model, the pool row
-/// now follows the *actual* pairwise fold schedule — including any
-/// bootstraps the paper-scale chain forces — rather than a flat 0.75×
-/// ReLU heuristic.
-fn fhe_cost(paf: &CompositePaf, w: &WorkloadSpec, accuracy_drop_pct: f64) -> SchemeCost {
+/// FHE latency rows priced through a [`Session`] plan: a single
+/// PAF-ReLU stage and a single 2×2 PAF-max-pool stage are planned with
+/// [`Objective::FixedForm`] (no ciphertext arithmetic), and the
+/// recorded level / bootstrap / exact-ct-mult schedule is priced with
+/// the analytic per-op costs. Unlike the earlier analytic-only model,
+/// the pool row follows the *actual* pairwise fold schedule —
+/// including any bootstraps the paper-scale chain forces — rather than
+/// a flat 0.75× ReLU heuristic.
+fn fhe_cost(form: PafForm, w: &WorkloadSpec, accuracy_drop_pct: f64) -> SchemeCost {
     let params = CkksParams::paper_scale();
     let slots = (params.n / 2) as f64;
 
     // One slot-batch of ReLU: `slots` elements per run.
-    let relu_pipe = PipelineBuilder::new(&[8]).paf_relu(paf, 1.0).compile();
-    let (relu_trace, _) = relu_pipe
-        .dry_run(params.depth, true)
-        .expect("paper-scale chain runs any PAF with bootstrapping");
+    let relu_trace = session_trace(form, false);
     let relu_per_element = trace_modmuls(&params, &relu_trace) as f64 * SECONDS_PER_MODMUL / slots;
 
     // One slot-batch of 2×2 max pooling: the trace covers 4 input
     // elements per window, 3 pairwise PAF-max folds — per input
     // element this is the 0.75× sign-eval rate the old heuristic
     // assumed, but with the fold's real level schedule.
-    let pool_pipe = PipelineBuilder::new(&[1, 2, 2])
-        .paf_maxpool(2, 2, paf, 1.0)
-        .compile();
-    let (pool_trace, _) = pool_pipe
-        .dry_run(params.depth, true)
-        .expect("paper-scale chain runs the fold with bootstrapping");
+    let pool_trace = session_trace(form, true);
     let pool_per_element = trace_modmuls(&params, &pool_trace) as f64 * SECONDS_PER_MODMUL / slots;
 
     SchemeCost {
@@ -310,6 +315,7 @@ pub fn crossover_bandwidth(scheme: Scheme, w: &WorkloadSpec) -> f64 {
 mod tests {
     use super::*;
     use smartpaf_ckks::cost::{project_seconds, relu_op_counts};
+    use smartpaf_polyfit::CompositePaf;
 
     #[test]
     fn hybrid_ships_orders_of_magnitude_more_bytes() {

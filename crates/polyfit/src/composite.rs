@@ -313,6 +313,19 @@ impl CompositePaf {
             .sum()
     }
 
+    /// Enumerates the built-in candidate forms (Tab. 2) whose PAF-ReLU
+    /// fits a modulus chain of `max_levels` rescale levels — i.e.
+    /// `mult_depth() + 1 ≤ max_levels`, the sign evaluation plus the
+    /// ReLU product. Returned cheapest-first (the Fig. 1 x-axis
+    /// order), so planners can iterate and stop at the first feasible
+    /// candidate or trace-price the whole set.
+    pub fn candidate_forms(max_levels: usize) -> Vec<PafForm> {
+        PafForm::all()
+            .into_iter()
+            .filter(|&f| CompositePaf::from_form(f).mult_depth() < max_levels)
+            .collect()
+    }
+
     /// Folds a static input scale into the first stage:
     /// evaluating the result at `x` equals evaluating `self` at `s·x`.
     pub fn with_input_scale(&self, s: f64) -> CompositePaf {
@@ -471,6 +484,21 @@ mod tests {
         let rich = CompositePaf::from_form(PafForm::MinimaxDeg27).sign_error(0.05, 500);
         assert!(rich < mid, "27-deg {rich} !< 14-deg {mid}");
         assert!(mid < cheap, "14-deg {mid} !< f1g2 {cheap}");
+    }
+
+    #[test]
+    fn candidate_enumeration_respects_depth_budget() {
+        // A 12-level chain fits every form (deepest ReLU needs 11).
+        assert_eq!(CompositePaf::candidate_forms(12).len(), 6);
+        // 8 levels drop the depth-8 and depth-10 forms.
+        let eight = CompositePaf::candidate_forms(8);
+        assert!(!eight.contains(&PafForm::MinimaxDeg27));
+        assert!(!eight.contains(&PafForm::F1SqG1Sq));
+        assert_eq!(eight.len(), 4);
+        // Below the cheapest form's 6 levels nothing fits.
+        assert!(CompositePaf::candidate_forms(5).is_empty());
+        // Cheapest-first ordering is preserved.
+        assert_eq!(eight[0], PafForm::F1G2);
     }
 
     #[test]

@@ -72,6 +72,20 @@ impl LatencyRig {
         }
     }
 
+    /// Wraps an existing evaluator (shared context + keys) instead of
+    /// building a fresh one — how a compiled Session hands out a
+    /// measurement rig without paying key generation twice. Unlike
+    /// [`LatencyRig::new`] no depth floor is asserted;
+    /// [`LatencyRig::measure_relu`] on a form deeper than the chain
+    /// will panic inside the evaluator, so only measure forms the
+    /// session planned as feasible.
+    pub fn from_paf_evaluator(paf_eval: PafEvaluator, seed: u64) -> Self {
+        LatencyRig {
+            paf_eval,
+            rng: Rng64::new(seed),
+        }
+    }
+
     /// Access to the underlying PAF evaluator.
     pub fn paf_evaluator(&self) -> &PafEvaluator {
         &self.paf_eval
@@ -170,6 +184,15 @@ mod tests {
         );
         assert_eq!(cheap.depth, 6);
         assert_eq!(rich.depth, 11);
+    }
+
+    #[test]
+    fn rig_from_existing_evaluator_measures() {
+        let base = rig();
+        let mut shared = LatencyRig::from_paf_evaluator(base.paf_evaluator().clone(), 3);
+        let r = shared.measure_relu(PafForm::F1G2, 2);
+        assert_eq!(r.form, PafForm::F1G2);
+        assert!(r.relu_latency.as_nanos() > 0);
     }
 
     #[test]

@@ -9,7 +9,36 @@
 //! replacement engine, Pareto-frontier search, and CKKS wall-clock
 //! latency measurement.
 //!
-//! # Example
+//! # The Session API (headline)
+//!
+//! The typed-state [`Session`] chain — **plan → compile → serve** — is
+//! the one entry point that strings the whole deployment story
+//! together: trace-priced Pareto planning over candidate PAF forms,
+//! one-time key/engine setup, and encrypted serving (single inputs or
+//! threaded batches). See the [`session`] module docs for the state
+//! machine.
+//!
+//! ```
+//! use smartpaf::{Objective, Session};
+//! use smartpaf_ckks::CkksParams;
+//! use smartpaf_nn::Linear;
+//! use smartpaf_tensor::Rng64;
+//!
+//! let mut rng = Rng64::new(7);
+//! let mut session = Session::builder(&[8])
+//!     .affine(Linear::new(8, 8, &mut rng))
+//!     .relu(4.0)
+//!     .params(CkksParams::toy())
+//!     .objective(Objective::MinBootstraps)
+//!     .plan()
+//!     .unwrap()
+//!     .compile()
+//!     .unwrap();
+//! let out = session.infer(&[0.5, -0.5, 0.25, -0.25, 0.1, -0.1, 0.8, -0.8]).unwrap();
+//! assert_eq!(out.len(), 8);
+//! ```
+//!
+//! # Training example
 //!
 //! Training-scale (pretrains a MiniCNN, then fine-tunes through a full
 //! replacement cell), so compile-checked only; `tests/e2e_smartpaf.rs`
@@ -35,9 +64,12 @@ mod config;
 mod latency;
 mod pareto;
 mod pipeline;
+#[cfg(test)]
+mod proptests;
 mod relu_reduce;
 mod replace;
 mod scheduler;
+pub mod session;
 mod trainer;
 
 pub use config::{TechniqueSet, TrainConfig};
@@ -52,4 +84,8 @@ pub use replace::{
     profile_slot, replace_all, replace_all_with, replace_slot, scale_static_scales,
 };
 pub use scheduler::{rank_forms_by_dry_run, EventKind, FormCost, Scheduler, TrainEvent};
+pub use session::{
+    trace_modmuls, CompiledSession, Objective, Plan, PlanReport, PlannedCandidate, Session,
+    SessionBuilder, SessionError, SECONDS_PER_MODMUL,
+};
 pub use trainer::{evaluate, pretrain, train_epoch};

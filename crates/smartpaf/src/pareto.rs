@@ -12,26 +12,40 @@ pub struct ParetoPoint {
 /// Returns the indices of the Pareto-optimal points (no other point is
 /// both faster and at least as accurate, or as fast and more
 /// accurate), sorted by latency.
+///
+/// Tie handling: points with equal cost but strictly better accuracy
+/// evict the dominated point, so at most one index survives per
+/// distinct latency — important for trace-priced planning, where costs
+/// are discrete (bootstrap / ct-mult counts) and exact duplicates are
+/// the norm. Exact duplicates (equal cost *and* accuracy) keep the
+/// first input index.
 pub fn pareto_frontier(points: &[ParetoPoint]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..points.len()).collect();
+    // Stable sort by latency alone; dominance among ties is resolved
+    // explicitly below rather than through a sort tiebreaker.
     idx.sort_by(|&a, &b| {
         points[a]
             .latency_ms
             .partial_cmp(&points[b].latency_ms)
             .expect("finite latency")
-            .then(
-                points[b]
-                    .accuracy
-                    .partial_cmp(&points[a].accuracy)
-                    .expect("finite accuracy"),
-            )
     });
-    let mut frontier = Vec::new();
-    let mut best_acc = f64::NEG_INFINITY;
+    let mut frontier: Vec<usize> = Vec::new();
     for &i in &idx {
-        if points[i].accuracy > best_acc {
+        let p = points[i];
+        // Equal cost, strictly better accuracy: evict the dominated
+        // point already on the frontier.
+        while let Some(&last) = frontier.last() {
+            if points[last].latency_ms == p.latency_ms && p.accuracy > points[last].accuracy {
+                frontier.pop();
+            } else {
+                break;
+            }
+        }
+        let dominated = frontier
+            .last()
+            .is_some_and(|&last| points[last].accuracy >= p.accuracy);
+        if !dominated {
             frontier.push(i);
-            best_acc = points[i].accuracy;
         }
     }
     frontier
@@ -75,5 +89,35 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    #[test]
+    fn duplicate_cost_evicts_dominated_point() {
+        // Three candidates at identical cost: only the most accurate
+        // survives, wherever it sits in the input.
+        let pts = vec![p(2.0, 0.7), p(2.0, 0.9), p(2.0, 0.8)];
+        assert_eq!(pareto_frontier(&pts), vec![1]);
+    }
+
+    #[test]
+    fn exact_duplicates_keep_first_index() {
+        let pts = vec![p(1.0, 0.5), p(1.0, 0.5)];
+        assert_eq!(pareto_frontier(&pts), vec![0]);
+    }
+
+    #[test]
+    fn duplicate_costs_across_levels() {
+        // Trace-priced costs are discrete (bootstraps, ct-mults), so
+        // duplicate-cost inputs are the norm: each distinct cost keeps
+        // exactly its best point, and equal-accuracy-but-slower points
+        // stay dominated.
+        let pts = vec![
+            p(1.0, 0.2),
+            p(1.0, 0.4), // same cost as [0], strictly better: evicts it
+            p(2.0, 0.3), // dominated by (1.0, 0.4)
+            p(2.0, 0.6),
+            p(3.0, 0.6), // equal accuracy, slower: dominated
+        ];
+        assert_eq!(pareto_frontier(&pts), vec![1, 3]);
     }
 }

@@ -178,6 +178,36 @@ impl Workbench {
         Ok((cheapest, result))
     }
 
+    /// [`Workbench::run_cheapest_cell`] over the default candidate set:
+    /// every built-in form whose ReLU fits the chain
+    /// ([`CompositePaf::candidate_forms`]) — the training-side twin of
+    /// planning a [`crate::Session`] without an explicit candidate
+    /// list.
+    ///
+    /// # Errors
+    ///
+    /// [`smartpaf_heinfer::RunError::AtomicDepthExceeded`] when no
+    /// built-in form fits a chain of `max_level` levels.
+    pub fn run_cheapest_cell_auto(
+        &mut self,
+        techniques: TechniqueSet,
+        max_level: usize,
+        relu_only: bool,
+    ) -> Result<(FormCost, ExperimentResult), smartpaf_heinfer::RunError> {
+        let candidates = CompositePaf::candidate_forms(max_level);
+        if candidates.is_empty() {
+            // Surface the same typed error a direct dry run of the
+            // cheapest form would produce.
+            let paf = CompositePaf::from_form(PafForm::F1G2);
+            return Err(smartpaf_heinfer::RunError::AtomicDepthExceeded {
+                label: format!("paf-relu[depth={}]", paf.mult_depth()),
+                needed: paf.mult_depth() + 1,
+                max_level,
+            });
+        }
+        self.run_cheapest_cell(techniques, &candidates, max_level, relu_only)
+    }
+
     /// The "direct replacement + progressive training" ablation (the
     /// green bars of Fig. 8): every operator is replaced up front, and
     /// the progressive schedule then fine-tunes step by step with the
@@ -276,6 +306,27 @@ mod tests {
         assert_eq!(cost.form, PafForm::F1G2);
         assert_eq!(result.form, PafForm::F1G2);
         assert_eq!(cost.bootstraps, 0);
+    }
+
+    #[test]
+    fn auto_candidates_match_explicit_full_set() {
+        let mut wb = bench(46);
+        let techniques = TechniqueSet {
+            fine_tune: false,
+            ..TechniqueSet::baseline_ds()
+        };
+        let (cost, _) = wb
+            .run_cheapest_cell_auto(techniques, 12, false)
+            .expect("every form fits a 12-level chain");
+        assert_eq!(cost.form, PafForm::F1G2);
+        // A 5-level chain fits nothing: typed error, not a panic.
+        let err = wb
+            .run_cheapest_cell_auto(techniques, 5, false)
+            .expect_err("no form fits 5 levels");
+        assert!(matches!(
+            err,
+            smartpaf_heinfer::RunError::AtomicDepthExceeded { .. }
+        ));
     }
 
     #[test]

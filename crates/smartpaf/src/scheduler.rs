@@ -84,6 +84,32 @@ pub struct FormCost {
     pub bootstraps: usize,
 }
 
+impl FormCost {
+    /// Builds the cost row of `form` from a trace dry run of a
+    /// pipeline using `paf` — the shared constructor behind
+    /// [`rank_forms_by_dry_run`] (canonical single-ReLU probe) and the
+    /// Session planner (the caller's actual pipeline).
+    pub fn from_trace(
+        form: PafForm,
+        paf: &CompositePaf,
+        report: &smartpaf_heinfer::TraceReport,
+    ) -> Self {
+        FormCost {
+            form,
+            relu_levels: paf.mult_depth() + 1,
+            ct_mults: report.total_ct_mults(),
+            bootstraps: report.total_bootstraps(),
+        }
+    }
+
+    /// The planner's lexicographic sort key: fewest forced bootstraps,
+    /// then fewest exact ciphertext multiplications, then shallowest
+    /// ReLU — traced deployment cost, never depth alone.
+    pub fn sort_key(&self) -> (usize, usize, usize) {
+        (self.bootstraps, self.ct_mults, self.relu_levels)
+    }
+}
+
 /// Ranks PAF forms by their dry-run deployment cost on a modulus chain
 /// of `max_level` rescale levels: fewest forced bootstraps first, then
 /// fewest exact ciphertext multiplications — the instant cost oracle a
@@ -105,14 +131,9 @@ pub fn rank_forms_by_dry_run(
             .paf_relu(&paf, 1.0)
             .try_compile()?;
         let (report, _) = pipe.dry_run(max_level, true)?;
-        costs.push(FormCost {
-            form,
-            relu_levels: paf.mult_depth() + 1,
-            ct_mults: report.total_ct_mults(),
-            bootstraps: report.total_bootstraps(),
-        });
+        costs.push(FormCost::from_trace(form, &paf, &report));
     }
-    costs.sort_by_key(|c| (c.bootstraps, c.ct_mults, c.relu_levels));
+    costs.sort_by_key(FormCost::sort_key);
     Ok(costs)
 }
 

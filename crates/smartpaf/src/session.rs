@@ -1,0 +1,1045 @@
+//! The typed-state `Session` API: **plan → compile → serve**.
+//!
+//! SmartPAF's end-to-end story — pick a composite PAF form on the
+//! accuracy/latency Pareto frontier, then run encrypted inference with
+//! it — used to be spread across five unrelated entry points
+//! ([`Workbench`](crate::Workbench), [`LatencyRig`],
+//! `HePipeline::eval_*`, [`BatchRunner`], and the
+//! [`rank_forms_by_dry_run`](crate::rank_forms_by_dry_run) +
+//! [`pareto_frontier`] pair). A Session walks the whole path behind one
+//! three-state builder:
+//!
+//! ```text
+//!   SessionBuilder ──plan()──► Plan ──compile()──► CompiledSession
+//!   stages, params,            chosen form,        keys + engines:
+//!   objective,                 traced frontier,    infer / infer_batch /
+//!   candidate forms            PlanReport          dry_run / latency_rig
+//! ```
+//!
+//! Each arrow consumes the previous state, so the type system enforces
+//! the order: you cannot serve before compiling and you cannot compile
+//! before planning. Planning scores every candidate form with a
+//! [`TraceBackend`](smartpaf_heinfer::TraceBackend) dry run of the
+//! *caller's actual pipeline* — forced bootstraps and exact ciphertext
+//! multiplications, never multiplicative depth alone — and the affine
+//! segments are probed exactly once ([`HePipeline::with_paf`] swaps
+//! forms in microseconds).
+//!
+//! # Example
+//!
+//! ```
+//! use smartpaf::{Objective, Session};
+//! use smartpaf_ckks::CkksParams;
+//! use smartpaf_nn::Linear;
+//! use smartpaf_tensor::Rng64;
+//!
+//! let mut rng = Rng64::new(7);
+//! let plan = Session::builder(&[8])
+//!     .affine(Linear::new(8, 8, &mut rng))
+//!     .relu(4.0)
+//!     .params(CkksParams::toy())
+//!     .objective(Objective::MinBootstraps)
+//!     .plan()
+//!     .unwrap();
+//! println!("{}", plan.report());
+//! let mut session = plan.compile().unwrap();
+//! let x: Vec<f64> = (0..8).map(|i| (i as f64 - 4.0) / 4.0).collect();
+//! let enc = session.infer(&x).unwrap();
+//! let plain = session.infer_plain(&x).unwrap();
+//! for (e, p) in enc.iter().zip(&plain) {
+//!     assert!((e - p).abs() < 0.1);
+//! }
+//! ```
+
+use crate::latency::LatencyRig;
+use crate::pareto::{pareto_frontier, ParetoPoint};
+use crate::scheduler::FormCost;
+use smartpaf_ckks::cost::{bootstrap_modmuls, ct_mult_modmuls, rescale_modmuls};
+use smartpaf_ckks::{Bootstrapper, CkksParams, Evaluator, KeyChain, PafEvaluator};
+use smartpaf_heinfer::{
+    BatchRun, BatchRunner, HePipeline, PipelineBuilder, RunError, RunStats, TraceReport,
+};
+use smartpaf_nn::Layer;
+use smartpaf_polyfit::{CompositePaf, PafForm};
+use smartpaf_tensor::Rng64;
+use std::fmt;
+
+/// Calibrated cost of one 64-bit modular multiply on a workstation
+/// core (order-of-magnitude of the paper's AMD 2990WX) — the single
+/// constant behind both the planner's priced frontier and the hybrid
+/// crate's Tab. 1 rows.
+pub const SECONDS_PER_MODMUL: f64 = 1.2e-9;
+
+/// Accurate-range edge of the fidelity grid (`sign_error` on
+/// `[eps, 1]`), the paper's ε.
+const FIDELITY_EPS: f64 = 0.05;
+
+/// Sample count of the fidelity grid.
+const FIDELITY_SAMPLES: usize = 400;
+
+/// Unified error of planning, compilation, and serving.
+///
+/// Execution failures ([`RunError`]) pass through unchanged; the
+/// planner adds the two failure modes the old entry points could only
+/// panic about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// A pipeline compilation or execution error from `smartpaf_heinfer`.
+    Run(RunError),
+    /// The candidate form list was empty.
+    NoCandidates,
+    /// Every candidate form's atomic depth exceeds the modulus chain —
+    /// nothing can run at these parameters, bootstrapping included.
+    NoFeasibleForm {
+        /// Number of candidate forms tried.
+        tried: usize,
+        /// Rescale levels the chain offers.
+        max_level: usize,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Run(e) => write!(f, "{e}"),
+            SessionError::NoCandidates => f.write_str("no candidate PAF forms supplied"),
+            SessionError::NoFeasibleForm { tried, max_level } => write!(
+                f,
+                "none of the {tried} candidate form(s) fits a {max_level}-level chain"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Run(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RunError> for SessionError {
+    fn from(e: RunError) -> Self {
+        SessionError::Run(e)
+    }
+}
+
+/// What the planner optimises when choosing the PAF form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Cheapest traced deployment cost among the candidates whose
+    /// sign-approximation fidelity stays within `max_acc_drop` of the
+    /// most accurate candidate's.
+    MinLatency {
+        /// Largest acceptable fidelity drop versus the best candidate,
+        /// in absolute `[0, 1]` fidelity units. Negative or NaN values
+        /// are treated as `0.0` (only the best-fidelity candidates
+        /// qualify).
+        max_acc_drop: f64,
+    },
+    /// Fewest traced bootstraps outright (ties broken by exact
+    /// ct-mults, then ReLU depth).
+    MinBootstraps,
+    /// Skip the search and deploy this form — still traced, so the
+    /// plan carries its cost and the report prices it. Planning fails
+    /// with the underlying [`RunError`] when the form cannot run on
+    /// the chain at all.
+    FixedForm(PafForm),
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Objective::MinLatency { max_acc_drop } => {
+                write!(f, "min-latency (max fidelity drop {max_acc_drop})")
+            }
+            Objective::MinBootstraps => f.write_str("min-bootstraps"),
+            Objective::FixedForm(form) => write!(f, "fixed form {form}"),
+        }
+    }
+}
+
+/// Namespace entry point of the typed-state chain;
+/// [`Session::builder`] is the one way in.
+pub struct Session;
+
+impl Session {
+    /// Starts a [`SessionBuilder`] for inputs of the given (batch-free)
+    /// shape, e.g. `[3, 8, 8]` for a CHW image or `[16]` for a flat
+    /// vector.
+    pub fn builder(input_shape: &[usize]) -> SessionBuilder {
+        SessionBuilder::new(input_shape)
+    }
+}
+
+enum StageSpec {
+    Affine(Box<dyn Layer>),
+    Relu { scale: f64 },
+    Max { k: usize, stride: usize, scale: f64 },
+}
+
+/// State 1 of the typed-state chain: collects the model stages (affine
+/// layers plus PAF activation slots with their static scales), the
+/// CKKS parameters, the planning [`Objective`], and the candidate form
+/// set. [`SessionBuilder::plan`] consumes it.
+pub struct SessionBuilder {
+    input_shape: Vec<usize>,
+    specs: Vec<StageSpec>,
+    params: CkksParams,
+    objective: Objective,
+    candidates: Option<Vec<PafForm>>,
+    seed: u64,
+}
+
+impl SessionBuilder {
+    /// Starts a builder for inputs of the given (batch-free) shape.
+    /// Defaults: [`CkksParams::default_params`],
+    /// [`Objective::MinBootstraps`], every form that fits the chain
+    /// ([`CompositePaf::candidate_forms`]), seed 7.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or zero-sized shape (same contract as
+    /// [`PipelineBuilder::new`]).
+    pub fn new(input_shape: &[usize]) -> Self {
+        assert!(
+            !input_shape.is_empty() && input_shape.iter().all(|&d| d > 0),
+            "invalid input shape {input_shape:?}"
+        );
+        SessionBuilder {
+            input_shape: input_shape.to_vec(),
+            specs: Vec::new(),
+            params: CkksParams::default_params(),
+            objective: Objective::MinBootstraps,
+            candidates: None,
+            seed: 7,
+        }
+    }
+
+    /// Appends an affine layer (conv / BN / pooling / linear — anything
+    /// affine in eval mode; consecutive affine layers fuse into one
+    /// probed matrix at plan time).
+    pub fn affine(mut self, layer: impl Layer + 'static) -> Self {
+        self.specs.push(StageSpec::Affine(Box::new(layer)));
+        self
+    }
+
+    /// Appends a ReLU slot with static scale `s`; the planner fills in
+    /// the PAF form. The `1/s` and `s` multiplications are folded into
+    /// neighbouring affine stages where possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn relu(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        self.specs.push(StageSpec::Relu { scale });
+        self
+    }
+
+    /// Appends a MaxPool slot (`k×k`, stride `stride`) with static
+    /// scale `s`; the planner fills in the PAF form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive.
+    pub fn maxpool(mut self, k: usize, stride: usize, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        self.specs.push(StageSpec::Max { k, stride, scale });
+        self
+    }
+
+    /// Sets the CKKS parameters (ring dimension and modulus chain the
+    /// plan is traced against and the compiled session runs under).
+    pub fn params(mut self, params: CkksParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the planning objective.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Restricts the candidate form set (default: every built-in form
+    /// whose ReLU fits the chain). Ignored by
+    /// [`Objective::FixedForm`]. An empty set makes
+    /// [`SessionBuilder::plan`] fail with
+    /// [`SessionError::NoCandidates`].
+    pub fn candidates(mut self, forms: &[PafForm]) -> Self {
+        self.candidates = Some(forms.to_vec());
+        self
+    }
+
+    /// Seeds key generation, encryption, and bootstrap re-randomisation
+    /// of the compiled session (planning itself is deterministic).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the trace-priced Pareto search: probes the affine segments
+    /// once, swaps every candidate form in with
+    /// [`HePipeline::with_paf`], dry-runs each candidate over the
+    /// parameter chain ([`HePipeline::dry_run`], bootstraps allowed),
+    /// and picks the winner per the [`Objective`].
+    ///
+    /// Candidates whose atomic depth exceeds the chain are skipped
+    /// (recorded in the [`PlanReport`]); structural pipeline errors
+    /// (empty builder, untileable pool, …) surface as
+    /// [`SessionError::Run`].
+    pub fn plan(self) -> Result<Plan, SessionError> {
+        let SessionBuilder {
+            input_shape,
+            specs,
+            params,
+            objective,
+            candidates,
+            seed,
+        } = self;
+        let forms: Vec<PafForm> = match objective {
+            Objective::FixedForm(form) => vec![form],
+            _ => match candidates {
+                Some(c) if c.is_empty() => return Err(SessionError::NoCandidates),
+                Some(c) => c,
+                None => {
+                    let all = CompositePaf::candidate_forms(params.depth);
+                    if all.is_empty() {
+                        return Err(SessionError::NoFeasibleForm {
+                            tried: PafForm::all().len(),
+                            max_level: params.depth,
+                        });
+                    }
+                    all
+                }
+            },
+        };
+
+        // Probe the affine segments exactly once, with the first
+        // candidate installed; every other candidate is a PAF swap.
+        let first = CompositePaf::from_form(forms[0]);
+        let mut builder = PipelineBuilder::new(&input_shape);
+        for spec in specs {
+            builder = match spec {
+                StageSpec::Affine(layer) => builder.affine_boxed(layer),
+                StageSpec::Relu { scale } => builder.paf_relu(&first, scale),
+                StageSpec::Max { k, stride, scale } => {
+                    builder.paf_maxpool(k, stride, &first, scale)
+                }
+            };
+        }
+        let base = builder.try_compile()?.fold_scales();
+
+        let max_level = params.depth;
+        let mut planned: Vec<PlannedCandidate> = Vec::new();
+        let mut pipelines: Vec<HePipeline> = Vec::new();
+        let mut skipped: Vec<PafForm> = Vec::new();
+        for &form in &forms {
+            let paf = CompositePaf::from_form(form);
+            let pipe = base.with_paf(&paf);
+            match pipe.dry_run(max_level, true) {
+                Ok((trace, _)) => {
+                    let fidelity = 1.0 - paf.sign_error(FIDELITY_EPS, FIDELITY_SAMPLES);
+                    let cost = FormCost::from_trace(form, &paf, &trace);
+                    let priced_ms = trace_price_ms(&params, &trace);
+                    planned.push(PlannedCandidate {
+                        form,
+                        cost,
+                        trace,
+                        fidelity,
+                        priced_ms,
+                    });
+                    pipelines.push(pipe);
+                }
+                Err(e) if e.is_infeasible_form() => {
+                    if matches!(objective, Objective::FixedForm(_)) {
+                        return Err(e.into());
+                    }
+                    skipped.push(form);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if planned.is_empty() {
+            return Err(SessionError::NoFeasibleForm {
+                tried: forms.len(),
+                max_level,
+            });
+        }
+
+        let points: Vec<ParetoPoint> = planned
+            .iter()
+            .map(|c| ParetoPoint {
+                latency_ms: c.priced_ms,
+                accuracy: c.fidelity,
+            })
+            .collect();
+        let frontier = pareto_frontier(&points);
+
+        let chosen = match objective {
+            Objective::FixedForm(_) => 0,
+            Objective::MinBootstraps => planned
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.cost.sort_key())
+                .map(|(i, _)| i)
+                .expect("non-empty candidate set"),
+            Objective::MinLatency { max_acc_drop } => {
+                // Negative or NaN budgets degrade to 0.0 (strictest),
+                // so the best-fidelity candidate always qualifies and
+                // the selection below cannot come up empty.
+                let drop = max_acc_drop.max(0.0);
+                let best_fid = planned
+                    .iter()
+                    .map(|c| c.fidelity)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                planned
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.fidelity >= best_fid - drop)
+                    .min_by(|(_, a), (_, b)| {
+                        a.priced_ms
+                            .partial_cmp(&b.priced_ms)
+                            .expect("finite traced price")
+                            .then_with(|| a.cost.sort_key().cmp(&b.cost.sort_key()))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("the best-fidelity candidate always satisfies the drop bound")
+            }
+        };
+        let pipeline = pipelines.remove(chosen);
+        let report = PlanReport::render(
+            &objective, &params, &pipeline, &planned, &frontier, chosen, &skipped,
+        );
+        Ok(Plan {
+            pipeline,
+            chosen,
+            candidates: planned,
+            points,
+            frontier,
+            skipped,
+            params,
+            objective,
+            seed,
+            report,
+        })
+    }
+}
+
+/// One feasible candidate as the planner evaluated it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedCandidate {
+    /// The PAF form.
+    pub form: PafForm,
+    /// Traced deployment cost of the caller's pipeline with this form.
+    pub cost: FormCost,
+    /// The full per-stage trace the cost was read from.
+    pub trace: TraceReport,
+    /// Sign-approximation fidelity `1 − max|paf − sign|` on the
+    /// accurate range (the frontier's accuracy axis).
+    pub fidelity: f64,
+    /// Analytic price of the traced schedule in milliseconds (the
+    /// frontier's latency axis).
+    pub priced_ms: f64,
+}
+
+/// State 2 of the typed-state chain: the outcome of the trace-priced
+/// Pareto search — chosen form, the full frontier, every candidate's
+/// traced cost, and a human-readable [`PlanReport`].
+/// [`Plan::compile`] consumes it.
+pub struct Plan {
+    pipeline: HePipeline,
+    chosen: usize,
+    candidates: Vec<PlannedCandidate>,
+    points: Vec<ParetoPoint>,
+    frontier: Vec<usize>,
+    skipped: Vec<PafForm>,
+    params: CkksParams,
+    objective: Objective,
+    seed: u64,
+    report: PlanReport,
+}
+
+impl fmt::Debug for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // HePipeline holds prepared engines without a Debug form; show
+        // the planning outcome instead.
+        f.debug_struct("Plan")
+            .field("chosen", &self.chosen_form())
+            .field("objective", &self.objective)
+            .field("candidates", &self.candidates)
+            .field("frontier", &self.frontier)
+            .field("skipped", &self.skipped)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Plan {
+    /// The form the objective selected.
+    pub fn chosen_form(&self) -> PafForm {
+        self.candidates[self.chosen].form
+    }
+
+    /// The chosen candidate (cost, trace, fidelity, price).
+    pub fn chosen(&self) -> &PlannedCandidate {
+        &self.candidates[self.chosen]
+    }
+
+    /// Traced deployment cost of the chosen form.
+    pub fn chosen_cost(&self) -> &FormCost {
+        &self.candidates[self.chosen].cost
+    }
+
+    /// Full per-stage trace of the chosen form on the parameter chain
+    /// — level schedule, bootstraps, exact ct-mults.
+    pub fn chosen_trace(&self) -> &TraceReport {
+        &self.candidates[self.chosen].trace
+    }
+
+    /// Bootstraps one inference of the chosen form will trigger — by
+    /// construction equal to what the compiled session measures on an
+    /// encrypted run.
+    pub fn traced_bootstraps(&self) -> usize {
+        self.candidates[self.chosen].cost.bootstraps
+    }
+
+    /// Every feasible candidate, in evaluation order.
+    pub fn candidates(&self) -> &[PlannedCandidate] {
+        &self.candidates
+    }
+
+    /// One `(priced latency, fidelity)` point per feasible candidate,
+    /// parallel to [`Plan::candidates`].
+    pub fn pareto_points(&self) -> &[ParetoPoint] {
+        &self.points
+    }
+
+    /// Indices (into [`Plan::candidates`]) of the Pareto-optimal
+    /// candidates, sorted by priced latency.
+    pub fn frontier_indices(&self) -> &[usize] {
+        &self.frontier
+    }
+
+    /// The Pareto frontier as points, sorted by priced latency.
+    pub fn frontier_points(&self) -> Vec<ParetoPoint> {
+        self.frontier.iter().map(|&i| self.points[i]).collect()
+    }
+
+    /// Candidates skipped because their atomic depth exceeds the chain.
+    pub fn skipped_forms(&self) -> &[PafForm] {
+        &self.skipped
+    }
+
+    /// The objective the plan optimised.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// The CKKS parameters the plan was traced against.
+    pub fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    /// The compiled pipeline (chosen form installed, scales folded).
+    pub fn pipeline(&self) -> &HePipeline {
+        &self.pipeline
+    }
+
+    /// The human-readable planning report.
+    pub fn report(&self) -> &PlanReport {
+        &self.report
+    }
+
+    /// Builds the runtime: CKKS context, key chain, evaluator, and
+    /// bootstrapper — the expensive one-time setup — and returns the
+    /// serving state. The pipeline traced at plan time is the exact
+    /// pipeline served, so plan-time costs match run-time measurements.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::SlotMismatch`] when the pipeline's padded dimension
+    /// does not divide the ring's slot count.
+    pub fn compile(self) -> Result<CompiledSession, SessionError> {
+        let ctx = self.params.build();
+        if !ctx.slots().is_multiple_of(self.pipeline.dim()) {
+            return Err(SessionError::Run(RunError::SlotMismatch {
+                dim: self.pipeline.dim(),
+                slots: ctx.slots(),
+            }));
+        }
+        let mut rng = Rng64::new(self.seed);
+        let keys = KeyChain::generate(&ctx, &mut rng);
+        let pe = PafEvaluator::new(Evaluator::new(&keys));
+        let bootstrapper = Bootstrapper::new(
+            pe.evaluator().clone(),
+            self.pipeline.dim(),
+            self.seed ^ 0x9e37_79b9_7f4a_7c15,
+        );
+        let chosen = self.candidates[self.chosen].clone();
+        Ok(CompiledSession {
+            pipeline: self.pipeline,
+            pe,
+            bootstrapper,
+            rng,
+            runner: BatchRunner::auto(),
+            report: self.report,
+            chosen,
+            seed: self.seed,
+            last_stats: None,
+        })
+    }
+}
+
+/// State 3 of the typed-state chain: keys generated, engines prepared,
+/// ready to serve. Single inputs go through [`CompiledSession::infer`],
+/// batches through [`CompiledSession::infer_batch`] (sharded across
+/// worker threads by a [`BatchRunner`]).
+pub struct CompiledSession {
+    pipeline: HePipeline,
+    pe: PafEvaluator,
+    bootstrapper: Bootstrapper,
+    rng: Rng64,
+    runner: BatchRunner,
+    report: PlanReport,
+    chosen: PlannedCandidate,
+    seed: u64,
+    last_stats: Option<RunStats>,
+}
+
+impl CompiledSession {
+    /// Encrypts `x`, runs the pipeline under CKKS (bootstrapping when
+    /// the chain runs dry), and decrypts the logical output. The run's
+    /// statistics are retained in [`CompiledSession::last_stats`].
+    pub fn infer(&mut self, x: &[f64]) -> Result<Vec<f64>, SessionError> {
+        let padded = self.pipeline.try_pad_input(x)?;
+        let ct = self
+            .pe
+            .evaluator()
+            .encrypt_replicated(&padded, &mut self.rng);
+        let (out_ct, stats) =
+            self.pipeline
+                .try_eval_encrypted(&self.pe, Some(&self.bootstrapper), &ct)?;
+        let out = self
+            .pe
+            .evaluator()
+            .decrypt_values(&out_ct, self.pipeline.output_dim());
+        self.last_stats = Some(stats);
+        Ok(out)
+    }
+
+    /// Encrypts a batch and shards it across the session's
+    /// [`BatchRunner`] workers (one evaluator clone per worker),
+    /// returning decrypted outputs and per-input statistics in input
+    /// order.
+    pub fn infer_batch(&mut self, inputs: &[Vec<f64>]) -> Result<BatchRun<Vec<f64>>, SessionError> {
+        let mut cts = Vec::with_capacity(inputs.len());
+        for x in inputs {
+            let padded = self.pipeline.try_pad_input(x)?;
+            cts.push(
+                self.pe
+                    .evaluator()
+                    .encrypt_replicated(&padded, &mut self.rng),
+            );
+        }
+        let run =
+            self.runner
+                .run_encrypted(&self.pipeline, &self.pe, Some(&self.bootstrapper), &cts)?;
+        let outputs: Vec<Vec<f64>> = run
+            .outputs
+            .iter()
+            .map(|ct| {
+                self.pe
+                    .evaluator()
+                    .decrypt_values(ct, self.pipeline.output_dim())
+            })
+            .collect();
+        Ok(BatchRun {
+            outputs,
+            stats: run.stats,
+            wall: run.wall,
+            threads: run.threads,
+        })
+    }
+
+    /// Exact plaintext reference of the served pipeline (same
+    /// arithmetic, PAF approximation included).
+    pub fn infer_plain(&self, x: &[f64]) -> Result<Vec<f64>, SessionError> {
+        self.pipeline.try_pad_input(x)?;
+        Ok(self.pipeline.eval_plain(x))
+    }
+
+    /// Plaintext batch through the session's [`BatchRunner`] workers.
+    pub fn infer_batch_plain(
+        &self,
+        inputs: &[Vec<f64>],
+    ) -> Result<BatchRun<Vec<f64>>, SessionError> {
+        Ok(self.runner.run_plain(&self.pipeline, inputs)?)
+    }
+
+    /// Arithmetic-free trace of one inference over the runtime chain —
+    /// the instant cost oracle, identical to the plan-time trace.
+    pub fn dry_run(&self) -> Result<(TraceReport, RunStats), SessionError> {
+        let max_level = self.pe.evaluator().context().max_level();
+        Ok(self.pipeline.dry_run(max_level, true)?)
+    }
+
+    /// The planning report carried over from [`Plan`].
+    pub fn plan_report(&self) -> &PlanReport {
+        &self.report
+    }
+
+    /// The form the plan selected.
+    pub fn chosen_form(&self) -> PafForm {
+        self.chosen.form
+    }
+
+    /// Traced deployment cost of the chosen form.
+    pub fn chosen_cost(&self) -> &FormCost {
+        &self.chosen.cost
+    }
+
+    /// The chosen form's plan-time trace.
+    pub fn chosen_trace(&self) -> &TraceReport {
+        &self.chosen.trace
+    }
+
+    /// Statistics of the most recent [`CompiledSession::infer`] run.
+    pub fn last_stats(&self) -> Option<&RunStats> {
+        self.last_stats.as_ref()
+    }
+
+    /// Bootstraps performed by this session so far, across all runs.
+    pub fn total_bootstraps(&self) -> usize {
+        self.bootstrapper.refresh_count()
+    }
+
+    /// The served pipeline.
+    pub fn pipeline(&self) -> &HePipeline {
+        &self.pipeline
+    }
+
+    /// Replaces the batch sharding policy (default:
+    /// [`BatchRunner::auto`]).
+    pub fn set_batch_runner(&mut self, runner: BatchRunner) {
+        self.runner = runner;
+    }
+
+    /// Worker threads [`CompiledSession::infer_batch`] shards across.
+    pub fn threads(&self) -> usize {
+        self.runner.threads()
+    }
+
+    /// A wall-clock measurement rig sharing this session's context and
+    /// keys (no second key generation).
+    pub fn latency_rig(&self) -> LatencyRig {
+        LatencyRig::from_paf_evaluator(self.pe.clone(), self.seed)
+    }
+}
+
+/// Human-readable summary of a plan: one priced row per candidate,
+/// frontier and chosen markers, skipped forms. Renders with `Display`.
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    text: String,
+}
+
+impl PlanReport {
+    /// The rendered report.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    fn render(
+        objective: &Objective,
+        params: &CkksParams,
+        pipeline: &HePipeline,
+        candidates: &[PlannedCandidate],
+        frontier: &[usize],
+        chosen: usize,
+        skipped: &[PafForm],
+    ) -> PlanReport {
+        use fmt::Write;
+        let mut text = String::new();
+        let _ = writeln!(
+            text,
+            "plan: objective {objective}; chain N={} depth={}; {} stage(s), {} PAF slot(s), dim {}",
+            params.n,
+            params.depth,
+            pipeline.stages().len(),
+            pipeline.num_paf_stages(),
+            pipeline.dim(),
+        );
+        let _ = writeln!(
+            text,
+            "  {:<20} {:>6} {:>9} {:>10} {:>9} {:>10}",
+            "form", "levels", "ct-mults", "bootstraps", "fidelity", "est-ms"
+        );
+        for (i, c) in candidates.iter().enumerate() {
+            let mark = if i == chosen {
+                '*'
+            } else if frontier.contains(&i) {
+                '+'
+            } else {
+                ' '
+            };
+            let _ = writeln!(
+                text,
+                "{mark} {:<20} {:>6} {:>9} {:>10} {:>9.4} {:>10.2}",
+                c.form.paper_name(),
+                c.cost.relu_levels,
+                c.cost.ct_mults,
+                c.cost.bootstraps,
+                c.fidelity,
+                c.priced_ms,
+            );
+        }
+        let _ = writeln!(text, "  (* chosen, + on the Pareto frontier)");
+        if !skipped.is_empty() {
+            let names: Vec<&str> = skipped.iter().map(|f| f.paper_name()).collect();
+            let _ = writeln!(
+                text,
+                "  skipped (atomic depth exceeds the chain): {}",
+                names.join(", ")
+            );
+        }
+        PlanReport { text }
+    }
+}
+
+impl fmt::Display for PlanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Converts a traced schedule into modelled 64-bit modular multiplies:
+/// every exact ct-mult (plus its rescale) is charged at the trace's
+/// mean live limb count, and every forced refresh at the full analytic
+/// bootstrap cost. The one conversion behind the planner's frontier
+/// pricing and the hybrid crate's Tab. 1 rows.
+pub fn trace_modmuls(params: &CkksParams, report: &TraceReport) -> u128 {
+    let top = params.depth + 1;
+    let avg_limbs = (top + report.final_level + 1).div_ceil(2).max(1);
+    let per_ct_mult =
+        ct_mult_modmuls(params, avg_limbs) + rescale_modmuls(params, avg_limbs.saturating_sub(1));
+    report.total_ct_mults() as u128 * per_ct_mult
+        + report.total_bootstraps() as u128 * bootstrap_modmuls(params)
+}
+
+/// Prices a traced schedule in milliseconds with
+/// [`trace_modmuls`] × [`SECONDS_PER_MODMUL`].
+fn trace_price_ms(params: &CkksParams, report: &TraceReport) -> f64 {
+    trace_modmuls(params, report) as f64 * SECONDS_PER_MODMUL * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartpaf_nn::Linear;
+
+    /// `blocks` affine→ReLU blocks over a flat 4-vector on the toy ring.
+    fn builder(blocks: usize, scale: f64, layer_seed: u64) -> SessionBuilder {
+        let mut rng = Rng64::new(layer_seed);
+        let mut b = Session::builder(&[4]).params(CkksParams::toy());
+        for _ in 0..blocks {
+            b = b.affine(Linear::new(4, 4, &mut rng)).relu(scale);
+        }
+        b
+    }
+
+    #[test]
+    fn plan_selects_by_traced_cost_not_depth() {
+        // Three ReLU blocks exceed the 12-level toy chain for every
+        // form, so the ranking is decided by traced bootstraps +
+        // ct-mults; f1∘g2 must win over the 27-degree comparator.
+        let plan = builder(3, 2.0, 11)
+            .candidates(&[PafForm::MinimaxDeg27, PafForm::F1G2])
+            .objective(Objective::MinBootstraps)
+            .plan()
+            .expect("both forms fit a 12-level chain");
+        assert_eq!(plan.chosen_form(), PafForm::F1G2);
+        assert_eq!(plan.candidates().len(), 2);
+        let deep = &plan.candidates()[0];
+        let cheap = plan.chosen();
+        assert!(deep.cost.bootstraps > cheap.cost.bootstraps);
+        assert!(deep.cost.ct_mults > cheap.cost.ct_mults);
+        // Both ends of this trade-off are Pareto-optimal.
+        assert_eq!(plan.frontier_indices().len(), 2);
+    }
+
+    #[test]
+    fn min_latency_objective_trades_fidelity_for_cost() {
+        let forms = [PafForm::F1G2, PafForm::MinimaxDeg27];
+        // Zero tolerated drop: the most accurate form wins despite its
+        // traced cost.
+        let strict = builder(1, 2.0, 12)
+            .candidates(&forms)
+            .objective(Objective::MinLatency { max_acc_drop: 0.0 })
+            .plan()
+            .expect("plannable");
+        assert_eq!(strict.chosen_form(), PafForm::MinimaxDeg27);
+        // A generous budget flips the choice to the cheap form (f1∘g2's
+        // fidelity on [0.05, 1] is ~0.24 vs the comparator's ~0.98).
+        let relaxed = builder(1, 2.0, 12)
+            .candidates(&forms)
+            .objective(Objective::MinLatency { max_acc_drop: 0.8 })
+            .plan()
+            .expect("plannable");
+        assert_eq!(relaxed.chosen_form(), PafForm::F1G2);
+        assert!(relaxed.chosen().priced_ms < strict.chosen().priced_ms);
+    }
+
+    #[test]
+    fn degenerate_min_latency_budgets_fall_back_to_strictest() {
+        // Negative / NaN budgets behave like 0.0 instead of filtering
+        // out every candidate and panicking.
+        for bad in [-1.0, f64::NAN] {
+            let plan = builder(1, 2.0, 21)
+                .candidates(&[PafForm::F1G2, PafForm::MinimaxDeg27])
+                .objective(Objective::MinLatency { max_acc_drop: bad })
+                .plan()
+                .expect("degenerate budget must not panic");
+            assert_eq!(plan.chosen_form(), PafForm::MinimaxDeg27, "drop {bad}");
+        }
+    }
+
+    #[test]
+    fn fixed_form_objective_skips_the_search() {
+        let plan = builder(1, 2.0, 13)
+            .objective(Objective::FixedForm(PafForm::Alpha7))
+            .plan()
+            .expect("alpha7 fits");
+        assert_eq!(plan.chosen_form(), PafForm::Alpha7);
+        assert_eq!(plan.candidates().len(), 1);
+        assert!(plan.report().as_str().contains("fixed form"));
+    }
+
+    #[test]
+    fn fixed_form_beyond_chain_is_a_run_error() {
+        let err = builder(1, 2.0, 14)
+            .params(CkksParams {
+                depth: 8,
+                ..CkksParams::toy()
+            })
+            .objective(Objective::FixedForm(PafForm::MinimaxDeg27))
+            .plan()
+            .expect_err("depth 11 ReLU cannot fit 8 levels");
+        assert!(matches!(
+            err,
+            SessionError::Run(RunError::AtomicDepthExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn infeasible_candidates_are_skipped_not_fatal() {
+        let plan = builder(1, 2.0, 15)
+            .params(CkksParams {
+                depth: 8,
+                ..CkksParams::toy()
+            })
+            .candidates(&[PafForm::MinimaxDeg27, PafForm::F1G2])
+            .plan()
+            .expect("f1∘g2 still fits 8 levels");
+        assert_eq!(plan.chosen_form(), PafForm::F1G2);
+        assert_eq!(plan.skipped_forms(), &[PafForm::MinimaxDeg27]);
+        assert!(plan.report().as_str().contains("skipped"));
+    }
+
+    #[test]
+    fn planning_failure_modes_are_typed() {
+        let err = builder(1, 2.0, 16)
+            .candidates(&[])
+            .plan()
+            .expect_err("empty candidate set");
+        assert_eq!(err, SessionError::NoCandidates);
+        let err = builder(1, 2.0, 17)
+            .params(CkksParams {
+                depth: 8,
+                ..CkksParams::toy()
+            })
+            .candidates(&[PafForm::MinimaxDeg27, PafForm::F1SqG1Sq])
+            .plan()
+            .expect_err("nothing fits 8 levels");
+        assert!(matches!(
+            err,
+            SessionError::NoFeasibleForm {
+                tried: 2,
+                max_level: 8
+            }
+        ));
+        assert!(err.to_string().contains("8-level chain"));
+    }
+
+    #[test]
+    fn compiled_session_serves_and_matches_trace() {
+        let plan = builder(1, 4.0, 18)
+            .objective(Objective::FixedForm(PafForm::F1G2))
+            .plan()
+            .expect("plannable");
+        let traced = plan.traced_bootstraps();
+        let trace = plan.chosen_trace().clone();
+        let mut session = plan.compile().expect("toy ring compiles");
+        let x = [0.4, -0.8, 0.2, -0.1];
+        let enc = session.infer(&x).expect("serves");
+        let plain = session.infer_plain(&x).expect("valid input");
+        assert_eq!(enc.len(), plain.len());
+        for (e, p) in enc.iter().zip(&plain) {
+            assert!((e - p).abs() < 0.1, "{e} vs {p}");
+        }
+        let stats = session.last_stats().expect("stats recorded");
+        assert_eq!(stats.bootstraps, traced);
+        let stage_levels: Vec<usize> = trace.stages.iter().map(|s| s.levels).collect();
+        assert_eq!(stats.stage_levels, stage_levels);
+        // The runtime dry run replays the plan-time trace verbatim.
+        let (runtime_trace, _) = session.dry_run().expect("traceable");
+        assert_eq!(runtime_trace, trace);
+    }
+
+    #[test]
+    fn batch_serving_matches_single_runs() {
+        let plan = builder(1, 4.0, 19)
+            .objective(Objective::FixedForm(PafForm::F1G2))
+            .plan()
+            .expect("plannable");
+        let mut session = plan.compile().expect("compiles");
+        session.set_batch_runner(BatchRunner::new(2));
+        assert_eq!(session.threads(), 2);
+        let inputs: Vec<Vec<f64>> = (0..4)
+            .map(|i| (0..4).map(|j| ((i + j) as f64 - 3.0) / 3.0).collect())
+            .collect();
+        let run = session.infer_batch(&inputs).expect("batch serves");
+        assert_eq!(run.outputs.len(), 4);
+        let plain = session.infer_batch_plain(&inputs).expect("plain batch");
+        for (enc, exact) in run.outputs.iter().zip(&plain.outputs) {
+            for (e, p) in enc.iter().zip(exact) {
+                assert!((e - p).abs() < 0.1, "{e} vs {p}");
+            }
+        }
+        // Oversized inputs are rejected before any thread spawns.
+        let err = session
+            .infer_batch(&[vec![0.0; 5]])
+            .expect_err("too long for a 4-wide pipeline");
+        assert!(matches!(
+            err,
+            SessionError::Run(RunError::InputTooLong { len: 5, max: 4 })
+        ));
+    }
+
+    #[test]
+    fn report_prices_every_candidate() {
+        let plan = builder(1, 2.0, 20)
+            .candidates(&[PafForm::F1G2, PafForm::Alpha7])
+            .plan()
+            .expect("plannable");
+        let text = plan.report().to_string();
+        assert!(text.contains("f1∘g2"));
+        assert!(text.contains("α=7"));
+        assert!(text.contains("est-ms"));
+        assert!(text.starts_with("plan: objective min-bootstraps"));
+        assert_eq!(plan.pareto_points().len(), 2);
+        assert_eq!(plan.frontier_points().len(), plan.frontier_indices().len());
+    }
+}

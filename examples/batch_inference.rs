@@ -1,51 +1,45 @@
-//! Execution backends walkthrough: one compiled pipeline, three ways
-//! to run it — plain batch across threads, a trace dry run as a cost
-//! oracle, and a small encrypted batch.
+//! One Session, three ways to serve it: the traced dry-run cost
+//! oracle, a plaintext batch sharded across machine-sized workers, and
+//! an encrypted batch — all through the compiled session.
 //!
 //! Run with: `cargo run -p smartpaf-examples --release --bin batch_inference`
 
-use smartpaf_ckks::{CkksParams, Evaluator, KeyChain, PafEvaluator};
-use smartpaf_heinfer::{BatchRunner, PipelineBuilder};
+use smartpaf::{Objective, Session};
 use smartpaf_nn::{Conv2d, Flatten, Linear};
-use smartpaf_polyfit::{CompositePaf, PafForm};
 use smartpaf_tensor::Rng64;
 
 fn main() {
-    println!("Execution backends demo: one pipeline, three run modes\n");
+    println!("Session batch demo: plan once, serve plain and encrypted\n");
     let mut rng = Rng64::new(7);
-    let relu = CompositePaf::from_form(PafForm::F1G2);
-    let pool = CompositePaf::from_form(PafForm::Alpha7);
-    let pipe = PipelineBuilder::new(&[1, 8, 8])
+    let plan = Session::builder(&[1, 8, 8])
         .affine(Conv2d::new(1, 2, 3, 1, 1, &mut rng))
-        .paf_relu(&relu, 6.0)
-        .paf_maxpool(2, 2, &pool, 8.0)
+        .relu(6.0)
+        .maxpool(2, 2, 8.0)
         .affine(Flatten::new())
         .affine(Linear::new(32, 10, &mut rng))
-        .compile()
-        .fold_scales();
-    println!(
-        "compiled: {} stages, dim {}, {} levels end to end",
-        pipe.stages().len(),
-        pipe.dim(),
-        pipe.total_levels()
-    );
+        .params(smartpaf_examples::scale_params())
+        .objective(Objective::MinBootstraps)
+        .seed(7)
+        .plan()
+        .expect("at least one form fits the chain");
+    print!("{}", plan.report());
+    let mut session = plan.compile().expect("slot layout fits the ring");
 
-    // 1. Trace dry run: the instant cost oracle, no arithmetic at all.
-    let (report, _) = pipe.dry_run(12, true).expect("12-level chain");
-    println!("\n[trace] per-stage schedule on a 12-level chain:");
+    // 1. The instant cost oracle: per-stage schedule, no arithmetic.
+    let (report, _) = session.dry_run().expect("traceable");
+    println!(
+        "\n[trace] per-stage schedule with {}:",
+        session.chosen_form()
+    );
     for s in &report.stages {
         println!(
             "  {:<28} levels {:>2}  bootstraps {}  exact ct-mults {}",
             s.label, s.levels, s.bootstraps, s.ct_mults
         );
     }
-    println!(
-        "  total: {} ct-mults, {} bootstraps",
-        report.total_ct_mults(),
-        report.total_bootstraps()
-    );
 
-    // 2. Plain batch across worker threads.
+    // 2. Plain batch across the machine's worker threads
+    //    (SMARTPAF_THREADS overrides the detected width).
     let inputs: Vec<Vec<f64>> = (0..256)
         .map(|i| {
             (0..64)
@@ -53,45 +47,27 @@ fn main() {
                 .collect()
         })
         .collect();
-    println!("\n[plain] batch of {} inputs:", inputs.len());
-    for threads in [1usize, 2, 4] {
-        let run = BatchRunner::new(threads)
-            .run_plain(&pipe, &inputs)
-            .expect("valid batch");
-        println!(
-            "  {} thread(s): {:>8.1} inferences/s ({:?} wall)",
-            run.threads,
-            run.throughput(),
-            run.wall
-        );
-    }
+    let run = session.infer_batch_plain(&inputs).expect("valid batch");
+    println!(
+        "\n[plain] {} inputs on {} thread(s): {:>8.1} inferences/s ({:?} wall)",
+        inputs.len(),
+        run.threads,
+        run.throughput(),
+        run.wall
+    );
 
     // 3. Encrypted batch: same runner, one evaluator clone per worker.
-    let ctx = CkksParams::toy().build();
-    let keys = KeyChain::generate(&ctx, &mut rng);
-    let pe = PafEvaluator::new(Evaluator::new(&keys));
     let small: Vec<Vec<f64>> = inputs.iter().take(2).cloned().collect();
-    let cts: Vec<_> = small
-        .iter()
-        .map(|x| {
-            pe.evaluator()
-                .encrypt_replicated(&pipe.pad_input(x), &mut rng)
-        })
-        .collect();
-    let bs = smartpaf_ckks::Bootstrapper::new(pe.evaluator().clone(), pipe.dim(), 5);
-    let run = BatchRunner::new(2)
-        .run_encrypted(&pipe, &pe, Some(&bs), &cts)
-        .expect("encrypted batch");
+    let enc = session.infer_batch(&small).expect("encrypted batch");
     println!(
         "\n[ckks] encrypted batch of {}: {:?} wall, {} bootstraps",
-        run.outputs.len(),
-        run.wall,
-        run.total_bootstraps()
+        enc.outputs.len(),
+        enc.wall,
+        enc.total_bootstraps()
     );
-    for (i, (x, out_ct)) in small.iter().zip(&run.outputs).enumerate() {
-        let dec = pe.evaluator().decrypt_values(out_ct, pipe.output_dim());
-        let plain = pipe.eval_plain(x);
-        let max_err = dec
+    for (i, (x, out)) in small.iter().zip(&enc.outputs).enumerate() {
+        let plain = session.infer_plain(x).expect("valid input");
+        let max_err = out
             .iter()
             .zip(&plain)
             .map(|(d, p)| (d - p).abs())

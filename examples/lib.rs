@@ -1,6 +1,19 @@
 //! Shared helpers for the SMART-PAF examples.
 
+use smartpaf_ckks::CkksParams;
+
 /// Prints a section header.
 pub fn section(title: &str) {
     println!("\n=== {title} ===");
+}
+
+/// CKKS parameters honouring the `SMARTPAF_SCALE` environment variable:
+/// `test` selects the toy ring (N = 256, seconds-scale — what the CI
+/// `examples-smoke` job runs), anything else (or unset) the default
+/// working parameters (N = 4096, depth 12).
+pub fn scale_params() -> CkksParams {
+    match std::env::var("SMARTPAF_SCALE").as_deref() {
+        Ok("test") => CkksParams::toy(),
+        _ => CkksParams::default_params(),
+    }
 }

@@ -1,20 +1,18 @@
-//! End-to-end private inference: a small PAF-approximated CNN whose
-//! activations run under CKKS with CryptoNets-style batching.
+//! End-to-end private inference through the Session API: a small
+//! PAF-approximated head (linear → PAF-ReLU → linear) served under
+//! CKKS, with the batch sharded across machine-sized worker threads.
 //!
-//! Packing: one ciphertext holds the *same* neuron across a batch of
-//! inputs, so convolutions/linear layers become plain-weight multiply-
-//! accumulates over ciphertexts (no rotations needed) and only the
-//! non-polynomial operators — replaced here by PAFs — consume depth.
-//!
-//! To keep the demo fast it encrypts the *pre-activation* features of
-//! the model's first PAF layer and runs the PAF + the linear head
-//! homomorphically, checking the result against the plaintext model.
+//! The deployment model is the paper's: weights public, inputs
+//! private. Features come from a plaintext extractor (a convolutional
+//! trunk is all plain-weight MACs under batching anyway); the head —
+//! where the non-polynomial operator lives — runs encrypted.
 //!
 //! Run with: `cargo run -p smartpaf-examples --release --bin private_inference`
 
-use smartpaf_ckks::{Ciphertext, CkksParams, Evaluator, KeyChain, PafEvaluator};
+use smartpaf::{Objective, Session};
 use smartpaf_datasets::{Split, SynthDataset, SynthSpec};
-use smartpaf_polyfit::{CompositePaf, PafForm};
+use smartpaf_nn::Linear;
+use smartpaf_polyfit::PafForm;
 use smartpaf_tensor::{Rng64, Tensor};
 
 fn main() {
@@ -23,96 +21,49 @@ fn main() {
     let dataset = SynthDataset::new(spec);
     let batch = 8;
     let (x, labels) = dataset.batch(Split::Val, 0, batch);
-
-    // A tiny plaintext "feature extractor": global average pooled
-    // channels (stands in for the convolutional trunk, which under
-    // CryptoNets batching is all plain-weight MACs anyway).
-    let feats = plain_features(&x); // [batch, 3]
+    let feats = plain_features(&x); // [batch, channels]
     let feat_dim = feats.dims()[1];
 
-    // Plaintext head: linear -> PAF-ReLU -> linear (weights public,
-    // data private — the paper's deployment model).
+    // Plan + compile the head with the α=7 comparator pinned.
     let mut rng = Rng64::new(77);
-    let w1 = Tensor::rand_normal(&[4, feat_dim], 0.0, 0.8, &mut rng);
-    let w2 = Tensor::rand_normal(&[spec.classes, 4], 0.0, 0.8, &mut rng);
-    let paf = CompositePaf::from_form(PafForm::Alpha7);
-
-    // --- CKKS side ---
-    let ctx = CkksParams::default_params().build();
-    let keys = KeyChain::generate(&ctx, &mut rng);
-    let pe = PafEvaluator::new(Evaluator::new(&keys));
-    let ev = pe.evaluator();
-
-    // Encrypt each feature as one ciphertext packing the whole batch.
-    let enc_feats: Vec<Ciphertext> = (0..feat_dim)
-        .map(|f| {
-            let col: Vec<f64> = (0..batch).map(|b| feats.at(&[b, f]) as f64).collect();
-            ev.encrypt_values(&col, &mut rng)
-        })
-        .collect();
+    let plan = Session::builder(&[feat_dim])
+        .affine(Linear::new(feat_dim, 4, &mut rng))
+        .relu(4.0)
+        .affine(Linear::new(4, spec.classes, &mut rng))
+        .params(smartpaf_examples::scale_params())
+        .objective(Objective::FixedForm(PafForm::Alpha7))
+        .seed(77)
+        .plan()
+        .expect("α=7 fits the chain");
     println!(
-        "encrypted {} feature ciphertexts ({} samples packed per ciphertext)",
-        enc_feats.len(),
-        batch
+        "planned {}: {} exact ct-mults, {} traced bootstraps per inference",
+        plan.chosen_form(),
+        plan.chosen_cost().ct_mults,
+        plan.traced_bootstraps()
+    );
+    let mut session = plan.compile().expect("slot layout fits the ring");
+
+    // Serve the whole batch encrypted; outputs come back in input order.
+    let inputs: Vec<Vec<f64>> = (0..batch)
+        .map(|b| (0..feat_dim).map(|f| feats.at(&[b, f]) as f64).collect())
+        .collect();
+    let run = session.infer_batch(&inputs).expect("valid batch");
+    println!(
+        "encrypted batch of {batch} served in {:?} on {} thread(s)\n",
+        run.wall, run.threads
     );
 
-    // Hidden layer: plain-weight MACs, then PAF-ReLU under encryption.
-    let t0 = std::time::Instant::now();
-    let hidden: Vec<Ciphertext> = (0..4)
-        .map(|h| {
-            let mut acc = ev.mul_const(&enc_feats[0], w1.at(&[h, 0]) as f64);
-            for (f, feat) in enc_feats.iter().enumerate().take(feat_dim).skip(1) {
-                let term = ev.mul_const(feat, w1.at(&[h, f]) as f64);
-                acc = ev.add(&acc, &term);
-            }
-            pe.relu(&acc, &paf)
-        })
-        .collect();
-    // Output layer.
-    let logits: Vec<Ciphertext> = (0..spec.classes)
-        .map(|c| {
-            let mut acc = ev.mul_const(&hidden[0], w2.at(&[c, 0]) as f64);
-            for (h, hid) in hidden.iter().enumerate().skip(1) {
-                let term = ev.mul_const(hid, w2.at(&[c, h]) as f64);
-                acc = ev.add(&acc, &term);
-            }
-            acc
-        })
-        .collect();
-    println!("homomorphic head evaluated in {:?}", t0.elapsed());
-
-    // Decrypt logits and classify.
-    let mut enc_logits = vec![vec![0.0f64; spec.classes]; batch];
-    for (c, ct) in logits.iter().enumerate() {
-        for (b, v) in ev.decrypt_values(ct, batch).iter().enumerate() {
-            enc_logits[b][c] = *v;
-        }
-    }
-
-    // Plaintext reference with the same PAF.
     println!(
-        "\n{:>6} {:>8} {:>12} {:>12} {:>8}",
+        "{:>6} {:>6} {:>11} {:>9} {:>6}",
         "sample", "label", "plain pred", "enc pred", "match"
     );
     let mut agree = 0;
-    for b in 0..batch {
-        let mut plain = vec![0.0f64; spec.classes];
-        for (c, p) in plain.iter_mut().enumerate() {
-            for h in 0..4 {
-                let mut pre = 0.0;
-                for f in 0..feat_dim {
-                    pre += w1.at(&[h, f]) as f64 * feats.at(&[b, f]) as f64;
-                }
-                *p += w2.at(&[c, h]) as f64 * paf.relu(pre);
-            }
-        }
-        let plain_pred = argmax(&plain);
-        let enc_pred = argmax(&enc_logits[b]);
-        if plain_pred == enc_pred {
-            agree += 1;
-        }
+    for (b, (input, enc_logits)) in inputs.iter().zip(&run.outputs).enumerate() {
+        let plain_pred = argmax(&session.infer_plain(input).expect("valid input"));
+        let enc_pred = argmax(enc_logits);
+        agree += (plain_pred == enc_pred) as usize;
         println!(
-            "{b:>6} {:>8} {plain_pred:>12} {enc_pred:>12} {:>8}",
+            "{b:>6} {:>6} {plain_pred:>11} {enc_pred:>9} {:>6}",
             labels[b],
             if plain_pred == enc_pred { "yes" } else { "NO" }
         );

@@ -1,62 +1,50 @@
-//! Quickstart: approximate ReLU with a low-degree PAF, evaluate it
-//! both in plaintext and under CKKS encryption, and compare.
+//! Quickstart: the Session API in one screen — plan a PAF form on the
+//! trace-priced Pareto frontier, compile the CKKS runtime once, serve
+//! encrypted inference, and compare against the plaintext reference.
 //!
 //! Run with: `cargo run -p smartpaf-examples --release --bin quickstart`
 
-use smartpaf_ckks::{CkksParams, Evaluator, KeyChain, PafEvaluator};
-use smartpaf_polyfit::{CompositePaf, PafForm};
+use smartpaf::{Objective, Session};
+use smartpaf_nn::Linear;
 use smartpaf_tensor::Rng64;
 
 fn main() {
-    println!("SMART-PAF quickstart: PAF-ReLU in plaintext and under CKKS\n");
-
-    // 1. Build the paper's sweet-spot 14-degree PAF (f1^2 ∘ g1^2).
-    let paf = CompositePaf::from_form(PafForm::F1SqG1Sq);
-    println!(
-        "PAF {}: multiplication depth {}, sum degree {}",
-        paf,
-        paf.mult_depth(),
-        paf.sum_degree()
-    );
-
-    // 2. Plaintext sanity: relu(x) ~ (x + x*paf(x))/2.
-    println!("\n{:>8} {:>12} {:>12} {:>12}", "x", "exact", "paf", "error");
-    for &x in &[-0.9, -0.5, -0.1, 0.1, 0.5, 0.9] {
-        let exact = f64::max(x, 0.0);
-        let approx = paf.relu(x);
-        println!(
-            "{x:>8.2} {exact:>12.6} {approx:>12.6} {:>12.2e}",
-            (approx - exact).abs()
-        );
-    }
-
-    // 3. Encrypted evaluation: same computation on CKKS ciphertexts.
-    println!("\nBuilding CKKS context (N = 4096, depth 12)...");
-    let ctx = CkksParams::default_params().build();
+    println!("SMART-PAF quickstart: plan -> compile -> serve\n");
     let mut rng = Rng64::new(2024);
-    let keys = KeyChain::generate(&ctx, &mut rng);
-    let pe = PafEvaluator::new(Evaluator::new(&keys));
 
-    let inputs = vec![-0.9, -0.5, -0.1, 0.1, 0.5, 0.9];
-    let ct = pe.evaluator().encrypt_values(&inputs, &mut rng);
-    println!(
-        "fresh ciphertext: {} limbs, scale 2^{:.0}",
-        ct.num_limbs(),
-        ct.scale.log2()
-    );
+    // Plan: trace-price every candidate PAF form on this chain and pick
+    // the cheapest whose sign fidelity is within 0.3 of the best.
+    let plan = Session::builder(&[8])
+        .affine(Linear::new(8, 8, &mut rng))
+        .relu(4.0)
+        .params(smartpaf_examples::scale_params())
+        .objective(Objective::MinLatency { max_acc_drop: 0.3 })
+        .seed(2024)
+        .plan()
+        .expect("at least one form fits the chain");
+    print!("{}", plan.report());
 
+    // Compile: CKKS context, keys, engines — the one-time setup.
+    let mut session = plan.compile().expect("slot layout fits the ring");
+
+    // Serve: encrypted inference against the exact plaintext twin.
+    let x: Vec<f64> = (0..8).map(|i| (i as f64 - 3.5) / 4.0).collect();
     let t0 = std::time::Instant::now();
-    let relu_ct = pe.relu(&ct, &paf);
-    let elapsed = t0.elapsed();
-    let out = pe.evaluator().decrypt_values(&relu_ct, inputs.len());
+    let enc = session.infer(&x).expect("input fits the pipeline");
+    let wall = t0.elapsed();
+    let plain = session.infer_plain(&x).expect("same input");
 
     println!(
-        "encrypted PAF-ReLU took {elapsed:?} (depth consumed: {})",
-        ct.level() - relu_ct.level()
+        "\nencrypted inference with {} took {wall:?} ({} bootstraps)",
+        session.chosen_form(),
+        session.total_bootstraps()
     );
-    println!("\n{:>8} {:>12} {:>14}", "x", "plain paf", "encrypted paf");
-    for (x, enc) in inputs.iter().zip(&out) {
-        println!("{x:>8.2} {:>12.6} {enc:>14.6}", paf.relu(*x));
+    println!(
+        "{:>6} {:>12} {:>14} {:>10}",
+        "slot", "plain", "encrypted", "abs err"
+    );
+    for (i, (p, e)) in plain.iter().zip(&enc).enumerate() {
+        println!("{i:>6} {p:>12.6} {e:>14.6} {:>10.2e}", (p - e).abs());
     }
-    println!("\nDone. The encrypted results match the plaintext PAF up to CKKS noise.");
+    println!("\nDone. The encrypted results match the plaintext PAF model up to CKKS noise.");
 }

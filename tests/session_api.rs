@@ -1,0 +1,147 @@
+//! Cross-crate tests of the typed-state Session API: trace-priced
+//! planning, plan ↔ runtime agreement, and the delegating old entry
+//! points staying consistent with the session path.
+
+use smartpaf::{Objective, Session, SessionBuilder};
+use smartpaf_ckks::CkksParams;
+use smartpaf_nn::{Conv2d, Flatten, Linear};
+use smartpaf_polyfit::{CompositePaf, PafForm};
+use smartpaf_tensor::Rng64;
+
+/// The MNIST-scale ablation pipeline: conv → ReLU → 2×2 maxpool →
+/// linear head over an 8×8 image.
+fn cnn_builder(seed: u64) -> SessionBuilder {
+    let mut rng = Rng64::new(seed);
+    Session::builder(&[1, 8, 8])
+        .affine(Conv2d::new(1, 2, 3, 1, 1, &mut rng))
+        .relu(6.0)
+        .maxpool(2, 2, 8.0)
+        .affine(Flatten::new())
+        .affine(Linear::new(32, 10, &mut rng))
+        .params(CkksParams::toy())
+        .seed(seed)
+}
+
+#[test]
+fn plan_selects_by_traced_cost_not_depth_alone() {
+    // On the deep conv+pool pipeline every form bootstraps, and the
+    // *deepest* form wins min-bootstraps: the 27-degree comparator's
+    // fold refreshes less often per round than the shallow forms. A
+    // depth-ranked search would pick f1∘g2; the trace oracle must not.
+    let plan = cnn_builder(41)
+        .objective(Objective::MinBootstraps)
+        .plan()
+        .expect("every form fits the toy chain");
+    let chosen = plan.chosen();
+    let f1g2 = plan
+        .candidates()
+        .iter()
+        .find(|c| c.form == PafForm::F1G2)
+        .expect("f1∘g2 among the candidates");
+    assert!(
+        chosen.cost.bootstraps < f1g2.cost.bootstraps,
+        "chosen {:?} must beat the shallowest form {:?} on traced bootstraps",
+        chosen.cost,
+        f1g2.cost
+    );
+    assert!(
+        chosen.cost.relu_levels > f1g2.cost.relu_levels,
+        "the traced winner is deeper than the depth-ranked winner"
+    );
+    // The depth-ranked pick would be the unique minimal-depth form.
+    let min_depth = plan
+        .candidates()
+        .iter()
+        .map(|c| c.cost.relu_levels)
+        .min()
+        .expect("non-empty");
+    assert_ne!(chosen.cost.relu_levels, min_depth);
+}
+
+#[test]
+fn traced_plan_cost_matches_measured_encrypted_run() {
+    // Three ReLU blocks exceed the toy chain, so the plan predicts
+    // real bootstraps — and one encrypted run must measure exactly
+    // that schedule.
+    let mut rng = Rng64::new(42);
+    let mut b = Session::builder(&[4]).params(CkksParams::toy()).seed(42);
+    for _ in 0..3 {
+        b = b.affine(Linear::new(4, 4, &mut rng)).relu(2.0);
+    }
+    let plan = b
+        .objective(Objective::FixedForm(PafForm::F1G2))
+        .plan()
+        .expect("f1∘g2 fits the toy chain");
+    let traced = plan.traced_bootstraps();
+    assert!(traced >= 1, "the deep pipeline must force bootstraps");
+    let trace_levels: Vec<usize> = plan
+        .chosen_trace()
+        .stages
+        .iter()
+        .map(|s| s.levels)
+        .collect();
+
+    let mut session = plan.compile().expect("toy ring compiles");
+    let x = [0.2, -0.4, 0.6, -0.8];
+    let enc = session.infer(&x).expect("serves");
+    let plain = session.infer_plain(&x).expect("valid input");
+    for (e, p) in enc.iter().zip(&plain) {
+        assert!((e - p).abs() < 0.15, "{e} vs {p}");
+    }
+    let stats = session.last_stats().expect("stats recorded").clone();
+    assert_eq!(stats.bootstraps, traced, "plan-time vs measured bootstraps");
+    assert_eq!(stats.stage_levels, trace_levels);
+
+    // The batch path measures the same schedule per input.
+    let run = session
+        .infer_batch(&[x.to_vec(), x.to_vec()])
+        .expect("batch");
+    for s in &run.stats {
+        assert_eq!(s.bootstraps, traced);
+        assert_eq!(s.stage_levels, stats.stage_levels);
+    }
+}
+
+#[test]
+fn session_agrees_with_legacy_entry_points() {
+    // The session's canonical-probe ranking and the legacy
+    // `rank_forms_by_dry_run` wrapper must agree on cost rows for the
+    // single-ReLU probe pipeline they share.
+    let forms = [PafForm::F1G2, PafForm::Alpha7, PafForm::MinimaxDeg27];
+    let ranked = smartpaf::rank_forms_by_dry_run(&forms, 12).expect("all fit");
+    let plan = Session::builder(&[4])
+        .relu(1.0)
+        .params(CkksParams::toy())
+        .candidates(&forms)
+        .objective(Objective::MinBootstraps)
+        .plan()
+        .expect("plannable");
+    for cost in &ranked {
+        let candidate = plan
+            .candidates()
+            .iter()
+            .find(|c| c.form == cost.form)
+            .expect("every ranked form was planned");
+        assert_eq!(&candidate.cost, cost, "{}", cost.form);
+    }
+    assert_eq!(plan.chosen_form(), ranked[0].form);
+}
+
+#[test]
+fn default_candidates_honour_the_chain_depth() {
+    // An 8-level chain silently drops the two deepest forms from the
+    // default candidate set, matching the polyfit enumeration helper.
+    let mut rng = Rng64::new(43);
+    let plan = Session::builder(&[4])
+        .affine(Linear::new(4, 4, &mut rng))
+        .relu(2.0)
+        .params(CkksParams {
+            depth: 8,
+            ..CkksParams::toy()
+        })
+        .plan()
+        .expect("four forms fit 8 levels");
+    let planned: Vec<PafForm> = plan.candidates().iter().map(|c| c.form).collect();
+    assert_eq!(planned, CompositePaf::candidate_forms(8));
+    assert!(!planned.contains(&PafForm::MinimaxDeg27));
+}
