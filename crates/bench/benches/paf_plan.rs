@@ -1,0 +1,69 @@
+//! Criterion benchmark: Session planning wall-time vs PAF slot count.
+//!
+//! The planner's cost is dominated by trace dry runs — one per form
+//! vector evaluated — so this measures how the three [`PlanBudget`]
+//! tiers scale as the pipeline grows: `uniform` (one dry run per
+//! candidate form, the PR-4 single-form planner), `greedy` (per-slot
+//! sweeps to a fixpoint), and the default `beam` (greedy plus a
+//! 3-wide, 2-round beam). Group metadata records the slot count and
+//! strategy, so the JSON report (`BENCH_plan.json` via the
+//! criterion-shim hook) is self-describing; CI's `bench-smoke` job
+//! uploads it as a workflow artifact.
+//!
+//! The interesting curve is wall-time vs `slots` per strategy: uniform
+//! stays flat (6 dry runs regardless of depth), greedy grows roughly
+//! linearly in slots × forms, and beam saturates at the
+//! `max_dry_runs` cap — the knob that keeps deep pipelines
+//! seconds-scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smartpaf::{Objective, PlanBudget, Session, SessionBuilder};
+use smartpaf_ckks::CkksParams;
+use smartpaf_nn::Linear;
+use smartpaf_tensor::Rng64;
+
+/// `slots` affine→ReLU blocks over a flat 8-vector on the toy ring —
+/// deep enough past 2 blocks that every vector bootstraps, so the
+/// search space has real structure.
+fn blocks_builder(slots: usize) -> SessionBuilder {
+    let mut rng = Rng64::new(4242);
+    let mut b = Session::builder(&[8]).params(CkksParams::toy()).seed(4242);
+    for _ in 0..slots {
+        b = b.affine(Linear::new(8, 8, &mut rng)).relu(4.0);
+    }
+    b
+}
+
+fn bench_planning(c: &mut Criterion) {
+    for slots in [1usize, 2, 4, 6] {
+        let mut group = c.benchmark_group(format!("paf_plan_slots{slots}"));
+        group.sample_size(10);
+        group.meta("slots", slots);
+
+        for (name, budget) in [
+            ("uniform", PlanBudget::uniform()),
+            ("greedy", PlanBudget::greedy(96)),
+            ("beam", PlanBudget::default()),
+        ] {
+            group.meta("strategy", name);
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    let plan = blocks_builder(slots)
+                        .objective(Objective::MinBootstraps)
+                        .budget(budget)
+                        .plan()
+                        .expect("the toy chain plans every slot count");
+                    std::hint::black_box((plan.dry_runs_used(), plan.traced_bootstraps()))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().json_output("BENCH_plan.json");
+    targets = bench_planning
+}
+criterion_main!(benches);

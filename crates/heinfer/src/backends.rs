@@ -270,6 +270,12 @@ impl InferenceBackend for CkksBackend<'_> {
 pub struct StageTrace {
     /// Stage label (matches [`crate::Stage::label`]).
     pub label: String,
+    /// PAF slot index of this stage (stage order, counting only
+    /// ReLU/maxpool stages), `None` for affine stages. This is the
+    /// index a per-slot form vector assigns
+    /// ([`crate::HePipeline::with_pafs`]), so planners can read
+    /// per-slot levels/bootstraps/ct-mults straight off the trace.
+    pub slot: Option<usize>,
     /// Levels the stage consumed (nominal depth when a refresh fired
     /// mid-stage, mirroring the measured-stats convention).
     pub levels: usize,
@@ -306,6 +312,13 @@ impl TraceReport {
     pub fn total_levels(&self) -> usize {
         self.stages.iter().map(|s| s.levels).sum()
     }
+
+    /// The PAF-slot records only (stages with a
+    /// [`StageTrace::slot`] index), in slot order — one row per entry
+    /// of a per-slot form vector.
+    pub fn paf_slots(&self) -> Vec<&StageTrace> {
+        self.stages.iter().filter(|s| s.slot.is_some()).collect()
+    }
 }
 
 /// The arithmetic-free cost backend: replays the exact level /
@@ -319,6 +332,7 @@ pub struct TraceBackend {
     level: usize,
     allow_bootstrap: bool,
     bootstraps: usize,
+    next_slot: usize,
     stages: Vec<StageTrace>,
 }
 
@@ -334,8 +348,16 @@ impl TraceBackend {
             level: max_level,
             allow_bootstrap,
             bootstraps: 0,
+            next_slot: 0,
             stages: Vec::new(),
         }
+    }
+
+    /// Claims the next PAF slot index (stage order).
+    fn take_slot(&mut self) -> usize {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        slot
     }
 
     /// Starts the trace below the top of the chain (a partially
@@ -394,6 +416,7 @@ impl InferenceBackend for TraceBackend {
         self.level -= 1;
         self.stages.push(StageTrace {
             label: label.to_string(),
+            slot: None,
             levels: 1,
             bootstraps: boots,
             ct_mults: 0,
@@ -418,8 +441,10 @@ impl InferenceBackend for TraceBackend {
         }
         let boots = self.ensure(need, label, false)?;
         self.level -= need;
+        let slot = self.take_slot();
         self.stages.push(StageTrace {
             label: label.to_string(),
+            slot: Some(slot),
             levels: need,
             bootstraps: boots,
             // Sign stages + the x·sign(x) product; the scale
@@ -487,8 +512,10 @@ impl InferenceBackend for TraceBackend {
         } else {
             before - self.level
         };
+        let slot = self.take_slot();
         self.stages.push(StageTrace {
             label: label.to_string(),
+            slot: Some(slot),
             levels,
             bootstraps: boots,
             ct_mults,
@@ -525,7 +552,7 @@ mod tests {
     use super::*;
     use crate::pipeline::PipelineBuilder;
     use smartpaf_ckks::{Bootstrapper, CkksParams, Evaluator, KeyChain};
-    use smartpaf_nn::Linear;
+    use smartpaf_nn::{Conv2d, Linear};
     use smartpaf_polyfit::{CompositePaf, PafForm};
     use smartpaf_tensor::Rng64;
 
@@ -651,6 +678,53 @@ mod tests {
         let (report, stats) = pipe.dry_run(3, false).expect("tap selection only");
         assert_eq!(report.total_ct_mults(), 0);
         assert_eq!(stats.total_levels(), 1);
+    }
+
+    #[test]
+    fn mixed_form_pipeline_executes_and_traces_per_slot() {
+        // Heterogeneous forms in one pipeline: a deep α=7 ReLU feeding
+        // a cheap f1∘g2 max fold. The CKKS backend must execute both,
+        // measure the trace's schedule exactly, and the trace must
+        // attribute costs to the right PAF slot.
+        let (pe, mut rng) = setup(106);
+        let deep = CompositePaf::from_form(PafForm::Alpha7);
+        let cheap = CompositePaf::from_form(PafForm::F1G2);
+        let pipe = PipelineBuilder::new(&[1, 4, 4])
+            .affine(Conv2d::new(1, 1, 3, 1, 1, &mut rng))
+            .paf_relu(&cheap, 4.0)
+            .paf_maxpool(2, 2, &cheap, 6.0)
+            .compile()
+            .fold_scales()
+            .with_pafs(&[deep.clone(), cheap.clone()]);
+        assert_eq!(
+            pipe.paf_forms(),
+            vec![Some(PafForm::Alpha7), Some(PafForm::F1G2)]
+        );
+        let bs = Bootstrapper::new(pe.evaluator().clone(), pipe.dim(), 9);
+        let x: Vec<f64> = (0..16).map(|i| ((i * 7) % 11) as f64 / 5.0 - 1.0).collect();
+        let ct = pe
+            .evaluator()
+            .encrypt_replicated(&pipe.pad_input(&x), &mut rng);
+        let (out_ct, enc_stats) = pipe.eval_encrypted(&pe, Some(&bs), &ct);
+        let got = pe.evaluator().decrypt_values(&out_ct, pipe.output_dim());
+        let want = pipe.eval_plain(&x);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 0.2, "{g} vs {w}");
+        }
+        let max_level = pe.evaluator().context().max_level();
+        let (report, trace_stats) = pipe.dry_run(max_level, true).expect("traceable");
+        assert_eq!(trace_stats.bootstraps, enc_stats.bootstraps);
+        assert_eq!(trace_stats.stage_levels, enc_stats.stage_levels);
+        // Per-slot attribution: slot 0 is the ReLU (α=7 schedule),
+        // slot 1 the max fold (three pairwise f1∘g2 maxes).
+        let slots = report.paf_slots();
+        assert_eq!(slots.len(), 2);
+        assert_eq!(slots[0].slot, Some(0));
+        assert_eq!(slots[1].slot, Some(1));
+        assert_eq!(slots[0].ct_mults, deep.exact_ct_mult_count() + 1);
+        assert_eq!(slots[1].ct_mults, 3 * (cheap.exact_ct_mult_count() + 1));
+        // Affine stages carry no slot index.
+        assert!(report.stages.iter().any(|s| s.slot.is_none()));
     }
 
     #[test]

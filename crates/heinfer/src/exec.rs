@@ -78,6 +78,15 @@ pub enum RunError {
         /// Total levels the chain offers.
         max_level: usize,
     },
+    /// A per-stage PAF form vector's length does not match the
+    /// pipeline's PAF slot count
+    /// ([`HePipeline::try_with_pafs`](crate::HePipeline::try_with_pafs)).
+    FormCountMismatch {
+        /// PAF slots the pipeline has.
+        expected: usize,
+        /// Composites the caller supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -124,6 +133,10 @@ impl fmt::Display for RunError {
             } => write!(
                 f,
                 "atomic op in `{label}` needs {needed} levels but the chain only has {max_level}"
+            ),
+            RunError::FormCountMismatch { expected, got } => write!(
+                f,
+                "form vector has {got} composite(s) but the pipeline has {expected} PAF slot(s)"
             ),
         }
     }
@@ -281,7 +294,7 @@ impl HePipeline {
                 } => {
                     let op = PafOp {
                         paf,
-                        engine: prepared.as_ref().expect("PAF stage has an engine"),
+                        engine: prepared.as_deref().expect("PAF stage has an engine"),
                     };
                     backend.paf_relu(&mut value, &op, *pre_scale, *post_scale, &label)?
                 }
@@ -292,7 +305,7 @@ impl HePipeline {
                 } => {
                     let op = PafOp {
                         paf,
-                        engine: prepared.as_ref().expect("PAF stage has an engine"),
+                        engine: prepared.as_deref().expect("PAF stage has an engine"),
                     };
                     backend.paf_max(&mut value, taps, &op, *post_scale, &label)?
                 }
@@ -349,5 +362,13 @@ mod tests {
             max_level: 8,
         };
         assert!(e.to_string().contains("needs 9 levels"));
+        let e = RunError::FormCountMismatch {
+            expected: 3,
+            got: 1,
+        };
+        assert_eq!(
+            e.to_string(),
+            "form vector has 1 composite(s) but the pipeline has 3 PAF slot(s)"
+        );
     }
 }

@@ -44,11 +44,14 @@
 //! [`BatchRunner`] shards batches of inputs across `std::thread`
 //! workers over any of these, with deterministic input-order results;
 //! [`BatchRunner::auto`] sizes the pool from the machine (or the
-//! `SMARTPAF_THREADS` override). [`HePipeline::with_paf`] swaps the
-//! PAF composite of every activation stage without re-probing the
-//! affine segments, so planners (the `smartpaf` Session API) can
-//! enumerate candidate forms and price each one with
-//! [`HePipeline::dry_run`] in microseconds.
+//! `SMARTPAF_THREADS` override). [`HePipeline::with_pafs`] installs a
+//! per-slot *form vector* — one composite per ReLU/maxpool slot —
+//! without re-probing the affine segments (slots picking the same form
+//! share one prepared engine), and [`HePipeline::with_paf`] is its
+//! uniform single-form case; planners (the `smartpaf` Session API) use
+//! the pair to enumerate candidate form vectors and price each one
+//! with [`HePipeline::dry_run`] in microseconds, reading per-slot
+//! costs off [`StageTrace::slot`].
 //!
 //! # Example
 //!

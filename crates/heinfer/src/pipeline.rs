@@ -5,8 +5,9 @@ use crate::exec::RunError;
 use crate::maxpool::pool_taps;
 use smartpaf_ckks::DiagMatrix;
 use smartpaf_nn::{Layer, Mode};
-use smartpaf_polyfit::{CompositeEval, CompositePaf};
+use smartpaf_polyfit::{CompositeEval, CompositePaf, PafForm};
 use smartpaf_tensor::Tensor;
+use std::sync::Arc;
 
 /// One compiled stage of an encrypted inference pipeline.
 #[derive(Clone)]
@@ -343,12 +344,25 @@ impl PipelineBuilder {
 /// One prepared plaintext evaluation engine per PAF stage (`None` for
 /// affine stages), built once at compile time so `eval_plain` pays no
 /// per-call preparation.
-fn prepare_stage_engines(stages: &[Stage]) -> Vec<Option<CompositeEval>> {
+///
+/// Stages sharing the same composite share one `Arc`'d engine: the
+/// packed `OddPowerSchedule`s inside a [`CompositeEval`] are prepared
+/// once per *distinct* form, not once per slot — the cost that matters
+/// when a planner swaps form vectors thousands of times.
+fn prepare_stage_engines(stages: &[Stage]) -> Vec<Option<Arc<CompositeEval>>> {
+    let mut cache: Vec<(&CompositePaf, Arc<CompositeEval>)> = Vec::new();
     stages
         .iter()
         .map(|s| match s {
             Stage::Affine { .. } => None,
-            Stage::PafRelu { paf, .. } | Stage::PafMax { paf, .. } => Some(paf.prepare()),
+            Stage::PafRelu { paf, .. } | Stage::PafMax { paf, .. } => {
+                if let Some((_, eng)) = cache.iter().find(|(p, _)| *p == paf) {
+                    return Some(Arc::clone(eng));
+                }
+                let eng = Arc::new(paf.prepare());
+                cache.push((paf, Arc::clone(&eng)));
+                Some(eng)
+            }
         })
         .collect()
 }
@@ -388,8 +402,9 @@ fn probe_affine(
 /// A compiled encrypted inference pipeline (see the crate docs).
 pub struct HePipeline {
     pub(crate) stages: Vec<Stage>,
-    /// Prepared plaintext engines, parallel to `stages`.
-    prepared: Vec<Option<CompositeEval>>,
+    /// Prepared plaintext engines, parallel to `stages` (shared
+    /// between stages that use the same composite).
+    prepared: Vec<Option<Arc<CompositeEval>>>,
     pub(crate) dim: usize,
     input_dim: usize,
     output_dim: usize,
@@ -424,7 +439,7 @@ impl HePipeline {
 
     /// The prepared plaintext engines, parallel to the stage list
     /// (`None` for affine stages).
-    pub(crate) fn prepared_engines(&self) -> &[Option<CompositeEval>] {
+    pub(crate) fn prepared_engines(&self) -> &[Option<Arc<CompositeEval>>] {
         &self.prepared
     }
 
@@ -475,9 +490,24 @@ impl HePipeline {
             .count()
     }
 
+    /// The composite installed in each PAF slot, in stage order — the
+    /// per-slot twin of walking [`HePipeline::stages`] by hand. Forms
+    /// are `None` for hand-built composites without a
+    /// [`PafForm`] tag.
+    pub fn paf_forms(&self) -> Vec<Option<PafForm>> {
+        self.stages
+            .iter()
+            .filter_map(|s| match s {
+                Stage::Affine { .. } => None,
+                Stage::PafRelu { paf, .. } | Stage::PafMax { paf, .. } => Some(paf.form()),
+            })
+            .collect()
+    }
+
     /// Rebuilds this pipeline with every PAF stage's composite replaced
     /// by `paf`, keeping the probed affine matrices, scales, taps, and
-    /// slot layout untouched and re-preparing the plaintext engines.
+    /// slot layout untouched and re-preparing the plaintext engines —
+    /// the uniform (single-form) case of [`HePipeline::with_pafs`].
     ///
     /// Probing affine runs is the expensive part of
     /// [`PipelineBuilder::try_compile`]; this hook lets a planner probe
@@ -485,37 +515,134 @@ impl HePipeline {
     /// engine preparation per swap), which is what makes trace-priced
     /// Pareto search over forms practical.
     pub fn with_paf(&self, paf: &CompositePaf) -> HePipeline {
+        let uniform = vec![paf.clone(); self.num_paf_stages()];
+        self.try_with_pafs(&uniform)
+            .expect("uniform vector length matches by construction")
+    }
+
+    /// Rebuilds this pipeline with the `i`-th PAF stage's composite
+    /// replaced by `pafs[i]` (stage order), keeping the probed affine
+    /// matrices, scales, taps, and slot layout untouched. Slots that
+    /// pick the same composite share one prepared evaluation engine.
+    ///
+    /// This is the per-slot generalisation of [`HePipeline::with_paf`]
+    /// that lets a planner search *form vectors* — the paper's
+    /// per-layer replacement tables assign a different form to every
+    /// ReLU/maxpool slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pafs.len() != self.num_paf_stages()`
+    /// ([`HePipeline::try_with_pafs`] reports the same condition as a
+    /// typed [`RunError::FormCountMismatch`] instead).
+    pub fn with_pafs(&self, pafs: &[CompositePaf]) -> HePipeline {
+        self.try_with_pafs(pafs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Rebuilds this pipeline with per-slot composites, reporting a
+    /// length mismatch between `pafs` and the pipeline's PAF slot
+    /// count as a typed [`RunError::FormCountMismatch`].
+    ///
+    /// Engines for composites already installed in this pipeline are
+    /// reused rather than re-prepared; a planner that evaluates many
+    /// vectors over a small form set should prepare one engine per
+    /// distinct form itself and use
+    /// [`HePipeline::try_with_prepared_pafs`].
+    pub fn try_with_pafs(&self, pafs: &[CompositePaf]) -> Result<HePipeline, RunError> {
+        // Seed the engine cache with this pipeline's prepared engines:
+        // slots keeping (or reusing) a composite already installed
+        // here skip the re-preparation entirely.
+        let mut cache: Vec<(&CompositePaf, Arc<CompositeEval>)> = self
+            .stages
+            .iter()
+            .zip(&self.prepared)
+            .filter_map(|(s, eng)| match (s, eng) {
+                (Stage::PafRelu { paf, .. } | Stage::PafMax { paf, .. }, Some(e)) => {
+                    Some((paf, Arc::clone(e)))
+                }
+                _ => None,
+            })
+            .collect();
+        let pairs: Vec<(CompositePaf, Arc<CompositeEval>)> = pafs
+            .iter()
+            .map(|paf| {
+                let eng = match cache.iter().find(|(p, _)| *p == paf) {
+                    Some((_, eng)) => Arc::clone(eng),
+                    None => {
+                        let eng = Arc::new(paf.prepare());
+                        cache.push((paf, Arc::clone(&eng)));
+                        eng
+                    }
+                };
+                (paf.clone(), eng)
+            })
+            .collect();
+        self.try_with_prepared_pafs(&pairs)
+    }
+
+    /// Per-slot swap with caller-prepared engines: no schedule packing
+    /// happens at all — each slot's engine is the supplied `Arc`.
+    ///
+    /// The engine paired with each composite **must** be that
+    /// composite's own [`CompositePaf::prepare`] output; the pairing
+    /// is the caller's contract (the smartpaf planner holds one
+    /// prepared engine per distinct candidate form and reuses it
+    /// across every vector of a search — one preparation per form per
+    /// search, not per swap).
+    pub fn try_with_prepared_pafs(
+        &self,
+        pafs: &[(CompositePaf, Arc<CompositeEval>)],
+    ) -> Result<HePipeline, RunError> {
+        let expected = self.num_paf_stages();
+        if pafs.len() != expected {
+            return Err(RunError::FormCountMismatch {
+                expected,
+                got: pafs.len(),
+            });
+        }
+        let mut next = pafs.iter();
+        let mut prepared: Vec<Option<Arc<CompositeEval>>> = Vec::with_capacity(self.stages.len());
         let stages: Vec<Stage> = self
             .stages
             .iter()
             .map(|s| match s {
-                Stage::Affine { .. } => s.clone(),
+                Stage::Affine { .. } => {
+                    prepared.push(None);
+                    s.clone()
+                }
                 Stage::PafRelu {
                     pre_scale,
                     post_scale,
                     ..
-                } => Stage::PafRelu {
-                    paf: paf.clone(),
-                    pre_scale: *pre_scale,
-                    post_scale: *post_scale,
-                },
+                } => {
+                    let (paf, eng) = next.next().expect("one composite per PAF slot");
+                    prepared.push(Some(Arc::clone(eng)));
+                    Stage::PafRelu {
+                        paf: paf.clone(),
+                        pre_scale: *pre_scale,
+                        post_scale: *post_scale,
+                    }
+                }
                 Stage::PafMax {
                     taps, post_scale, ..
-                } => Stage::PafMax {
-                    taps: taps.clone(),
-                    paf: paf.clone(),
-                    post_scale: *post_scale,
-                },
+                } => {
+                    let (paf, eng) = next.next().expect("one composite per PAF slot");
+                    prepared.push(Some(Arc::clone(eng)));
+                    Stage::PafMax {
+                        taps: taps.clone(),
+                        paf: paf.clone(),
+                        post_scale: *post_scale,
+                    }
+                }
             })
             .collect();
-        let prepared = prepare_stage_engines(&stages);
-        HePipeline {
+        Ok(HePipeline {
             stages,
             prepared,
             dim: self.dim,
             input_dim: self.input_dim,
             output_dim: self.output_dim,
-        }
+        })
     }
 
     /// Folds Static-Scaling multiplications into neighbouring affine
@@ -788,6 +915,122 @@ mod tests {
             assert!((ai - bi).abs() < 1e-12, "{ai} vs {bi}");
         }
         assert_eq!(swapped.total_levels(), direct.total_levels());
+    }
+
+    #[test]
+    fn with_pafs_assigns_forms_per_slot() {
+        let mut rng = Rng64::new(37);
+        let cheap = relu_paf();
+        let rich = CompositePaf::from_form(PafForm::Alpha7);
+        let base = PipelineBuilder::new(&[1, 4, 4])
+            .affine(Conv2d::new(1, 1, 3, 1, 1, &mut rng))
+            .paf_relu(&cheap, 4.0)
+            .paf_maxpool(2, 2, &cheap, 8.0)
+            .compile()
+            .fold_scales();
+        assert_eq!(base.num_paf_stages(), 2);
+        let mixed = base.with_pafs(&[rich.clone(), cheap.clone()]);
+        assert_eq!(
+            mixed.paf_forms(),
+            vec![Some(PafForm::Alpha7), Some(PafForm::F1G2)]
+        );
+        // The swap equals compiling the mixed pipeline directly.
+        let direct = PipelineBuilder::new(&[1, 4, 4])
+            .affine(Conv2d::new(1, 1, 3, 1, 1, &mut Rng64::new(37)))
+            .paf_relu(&rich, 4.0)
+            .paf_maxpool(2, 2, &cheap, 8.0)
+            .compile()
+            .fold_scales();
+        let x: Vec<f64> = (0..16).map(|i| ((i * 5) % 9) as f64 / 4.0 - 1.0).collect();
+        let a = mixed.eval_plain(&x);
+        let b = direct.eval_plain(&x);
+        for (ai, bi) in a.iter().zip(&b) {
+            assert!((ai - bi).abs() < 1e-12, "{ai} vs {bi}");
+        }
+        assert_eq!(mixed.total_levels(), direct.total_levels());
+        // The uniform hook is the trivial length-n case of the vector.
+        let uniform = base.with_paf(&rich);
+        let via_vector = base.with_pafs(&[rich.clone(), rich.clone()]);
+        assert_eq!(uniform.paf_forms(), via_vector.paf_forms());
+        assert_eq!(uniform.eval_plain(&x), via_vector.eval_plain(&x));
+    }
+
+    #[test]
+    fn form_vector_length_mismatch_is_typed() {
+        let mut rng = Rng64::new(41);
+        let paf = relu_paf();
+        let pipe = PipelineBuilder::new(&[4])
+            .affine(Linear::new(4, 4, &mut rng))
+            .paf_relu(&paf, 2.0)
+            .compile();
+        let err = pipe
+            .try_with_pafs(&[paf.clone(), paf.clone()])
+            .err()
+            .expect("one slot, two composites");
+        assert_eq!(
+            err,
+            crate::RunError::FormCountMismatch {
+                expected: 1,
+                got: 2
+            }
+        );
+        assert!(err.to_string().contains("PAF slot"));
+        // Empty vector against a slotless pipeline is fine.
+        let slotless = PipelineBuilder::new(&[4])
+            .affine(Linear::new(4, 4, &mut rng))
+            .compile();
+        assert!(slotless.try_with_pafs(&[]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "form vector has 0 composite(s)")]
+    fn with_pafs_panicking_wrapper_formats_the_error() {
+        let paf = relu_paf();
+        let pipe = PipelineBuilder::new(&[4]).paf_relu(&paf, 1.0).compile();
+        let _ = pipe.with_pafs(&[]);
+    }
+
+    #[test]
+    fn slots_sharing_a_form_share_one_prepared_engine() {
+        let paf = relu_paf();
+        let pipe = PipelineBuilder::new(&[1, 4, 4])
+            .paf_relu(&paf, 2.0)
+            .paf_maxpool(2, 2, &paf, 4.0)
+            .compile();
+        let engines: Vec<_> = pipe.prepared_engines().iter().flatten().collect();
+        assert_eq!(engines.len(), 2);
+        assert!(
+            std::sync::Arc::ptr_eq(engines[0], engines[1]),
+            "same composite must share one prepared engine"
+        );
+        // Distinct forms keep distinct engines.
+        let mixed = pipe.with_pafs(&[paf.clone(), CompositePaf::from_form(PafForm::Alpha7)]);
+        let engines: Vec<_> = mixed.prepared_engines().iter().flatten().collect();
+        assert!(!std::sync::Arc::ptr_eq(engines[0], engines[1]));
+    }
+
+    #[test]
+    fn with_pafs_reuses_prepared_engines_from_the_source() {
+        // Swapping a vector that keeps a slot's composite must reuse
+        // the source pipeline's prepared engine (Arc identity), not
+        // re-prepare it — the planner swaps from its previous pipeline
+        // so a whole search pays one preparation per distinct form.
+        let cheap = relu_paf();
+        let rich = CompositePaf::from_form(PafForm::Alpha7);
+        let base = PipelineBuilder::new(&[1, 4, 4])
+            .paf_relu(&cheap, 2.0)
+            .paf_maxpool(2, 2, &rich, 4.0)
+            .compile();
+        let base_engines: Vec<_> = base.prepared_engines().iter().flatten().collect();
+        // Keep slot 0, change slot 1 to slot 0's form: both slots of
+        // the swap reuse the base's slot-0 engine.
+        let swapped = base.with_pafs(&[cheap.clone(), cheap.clone()]);
+        let swapped_engines: Vec<_> = swapped.prepared_engines().iter().flatten().collect();
+        assert!(std::sync::Arc::ptr_eq(base_engines[0], swapped_engines[0]));
+        assert!(std::sync::Arc::ptr_eq(base_engines[0], swapped_engines[1]));
+        // And the dropped form's engine is gone, not leaked into the
+        // new pipeline.
+        assert!(!std::sync::Arc::ptr_eq(base_engines[1], swapped_engines[1]));
     }
 
     #[test]

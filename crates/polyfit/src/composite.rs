@@ -102,6 +102,20 @@ impl PafForm {
             PafForm::MinimaxDeg27 => "α=10 (27-degree)",
         }
     }
+
+    /// Compact name for dense per-slot tables (form *vectors* list one
+    /// name per slot, where [`PafForm::paper_name`]'s long comparator
+    /// label would blow the column).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            PafForm::F1G2 => "f1∘g2",
+            PafForm::F2G2 => "f2∘g2",
+            PafForm::F2G3 => "f2∘g3",
+            PafForm::Alpha7 => "α=7",
+            PafForm::F1SqG1Sq => "f1²∘g1²",
+            PafForm::MinimaxDeg27 => "α=10",
+        }
+    }
 }
 
 impl fmt::Display for PafForm {
@@ -326,6 +340,18 @@ impl CompositePaf {
             .collect()
     }
 
+    /// Per-slot candidate enumeration: one candidate list per PAF slot
+    /// of a pipeline with `slots` ReLU/maxpool slots, each list the
+    /// [`CompositePaf::candidate_forms`] set for the chain. Today every
+    /// slot sees the same built-in set; the per-slot shape is the hook
+    /// planners search *form vectors* over (the paper's per-layer
+    /// replacement tables pick a different form per slot), and lets a
+    /// caller prune individual slots before the search.
+    pub fn candidate_forms_per_slot(max_levels: usize, slots: usize) -> Vec<Vec<PafForm>> {
+        let shared = CompositePaf::candidate_forms(max_levels);
+        vec![shared; slots]
+    }
+
     /// Folds a static input scale into the first stage:
     /// evaluating the result at `x` equals evaluating `self` at `s·x`.
     pub fn with_input_scale(&self, s: f64) -> CompositePaf {
@@ -499,6 +525,16 @@ mod tests {
         assert!(CompositePaf::candidate_forms(5).is_empty());
         // Cheapest-first ordering is preserved.
         assert_eq!(eight[0], PafForm::F1G2);
+    }
+
+    #[test]
+    fn per_slot_enumeration_mirrors_the_shared_set() {
+        let per_slot = CompositePaf::candidate_forms_per_slot(8, 3);
+        assert_eq!(per_slot.len(), 3);
+        for slot in &per_slot {
+            assert_eq!(slot, &CompositePaf::candidate_forms(8));
+        }
+        assert!(CompositePaf::candidate_forms_per_slot(12, 0).is_empty());
     }
 
     #[test]

@@ -74,7 +74,7 @@ mod trainer;
 
 pub use config::{TechniqueSet, TrainConfig};
 pub use latency::{LatencyReport, LatencyRig};
-pub use pareto::{pareto_frontier, ParetoPoint};
+pub use pareto::{pareto_frontier, vector_pareto_frontier, ParetoPoint, VectorParetoPoint};
 pub use pipeline::{ExperimentResult, Workbench};
 pub use relu_reduce::{
     cull_least_sensitive, deepreduce_combo, relu_sensitivity, replace_survivors, ComboReport,
@@ -85,7 +85,7 @@ pub use replace::{
 };
 pub use scheduler::{rank_forms_by_dry_run, EventKind, FormCost, Scheduler, TrainEvent};
 pub use session::{
-    trace_modmuls, CompiledSession, Objective, Plan, PlanReport, PlannedCandidate, Session,
-    SessionBuilder, SessionError, SECONDS_PER_MODMUL,
+    trace_modmuls, CompiledSession, FormId, Objective, Plan, PlanBudget, PlanReport,
+    PlannedCandidate, Session, SessionBuilder, SessionError, VectorCost, SECONDS_PER_MODMUL,
 };
 pub use trainer::{evaluate, pretrain, train_epoch};

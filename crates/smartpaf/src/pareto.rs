@@ -1,4 +1,9 @@
-//! Latency-accuracy Pareto frontier (paper Fig. 1).
+//! Latency-accuracy Pareto frontier (paper Fig. 1), plus the
+//! three-axis frontier over per-slot *form vectors* the Session
+//! planner searches (traced bootstraps × exact ct-mults × worst-slot
+//! sign error).
+
+use smartpaf_polyfit::PafForm;
 
 /// A candidate operating point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,6 +53,87 @@ pub fn pareto_frontier(points: &[ParetoPoint]) -> Vec<usize> {
             frontier.push(i);
         }
     }
+    frontier
+}
+
+/// A planned form-vector operating point: the per-slot PAF assignment
+/// plus the three traced cost axes the planner's frontier dominates
+/// over. All three axes are minimised.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VectorParetoPoint {
+    /// One PAF form per slot, in stage order (the form vector).
+    pub forms: Vec<PafForm>,
+    /// Traced bootstraps of one inference with this vector.
+    pub bootstraps: usize,
+    /// Exact ciphertext-ciphertext multiplications of one inference.
+    pub ct_mults: usize,
+    /// Worst-slot sign-approximation error `max_slot max|paf − sign|`
+    /// on the accurate range (lower is more faithful).
+    pub sign_error: f64,
+}
+
+impl VectorParetoPoint {
+    fn dominated_by(&self, other: &VectorParetoPoint) -> bool {
+        other.bootstraps <= self.bootstraps
+            && other.ct_mults <= self.ct_mults
+            && other.sign_error <= self.sign_error
+            && (other.bootstraps < self.bootstraps
+                || other.ct_mults < self.ct_mults
+                || other.sign_error < self.sign_error)
+    }
+}
+
+/// Returns the indices of the Pareto-optimal form-vector points under
+/// three-axis minimisation (no other point is at least as good on all
+/// of traced bootstraps, exact ct-mults, and worst-slot sign error,
+/// and strictly better on one), sorted by
+/// `(bootstraps, ct_mults, sign_error)`.
+///
+/// Duplicate handling — both are the norm in a budgeted beam search,
+/// where the same vector can be re-proposed from several parents and
+/// discrete traced costs collide constantly:
+///
+/// - **identical form vectors** are deduplicated *before* frontier
+///   construction (only the first occurrence can appear);
+/// - points with **identical cost triples** but different vectors keep
+///   only the first input index, mirroring the exact-duplicate rule of
+///   [`pareto_frontier`].
+pub fn vector_pareto_frontier(points: &[VectorParetoPoint]) -> Vec<usize> {
+    // Dedupe identical form vectors (first occurrence wins).
+    let mut unique: Vec<usize> = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        if !unique.iter().any(|&j| points[j].forms == p.forms) {
+            unique.push(i);
+        }
+    }
+    let mut frontier: Vec<usize> = Vec::new();
+    'candidates: for &i in &unique {
+        for &j in &unique {
+            if j != i && points[i].dominated_by(&points[j]) {
+                continue 'candidates;
+            }
+            // Identical cost triple: keep the earliest index only.
+            if j < i
+                && points[j].bootstraps == points[i].bootstraps
+                && points[j].ct_mults == points[i].ct_mults
+                && points[j].sign_error == points[i].sign_error
+            {
+                continue 'candidates;
+            }
+        }
+        frontier.push(i);
+    }
+    frontier.sort_by(|&a, &b| {
+        let ka = (points[a].bootstraps, points[a].ct_mults);
+        let kb = (points[b].bootstraps, points[b].ct_mults);
+        ka.cmp(&kb).then_with(|| {
+            points[a]
+                .sign_error
+                .partial_cmp(&points[b].sign_error)
+                .expect("finite sign error")
+                .then(a.cmp(&b))
+        })
+    });
     frontier
 }
 
@@ -119,5 +205,79 @@ mod tests {
             p(3.0, 0.6), // equal accuracy, slower: dominated
         ];
         assert_eq!(pareto_frontier(&pts), vec![1, 3]);
+    }
+
+    fn v(
+        forms: &[PafForm],
+        bootstraps: usize,
+        ct_mults: usize,
+        sign_error: f64,
+    ) -> VectorParetoPoint {
+        VectorParetoPoint {
+            forms: forms.to_vec(),
+            bootstraps,
+            ct_mults,
+            sign_error,
+        }
+    }
+
+    #[test]
+    fn vector_frontier_excludes_dominated_vectors() {
+        use PafForm::{Alpha7, MinimaxDeg27, F1G2};
+        let pts = vec![
+            v(&[F1G2, F1G2], 5, 28, 0.8),
+            v(&[MinimaxDeg27, F1G2], 4, 46, 0.8), // dominates [2] on boots
+            v(&[Alpha7, Alpha7], 5, 40, 0.8),     // dominated by [0] and [1]
+            v(&[MinimaxDeg27, MinimaxDeg27], 4, 100, 0.02), // buys fidelity
+        ];
+        assert_eq!(vector_pareto_frontier(&pts), vec![1, 3, 0]);
+    }
+
+    #[test]
+    fn vector_frontier_dedupes_identical_form_vectors() {
+        use PafForm::{Alpha7, F1G2};
+        // The same vector re-proposed by a beam search must enter the
+        // frontier at most once, keeping the first occurrence even
+        // when a later duplicate claims a different (stale) cost.
+        let pts = vec![
+            v(&[F1G2, Alpha7], 3, 20, 0.5),
+            v(&[F1G2, Alpha7], 2, 10, 0.1), // duplicate vector: ignored
+            v(&[Alpha7, F1G2], 3, 20, 0.4), // equal cost, better error
+        ];
+        // [1] never enters (duplicate vector), and without it [2]
+        // dominates [0] on the error axis at equal discrete cost.
+        assert_eq!(vector_pareto_frontier(&pts), vec![2]);
+    }
+
+    #[test]
+    fn vector_frontier_duplicate_cost_triples_keep_first_index() {
+        use PafForm::{Alpha7, F1G2};
+        // Distinct vectors, identical discrete costs: exactly one
+        // survives (the first), mirroring the 2D exact-duplicate rule.
+        let pts = vec![
+            v(&[F1G2, Alpha7], 4, 30, 0.5),
+            v(&[Alpha7, F1G2], 4, 30, 0.5),
+            v(&[F1G2, F1G2], 5, 28, 0.8), // incomparable: stays
+        ];
+        assert_eq!(vector_pareto_frontier(&pts), vec![0, 2]);
+    }
+
+    #[test]
+    fn vector_frontier_sorts_by_cost_then_error() {
+        use PafForm::{Alpha7, F1G2, F2G2};
+        let pts = vec![
+            v(&[Alpha7], 2, 11, 0.03),
+            v(&[F1G2], 1, 5, 0.76),
+            v(&[F2G2], 2, 9, 0.2),
+        ];
+        // All incomparable; sorted by (bootstraps, ct_mults, error).
+        assert_eq!(vector_pareto_frontier(&pts), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn vector_frontier_empty_and_single() {
+        assert!(vector_pareto_frontier(&[]).is_empty());
+        let single = vec![v(&[PafForm::F1G2], 1, 5, 0.7)];
+        assert_eq!(vector_pareto_frontier(&single), vec![0]);
     }
 }

@@ -1,7 +1,8 @@
 //! Property-based tests for the Session planner: planning is
-//! deterministic, and plan-time traces match run-time measurements.
+//! deterministic (chosen form *vector* included), and plan-time traces
+//! match run-time measurements even for mixed-form pipelines.
 
-use crate::session::{Objective, Session, SessionBuilder};
+use crate::session::{Objective, PlanBudget, Session, SessionBuilder};
 use proptest::prelude::*;
 use smartpaf_ckks::CkksParams;
 use smartpaf_nn::Linear;
@@ -26,11 +27,20 @@ fn objective_from(pick: usize, drop: f64) -> Objective {
     }
 }
 
+fn budget_from(pick: usize) -> PlanBudget {
+    match pick % 3 {
+        0 => PlanBudget::default(),
+        1 => PlanBudget::uniform(),
+        _ => PlanBudget::greedy(32),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// Same model / seed / objective ⇒ identical chosen form, frontier,
-    /// candidate costs, and report: planning has no hidden
+    /// Same model / seed / objective / budget ⇒ identical chosen form
+    /// vector, frontier, candidate costs, and report: planning (the
+    /// greedy + beam vector search included) has no hidden
     /// nondeterminism.
     #[test]
     fn planning_is_deterministic(
@@ -39,22 +49,26 @@ proptest! {
         blocks in 1usize..4,
         scale in 1.0f64..6.0,
         pick in 0usize..3,
+        budget_pick in 0usize..3,
         drop in 0.0f64..1.0,
     ) {
         let objective = objective_from(pick, drop);
+        let budget = budget_from(budget_pick);
         let plan_once = || {
             blocks_builder(blocks, scale, layer_seed)
                 .seed(session_seed)
                 .objective(objective)
+                .budget(budget)
                 .plan()
                 .expect("the toy chain plans every objective")
         };
         let a = plan_once();
         let b = plan_once();
-        prop_assert_eq!(a.chosen_form(), b.chosen_form());
+        prop_assert_eq!(a.chosen_forms(), b.chosen_forms());
         prop_assert_eq!(a.frontier_indices(), b.frontier_indices());
         prop_assert_eq!(a.candidates(), b.candidates());
         prop_assert_eq!(a.pareto_points(), b.pareto_points());
+        prop_assert_eq!(a.dry_runs_used(), b.dry_runs_used());
         prop_assert_eq!(a.report().as_str(), b.report().as_str());
     }
 }
@@ -63,7 +77,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(5))]
 
     /// The plan's traced bootstrap count (and per-stage level schedule)
-    /// equals what the compiled session measures on an encrypted run.
+    /// equals what the compiled session measures on an encrypted run —
+    /// under the searched MinBootstraps objective, whose chosen vector
+    /// may well be mixed.
     #[test]
     fn traced_bootstraps_match_measured(
         layer_seed in 0u64..500,
@@ -72,9 +88,11 @@ proptest! {
         x0 in -1.0f64..1.0,
     ) {
         let plan = blocks_builder(blocks, scale, layer_seed)
-            .objective(Objective::FixedForm(PafForm::F1G2))
+            .candidates(&[PafForm::F1G2, PafForm::Alpha7, PafForm::MinimaxDeg27])
+            .objective(Objective::MinBootstraps)
             .plan()
-            .expect("f1∘g2 fits the toy chain");
+            .expect("the toy chain plans min-bootstraps");
+        prop_assert_eq!(plan.chosen_forms().len(), blocks);
         let traced = plan.traced_bootstraps();
         let stage_levels: Vec<usize> =
             plan.chosen_trace().stages.iter().map(|s| s.levels).collect();

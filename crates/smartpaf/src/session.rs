@@ -6,24 +6,30 @@
 //! ([`Workbench`](crate::Workbench), [`LatencyRig`],
 //! `HePipeline::eval_*`, [`BatchRunner`], and the
 //! [`rank_forms_by_dry_run`](crate::rank_forms_by_dry_run) +
-//! [`pareto_frontier`] pair). A Session walks the whole path behind one
+//! [`pareto_frontier`](crate::pareto_frontier) pair). A Session walks
+//! the whole path behind one
 //! three-state builder:
 //!
 //! ```text
 //!   SessionBuilder ──plan()──► Plan ──compile()──► CompiledSession
-//!   stages, params,            chosen form,        keys + engines:
-//!   objective,                 traced frontier,    infer / infer_batch /
+//!   stages, params,            chosen form vector, keys + engines:
+//!   objective, budget,         traced frontier,    infer / infer_batch /
 //!   candidate forms            PlanReport          dry_run / latency_rig
 //! ```
 //!
 //! Each arrow consumes the previous state, so the type system enforces
 //! the order: you cannot serve before compiling and you cannot compile
-//! before planning. Planning scores every candidate form with a
-//! [`TraceBackend`](smartpaf_heinfer::TraceBackend) dry run of the
-//! *caller's actual pipeline* — forced bootstraps and exact ciphertext
-//! multiplications, never multiplicative depth alone — and the affine
-//! segments are probed exactly once ([`HePipeline::with_paf`] swaps
-//! forms in microseconds).
+//! before planning. Planning searches per-slot *form vectors* (one
+//! [`FormId`] per ReLU/maxpool slot, like the paper's per-layer
+//! replacement tables): a uniform pass over every candidate form seeds
+//! a greedy per-slot refinement and a budgeted beam search, every
+//! vector scored by a [`TraceBackend`](smartpaf_heinfer::TraceBackend)
+//! dry run of the *caller's actual pipeline* — forced bootstraps and
+//! exact ciphertext multiplications, never multiplicative depth alone.
+//! The affine segments are probed exactly once
+//! ([`HePipeline::with_pafs`] swaps form vectors in microseconds), and
+//! a [`PlanBudget`] caps the dry runs so deep pipelines stay
+//! seconds-scale.
 //!
 //! # Example
 //!
@@ -52,17 +58,24 @@
 //! ```
 
 use crate::latency::LatencyRig;
-use crate::pareto::{pareto_frontier, ParetoPoint};
-use crate::scheduler::FormCost;
+use crate::pareto::{vector_pareto_frontier, ParetoPoint, VectorParetoPoint};
 use smartpaf_ckks::cost::{bootstrap_modmuls, ct_mult_modmuls, rescale_modmuls};
 use smartpaf_ckks::{Bootstrapper, CkksParams, Evaluator, KeyChain, PafEvaluator};
 use smartpaf_heinfer::{
     BatchRun, BatchRunner, HePipeline, PipelineBuilder, RunError, RunStats, TraceReport,
 };
 use smartpaf_nn::Layer;
-use smartpaf_polyfit::{CompositePaf, PafForm};
+use smartpaf_polyfit::{CompositeEval, CompositePaf, PafForm};
 use smartpaf_tensor::Rng64;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
+
+/// A per-slot PAF form identifier — one entry of a *form vector*
+/// (`Vec<FormId>`, one per ReLU/maxpool slot in stage order). Today
+/// every slot draws from the built-in [`PafForm`] set, so this is an
+/// alias; it names the planner's per-slot search axis.
+pub type FormId = PafForm;
 
 /// Calibrated cost of one 64-bit modular multiply on a workstation
 /// core (order-of-magnitude of the paper's AMD 2990WX) — the single
@@ -161,6 +174,86 @@ impl fmt::Display for Objective {
     }
 }
 
+/// Caps on the per-slot form-vector search, so planning deep pipelines
+/// stays seconds-scale.
+///
+/// The uniform pass (one dry run per candidate form) always runs — it
+/// is what seeds the search and what the legacy single-form path
+/// reduces to. `max_dry_runs` bounds the *total* trace dry runs,
+/// counting the uniform pass; once reached, the greedy and beam phases
+/// stop where they stand and the best vector seen so far wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanBudget {
+    /// Total trace dry runs the planner may spend (uniform pass
+    /// included; the uniform pass itself is never truncated).
+    pub max_dry_runs: usize,
+    /// Vectors kept per beam round (`0` disables beam refinement,
+    /// leaving greedy only).
+    pub beam_width: usize,
+    /// Beam refinement rounds.
+    pub beam_rounds: usize,
+}
+
+impl Default for PlanBudget {
+    /// Greedy per-slot refinement plus a small beam: 96 dry runs,
+    /// beam width 3, 2 rounds — microseconds per dry run keeps even a
+    /// capped-out search well under a second.
+    fn default() -> Self {
+        PlanBudget {
+            max_dry_runs: 96,
+            beam_width: 3,
+            beam_rounds: 2,
+        }
+    }
+}
+
+impl PlanBudget {
+    /// Disables the per-slot search entirely: only uniform form
+    /// vectors are evaluated — the PR-4 single-form planner, byte-
+    /// identical costs included.
+    pub fn uniform() -> Self {
+        PlanBudget {
+            max_dry_runs: 0,
+            beam_width: 0,
+            beam_rounds: 0,
+        }
+    }
+
+    /// Greedy per-slot refinement only (no beam), under the given
+    /// dry-run cap.
+    pub fn greedy(max_dry_runs: usize) -> Self {
+        PlanBudget {
+            max_dry_runs,
+            beam_width: 0,
+            beam_rounds: 0,
+        }
+    }
+}
+
+/// Traced deployment cost of one form vector on the caller's pipeline
+/// — the vector analogue of [`FormCost`](crate::FormCost), read off a
+/// full-pipeline dry run rather than the canonical single-ReLU probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorCost {
+    /// Bootstraps one inference forces on the chain.
+    pub bootstraps: usize,
+    /// Exact ciphertext-ciphertext multiplications of one inference.
+    pub ct_mults: usize,
+    /// Deepest per-slot PAF-ReLU level consumption
+    /// (`mult_depth() + 1`, maximised over the vector's slots; equals
+    /// the single form's value for uniform vectors).
+    pub relu_levels: usize,
+}
+
+impl VectorCost {
+    /// The planner's lexicographic sort key: fewest forced bootstraps,
+    /// then fewest exact ciphertext multiplications, then shallowest
+    /// worst-slot ReLU — traced deployment cost, never depth alone.
+    pub fn sort_key(&self) -> (usize, usize, usize) {
+        (self.bootstraps, self.ct_mults, self.relu_levels)
+    }
+}
+
 /// Namespace entry point of the typed-state chain;
 /// [`Session::builder`] is the one way in.
 pub struct Session;
@@ -190,6 +283,7 @@ pub struct SessionBuilder {
     params: CkksParams,
     objective: Objective,
     candidates: Option<Vec<PafForm>>,
+    budget: PlanBudget,
     seed: u64,
 }
 
@@ -214,6 +308,7 @@ impl SessionBuilder {
             params: CkksParams::default_params(),
             objective: Objective::MinBootstraps,
             candidates: None,
+            budget: PlanBudget::default(),
             seed: 7,
         }
     }
@@ -274,6 +369,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Caps the per-slot form-vector search (default:
+    /// [`PlanBudget::default`]; [`PlanBudget::uniform`] restores the
+    /// single-form planner).
+    pub fn budget(mut self, budget: PlanBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Seeds key generation, encryption, and bootstrap re-randomisation
     /// of the compiled session (planning itself is deterministic).
     pub fn seed(mut self, seed: u64) -> Self {
@@ -281,16 +384,21 @@ impl SessionBuilder {
         self
     }
 
-    /// Runs the trace-priced Pareto search: probes the affine segments
-    /// once, swaps every candidate form in with
-    /// [`HePipeline::with_paf`], dry-runs each candidate over the
-    /// parameter chain ([`HePipeline::dry_run`], bootstraps allowed),
-    /// and picks the winner per the [`Objective`].
+    /// Runs the trace-priced Pareto search over per-slot form vectors:
+    /// probes the affine segments once, evaluates every candidate form
+    /// uniformly ([`HePipeline::with_pafs`] +
+    /// [`HePipeline::dry_run`], bootstraps allowed), then refines the
+    /// uniform winner with a greedy per-slot sweep and a budgeted beam
+    /// search — every vector scored by a full-pipeline dry run, capped
+    /// by the [`PlanBudget`] — and picks the winner per the
+    /// [`Objective`].
     ///
-    /// Candidates whose atomic depth exceeds the chain are skipped
-    /// (recorded in the [`PlanReport`]); structural pipeline errors
-    /// (empty builder, untileable pool, …) surface as
-    /// [`SessionError::Run`].
+    /// Candidate forms whose uniform vector cannot run at all are
+    /// skipped (recorded in the [`PlanReport`]); infeasible *mixed*
+    /// vectors are silently dropped from the search. Structural
+    /// pipeline errors (empty builder, untileable pool, …) surface as
+    /// [`SessionError::Run`]. A pipeline with no PAF slot collapses to
+    /// a single empty-vector candidate.
     pub fn plan(self) -> Result<Plan, SessionError> {
         let SessionBuilder {
             input_shape,
@@ -298,13 +406,15 @@ impl SessionBuilder {
             params,
             objective,
             candidates,
+            budget,
             seed,
         } = self;
+        let candidate_list = candidates;
         let forms: Vec<PafForm> = match objective {
             Objective::FixedForm(form) => vec![form],
-            _ => match candidates {
+            _ => match &candidate_list {
                 Some(c) if c.is_empty() => return Err(SessionError::NoCandidates),
-                Some(c) => c,
+                Some(c) => c.clone(),
                 None => {
                     let all = CompositePaf::candidate_forms(params.depth);
                     if all.is_empty() {
@@ -319,7 +429,7 @@ impl SessionBuilder {
         };
 
         // Probe the affine segments exactly once, with the first
-        // candidate installed; every other candidate is a PAF swap.
+        // candidate installed; every other vector is a PAF swap.
         let first = CompositePaf::from_form(forms[0]);
         let mut builder = PipelineBuilder::new(&input_shape);
         for spec in specs {
@@ -332,43 +442,118 @@ impl SessionBuilder {
             };
         }
         let base = builder.try_compile()?.fold_scales();
-
+        let num_slots = base.num_paf_stages();
         let max_level = params.depth;
-        let mut planned: Vec<PlannedCandidate> = Vec::new();
-        let mut pipelines: Vec<HePipeline> = Vec::new();
+
+        // Uniform pass: one dry run per candidate form, never
+        // truncated — the PR-4 single-form planner, cost for cost.
+        let mut search = VectorSearch::new(&base, &params, max_level);
         let mut skipped: Vec<PafForm> = Vec::new();
         for &form in &forms {
-            let paf = CompositePaf::from_form(form);
-            let pipe = base.with_paf(&paf);
-            match pipe.dry_run(max_level, true) {
-                Ok((trace, _)) => {
-                    let fidelity = 1.0 - paf.sign_error(FIDELITY_EPS, FIDELITY_SAMPLES);
-                    let cost = FormCost::from_trace(form, &paf, &trace);
-                    let priced_ms = trace_price_ms(&params, &trace);
-                    planned.push(PlannedCandidate {
-                        form,
-                        cost,
-                        trace,
-                        fidelity,
-                        priced_ms,
-                    });
-                    pipelines.push(pipe);
-                }
-                Err(e) if e.is_infeasible_form() => {
+            match search.eval(vec![form; num_slots])? {
+                Ok(_) => {}
+                Err(e) => {
                     if matches!(objective, Objective::FixedForm(_)) {
                         return Err(e.into());
                     }
                     skipped.push(form);
                 }
-                Err(e) => return Err(e.into()),
             }
         }
-        if planned.is_empty() {
+        if search.evaluated.is_empty() {
             return Err(SessionError::NoFeasibleForm {
                 tried: forms.len(),
                 max_level,
             });
         }
+        // The best reachable fidelity is set by the uniform pass: a
+        // mixed vector's worst-slot error can never beat the best
+        // single form everywhere.
+        let best_fid = search
+            .evaluated
+            .iter()
+            .map(|c| c.fidelity)
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        // Per-slot refinement: greedy sweeps seeded by the uniform
+        // winner, then a budgeted beam over the best vectors seen.
+        if num_slots >= 2 && !matches!(objective, Objective::FixedForm(_)) {
+            let per_slot: Vec<Vec<PafForm>> = match &candidate_list {
+                Some(c) => vec![c.clone(); num_slots],
+                None => CompositePaf::candidate_forms_per_slot(max_level, num_slots),
+            };
+            let mut current = select_chosen(&search.evaluated, &objective, best_fid);
+            let mut improved = true;
+            while improved && search.dry_runs < budget.max_dry_runs {
+                improved = false;
+                for (slot, slot_forms) in per_slot.iter().enumerate() {
+                    for &form in slot_forms {
+                        if search.dry_runs >= budget.max_dry_runs {
+                            break;
+                        }
+                        if search.evaluated[current].forms[slot] == form {
+                            continue;
+                        }
+                        let mut v = search.evaluated[current].forms.clone();
+                        v[slot] = form;
+                        if let Ok(idx) = search.eval(v)? {
+                            if strictly_better(
+                                &search.evaluated,
+                                idx,
+                                current,
+                                &objective,
+                                best_fid,
+                            ) {
+                                current = idx;
+                                improved = true;
+                            }
+                        }
+                    }
+                }
+            }
+            for _round in 0..budget.beam_rounds {
+                if budget.beam_width == 0 || search.dry_runs >= budget.max_dry_runs {
+                    break;
+                }
+                let ranked = rank_indices(&search.evaluated, &objective, best_fid);
+                let beam: Vec<Vec<PafForm>> = ranked
+                    .into_iter()
+                    .take(budget.beam_width)
+                    .map(|i| search.evaluated[i].forms.clone())
+                    .collect();
+                let mut expanded = false;
+                for parent in &beam {
+                    for (slot, slot_forms) in per_slot.iter().enumerate() {
+                        for &form in slot_forms {
+                            if search.dry_runs >= budget.max_dry_runs {
+                                break;
+                            }
+                            if parent[slot] == form {
+                                continue;
+                            }
+                            let mut v = parent.clone();
+                            v[slot] = form;
+                            if search.seen.contains_key(&v) {
+                                continue;
+                            }
+                            expanded = true;
+                            let _ = search.eval(v)?;
+                        }
+                    }
+                }
+                if !expanded {
+                    break;
+                }
+            }
+        }
+
+        let VectorSearch {
+            evaluated: planned,
+            dry_runs,
+            form_info,
+            ..
+        } = search;
+        let chosen = select_chosen(&planned, &objective, best_fid);
 
         let points: Vec<ParetoPoint> = planned
             .iter()
@@ -377,42 +562,35 @@ impl SessionBuilder {
                 accuracy: c.fidelity,
             })
             .collect();
-        let frontier = pareto_frontier(&points);
+        let vector_points: Vec<VectorParetoPoint> = planned
+            .iter()
+            .map(|c| VectorParetoPoint {
+                forms: c.forms.clone(),
+                bootstraps: c.cost.bootstraps,
+                ct_mults: c.cost.ct_mults,
+                sign_error: 1.0 - c.fidelity,
+            })
+            .collect();
+        let frontier = vector_pareto_frontier(&vector_points);
 
-        let chosen = match objective {
-            Objective::FixedForm(_) => 0,
-            Objective::MinBootstraps => planned
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, c)| c.cost.sort_key())
-                .map(|(i, _)| i)
-                .expect("non-empty candidate set"),
-            Objective::MinLatency { max_acc_drop } => {
-                // Negative or NaN budgets degrade to 0.0 (strictest),
-                // so the best-fidelity candidate always qualifies and
-                // the selection below cannot come up empty.
-                let drop = max_acc_drop.max(0.0);
-                let best_fid = planned
+        // Install the winner from the search's own per-form cache —
+        // no composite rebuild or engine re-preparation.
+        let chosen_pairs: Vec<(CompositePaf, Arc<CompositeEval>)> = planned[chosen]
+            .forms
+            .iter()
+            .map(|f| {
+                let info = &form_info
                     .iter()
-                    .map(|c| c.fidelity)
-                    .fold(f64::NEG_INFINITY, f64::max);
-                planned
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| c.fidelity >= best_fid - drop)
-                    .min_by(|(_, a), (_, b)| {
-                        a.priced_ms
-                            .partial_cmp(&b.priced_ms)
-                            .expect("finite traced price")
-                            .then_with(|| a.cost.sort_key().cmp(&b.cost.sort_key()))
-                    })
-                    .map(|(i, _)| i)
-                    .expect("the best-fidelity candidate always satisfies the drop bound")
-            }
-        };
-        let pipeline = pipelines.remove(chosen);
+                    .find(|(known, _)| known == f)
+                    .expect("every planned form is in the search cache")
+                    .1;
+                (info.paf.clone(), Arc::clone(&info.engine))
+            })
+            .collect();
+        let pipeline = base.try_with_prepared_pafs(&chosen_pairs)?;
         let report = PlanReport::render(
-            &objective, &params, &pipeline, &planned, &frontier, chosen, &skipped,
+            &objective, &params, &pipeline, &planned, &frontier, chosen, &skipped, dry_runs,
+            &budget,
         );
         Ok(Plan {
             pipeline,
@@ -423,27 +601,261 @@ impl SessionBuilder {
             skipped,
             params,
             objective,
+            budget,
+            dry_runs,
             seed,
             report,
         })
     }
 }
 
-/// One feasible candidate as the planner evaluated it.
+/// Memoised form-vector evaluation: one [`HePipeline::dry_run`] per
+/// distinct vector, with per-form composites and fidelity grids built
+/// once and shared across every vector that uses the form.
+/// Everything the planner caches about one candidate form: the
+/// composite, its prepared evaluation engine (one schedule packing per
+/// distinct form per *search*, shared by every vector and slot that
+/// picks the form), and its sign-error grid.
+struct FormInfo {
+    paf: CompositePaf,
+    engine: Arc<CompositeEval>,
+    sign_error: f64,
+}
+
+struct VectorSearch<'a> {
+    base: &'a HePipeline,
+    params: &'a CkksParams,
+    max_level: usize,
+    /// Per-form cache, filled lazily.
+    form_info: Vec<(PafForm, FormInfo)>,
+    /// Every feasible vector evaluated, in evaluation order (uniform
+    /// candidates first).
+    evaluated: Vec<PlannedCandidate>,
+    /// Vector → evaluated index, or the error that made it infeasible.
+    seen: HashMap<Vec<PafForm>, Result<usize, RunError>>,
+    /// Trace dry runs spent.
+    dry_runs: usize,
+}
+
+impl<'a> VectorSearch<'a> {
+    fn new(base: &'a HePipeline, params: &'a CkksParams, max_level: usize) -> Self {
+        VectorSearch {
+            base,
+            params,
+            max_level,
+            form_info: Vec::new(),
+            evaluated: Vec::new(),
+            seen: HashMap::new(),
+            dry_runs: 0,
+        }
+    }
+
+    fn form_index(&mut self, form: PafForm) -> usize {
+        if let Some(i) = self.form_info.iter().position(|(f, _)| *f == form) {
+            return i;
+        }
+        let paf = CompositePaf::from_form(form);
+        let engine = Arc::new(paf.prepare());
+        let sign_error = paf.sign_error(FIDELITY_EPS, FIDELITY_SAMPLES);
+        self.form_info.push((
+            form,
+            FormInfo {
+                paf,
+                engine,
+                sign_error,
+            },
+        ));
+        self.form_info.len() - 1
+    }
+
+    /// Scores one vector: `Ok(Ok(idx))` feasible (possibly cached),
+    /// `Ok(Err(e))` infeasible on this chain (cached too), outer `Err`
+    /// a structural failure that aborts the plan.
+    fn eval(&mut self, forms: Vec<PafForm>) -> Result<Result<usize, RunError>, SessionError> {
+        if let Some(cached) = self.seen.get(&forms) {
+            return Ok(cached.clone());
+        }
+        let idxs: Vec<usize> = forms.iter().map(|&f| self.form_index(f)).collect();
+        let pairs: Vec<(CompositePaf, Arc<CompositeEval>)> = idxs
+            .iter()
+            .map(|&i| {
+                let info = &self.form_info[i].1;
+                (info.paf.clone(), Arc::clone(&info.engine))
+            })
+            .collect();
+        let pipe = self.base.try_with_prepared_pafs(&pairs)?;
+        self.dry_runs += 1;
+        match pipe.dry_run(self.max_level, true) {
+            Ok((trace, _)) => {
+                let worst_err = idxs
+                    .iter()
+                    .map(|&i| self.form_info[i].1.sign_error)
+                    .fold(0.0, f64::max);
+                let relu_levels = idxs
+                    .iter()
+                    .map(|&i| self.form_info[i].1.paf.mult_depth() + 1)
+                    .max()
+                    .unwrap_or(0);
+                let cost = VectorCost {
+                    bootstraps: trace.total_bootstraps(),
+                    ct_mults: trace.total_ct_mults(),
+                    relu_levels,
+                };
+                let priced_ms = trace_price_ms(self.params, &trace);
+                let idx = self.evaluated.len();
+                self.evaluated.push(PlannedCandidate {
+                    forms: forms.clone(),
+                    cost,
+                    trace,
+                    fidelity: 1.0 - worst_err,
+                    priced_ms,
+                });
+                self.seen.insert(forms, Ok(idx));
+                Ok(Ok(idx))
+            }
+            Err(e) if e.is_infeasible_form() => {
+                self.seen.insert(forms, Err(e.clone()));
+                Ok(Err(e))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+/// The objective's winner among every evaluated vector — uniform
+/// candidates come first, so a mixed vector must be *strictly* better
+/// to displace the single-form choice.
+fn select_chosen(cands: &[PlannedCandidate], objective: &Objective, best_fid: f64) -> usize {
+    match objective {
+        Objective::FixedForm(_) => 0,
+        Objective::MinBootstraps => cands
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.cost.sort_key())
+            .map(|(i, _)| i)
+            .expect("non-empty candidate set"),
+        Objective::MinLatency { max_acc_drop } => {
+            // Negative or NaN budgets degrade to 0.0 (strictest), so
+            // the best-fidelity candidate always qualifies and the
+            // selection below cannot come up empty.
+            let drop = max_acc_drop.max(0.0);
+            cands
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.fidelity >= best_fid - drop)
+                .min_by(|(_, a), (_, b)| {
+                    a.priced_ms
+                        .partial_cmp(&b.priced_ms)
+                        .expect("finite traced price")
+                        .then_with(|| a.cost.sort_key().cmp(&b.cost.sort_key()))
+                })
+                .map(|(i, _)| i)
+                .expect("the best-fidelity candidate always satisfies the drop bound")
+        }
+    }
+}
+
+/// Whether candidate `idx` strictly improves on `cur` under the
+/// objective (the greedy acceptance test).
+fn strictly_better(
+    cands: &[PlannedCandidate],
+    idx: usize,
+    cur: usize,
+    objective: &Objective,
+    best_fid: f64,
+) -> bool {
+    match objective {
+        Objective::FixedForm(_) => false,
+        Objective::MinBootstraps => cands[idx].cost.sort_key() < cands[cur].cost.sort_key(),
+        Objective::MinLatency { max_acc_drop } => {
+            let drop = max_acc_drop.max(0.0);
+            if cands[idx].fidelity < best_fid - drop {
+                return false;
+            }
+            match cands[idx]
+                .priced_ms
+                .partial_cmp(&cands[cur].priced_ms)
+                .expect("finite traced price")
+            {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => {
+                    cands[idx].cost.sort_key() < cands[cur].cost.sort_key()
+                }
+            }
+        }
+    }
+}
+
+/// Evaluated indices ranked best-first under the objective (stable, so
+/// earlier-evaluated vectors win ties) — the beam ordering.
+fn rank_indices(cands: &[PlannedCandidate], objective: &Objective, best_fid: f64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..cands.len()).collect();
+    match objective {
+        Objective::FixedForm(_) | Objective::MinBootstraps => {
+            idx.sort_by_key(|&i| cands[i].cost.sort_key());
+        }
+        Objective::MinLatency { max_acc_drop } => {
+            let drop = max_acc_drop.max(0.0);
+            idx.sort_by(|&a, &b| {
+                let fa = cands[a].fidelity < best_fid - drop;
+                let fb = cands[b].fidelity < best_fid - drop;
+                fa.cmp(&fb)
+                    .then_with(|| {
+                        cands[a]
+                            .priced_ms
+                            .partial_cmp(&cands[b].priced_ms)
+                            .expect("finite traced price")
+                    })
+                    .then_with(|| cands[a].cost.sort_key().cmp(&cands[b].cost.sort_key()))
+            });
+        }
+    }
+    idx
+}
+
+/// One feasible form vector as the planner evaluated it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlannedCandidate {
-    /// The PAF form.
-    pub form: PafForm,
-    /// Traced deployment cost of the caller's pipeline with this form.
-    pub cost: FormCost,
-    /// The full per-stage trace the cost was read from.
+    /// One PAF form per slot, in stage order (uniform candidates
+    /// repeat a single form; empty for a pipeline without PAF slots).
+    pub forms: Vec<FormId>,
+    /// Traced deployment cost of the caller's pipeline with this
+    /// vector.
+    pub cost: VectorCost,
+    /// The full per-stage trace the cost was read from (per-slot rows
+    /// via [`TraceReport::paf_slots`]).
     pub trace: TraceReport,
-    /// Sign-approximation fidelity `1 − max|paf − sign|` on the
-    /// accurate range (the frontier's accuracy axis).
+    /// Worst-slot sign-approximation fidelity
+    /// `1 − max_slot max|paf − sign|` on the accurate range (the
+    /// frontier's accuracy axis).
     pub fidelity: f64,
     /// Analytic price of the traced schedule in milliseconds (the
     /// frontier's latency axis).
     pub priced_ms: f64,
+}
+
+impl PlannedCandidate {
+    /// The single form when every slot agrees (`None` for genuinely
+    /// mixed vectors and for pipelines without PAF slots).
+    pub fn uniform_form(&self) -> Option<PafForm> {
+        let first = *self.forms.first()?;
+        self.forms.iter().all(|&f| f == first).then_some(first)
+    }
+
+    /// Human-readable name of the vector: the paper name for uniform
+    /// vectors, a compact per-slot list (`[α=10|f1∘g2]`) for mixed
+    /// ones.
+    pub fn label(&self) -> String {
+        match self.uniform_form() {
+            Some(f) => f.paper_name().to_string(),
+            None if self.forms.is_empty() => "(no PAF slots)".to_string(),
+            None => {
+                let names: Vec<&str> = self.forms.iter().map(|f| f.short_name()).collect();
+                format!("[{}]", names.join("|"))
+            }
+        }
+    }
 }
 
 /// State 2 of the typed-state chain: the outcome of the trace-priced
@@ -459,6 +871,8 @@ pub struct Plan {
     skipped: Vec<PafForm>,
     params: CkksParams,
     objective: Objective,
+    budget: PlanBudget,
+    dry_runs: usize,
     seed: u64,
     report: PlanReport,
 }
@@ -468,7 +882,7 @@ impl fmt::Debug for Plan {
         // HePipeline holds prepared engines without a Debug form; show
         // the planning outcome instead.
         f.debug_struct("Plan")
-            .field("chosen", &self.chosen_form())
+            .field("chosen", &self.chosen_forms())
             .field("objective", &self.objective)
             .field("candidates", &self.candidates)
             .field("frontier", &self.frontier)
@@ -478,9 +892,30 @@ impl fmt::Debug for Plan {
 }
 
 impl Plan {
-    /// The form the objective selected.
+    /// The form vector the objective selected — one [`FormId`] per PAF
+    /// slot, in stage order.
+    pub fn chosen_forms(&self) -> &[FormId] {
+        &self.candidates[self.chosen].forms
+    }
+
+    /// The single chosen form of a *uniform* plan — the legacy
+    /// single-form path ([`Objective::FixedForm`], one-slot pipelines,
+    /// or a search that kept the uniform winner).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the chosen vector is mixed or the pipeline has no
+    /// PAF slot; use [`Plan::chosen_forms`] there.
     pub fn chosen_form(&self) -> PafForm {
-        self.candidates[self.chosen].form
+        self.candidates[self.chosen]
+            .uniform_form()
+            .expect("mixed-form plan: use chosen_forms()")
+    }
+
+    /// Human-readable name of the chosen vector (paper name when
+    /// uniform, compact per-slot list when mixed).
+    pub fn chosen_label(&self) -> String {
+        self.candidates[self.chosen].label()
     }
 
     /// The chosen candidate (cost, trace, fidelity, price).
@@ -488,25 +923,27 @@ impl Plan {
         &self.candidates[self.chosen]
     }
 
-    /// Traced deployment cost of the chosen form.
-    pub fn chosen_cost(&self) -> &FormCost {
+    /// Traced deployment cost of the chosen vector.
+    pub fn chosen_cost(&self) -> &VectorCost {
         &self.candidates[self.chosen].cost
     }
 
-    /// Full per-stage trace of the chosen form on the parameter chain
-    /// — level schedule, bootstraps, exact ct-mults.
+    /// Full per-stage trace of the chosen vector on the parameter
+    /// chain — level schedule, bootstraps, exact ct-mults, per-slot
+    /// rows via [`TraceReport::paf_slots`].
     pub fn chosen_trace(&self) -> &TraceReport {
         &self.candidates[self.chosen].trace
     }
 
-    /// Bootstraps one inference of the chosen form will trigger — by
+    /// Bootstraps one inference of the chosen vector will trigger — by
     /// construction equal to what the compiled session measures on an
     /// encrypted run.
     pub fn traced_bootstraps(&self) -> usize {
         self.candidates[self.chosen].cost.bootstraps
     }
 
-    /// Every feasible candidate, in evaluation order.
+    /// Every feasible vector evaluated, in evaluation order (uniform
+    /// candidates first, then searched vectors).
     pub fn candidates(&self) -> &[PlannedCandidate] {
         &self.candidates
     }
@@ -518,17 +955,22 @@ impl Plan {
     }
 
     /// Indices (into [`Plan::candidates`]) of the Pareto-optimal
-    /// candidates, sorted by priced latency.
+    /// vectors under three-axis dominance — traced bootstraps, exact
+    /// ct-mults, worst-slot sign error
+    /// ([`vector_pareto_frontier`]) — sorted cheapest-first, with
+    /// duplicate form vectors deduplicated.
     pub fn frontier_indices(&self) -> &[usize] {
         &self.frontier
     }
 
-    /// The Pareto frontier as points, sorted by priced latency.
+    /// The Pareto frontier as `(priced latency, fidelity)` points, in
+    /// frontier order.
     pub fn frontier_points(&self) -> Vec<ParetoPoint> {
         self.frontier.iter().map(|&i| self.points[i]).collect()
     }
 
-    /// Candidates skipped because their atomic depth exceeds the chain.
+    /// Candidate forms skipped because their *uniform* vector cannot
+    /// run on the chain at all.
     pub fn skipped_forms(&self) -> &[PafForm] {
         &self.skipped
     }
@@ -538,12 +980,25 @@ impl Plan {
         self.objective
     }
 
+    /// The search budget the plan ran under.
+    pub fn budget(&self) -> PlanBudget {
+        self.budget
+    }
+
+    /// Trace dry runs the planner spent (uniform pass + greedy +
+    /// beam). At most `budget.max_dry_runs` once the uniform pass is
+    /// through; the uniform pass itself is never truncated.
+    pub fn dry_runs_used(&self) -> usize {
+        self.dry_runs
+    }
+
     /// The CKKS parameters the plan was traced against.
     pub fn params(&self) -> &CkksParams {
         &self.params
     }
 
-    /// The compiled pipeline (chosen form installed, scales folded).
+    /// The compiled pipeline (chosen form vector installed, scales
+    /// folded).
     pub fn pipeline(&self) -> &HePipeline {
         &self.pipeline
     }
@@ -691,17 +1146,36 @@ impl CompiledSession {
         &self.report
     }
 
-    /// The form the plan selected.
-    pub fn chosen_form(&self) -> PafForm {
-        self.chosen.form
+    /// The form vector the plan selected — one [`FormId`] per PAF
+    /// slot, in stage order.
+    pub fn chosen_forms(&self) -> &[FormId] {
+        &self.chosen.forms
     }
 
-    /// Traced deployment cost of the chosen form.
-    pub fn chosen_cost(&self) -> &FormCost {
+    /// The single chosen form of a *uniform* plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the served vector is mixed or the pipeline has no
+    /// PAF slot; use [`CompiledSession::chosen_forms`] there.
+    pub fn chosen_form(&self) -> PafForm {
+        self.chosen
+            .uniform_form()
+            .expect("mixed-form plan: use chosen_forms()")
+    }
+
+    /// Human-readable name of the served vector (paper name when
+    /// uniform, compact per-slot list when mixed).
+    pub fn chosen_label(&self) -> String {
+        self.chosen.label()
+    }
+
+    /// Traced deployment cost of the chosen vector.
+    pub fn chosen_cost(&self) -> &VectorCost {
         &self.chosen.cost
     }
 
-    /// The chosen form's plan-time trace.
+    /// The chosen vector's plan-time trace.
     pub fn chosen_trace(&self) -> &TraceReport {
         &self.chosen.trace
     }
@@ -744,6 +1218,9 @@ impl CompiledSession {
 #[derive(Debug, Clone)]
 pub struct PlanReport {
     text: String,
+    /// Byte offset of the per-slot table within `text` (`None` for a
+    /// pipeline without PAF slots).
+    per_slot_start: Option<usize>,
 }
 
 impl PlanReport {
@@ -752,6 +1229,15 @@ impl PlanReport {
         &self.text
     }
 
+    /// Just the per-slot table of the chosen vector (one row per
+    /// ReLU/maxpool slot: stage, form, levels, bootstraps, ct-mults) —
+    /// the section demos print on its own. `None` when the pipeline
+    /// has no PAF slot.
+    pub fn per_slot_table(&self) -> Option<&str> {
+        self.per_slot_start.map(|start| &self.text[start..])
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn render(
         objective: &Objective,
         params: &CkksParams,
@@ -760,6 +1246,8 @@ impl PlanReport {
         frontier: &[usize],
         chosen: usize,
         skipped: &[PafForm],
+        dry_runs: usize,
+        budget: &PlanBudget,
     ) -> PlanReport {
         use fmt::Write;
         let mut text = String::new();
@@ -774,8 +1262,15 @@ impl PlanReport {
         );
         let _ = writeln!(
             text,
+            "  {} vector(s) evaluated in {} dry run(s) (budget {})",
+            candidates.len(),
+            dry_runs,
+            budget.max_dry_runs,
+        );
+        let _ = writeln!(
+            text,
             "  {:<20} {:>6} {:>9} {:>10} {:>9} {:>10}",
-            "form", "levels", "ct-mults", "bootstraps", "fidelity", "est-ms"
+            "forms", "levels", "ct-mults", "bootstraps", "fidelity", "est-ms"
         );
         for (i, c) in candidates.iter().enumerate() {
             let mark = if i == chosen {
@@ -788,7 +1283,7 @@ impl PlanReport {
             let _ = writeln!(
                 text,
                 "{mark} {:<20} {:>6} {:>9} {:>10} {:>9.4} {:>10.2}",
-                c.form.paper_name(),
+                c.label(),
                 c.cost.relu_levels,
                 c.cost.ct_mults,
                 c.cost.bootstraps,
@@ -805,7 +1300,36 @@ impl PlanReport {
                 names.join(", ")
             );
         }
-        PlanReport { text }
+        // Per-slot table of the chosen vector: which form each
+        // ReLU/maxpool slot got and what it costs there, read off the
+        // trace's slot-tagged rows.
+        let chosen_cand = &candidates[chosen];
+        let mut per_slot_start = None;
+        if !chosen_cand.forms.is_empty() {
+            per_slot_start = Some(text.len());
+            let _ = writeln!(text, "  per-slot ({}):", chosen_cand.label());
+            let _ = writeln!(
+                text,
+                "    {:>4} {:<28} {:<10} {:>6} {:>10} {:>9}",
+                "slot", "stage", "form", "levels", "bootstraps", "ct-mults"
+            );
+            for (stage, form) in chosen_cand.trace.paf_slots().iter().zip(&chosen_cand.forms) {
+                let _ = writeln!(
+                    text,
+                    "    {:>4} {:<28} {:<10} {:>6} {:>10} {:>9}",
+                    stage.slot.expect("paf_slots rows carry a slot index"),
+                    stage.label,
+                    form.short_name(),
+                    stage.levels,
+                    stage.bootstraps,
+                    stage.ct_mults,
+                );
+            }
+        }
+        PlanReport {
+            text,
+            per_slot_start,
+        }
     }
 }
 
@@ -854,20 +1378,35 @@ mod tests {
     fn plan_selects_by_traced_cost_not_depth() {
         // Three ReLU blocks exceed the 12-level toy chain for every
         // form, so the ranking is decided by traced bootstraps +
-        // ct-mults; f1∘g2 must win over the 27-degree comparator.
+        // ct-mults: the uniform f1∘g2 vector beats the 27-degree
+        // comparator, and the per-slot search can only improve on it.
         let plan = builder(3, 2.0, 11)
             .candidates(&[PafForm::MinimaxDeg27, PafForm::F1G2])
             .objective(Objective::MinBootstraps)
             .plan()
             .expect("both forms fit a 12-level chain");
-        assert_eq!(plan.chosen_form(), PafForm::F1G2);
-        assert_eq!(plan.candidates().len(), 2);
+        // Uniform candidates are evaluated first, in candidate order.
+        assert_eq!(
+            plan.candidates()[0].uniform_form(),
+            Some(PafForm::MinimaxDeg27)
+        );
+        assert_eq!(plan.candidates()[1].uniform_form(), Some(PafForm::F1G2));
         let deep = &plan.candidates()[0];
-        let cheap = plan.chosen();
+        let cheap = &plan.candidates()[1];
         assert!(deep.cost.bootstraps > cheap.cost.bootstraps);
         assert!(deep.cost.ct_mults > cheap.cost.ct_mults);
-        // Both ends of this trade-off are Pareto-optimal.
-        assert_eq!(plan.frontier_indices().len(), 2);
+        // The chosen vector is at least as cheap as the best uniform,
+        // and every entry comes from the candidate set.
+        assert!(plan.chosen_cost().sort_key() <= cheap.cost.sort_key());
+        assert_eq!(plan.chosen_forms().len(), 3);
+        assert!(plan
+            .chosen_forms()
+            .iter()
+            .all(|f| [PafForm::MinimaxDeg27, PafForm::F1G2].contains(f)));
+        // The frontier dedupes and dominates over the vector axes;
+        // both uniform endpoints of the trade-off survive unless a
+        // mixed vector dominates one of them.
+        assert!(!plan.frontier_indices().is_empty());
     }
 
     #[test]
@@ -1026,6 +1565,122 @@ mod tests {
             err,
             SessionError::Run(RunError::InputTooLong { len: 5, max: 4 })
         ));
+    }
+
+    #[test]
+    fn plan_budget_caps_dry_runs_on_deep_pipelines() {
+        // Six PAF slots over six candidate forms span 6^6 vectors; the
+        // default budget must keep planning to a bounded number of
+        // trace dry runs (uniform pass + greedy + beam).
+        let plan = builder(6, 2.0, 22)
+            .objective(Objective::MinBootstraps)
+            .plan()
+            .expect("plannable");
+        assert_eq!(plan.chosen_forms().len(), 6);
+        let budget = plan.budget();
+        assert_eq!(budget, PlanBudget::default());
+        assert!(
+            plan.dry_runs_used() <= budget.max_dry_runs,
+            "{} dry runs exceed the {} cap",
+            plan.dry_runs_used(),
+            budget.max_dry_runs
+        );
+        // The search actually ran past the uniform pass.
+        assert!(plan.dry_runs_used() > plan.skipped_forms().len() + 6);
+        assert!(plan.report().as_str().contains("dry run(s)"));
+    }
+
+    #[test]
+    fn uniform_budget_reproduces_the_legacy_planner() {
+        // PlanBudget::uniform() disables the vector search: only
+        // uniform candidates are evaluated, and their costs are
+        // byte-identical to the uniform rows of a searched plan (the
+        // PR-4 single-form behaviour).
+        let uniform = builder(3, 2.0, 23)
+            .budget(PlanBudget::uniform())
+            .plan()
+            .expect("plannable");
+        assert!(uniform
+            .candidates()
+            .iter()
+            .all(|c| c.uniform_form().is_some()));
+        let searched = builder(3, 2.0, 23).plan().expect("plannable");
+        assert!(searched.candidates().len() >= uniform.candidates().len());
+        for (u, s) in uniform
+            .candidates()
+            .iter()
+            .zip(searched.candidates().iter())
+        {
+            assert_eq!(u, s, "uniform candidates lead and price identically");
+        }
+        // The searched plan can only match or beat the uniform one.
+        assert!(searched.chosen_cost().sort_key() <= uniform.chosen_cost().sort_key());
+    }
+
+    #[test]
+    fn fixed_form_costs_match_the_uniform_candidate_row() {
+        let fixed = builder(3, 2.0, 24)
+            .objective(Objective::FixedForm(PafForm::F1G2))
+            .plan()
+            .expect("plannable");
+        assert_eq!(fixed.candidates().len(), 1);
+        assert_eq!(fixed.chosen_form(), PafForm::F1G2);
+        let searched = builder(3, 2.0, 24)
+            .objective(Objective::MinBootstraps)
+            .plan()
+            .expect("plannable");
+        let row = searched
+            .candidates()
+            .iter()
+            .find(|c| c.uniform_form() == Some(PafForm::F1G2))
+            .expect("uniform f1∘g2 evaluated");
+        assert_eq!(&fixed.chosen().cost, &row.cost);
+        assert_eq!(fixed.chosen().fidelity, row.fidelity);
+        assert_eq!(fixed.chosen().priced_ms, row.priced_ms);
+        assert_eq!(fixed.chosen().trace, row.trace);
+    }
+
+    #[test]
+    fn candidate_labels_render_uniform_and_mixed() {
+        let uniform = PlannedCandidate {
+            forms: vec![PafForm::F1G2; 3],
+            cost: VectorCost {
+                bootstraps: 0,
+                ct_mults: 0,
+                relu_levels: 6,
+            },
+            trace: TraceReport {
+                stages: vec![],
+                final_level: 0,
+            },
+            fidelity: 0.5,
+            priced_ms: 1.0,
+        };
+        assert_eq!(uniform.label(), "f1∘g2");
+        assert_eq!(uniform.uniform_form(), Some(PafForm::F1G2));
+        let mixed = PlannedCandidate {
+            forms: vec![PafForm::MinimaxDeg27, PafForm::F1G2],
+            ..uniform.clone()
+        };
+        assert_eq!(mixed.label(), "[α=10|f1∘g2]");
+        assert_eq!(mixed.uniform_form(), None);
+        let empty = PlannedCandidate {
+            forms: vec![],
+            ..uniform
+        };
+        assert_eq!(empty.label(), "(no PAF slots)");
+        assert_eq!(empty.uniform_form(), None);
+    }
+
+    #[test]
+    fn report_renders_the_per_slot_table() {
+        let plan = builder(2, 2.0, 25).plan().expect("plannable");
+        let text = plan.report().to_string();
+        assert!(text.contains("per-slot"), "{text}");
+        assert!(text.contains("slot"), "{text}");
+        // One row per PAF slot of the chosen vector.
+        let rows = plan.chosen_trace().paf_slots().len();
+        assert_eq!(rows, plan.chosen_forms().len());
     }
 
     #[test]

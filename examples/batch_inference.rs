@@ -26,15 +26,20 @@ fn main() {
     let mut session = plan.compile().expect("slot layout fits the ring");
 
     // 1. The instant cost oracle: per-stage schedule, no arithmetic.
+    //    The form column shows the per-slot assignment — on this
+    //    conv+pool pipeline the planner picks a *mixed* vector (deep
+    //    comparator ReLU, cheap pool fold).
     let (report, _) = session.dry_run().expect("traceable");
     println!(
         "\n[trace] per-stage schedule with {}:",
-        session.chosen_form()
+        session.chosen_label()
     );
+    let forms = session.chosen_forms();
     for s in &report.stages {
+        let form = s.slot.map(|i| forms[i].short_name()).unwrap_or("-");
         println!(
-            "  {:<28} levels {:>2}  bootstraps {}  exact ct-mults {}",
-            s.label, s.levels, s.bootstraps, s.ct_mults
+            "  {:<28} form {:<8} levels {:>2}  bootstraps {}  exact ct-mults {}",
+            s.label, form, s.levels, s.bootstraps, s.ct_mults
         );
     }
 

@@ -1,55 +1,76 @@
 //! End-to-end private inference through the Session API: a small
-//! PAF-approximated head (linear → PAF-ReLU → linear) served under
-//! CKKS, with the batch sharded across machine-sized worker threads.
+//! PAF-approximated CNN head (conv → PAF-ReLU → PAF-maxpool → linear)
+//! served under CKKS, with the batch sharded across machine-sized
+//! worker threads.
 //!
 //! The deployment model is the paper's: weights public, inputs
-//! private. Features come from a plaintext extractor (a convolutional
-//! trunk is all plain-weight MACs under batching anyway); the head —
-//! where the non-polynomial operator lives — runs encrypted.
+//! private. Features come from a plaintext extractor (a 4×4 grid of
+//! regional means); the head — where the non-polynomial operators
+//! live — runs encrypted. The planner searches per-slot *form
+//! vectors*, and on this conv+pool head it picks a mixed one: the
+//! deep comparator for the ReLU slot, the cheap f1∘g2 fold for the
+//! pool — printed below as the per-slot table.
 //!
 //! Run with: `cargo run -p smartpaf-examples --release --bin private_inference`
 
 use smartpaf::{Objective, Session};
 use smartpaf_datasets::{Split, SynthDataset, SynthSpec};
-use smartpaf_nn::Linear;
-use smartpaf_polyfit::PafForm;
+use smartpaf_nn::{Conv2d, Flatten, Linear};
 use smartpaf_tensor::{Rng64, Tensor};
 
+const GRID: usize = 4;
+
 fn main() {
-    println!("Private inference demo: encrypted PAF head over a synthetic task\n");
+    println!("Private inference demo: encrypted mixed-form PAF head over a synthetic task\n");
     let spec = SynthSpec::tiny(9);
     let dataset = SynthDataset::new(spec);
     let batch = 8;
     let (x, labels) = dataset.batch(Split::Val, 0, batch);
-    let feats = plain_features(&x); // [batch, channels]
-    let feat_dim = feats.dims()[1];
+    let feats = plain_features(&x); // [batch, 1, GRID, GRID]
 
-    // Plan + compile the head with the α=7 comparator pinned.
+    // Plan + compile the head; min-bootstraps searches the per-slot
+    // form vector (uniform pass -> greedy -> beam, all trace-priced).
     let mut rng = Rng64::new(77);
-    let plan = Session::builder(&[feat_dim])
-        .affine(Linear::new(feat_dim, 4, &mut rng))
+    let plan = Session::builder(&[1, GRID, GRID])
+        .affine(Conv2d::new(1, 2, 3, 1, 1, &mut rng))
         .relu(4.0)
-        .affine(Linear::new(4, spec.classes, &mut rng))
+        .maxpool(2, 2, 6.0)
+        .affine(Flatten::new())
+        .affine(Linear::new(
+            2 * (GRID / 2) * (GRID / 2),
+            spec.classes,
+            &mut rng,
+        ))
         .params(smartpaf_examples::scale_params())
-        .objective(Objective::FixedForm(PafForm::Alpha7))
+        .objective(Objective::MinBootstraps)
         .seed(77)
         .plan()
-        .expect("α=7 fits the chain");
+        .expect("the candidate forms fit the chain");
     println!(
         "planned {}: {} exact ct-mults, {} traced bootstraps per inference",
-        plan.chosen_form(),
+        plan.chosen_label(),
         plan.chosen_cost().ct_mults,
         plan.traced_bootstraps()
+    );
+
+    // The per-slot form table (which form each ReLU/maxpool slot
+    // got), straight from the plan report's rendering.
+    print!(
+        "\n{}",
+        plan.report()
+            .per_slot_table()
+            .expect("this pipeline has PAF slots")
     );
     let mut session = plan.compile().expect("slot layout fits the ring");
 
     // Serve the whole batch encrypted; outputs come back in input order.
+    let dim = GRID * GRID;
     let inputs: Vec<Vec<f64>> = (0..batch)
-        .map(|b| (0..feat_dim).map(|f| feats.at(&[b, f]) as f64).collect())
+        .map(|b| (0..dim).map(|f| feats.data()[b * dim + f] as f64).collect())
         .collect();
     let run = session.infer_batch(&inputs).expect("valid batch");
     println!(
-        "encrypted batch of {batch} served in {:?} on {} thread(s)\n",
+        "\nencrypted batch of {batch} served in {:?} on {} thread(s)\n",
         run.wall, run.threads
     );
 
@@ -71,14 +92,29 @@ fn main() {
     println!("\n{agree}/{batch} encrypted predictions match the plaintext PAF model.");
 }
 
+/// Plaintext feature extractor: a GRID×GRID map of regional means over
+/// all channels — affine in the input, so the interesting
+/// (non-polynomial) work all happens in the encrypted head.
 fn plain_features(x: &Tensor) -> Tensor {
     let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
-    let mut out = Tensor::zeros(&[n, c]);
+    let (rh, rw) = (h / GRID, w / GRID);
+    let mut out = Tensor::zeros(&[n, 1, GRID, GRID]);
     for b in 0..n {
-        for ci in 0..c {
-            let base = (b * c + ci) * h * w;
-            let mean: f32 = x.data()[base..base + h * w].iter().sum::<f32>() / (h * w) as f32;
-            out.set(&[b, ci], mean);
+        for gy in 0..GRID {
+            for gx in 0..GRID {
+                let mut sum = 0.0f32;
+                for ci in 0..c {
+                    for dy in 0..rh.max(1) {
+                        for dx in 0..rw.max(1) {
+                            let y = (gy * rh + dy).min(h - 1);
+                            let xx = (gx * rw + dx).min(w - 1);
+                            sum += x.data()[((b * c + ci) * h + y) * w + xx];
+                        }
+                    }
+                }
+                let count = (c * rh.max(1) * rw.max(1)) as f32;
+                out.set(&[b, 0, gy, gx], sum / count);
+            }
         }
     }
     out

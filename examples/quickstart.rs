@@ -36,7 +36,7 @@ fn main() {
 
     println!(
         "\nencrypted inference with {} took {wall:?} ({} bootstraps)",
-        session.chosen_form(),
+        session.chosen_label(),
         session.total_bootstraps()
     );
     println!(

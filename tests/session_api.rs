@@ -1,8 +1,9 @@
 //! Cross-crate tests of the typed-state Session API: trace-priced
-//! planning, plan ↔ runtime agreement, and the delegating old entry
-//! points staying consistent with the session path.
+//! planning over per-slot form vectors, plan ↔ runtime agreement, and
+//! the delegating old entry points staying consistent with the
+//! session path.
 
-use smartpaf::{Objective, Session, SessionBuilder};
+use smartpaf::{Objective, PlanBudget, Session, SessionBuilder};
 use smartpaf_ckks::CkksParams;
 use smartpaf_nn::{Conv2d, Flatten, Linear};
 use smartpaf_polyfit::{CompositePaf, PafForm};
@@ -25,7 +26,7 @@ fn cnn_builder(seed: u64) -> SessionBuilder {
 #[test]
 fn plan_selects_by_traced_cost_not_depth_alone() {
     // On the deep conv+pool pipeline every form bootstraps, and the
-    // *deepest* form wins min-bootstraps: the 27-degree comparator's
+    // *deepest* form seeds min-bootstraps: the 27-degree comparator's
     // fold refreshes less often per round than the shallow forms. A
     // depth-ranked search would pick f1∘g2; the trace oracle must not.
     let plan = cnn_builder(41)
@@ -36,8 +37,8 @@ fn plan_selects_by_traced_cost_not_depth_alone() {
     let f1g2 = plan
         .candidates()
         .iter()
-        .find(|c| c.form == PafForm::F1G2)
-        .expect("f1∘g2 among the candidates");
+        .find(|c| c.uniform_form() == Some(PafForm::F1G2))
+        .expect("uniform f1∘g2 among the candidates");
     assert!(
         chosen.cost.bootstraps < f1g2.cost.bootstraps,
         "chosen {:?} must beat the shallowest form {:?} on traced bootstraps",
@@ -56,6 +57,85 @@ fn plan_selects_by_traced_cost_not_depth_alone() {
         .min()
         .expect("non-empty");
     assert_ne!(chosen.cost.relu_levels, min_depth);
+}
+
+#[test]
+fn mixed_vector_strictly_beats_the_best_uniform_form() {
+    // The per-slot pin (the vector analogue of the depth-vs-trace pin
+    // above): on a 13-level chain the deep comparator ReLU leaves the
+    // chain empty right before the pool — a cheap refresh of one
+    // ciphertext — while its own fold wastes levels and the shallow
+    // forms force a refresh of every fold operand. Brute force over
+    // all 6² vectors says best uniform = 3 bootstraps, best mixed
+    // ([α=10 ReLU, f1∘g2 pool]) = 2. The planner's greedy sweep must
+    // find a strictly better mixed vector from the uniform seed.
+    let plan = cnn_builder(43)
+        .params(CkksParams {
+            depth: 13,
+            ..CkksParams::toy()
+        })
+        .objective(Objective::MinBootstraps)
+        .plan()
+        .expect("every form fits a 13-level chain");
+    let best_uniform = plan
+        .candidates()
+        .iter()
+        .filter(|c| c.uniform_form().is_some())
+        .map(|c| c.cost.bootstraps)
+        .min()
+        .expect("uniform candidates evaluated");
+    let chosen = plan.chosen();
+    assert!(
+        chosen.uniform_form().is_none(),
+        "the winner must be a genuinely mixed vector, got {:?}",
+        plan.chosen_forms()
+    );
+    assert!(
+        chosen.cost.bootstraps < best_uniform,
+        "mixed vector {:?} ({} bootstraps) must strictly beat the best \
+         uniform form ({best_uniform} bootstraps)",
+        plan.chosen_forms(),
+        chosen.cost.bootstraps
+    );
+
+    // The compiled session executes the mixed vector: measured
+    // bootstraps equal the traced count, and the encrypted output
+    // agrees with the plain backend within CKKS noise.
+    let traced = plan.traced_bootstraps();
+    let forms = plan.chosen_forms().to_vec();
+    let mut session = plan.compile().expect("toy ring compiles");
+    assert_eq!(session.chosen_forms(), &forms[..]);
+    let x: Vec<f64> = (0..64).map(|i| ((i % 9) as f64 - 4.0) / 4.0).collect();
+    let enc = session.infer(&x).expect("serves the mixed vector");
+    let plain = session.infer_plain(&x).expect("valid input");
+    for (e, p) in enc.iter().zip(&plain) {
+        assert!((e - p).abs() < 0.2, "{e} vs {p}");
+    }
+    let stats = session.last_stats().expect("stats recorded");
+    assert_eq!(stats.bootstraps, traced, "plan-time vs measured bootstraps");
+}
+
+#[test]
+fn uniform_budget_matches_the_searched_plan_prefix() {
+    // PlanBudget::uniform() is the legacy single-form planner; its
+    // candidate rows must price byte-identically to the uniform prefix
+    // of the searched plan on the same pipeline.
+    let uniform = cnn_builder(47)
+        .budget(PlanBudget::uniform())
+        .plan()
+        .expect("plannable");
+    let searched = cnn_builder(47).plan().expect("plannable");
+    assert!(uniform
+        .candidates()
+        .iter()
+        .all(|c| c.uniform_form().is_some()));
+    for (u, s) in uniform
+        .candidates()
+        .iter()
+        .zip(searched.candidates().iter())
+    {
+        assert_eq!(u, s);
+    }
 }
 
 #[test]
@@ -120,9 +200,15 @@ fn session_agrees_with_legacy_entry_points() {
         let candidate = plan
             .candidates()
             .iter()
-            .find(|c| c.form == cost.form)
+            .find(|c| c.uniform_form() == Some(cost.form))
             .expect("every ranked form was planned");
-        assert_eq!(&candidate.cost, cost, "{}", cost.form);
+        assert_eq!(candidate.cost.bootstraps, cost.bootstraps, "{}", cost.form);
+        assert_eq!(candidate.cost.ct_mults, cost.ct_mults, "{}", cost.form);
+        assert_eq!(
+            candidate.cost.relu_levels, cost.relu_levels,
+            "{}",
+            cost.form
+        );
     }
     assert_eq!(plan.chosen_form(), ranked[0].form);
 }
@@ -141,7 +227,11 @@ fn default_candidates_honour_the_chain_depth() {
         })
         .plan()
         .expect("four forms fit 8 levels");
-    let planned: Vec<PafForm> = plan.candidates().iter().map(|c| c.form).collect();
+    let planned: Vec<PafForm> = plan
+        .candidates()
+        .iter()
+        .map(|c| c.uniform_form().expect("one-slot plans stay uniform"))
+        .collect();
     assert_eq!(planned, CompositePaf::candidate_forms(8));
     assert!(!planned.contains(&PafForm::MinimaxDeg27));
 }
