@@ -1,0 +1,127 @@
+//! Criterion benchmark: serving-layer throughput and tail latency vs
+//! offered load.
+//!
+//! The MLSys serving question is not "how fast is one inference" but
+//! "what latency distribution does a load level buy": a saturating
+//! burst fills every batch (best throughput, worst p99), while paced
+//! arrivals trade batch fill for queueing delay. Each offered-load
+//! point runs the same workload — one tenant, a fixed request count,
+//! a fixed arrival interval — through a warmed [`Server`]; a
+//! measurement pass outside the bencher records the real
+//! [`ServeStats`] (throughput, p50/p99 served latency, mean batch
+//! fill) as group metadata, so `BENCH_serve.json` is self-describing
+//! even in `--test` mode (the CI `serve-smoke` fast path). The timed
+//! pass then re-runs the workload under criterion.
+//!
+//! The interesting curve is p99 vs offered rate: the burst point shows
+//! the coalescing win (mean fill → `max_batch`), the slow point the
+//! idle floor (fill → 1, latency → single-inference cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smartpaf::{serve_sessions, CompiledSession, Objective, Session, SessionError};
+use smartpaf_ckks::CkksParams;
+use smartpaf_heinfer::serve::{ServeConfig, Server, TenantId};
+use smartpaf_heinfer::BatchRunner;
+use smartpaf_nn::Linear;
+use smartpaf_polyfit::PafForm;
+use smartpaf_tensor::Rng64;
+use std::time::{Duration, Instant};
+
+/// A fixed-form toy-ring session — planning collapses to one dry run,
+/// so server startup is encryption-keygen-bound, not search-bound.
+fn bench_session(tenant: TenantId) -> Result<CompiledSession, SessionError> {
+    let mut rng = Rng64::new(tenant.wrapping_add(7000));
+    let mut session = Session::builder(&[4])
+        .affine(Linear::new(4, 4, &mut rng))
+        .relu(2.0)
+        .params(CkksParams::toy())
+        .objective(Objective::FixedForm(PafForm::F1G2))
+        .seed(tenant.wrapping_add(7000))
+        .plan()?
+        .compile()?;
+    session.set_batch_runner(BatchRunner::new(1));
+    Ok(session)
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 64,
+        max_batch: 4,
+        batch_deadline: Duration::from_millis(1),
+    }
+}
+
+const REQUESTS: usize = 8;
+
+/// Submits `REQUESTS` paced requests and blocks until all are served;
+/// returns the span from first submission to last answer.
+fn drive(
+    server: &Server<impl smartpaf_heinfer::BatchService + 'static>,
+    interval: Duration,
+) -> Duration {
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(REQUESTS);
+    for i in 0..REQUESTS {
+        if i > 0 && !interval.is_zero() {
+            std::thread::sleep(interval);
+        }
+        let x: Vec<f64> = (0..4).map(|j| ((i * 4 + j) as f64 - 8.0) / 10.0).collect();
+        tickets.push(server.submit(0, x).expect("queue sized for the workload"));
+    }
+    for t in tickets {
+        t.wait().expect("request served");
+    }
+    start.elapsed()
+}
+
+fn bench_serving(c: &mut Criterion) {
+    // Offered-load sweep: a saturating burst plus two paced rates.
+    for (label, interval) in [
+        ("burst", Duration::ZERO),
+        ("interval_5ms", Duration::from_millis(5)),
+        ("interval_20ms", Duration::from_millis(20)),
+    ] {
+        let mut group = c.benchmark_group(format!("serve_{label}"));
+        group.sample_size(10);
+
+        // Measurement pass on a fresh server: the final ServeStats of
+        // exactly this workload become the group's metadata.
+        let server = serve_sessions(bench_session, serve_config());
+        server.submit(0, vec![0.0; 4]).unwrap().wait().unwrap(); // warm the session cache
+        let span = drive(&server, interval);
+        let stats = server.shutdown();
+        let offered_rps = if interval.is_zero() {
+            f64::INFINITY
+        } else {
+            1.0 / interval.as_secs_f64()
+        };
+        group.meta("requests", REQUESTS);
+        group.meta("max_batch", serve_config().max_batch);
+        group.meta("offered_rps", format!("{offered_rps:.1}"));
+        group.meta(
+            "throughput_rps",
+            format!("{:.2}", REQUESTS as f64 / span.as_secs_f64()),
+        );
+        group.meta("p50_ms", format!("{:.3}", stats.p50_ms()));
+        group.meta("p99_ms", format!("{:.3}", stats.p99_ms()));
+        group.meta("mean_fill", format!("{:.2}", stats.mean_fill()));
+        group.meta("batches", stats.batches.saturating_sub(1)); // minus the warmup batch
+
+        // Timed pass: a long-lived warmed server survives the
+        // iterations, so criterion times steady-state serving.
+        let server = serve_sessions(bench_session, serve_config());
+        server.submit(0, vec![0.0; 4]).unwrap().wait().unwrap();
+        group.bench_function("drive", |b| {
+            b.iter(|| std::hint::black_box(drive(&server, interval)))
+        });
+        drop(server);
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().json_output("BENCH_serve.json");
+    targets = bench_serving
+}
+criterion_main!(benches);

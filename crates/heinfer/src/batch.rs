@@ -11,10 +11,11 @@
 //! the exact ciphertext bits (not the decrypted values) depend on
 //! thread interleaving.
 
-use crate::backends::{CkksBackend, PlainBackend};
+use crate::backends::{CkksBackend, PlainBackend, TraceBackend};
 use crate::exec::{RunError, RunStats};
 use crate::pipeline::HePipeline;
 use smartpaf_ckks::{Bootstrapper, Ciphertext, PafEvaluator};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Result of one batch run: outputs and per-input statistics, both in
@@ -166,6 +167,26 @@ impl BatchRunner {
         bootstrapper: Option<&Bootstrapper>,
         inputs: &[Ciphertext],
     ) -> Result<BatchRun<Ciphertext>, RunError> {
+        // Validate the whole batch up front so no evaluator clone or
+        // worker thread spawns for a malformed batch — the encrypted
+        // twin of `run_plain`'s padding check. The slot-layout check
+        // mirrors `CkksBackend::begin`, and a per-ciphertext trace dry
+        // run (microseconds each) fails with exactly the error the
+        // CKKS backend would otherwise hit mid-shard.
+        let ctx = pe.evaluator().context();
+        let slots = ctx.slots();
+        if !slots.is_multiple_of(pipe.dim()) {
+            return Err(RunError::SlotMismatch {
+                dim: pipe.dim(),
+                slots,
+            });
+        }
+        let max_level = ctx.max_level();
+        for ct in inputs {
+            let mut trace = TraceBackend::new(max_level, bootstrapper.is_some())
+                .with_start_level(ct.level().min(max_level));
+            pipe.run(&mut trace, ())?;
+        }
         self.run_sharded(
             inputs,
             || pe.clone(),
@@ -203,10 +224,12 @@ impl BatchRunner {
         let mut stats = Vec::with_capacity(inputs.len());
         if workers == 1 {
             // Sequential fast path: no spawn overhead, same code path
-            // the workers run.
-            let mut w = make_worker();
+            // (including panic containment) the workers run.
+            let mut w = catch_unwind(AssertUnwindSafe(&make_worker))
+                .map_err(|_| RunError::WorkerPanicked)?;
             for input in inputs {
-                let (o, s) = eval(&mut w, input)?;
+                let (o, s) = catch_unwind(AssertUnwindSafe(|| eval(&mut w, input)))
+                    .unwrap_or(Err(RunError::WorkerPanicked))?;
                 outputs.push(o);
                 stats.push(s);
             }
@@ -220,14 +243,21 @@ impl BatchRunner {
                                 let mut w = make_worker();
                                 shard
                                     .iter()
-                                    .map(|input| eval(&mut w, input))
+                                    .map(|input| {
+                                        catch_unwind(AssertUnwindSafe(|| eval(&mut w, input)))
+                                            .unwrap_or(Err(RunError::WorkerPanicked))
+                                    })
                                     .collect::<Result<Vec<_>, _>>()
                             })
                         })
                         .collect();
+                    // `catch_unwind` above contains per-input panics;
+                    // the join fallback catches the rest (a panicking
+                    // `make_worker`) so one poisoned shard surfaces as
+                    // a typed error instead of aborting the process.
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("batch worker panicked"))
+                        .map(|h| h.join().unwrap_or(Err(RunError::WorkerPanicked)))
                         .collect()
                 });
             for shard in shard_results {
@@ -388,5 +418,116 @@ mod tests {
         // Per-input stats mirror the single-input wrapper.
         let (_, solo) = pipe.eval_encrypted(&pe, None, &cts[0]);
         assert_eq!(run.stats[0].stage_levels, solo.stage_levels);
+    }
+
+    fn zero_stats() -> RunStats {
+        RunStats {
+            stage_levels: Vec::new(),
+            bootstraps: 0,
+            final_level: 0,
+            wall: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn batch_of_one_matches_single_eval() {
+        let pipe = mnist_scale_pipeline(206);
+        let inputs = batch_inputs(1);
+        let run = BatchRunner::new(4).run_plain(&pipe, &inputs).unwrap();
+        assert_eq!(run.threads, 1, "a 1-input batch collapses to one shard");
+        assert_eq!(run.outputs, vec![pipe.eval_plain(&inputs[0])]);
+        assert_eq!(run.stats.len(), 1);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_a_typed_error() {
+        // One poisoned input must not abort the process: both the
+        // sequential fast path and the threaded path contain the panic
+        // and hand the caller `WorkerPanicked`.
+        let inputs: Vec<usize> = (0..9).collect();
+        for threads in [1, 3] {
+            let err = BatchRunner::new(threads)
+                .run_sharded(
+                    &inputs,
+                    || (),
+                    |_, &i| {
+                        if i == 4 {
+                            panic!("poisoned input");
+                        }
+                        Ok((i, zero_stats()))
+                    },
+                )
+                .unwrap_err();
+            assert_eq!(err, RunError::WorkerPanicked, "{threads} thread(s)");
+        }
+    }
+
+    #[test]
+    fn error_in_a_middle_shard_propagates_and_discards_the_batch() {
+        // 9 inputs on 3 threads → shards [0..3), [3..6), [6..9); the
+        // failure sits in the middle shard, so the first shard's
+        // results exist and must be discarded.
+        let inputs: Vec<usize> = (0..9).collect();
+        let err = BatchRunner::new(3)
+            .run_sharded(
+                &inputs,
+                || (),
+                |_, &i| {
+                    if i == 4 {
+                        Err(RunError::EmptyPipeline)
+                    } else {
+                        Ok((i * 10, zero_stats()))
+                    }
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err, RunError::EmptyPipeline);
+    }
+
+    #[test]
+    fn malformed_encrypted_batch_fails_fast() {
+        let ctx = CkksParams::toy().build();
+        let mut rng = Rng64::new(207);
+        let keys = KeyChain::generate(&ctx, &mut rng);
+        let pe = smartpaf_ckks::PafEvaluator::new(Evaluator::new(&keys));
+
+        // A consumed ciphertext in the middle of the batch with no
+        // bootstrapper: the up-front trace rejects it with the exact
+        // error the CKKS backend would hit mid-shard.
+        let paf = CompositePaf::from_form(PafForm::F1G2);
+        let pipe = PipelineBuilder::new(&[8])
+            .affine(Linear::new(8, 8, &mut rng))
+            .paf_relu(&paf, 4.0)
+            .compile()
+            .fold_scales();
+        let mut cts: Vec<_> = (0..3)
+            .map(|i| {
+                let x = vec![i as f64 / 3.0; 8];
+                pe.evaluator()
+                    .encrypt_replicated(&pipe.pad_input(&x), &mut rng)
+            })
+            .collect();
+        cts[1].drop_to(1); // level 0: nothing left to rescale
+        let err = BatchRunner::new(2)
+            .run_encrypted(&pipe, &pe, None, &cts)
+            .unwrap_err();
+        assert!(
+            matches!(err, RunError::OutOfLevels { .. }),
+            "expected OutOfLevels, got {err:?}"
+        );
+
+        // A pipeline wider than the ring's slot count is rejected
+        // before any evaluator clone is made.
+        let wide = PipelineBuilder::new(&[1, 16, 16])
+            .affine(Flatten::new())
+            .compile();
+        let ct = pe.evaluator().encrypt_replicated(&vec![0.0; 128], &mut rng);
+        let err = BatchRunner::new(2)
+            .run_encrypted(&wide, &pe, None, &[ct])
+            .unwrap_err();
+        assert!(
+            matches!(err, RunError::SlotMismatch { dim: 256, .. }),
+            "expected SlotMismatch, got {err:?}"
+        );
     }
 }

@@ -87,6 +87,11 @@ pub enum RunError {
         /// Composites the caller supplied.
         got: usize,
     },
+    /// A batch worker panicked while evaluating an input. The panic is
+    /// contained by [`BatchRunner`](crate::BatchRunner) so a long-lived
+    /// serving process survives one poisoned input; results from the
+    /// rest of the batch are discarded.
+    WorkerPanicked,
 }
 
 impl fmt::Display for RunError {
@@ -138,6 +143,9 @@ impl fmt::Display for RunError {
                 f,
                 "form vector has {got} composite(s) but the pipeline has {expected} PAF slot(s)"
             ),
+            RunError::WorkerPanicked => {
+                f.write_str("a batch worker panicked; the batch was discarded")
+            }
         }
     }
 }
@@ -369,6 +377,10 @@ mod tests {
         assert_eq!(
             e.to_string(),
             "form vector has 1 composite(s) but the pipeline has 3 PAF slot(s)"
+        );
+        assert_eq!(
+            RunError::WorkerPanicked.to_string(),
+            "a batch worker panicked; the batch was discarded"
         );
     }
 }

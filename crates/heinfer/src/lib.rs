@@ -92,9 +92,11 @@ mod pipeline;
 #[cfg(test)]
 mod proptests;
 mod runner;
+pub mod serve;
 
 pub use backends::{CkksBackend, PlainBackend, StageTrace, TraceBackend, TraceReport};
 pub use batch::{BatchRun, BatchRunner};
 pub use exec::{InferenceBackend, PafOp, RunError, RunStats};
 pub use maxpool::pool_taps;
 pub use pipeline::{HePipeline, PipelineBuilder, Stage};
+pub use serve::{BatchService, ServeConfig, ServeError, ServeStats, Server, TenantId, Ticket};

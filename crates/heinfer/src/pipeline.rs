@@ -5,7 +5,7 @@ use crate::exec::RunError;
 use crate::maxpool::pool_taps;
 use smartpaf_ckks::DiagMatrix;
 use smartpaf_nn::{Layer, Mode};
-use smartpaf_polyfit::{CompositeEval, CompositePaf, PafForm};
+use smartpaf_polyfit::{CompositeEval, CompositePaf, PafForm, PafSlotKind};
 use smartpaf_tensor::Tensor;
 use std::sync::Arc;
 
@@ -500,6 +500,20 @@ impl HePipeline {
             .filter_map(|s| match s {
                 Stage::Affine { .. } => None,
                 Stage::PafRelu { paf, .. } | Stage::PafMax { paf, .. } => Some(paf.form()),
+            })
+            .collect()
+    }
+
+    /// What each PAF slot computes, in stage order — the input to
+    /// kind-aware candidate enumeration
+    /// ([`CompositePaf::candidate_forms_per_slot`]).
+    pub fn paf_slot_kinds(&self) -> Vec<PafSlotKind> {
+        self.stages
+            .iter()
+            .filter_map(|s| match s {
+                Stage::Affine { .. } => None,
+                Stage::PafRelu { .. } => Some(PafSlotKind::Relu),
+                Stage::PafMax { .. } => Some(PafSlotKind::MaxPool),
             })
             .collect()
     }

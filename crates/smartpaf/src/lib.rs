@@ -69,6 +69,7 @@ mod proptests;
 mod relu_reduce;
 mod replace;
 mod scheduler;
+pub mod serve;
 pub mod session;
 mod trainer;
 
@@ -84,6 +85,7 @@ pub use replace::{
     profile_slot, replace_all, replace_all_with, replace_slot, scale_static_scales,
 };
 pub use scheduler::{rank_forms_by_dry_run, EventKind, FormCost, Scheduler, TrainEvent};
+pub use serve::{serve_sessions, SessionCache};
 pub use session::{
     trace_modmuls, CompiledSession, FormId, Objective, Plan, PlanBudget, PlanReport,
     PlannedCandidate, Session, SessionBuilder, SessionError, VectorCost, SECONDS_PER_MODMUL,

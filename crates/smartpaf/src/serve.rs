@@ -1,0 +1,178 @@
+//! The per-tenant session cache gluing the Session API to the
+//! [`smartpaf_heinfer::serve`] front end.
+//!
+//! Planning and keygen are the expensive per-tenant steps (a trace
+//! search plus a full CKKS key chain); [`SessionCache`] pays them once
+//! per tenant — the first request builds the [`CompiledSession`]
+//! through a caller-supplied factory, every later request reuses it.
+//! The cache implements [`BatchService`], so
+//! [`serve_sessions`] is all it takes to stand up a serving front end
+//! over compiled sessions.
+
+use crate::session::{CompiledSession, SessionError};
+use smartpaf_heinfer::serve::{BatchService, ServeConfig, Server, TenantId};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Lazily built, permanently cached `CompiledSession` per tenant.
+///
+/// The factory maps a [`TenantId`] to a compiled session — typically
+/// `Session::builder(...).seed(tenant).plan()?.compile()` — and runs at
+/// most once per tenant for the cache's lifetime.
+pub struct SessionCache<F> {
+    build: F,
+    sessions: HashMap<TenantId, CompiledSession>,
+    hits: usize,
+    misses: usize,
+}
+
+impl<F> SessionCache<F>
+where
+    F: FnMut(TenantId) -> Result<CompiledSession, SessionError>,
+{
+    /// Creates an empty cache around the session factory.
+    pub fn new(build: F) -> Self {
+        SessionCache {
+            build,
+            sessions: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The tenant's session, building (plan + compile + keygen) on
+    /// first use.
+    pub fn session(&mut self, tenant: TenantId) -> Result<&mut CompiledSession, SessionError> {
+        match self.sessions.entry(tenant) {
+            Entry::Occupied(e) => {
+                self.hits += 1;
+                Ok(e.into_mut())
+            }
+            Entry::Vacant(v) => {
+                self.misses += 1;
+                Ok(v.insert((self.build)(tenant)?))
+            }
+        }
+    }
+
+    /// Pre-builds a tenant's session so its first request skips the
+    /// compile hit.
+    pub fn warm(&mut self, tenant: TenantId) -> Result<(), SessionError> {
+        self.session(tenant).map(|_| ())
+    }
+
+    /// Cache lookups answered by an already-built session.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Cache lookups that built a session (at most one per tenant; a
+    /// failed build counts and retries on the next lookup).
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Tenants with a built session.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True before any session was built.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}
+
+impl<F> BatchService for SessionCache<F>
+where
+    F: FnMut(TenantId) -> Result<CompiledSession, SessionError> + Send,
+{
+    type Error = SessionError;
+
+    fn run_batch(
+        &mut self,
+        tenant: TenantId,
+        inputs: &[Vec<f64>],
+    ) -> Result<Vec<Vec<f64>>, SessionError> {
+        self.session(tenant)?
+            .infer_batch(inputs)
+            .map(|run| run.outputs)
+    }
+}
+
+/// Stands up a serving front end over a session factory: the batcher
+/// thread owns a fresh [`SessionCache`] around `build`.
+pub fn serve_sessions<F>(build: F, config: ServeConfig) -> Server<SessionCache<F>>
+where
+    F: FnMut(TenantId) -> Result<CompiledSession, SessionError> + Send + 'static,
+{
+    Server::start(SessionCache::new(build), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use smartpaf_ckks::CkksParams;
+    use smartpaf_nn::Linear;
+    use smartpaf_tensor::Rng64;
+
+    fn toy_session(tenant: TenantId) -> Result<CompiledSession, SessionError> {
+        let mut rng = Rng64::new(tenant);
+        Session::builder(&[4])
+            .affine(Linear::new(4, 4, &mut rng))
+            .relu(2.0)
+            .params(CkksParams::toy())
+            .seed(tenant)
+            .plan()?
+            .compile()
+    }
+
+    #[test]
+    fn cache_builds_once_per_tenant() {
+        let mut cache = SessionCache::new(toy_session);
+        assert!(cache.is_empty());
+        let x = [0.4, -0.2, 0.8, -0.6];
+        let a = cache.run_batch(1, &[x.to_vec()]).unwrap();
+        let b = cache.run_batch(1, &[x.to_vec()]).unwrap();
+        let c = cache.run_batch(2, &[x.to_vec()]).unwrap();
+        assert_eq!(cache.misses(), 2, "two tenants, one build each");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        // Different tenants hold different keys and weights.
+        assert_ne!(a[0], c[0]);
+    }
+
+    #[test]
+    fn warm_prepays_the_compile() {
+        let mut cache = SessionCache::new(toy_session);
+        cache.warm(9).unwrap();
+        assert_eq!((cache.misses(), cache.hits()), (1, 0));
+        cache.run_batch(9, &[vec![0.1, 0.2, 0.3, 0.4]]).unwrap();
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+    }
+
+    #[test]
+    fn factory_errors_surface_as_session_errors() {
+        let mut cache = SessionCache::new(|_t| {
+            Session::builder(&[4])
+                .relu(1.0)
+                .params(CkksParams {
+                    depth: 3, // nothing fits 3 levels
+                    ..CkksParams::toy()
+                })
+                .plan()?
+                .compile()
+        });
+        let err = cache.run_batch(0, &[vec![0.0; 4]]).unwrap_err();
+        assert!(
+            matches!(err, SessionError::NoFeasibleForm { .. }),
+            "got {err:?}"
+        );
+        // The failed build is not cached; the next lookup retries.
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.misses(), 1);
+    }
+}

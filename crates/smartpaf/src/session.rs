@@ -480,7 +480,7 @@ impl SessionBuilder {
         if num_slots >= 2 && !matches!(objective, Objective::FixedForm(_)) {
             let per_slot: Vec<Vec<PafForm>> = match &candidate_list {
                 Some(c) => vec![c.clone(); num_slots],
-                None => CompositePaf::candidate_forms_per_slot(max_level, num_slots),
+                None => CompositePaf::candidate_forms_per_slot(max_level, &base.paf_slot_kinds()),
             };
             let mut current = select_chosen(&search.evaluated, &objective, best_fid);
             let mut improved = true;

@@ -1,0 +1,123 @@
+//! The serving layer end to end: N tenants × M requests through the
+//! bounded queue, dynamic same-tenant batcher, and per-tenant session
+//! cache — planning and keygen paid once per tenant, every answer
+//! checked against the tenant's plaintext reference.
+//!
+//! Run with: `cargo run -p smartpaf-examples --release --bin serve_demo`
+//! (set `SMARTPAF_SCALE=test` for the toy ring).
+
+use smartpaf::{serve_sessions, CompiledSession, Objective, Session, SessionError};
+use smartpaf_heinfer::serve::{ServeConfig, TenantId};
+use smartpaf_nn::Linear;
+use smartpaf_tensor::Rng64;
+use std::time::{Duration, Instant};
+
+const TENANTS: u64 = 3;
+const REQUESTS_PER_TENANT: usize = 4;
+
+/// Each tenant owns its own weights, plan, and CKKS key chain, all
+/// derived from the tenant id.
+fn tenant_session(tenant: TenantId) -> Result<CompiledSession, SessionError> {
+    let mut rng = Rng64::new(tenant.wrapping_add(40));
+    Session::builder(&[4])
+        .affine(Linear::new(4, 4, &mut rng))
+        .relu(2.0)
+        .affine(Linear::new(4, 4, &mut rng))
+        .relu(2.0)
+        .params(smartpaf_examples::scale_params())
+        .objective(Objective::MinBootstraps)
+        .seed(tenant.wrapping_add(40))
+        .plan()?
+        .compile()
+}
+
+fn request_input(tenant: TenantId, i: usize) -> Vec<f64> {
+    (0..4)
+        .map(|j| (((tenant as usize * 13 + i * 4 + j) * 7) % 19) as f64 / 9.5 - 1.0)
+        .collect()
+}
+
+fn main() {
+    println!("Serving demo: {TENANTS} tenants x {REQUESTS_PER_TENANT} requests each\n");
+    let config = ServeConfig {
+        queue_capacity: 32,
+        max_batch: 4,
+        batch_deadline: Duration::from_millis(2),
+    };
+    println!(
+        "queue capacity {}, batch cap {}, coalescing deadline {:?}",
+        config.queue_capacity, config.max_batch, config.batch_deadline
+    );
+    let server = serve_sessions(tenant_session, config);
+
+    smartpaf_examples::section("interleaved submissions");
+    // Round-robin the tenants so the batcher has to pull same-tenant
+    // requests past the other tenants' to fill a batch.
+    let start = Instant::now();
+    let mut tickets = Vec::new();
+    for i in 0..REQUESTS_PER_TENANT {
+        for tenant in 0..TENANTS {
+            let ticket = server
+                .submit(tenant, request_input(tenant, i))
+                .expect("queue sized for the demo");
+            tickets.push((tenant, i, ticket));
+        }
+    }
+    println!(
+        "submitted {} requests; queue depth {}",
+        tickets.len(),
+        server.queue_depth()
+    );
+
+    smartpaf_examples::section("answers vs plaintext reference");
+    let mut max_err = 0.0f64;
+    for (tenant, i, ticket) in tickets {
+        let out = ticket.wait().expect("request served");
+        let reference = tenant_session(tenant)
+            .expect("same factory compiles")
+            .infer_plain(&request_input(tenant, i))
+            .expect("valid input");
+        let err = out
+            .iter()
+            .zip(&reference)
+            .map(|(o, r)| (o - r).abs())
+            .fold(0.0f64, f64::max);
+        max_err = max_err.max(err);
+        if i == 0 {
+            println!("  tenant {tenant} request {i}: max |served - plain| = {err:.4}");
+        }
+    }
+    let wall = start.elapsed();
+    println!("  worst error across all requests: {max_err:.4}");
+
+    smartpaf_examples::section("serving stats");
+    let stats = server.shutdown();
+    println!(
+        "  served {}  failed {}  rejected {}  in {:.2?}  ({:.1} req/s)",
+        stats.served,
+        stats.failed,
+        stats.rejected,
+        wall,
+        stats.served as f64 / wall.as_secs_f64()
+    );
+    println!(
+        "  latency p50 {:.1} ms  p99 {:.1} ms  queue high-water {}",
+        stats.p50_ms(),
+        stats.p99_ms(),
+        stats.max_queue_depth
+    );
+    let fills: Vec<String> = stats
+        .batch_fill
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| **n > 0)
+        .map(|(fill, n)| format!("{n} x fill-{fill}"))
+        .collect();
+    println!(
+        "  {} batches (mean fill {:.2}): {}",
+        stats.batches,
+        stats.mean_fill(),
+        fills.join(", ")
+    );
+    println!("\ndone.");
+}

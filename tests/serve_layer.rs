@@ -1,0 +1,127 @@
+//! Cross-crate tests of the serving layer: the dynamic batcher
+//! coalescing queued same-tenant requests into `BatchRunner` batches
+//! with outputs bit-identical to sequential `infer` calls, graceful
+//! shutdown draining real sessions, and per-tenant isolation through
+//! the session cache.
+
+use smartpaf::{serve_sessions, CompiledSession, Objective, Session, SessionError};
+use smartpaf_ckks::CkksParams;
+use smartpaf_heinfer::serve::{ServeConfig, TenantId};
+use smartpaf_heinfer::BatchRunner;
+use smartpaf_nn::Linear;
+use smartpaf_tensor::Rng64;
+use std::time::Duration;
+
+/// A deep enough chain to force bootstraps (three ReLU blocks exceed
+/// the toy chain), compiled deterministically from the tenant id. The
+/// single-threaded runner keeps batched evaluation in input order, so
+/// the bootstrapper's RNG stream matches sequential inference draw for
+/// draw — the precondition for the bit-identical pin below.
+fn tenant_session(tenant: TenantId) -> Result<CompiledSession, SessionError> {
+    let mut rng = Rng64::new(tenant.wrapping_add(100));
+    let mut b = Session::builder(&[4])
+        .params(CkksParams::toy())
+        .objective(Objective::MinBootstraps)
+        .seed(tenant.wrapping_add(100));
+    for _ in 0..3 {
+        b = b.affine(Linear::new(4, 4, &mut rng)).relu(2.0);
+    }
+    let mut session = b.plan()?.compile()?;
+    session.set_batch_runner(BatchRunner::new(1));
+    Ok(session)
+}
+
+fn request_inputs(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| (0..4).map(|j| ((i * 4 + j) as f64 - 8.0) / 10.0).collect())
+        .collect()
+}
+
+fn burst_config(max_batch: usize) -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 32,
+        max_batch,
+        batch_deadline: Duration::ZERO,
+    }
+}
+
+#[test]
+fn coalesced_batches_are_bit_identical_to_sequential_inference() {
+    // The acceptance pin: N queued same-tenant requests execute in
+    // ≤ ceil(N/cap) BatchRunner calls, and every output is
+    // *bit-identical* to N sequential `infer` calls on an identically
+    // constructed session — the session's encryption RNG and the
+    // bootstrapper's refresh RNG are separate streams, each drawn in
+    // input order on both paths.
+    let n = 6;
+    let cap = 4;
+    let inputs = request_inputs(n);
+
+    let server = serve_sessions(tenant_session, burst_config(cap));
+    server.pause(); // stage the burst so coalescing is deterministic
+    let tickets: Vec<_> = inputs
+        .iter()
+        .map(|x| server.submit(5, x.clone()).expect("queue has room"))
+        .collect();
+    assert_eq!(server.queue_depth(), n);
+    server.resume();
+    let served: Vec<Vec<f64>> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("request served"))
+        .collect();
+    let stats = server.shutdown();
+
+    assert_eq!(stats.served, n);
+    assert!(
+        stats.batches <= n.div_ceil(cap),
+        "{n} requests under cap {cap} must coalesce into ≤ {} batches, ran {}",
+        n.div_ceil(cap),
+        stats.batches
+    );
+    assert_eq!(stats.batch_fill[cap], 1, "first batch fills to the cap");
+
+    let mut reference = tenant_session(5).expect("same factory compiles");
+    for (i, x) in inputs.iter().enumerate() {
+        let want = reference.infer(x).expect("sequential inference");
+        assert_eq!(
+            served[i], want,
+            "request {i}: served output must be bit-identical to sequential infer"
+        );
+    }
+}
+
+#[test]
+fn graceful_shutdown_drains_real_sessions() {
+    let server = serve_sessions(tenant_session, burst_config(8));
+    server.pause();
+    let tickets: Vec<_> = request_inputs(3)
+        .into_iter()
+        .map(|x| server.submit(2, x).expect("queue has room"))
+        .collect();
+    // Shutdown is called while everything still sits in the queue (the
+    // batcher is paused); the drain must answer all three.
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 3, "shutdown drains queued requests");
+    for t in tickets {
+        t.wait().expect("drained request carries its output");
+    }
+}
+
+#[test]
+fn tenants_are_isolated_through_the_session_cache() {
+    let server = serve_sessions(tenant_session, burst_config(4));
+    let x = vec![0.3, -0.1, 0.5, -0.7];
+    let a = server.submit(1, x.clone()).unwrap().wait().unwrap();
+    let b = server.submit(2, x.clone()).unwrap().wait().unwrap();
+    let a2 = server.submit(1, x.clone()).unwrap().wait().unwrap();
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 3);
+    assert_ne!(a, b, "different tenants hold different weights and keys");
+
+    // Tenant 1's second request rode the *cached* session, so it
+    // continues that session's RNG stream — byte-for-byte the same as
+    // a reference session serving the same two requests in order.
+    let mut reference = tenant_session(1).unwrap();
+    assert_eq!(a, reference.infer(&x).unwrap());
+    assert_eq!(a2, reference.infer(&x).unwrap());
+}
