@@ -1,0 +1,121 @@
+//! Criterion benchmark: what a shipped plan artifact buys.
+//!
+//! Three ways to obtain a servable [`Plan`] for the same model, worst
+//! to best amortisation:
+//!
+//! - `cold_plan` — the full trace-priced search (uniform pass +
+//!   greedy sweeps + beam refinement);
+//! - `warm_plan` — the search seeded from a registry neighbour's
+//!   chosen vector via [`SessionBuilder::registry`] (same structure,
+//!   different weights), skipping the uniform pass;
+//! - `load_plan` — [`PlanRegistry::load_plan`] on an exact artifact:
+//!   no search at all, one validation re-trace.
+//!
+//! Plus the registry round trip itself (`save_plan`, and
+//! `save+load`). Group metadata records slots and dry runs spent, so
+//! the JSON report (`BENCH_registry.json` via the criterion-shim
+//! hook) is self-describing; CI's `registry-smoke` job uploads it as
+//! a workflow artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smartpaf::{Objective, PlanRegistry, Session, SessionBuilder};
+use smartpaf_ckks::CkksParams;
+use smartpaf_nn::Linear;
+use smartpaf_tensor::Rng64;
+
+const SLOTS: usize = 3;
+
+/// `SLOTS` affine→ReLU blocks over a flat 8-vector on the toy ring;
+/// `layer_seed` varies the weights without changing the structure.
+fn blocks_builder(layer_seed: u64) -> SessionBuilder {
+    let mut rng = Rng64::new(layer_seed);
+    let mut b = Session::builder(&[8])
+        .params(CkksParams::toy())
+        .objective(Objective::MinBootstraps)
+        .seed(layer_seed);
+    for _ in 0..SLOTS {
+        b = b.affine(Linear::new(8, 8, &mut rng)).relu(4.0);
+    }
+    b
+}
+
+fn registry_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "smartpaf-bench-registry-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_registry");
+    group.sample_size(10);
+    group.meta("slots", SLOTS);
+
+    // Cold baseline: the full search, no registry anywhere.
+    let cold = blocks_builder(1).plan().expect("cold plan");
+    group.meta("cold_dry_runs", cold.dry_runs_used());
+    group.bench_function("cold_plan", |b| {
+        b.iter(|| {
+            let plan = blocks_builder(1).plan().expect("cold plan");
+            std::hint::black_box(plan.dry_runs_used())
+        })
+    });
+
+    // Warm start: the registry holds a neighbour (same structure,
+    // different weights), so planning skips the uniform pass.
+    let warm_reg = PlanRegistry::open(registry_dir("warm")).expect("open");
+    warm_reg.save_plan(&cold).expect("publish neighbour");
+    let warm = blocks_builder(2)
+        .registry(&warm_reg)
+        .plan()
+        .expect("warm plan");
+    group.meta("warm_dry_runs", warm.dry_runs_used());
+    assert!(
+        warm.dry_runs_used() < cold.dry_runs_used(),
+        "warm start must spend strictly fewer dry runs ({} vs {})",
+        warm.dry_runs_used(),
+        cold.dry_runs_used()
+    );
+    group.bench_function("warm_plan", |b| {
+        b.iter(|| {
+            let plan = blocks_builder(2)
+                .registry(&warm_reg)
+                .plan()
+                .expect("warm plan");
+            std::hint::black_box(plan.dry_runs_used())
+        })
+    });
+
+    // Exact-artifact load: zero planning, one validation re-trace.
+    let load_reg = PlanRegistry::open(registry_dir("load")).expect("open");
+    load_reg.save_plan(&cold).expect("publish exact");
+    group.bench_function("load_plan", |b| {
+        b.iter(|| {
+            let plan = load_reg.load_plan(blocks_builder(1)).expect("load plan");
+            std::hint::black_box(plan.dry_runs_used())
+        })
+    });
+
+    // The round trip itself: serialize + fsync-free write, and the
+    // full save→load cycle.
+    group.bench_function("save_plan", |b| {
+        b.iter(|| std::hint::black_box(load_reg.save_plan(&cold).expect("save")))
+    });
+    group.bench_function("save_load_round_trip", |b| {
+        b.iter(|| {
+            load_reg.save_plan(&cold).expect("save");
+            let plan = load_reg.load_plan(blocks_builder(1)).expect("load");
+            std::hint::black_box(plan.dry_runs_used())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().json_output("BENCH_registry.json");
+    targets = bench_registry
+}
+criterion_main!(benches);

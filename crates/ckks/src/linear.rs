@@ -110,6 +110,14 @@ impl DiagMatrix {
         self.diags.len()
     }
 
+    /// The stored generalized diagonals as `(offset, entries)` pairs in
+    /// ascending offset order. Deterministic (the storage is a
+    /// `BTreeMap`), which is what lets content digests of probed
+    /// matrices be stable across processes.
+    pub fn diagonals(&self) -> impl Iterator<Item = (usize, &[f64])> {
+        self.diags.iter().map(|(&d, v)| (d, v.as_slice()))
+    }
+
     /// Plaintext reference product on a padded vector.
     ///
     /// # Panics

@@ -9,11 +9,12 @@
 
 use crate::modular::ntt_primes;
 use crate::rns::CkksContext;
+use serde::{Deserialize, Error, Serialize, Value};
 use std::sync::Arc;
 
 /// A CKKS parameter preset: ring dimension, modulus chain layout and
 /// encoding scale.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CkksParams {
     /// Ring dimension (power of two).
     pub n: usize,
@@ -90,9 +91,62 @@ impl CkksParams {
     }
 }
 
+impl Serialize for CkksParams {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("n", self.n.serialize()),
+            ("base_prime_bits", self.base_prime_bits.serialize()),
+            ("scale_prime_bits", self.scale_prime_bits.serialize()),
+            ("depth", self.depth.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for CkksParams {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let params = CkksParams {
+            n: usize::deserialize(value.req("n")?)?,
+            base_prime_bits: u32::deserialize(value.req("base_prime_bits")?)?,
+            scale_prime_bits: u32::deserialize(value.req("scale_prime_bits")?)?,
+            depth: usize::deserialize(value.req("depth")?)?,
+        };
+        // The same conditions `build()` would panic on, reported as
+        // parse errors so a corrupt artifact cannot take the process
+        // down later.
+        if !params.n.is_power_of_two() || params.n < 8 {
+            return Err(Error::custom(format!(
+                "ring dimension {} is not a power of two >= 8",
+                params.n
+            )));
+        }
+        if params.base_prime_bits > 62 || params.scale_prime_bits > 62 {
+            return Err(Error::custom("prime sizes above 62 bits are unsupported"));
+        }
+        Ok(params)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serde_round_trip_and_validation() {
+        let p = CkksParams::toy();
+        let text = serde::json::to_string(&p.serialize());
+        assert_eq!(
+            CkksParams::deserialize(&serde::json::from_str(&text).unwrap()).unwrap(),
+            p
+        );
+        for bad in [
+            r#"{"n":300,"base_prime_bits":60,"scale_prime_bits":40,"depth":12}"#,
+            r#"{"n":256,"base_prime_bits":63,"scale_prime_bits":40,"depth":12}"#,
+            r#"{"n":256,"base_prime_bits":60,"depth":12}"#,
+        ] {
+            let v = serde::json::from_str(bad).unwrap();
+            assert!(CkksParams::deserialize(&v).is_err(), "{bad}");
+        }
+    }
 
     #[test]
     fn toy_builds() {

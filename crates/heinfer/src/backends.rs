@@ -12,6 +12,7 @@
 
 use crate::exec::{InferenceBackend, PafOp, RunError, RunStats};
 use crate::pipeline::HePipeline;
+use serde::{Deserialize, Error, Serialize, Value};
 use smartpaf_ckks::{Bootstrapper, Ciphertext, DiagMatrix, PafEvaluator};
 
 /// The batched plaintext backend: the activation is a padded `f64`
@@ -318,6 +319,48 @@ impl TraceReport {
     /// of a per-slot form vector.
     pub fn paf_slots(&self) -> Vec<&StageTrace> {
         self.stages.iter().filter(|s| s.slot.is_some()).collect()
+    }
+}
+
+impl Serialize for StageTrace {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("label", self.label.serialize()),
+            ("slot", self.slot.serialize()),
+            ("levels", self.levels.serialize()),
+            ("bootstraps", self.bootstraps.serialize()),
+            ("ct_mults", self.ct_mults.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for StageTrace {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(StageTrace {
+            label: String::deserialize(value.req("label")?)?,
+            slot: Option::<usize>::deserialize(value.req("slot")?)?,
+            levels: usize::deserialize(value.req("levels")?)?,
+            bootstraps: usize::deserialize(value.req("bootstraps")?)?,
+            ct_mults: usize::deserialize(value.req("ct_mults")?)?,
+        })
+    }
+}
+
+impl Serialize for TraceReport {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("stages", self.stages.serialize()),
+            ("final_level", self.final_level.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for TraceReport {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(TraceReport {
+            stages: Vec::<StageTrace>::deserialize(value.req("stages")?)?,
+            final_level: usize::deserialize(value.req("final_level")?)?,
+        })
     }
 }
 

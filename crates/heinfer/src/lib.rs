@@ -86,6 +86,7 @@
 
 mod backends;
 mod batch;
+mod describe;
 mod exec;
 mod maxpool;
 mod pipeline;
@@ -96,6 +97,7 @@ pub mod serve;
 
 pub use backends::{CkksBackend, PlainBackend, StageTrace, TraceBackend, TraceReport};
 pub use batch::{BatchRun, BatchRunner};
+pub use describe::{fnv1a_64, PipelineDesc, StageDesc};
 pub use exec::{InferenceBackend, PafOp, RunError, RunStats};
 pub use maxpool::pool_taps;
 pub use pipeline::{HePipeline, PipelineBuilder, Stage};

@@ -238,6 +238,13 @@ impl CompositePaf {
         self.form
     }
 
+    /// Restores the form tag on a composite rebuilt from explicit
+    /// stages (deserialization reconstructs via [`CompositePaf::new`],
+    /// which cannot know the provenance of its stages).
+    pub(crate) fn set_form(&mut self, form: Option<PafForm>) {
+        self.form = form;
+    }
+
     /// The stages, applied first-to-last.
     pub fn stages(&self) -> &[Polynomial] {
         &self.stages

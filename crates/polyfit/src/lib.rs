@@ -33,6 +33,7 @@ pub mod polyeval;
 mod ps;
 mod remez;
 pub mod search;
+mod serde_impls;
 
 pub use alpha::{alpha_composite, AlphaComposite};
 pub use bounds::{

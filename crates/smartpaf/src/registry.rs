@@ -1,0 +1,752 @@
+//! The content-addressed plan registry: ship a planning outcome as a
+//! JSON artifact, load it elsewhere, serve bit-identically.
+//!
+//! Planning is the expensive deterministic half of a deployment (a
+//! trace-priced search over form vectors); keys and weights are the
+//! cheap-to-rederive, never-shipped half. A [`PlanRegistry`] persists
+//! exactly the first: [`PlanRegistry::save_plan`] writes a versioned
+//! JSON envelope whose filename is a *content address* — a stable
+//! [`fnv1a_64`] hash over the probed model description, the CKKS
+//! parameters, the objective, the [`PlanBudget`], and the candidate
+//! form list. [`PlanRegistry::load_plan`] recomputes that address from
+//! the caller's own [`SessionBuilder`], so an artifact can never be
+//! applied to a model it was not planned for; the loaded plan is
+//! validated by a single re-trace and compiles to a session that
+//! serves bit-identically to a freshly planned one (same builder
+//! seed ⇒ same keys ⇒ same ciphertext arithmetic).
+//!
+//! Two lookup granularities:
+//!
+//! - **Exact** ([`PlanRegistry::load_plan`]): content address matches,
+//!   no planning at all — [`Plan::dry_runs_used`] is 0 and the single
+//!   validation re-trace is the only trace spent.
+//! - **Neighbour** ([`SessionBuilder::registry`]): no exact artifact
+//!   needed; planning *warm-starts* from a stored neighbour's chosen
+//!   form vector instead of the uniform pass, spending strictly fewer
+//!   dry runs than a cold search whenever the neighbour's vector is
+//!   feasible.
+//!
+//! On-disk format, field-by-field schema, and compatibility rules are
+//! specified in `docs/ARTIFACT_FORMAT.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use smartpaf::{PlanRegistry, Session};
+//! use smartpaf_ckks::CkksParams;
+//! use smartpaf_nn::Linear;
+//! use smartpaf_tensor::Rng64;
+//!
+//! let dir = std::env::temp_dir().join("smartpaf-registry-mod-doc");
+//! let registry = PlanRegistry::open(&dir).unwrap();
+//!
+//! // One process plans and publishes…
+//! let build = || {
+//!     let mut rng = Rng64::new(3);
+//!     Session::builder(&[4])
+//!         .affine(Linear::new(4, 4, &mut rng))
+//!         .relu(2.0)
+//!         .params(CkksParams::toy())
+//!         .seed(11)
+//! };
+//! let key = registry.save_plan(&build().plan().unwrap()).unwrap();
+//!
+//! // …another (here: the same) loads without planning and serves.
+//! let plan = registry.load_plan(build()).unwrap();
+//! assert_eq!(plan.dry_runs_used(), 0);
+//! let mut session = plan.compile().unwrap();
+//! let out = session.infer(&[0.5, -0.5, 0.25, -0.25]).unwrap();
+//! assert_eq!(out.len(), 4);
+//! assert_eq!(registry.list().unwrap()[0].content_key, key);
+//! ```
+
+use crate::session::{Plan, PlanBudget, PlannedCandidate, SessionBuilder, SessionError};
+use serde::{json, Deserialize, Serialize, Value};
+use smartpaf_ckks::CkksParams;
+use smartpaf_heinfer::{fnv1a_64, PipelineDesc};
+use smartpaf_polyfit::{CompositePaf, PafForm};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::session::Objective;
+
+/// Version of the on-disk envelope this build reads and writes.
+/// Bumped on any breaking schema change; readers reject other versions
+/// with [`RegistryError::VersionMismatch`] instead of guessing.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The envelope's `format` marker, so arbitrary JSON is rejected
+/// before any field is interpreted.
+const FORMAT_MARKER: &str = "smartpaf-plan";
+
+/// Typed failure of a registry operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The filesystem said no (permissions, missing directory, …).
+    Io {
+        /// The path the operation touched.
+        path: PathBuf,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
+    /// The file is not a well-formed plan artifact (broken JSON, a
+    /// missing field, a wrong `format` marker).
+    Parse {
+        /// The offending file.
+        path: PathBuf,
+        /// What failed to parse.
+        message: String,
+    },
+    /// The artifact's `format_version` is one this build does not
+    /// read.
+    VersionMismatch {
+        /// The version stored in the artifact.
+        found: u64,
+        /// The version this build supports ([`FORMAT_VERSION`]).
+        supported: u32,
+    },
+    /// No artifact exists for the model's content address.
+    NotFound {
+        /// The content key derived from the caller's builder.
+        key: String,
+    },
+    /// The artifact parsed but contradicts itself or the model it is
+    /// addressed to (stale hash, edited fields, trace mismatch).
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// The contradiction found.
+        message: String,
+    },
+    /// Probing the caller's builder failed before the registry was
+    /// ever consulted.
+    Session(SessionError),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io { path, message } => {
+                write!(f, "registry I/O error at {}: {message}", path.display())
+            }
+            RegistryError::Parse { path, message } => {
+                write!(f, "malformed plan artifact {}: {message}", path.display())
+            }
+            RegistryError::VersionMismatch { found, supported } => write!(
+                f,
+                "plan artifact format v{found} unsupported (this build reads v{supported})"
+            ),
+            RegistryError::NotFound { key } => {
+                write!(f, "no plan artifact for content key {key}")
+            }
+            RegistryError::Corrupt { path, message } => {
+                write!(f, "corrupt plan artifact {}: {message}", path.display())
+            }
+            RegistryError::Session(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Session(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SessionError> for RegistryError {
+    fn from(e: SessionError) -> Self {
+        RegistryError::Session(e)
+    }
+}
+
+/// One registry entry as [`PlanRegistry::list`] reports it — enough to
+/// pick artifacts without re-parsing full envelopes by hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactInfo {
+    /// The content address (also the filename stem).
+    pub content_key: String,
+    /// The model-only address (model description + CKKS parameters,
+    /// ignoring objective/budget/candidates) — what groups artifacts
+    /// of the same deployment planned under different knobs.
+    pub model_key: String,
+    /// Where the artifact lives.
+    pub path: PathBuf,
+    /// The stored plan's chosen form vector, one form per PAF slot.
+    pub chosen_forms: Vec<PafForm>,
+    /// Dry runs the original search spent producing the plan.
+    pub dry_runs: usize,
+}
+
+/// A content-addressed, directory-backed store of planning outcomes.
+/// See the [module docs](self) for the deployment story and
+/// `docs/ARTIFACT_FORMAT.md` for the wire format.
+#[derive(Debug, Clone)]
+pub struct PlanRegistry {
+    root: PathBuf,
+}
+
+impl PlanRegistry {
+    /// Opens (creating if needed) a registry rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> Result<PlanRegistry, RegistryError> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root).map_err(|e| RegistryError::Io {
+            path: root.clone(),
+            message: e.to_string(),
+        })?;
+        Ok(PlanRegistry { root })
+    }
+
+    /// The registry's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn artifact_path(&self, key: &str) -> PathBuf {
+        self.root.join(format!("{key}.json"))
+    }
+
+    /// Persists a plan under its content address and returns the key.
+    /// Saving the same plan (or any plan of the same planning inputs)
+    /// twice overwrites the same file — the registry is a cache, and
+    /// identical inputs produce identical plans.
+    pub fn save_plan(&self, plan: &Plan) -> Result<String, RegistryError> {
+        let desc = plan.pipeline().describe();
+        let key = content_key(
+            &desc,
+            plan.params(),
+            &plan.objective(),
+            &plan.budget(),
+            plan.candidate_forms(),
+        );
+        let envelope = Value::object([
+            ("format", FORMAT_MARKER.serialize()),
+            ("format_version", u64::from(FORMAT_VERSION).serialize()),
+            ("content_key", key.serialize()),
+            ("model_key", model_key(&desc, plan.params()).serialize()),
+            ("pipeline", desc.serialize()),
+            ("plan", plan.serialize()),
+        ]);
+        let path = self.artifact_path(&key);
+        let tmp = self.root.join(format!("{key}.json.tmp"));
+        let io_err = |p: &Path, e: io::Error| RegistryError::Io {
+            path: p.to_path_buf(),
+            message: e.to_string(),
+        };
+        let mut text = json::to_string_pretty(&envelope);
+        text.push('\n');
+        fs::write(&tmp, text).map_err(|e| io_err(&tmp, e))?;
+        fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        Ok(key)
+    }
+
+    /// Loads the artifact matching the builder's content address,
+    /// validates it, and returns a ready-to-compile [`Plan`] without
+    /// running the planner ([`Plan::dry_runs_used`] is 0).
+    ///
+    /// The builder is probed exactly as [`SessionBuilder::plan`] would
+    /// (that probe is what the content address covers), the stored
+    /// composites are installed, and one validation re-trace checks
+    /// the artifact's recorded schedule against the model. Compiling
+    /// the result serves bit-identically to a freshly planned session
+    /// with the same builder seed.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotFound`] when no artifact matches;
+    /// [`RegistryError::Parse`] / [`RegistryError::VersionMismatch`] /
+    /// [`RegistryError::Corrupt`] when one does but cannot be trusted;
+    /// [`RegistryError::Session`] when the builder itself cannot be
+    /// probed.
+    pub fn load_plan(&self, builder: SessionBuilder) -> Result<Plan, RegistryError> {
+        let probed = builder.probe()?;
+        let desc = probed.base.describe();
+        let key = content_key(
+            &desc,
+            &probed.params,
+            &probed.objective,
+            &probed.budget,
+            &probed.forms,
+        );
+        let path = self.artifact_path(&key);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(RegistryError::NotFound { key })
+            }
+            Err(e) => {
+                return Err(RegistryError::Io {
+                    path,
+                    message: e.to_string(),
+                })
+            }
+        };
+        let envelope = parse_envelope(&path, &text)?;
+        let stored_key: String = field(&path, &envelope, "content_key")?;
+        if stored_key != key {
+            return Err(corrupt(
+                &path,
+                format!("stored content key {stored_key} does not match the model's {key}"),
+            ));
+        }
+        let body = envelope
+            .req("plan")
+            .map_err(|e| parse(&path, e.to_string()))?;
+        let params: CkksParams = field(&path, body, "params")?;
+        let objective: Objective = field(&path, body, "objective")?;
+        let budget: PlanBudget = field(&path, body, "budget")?;
+        let candidate_forms: Vec<PafForm> = field(&path, body, "candidate_forms")?;
+        let candidates: Vec<PlannedCandidate> = field(&path, body, "candidates")?;
+        let chosen: usize = field(&path, body, "chosen")?;
+        let composites: Vec<CompositePaf> = field(&path, body, "chosen_composites")?;
+        let skipped: Vec<PafForm> = field(&path, body, "skipped")?;
+
+        // The content key covers all four planning inputs, so any
+        // disagreement means the envelope was edited after hashing.
+        if params != probed.params
+            || objective != probed.objective
+            || budget != probed.budget
+            || candidate_forms != probed.forms
+        {
+            return Err(corrupt(
+                &path,
+                "planning inputs disagree with the content address".to_string(),
+            ));
+        }
+        if chosen >= candidates.len() {
+            return Err(corrupt(
+                &path,
+                format!(
+                    "chosen index {chosen} out of range ({} candidates)",
+                    candidates.len()
+                ),
+            ));
+        }
+        let chosen_cand = &candidates[chosen];
+        if composites.len() != chosen_cand.forms.len() {
+            return Err(corrupt(
+                &path,
+                format!(
+                    "{} stored composites for {} chosen slots",
+                    composites.len(),
+                    chosen_cand.forms.len()
+                ),
+            ));
+        }
+        for (i, (c, f)) in composites.iter().zip(&chosen_cand.forms).enumerate() {
+            if c.form() != Some(*f) {
+                return Err(corrupt(
+                    &path,
+                    format!("slot {i} composite is not tagged with the chosen form {f}"),
+                ));
+            }
+        }
+
+        // Rebuild and validate: the stored schedule must replay on the
+        // freshly probed model, trace for trace.
+        let pipeline = probed.base.try_with_pafs(&composites).map_err(|e| {
+            corrupt(
+                &path,
+                format!("stored composites do not fit the model: {e}"),
+            )
+        })?;
+        let (trace, _) = pipeline
+            .dry_run(probed.params.depth, true)
+            .map_err(|e| corrupt(&path, format!("stored plan no longer traces: {e}")))?;
+        if trace != chosen_cand.trace {
+            return Err(corrupt(
+                &path,
+                "stored trace does not match a re-trace of the model".to_string(),
+            ));
+        }
+        Ok(Plan::assemble(
+            pipeline,
+            chosen,
+            candidates,
+            candidate_forms,
+            skipped,
+            params,
+            probed.objective,
+            budget,
+            0,
+            probed.seed,
+        ))
+    }
+
+    /// Every readable artifact in the registry, sorted by content key.
+    /// Files that are not well-formed plan artifacts are skipped (the
+    /// registry is a cache; listing stays usable next to a corrupt
+    /// entry — loading one reports the corruption instead).
+    pub fn list(&self) -> Result<Vec<ArtifactInfo>, RegistryError> {
+        let entries = fs::read_dir(&self.root).map_err(|e| RegistryError::Io {
+            path: self.root.clone(),
+            message: e.to_string(),
+        })?;
+        let mut infos = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| RegistryError::Io {
+                path: self.root.clone(),
+                message: e.to_string(),
+            })?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            let Ok(envelope) = parse_envelope(&path, &text) else {
+                continue;
+            };
+            let Some(info) = artifact_info(&path, &envelope) else {
+                continue;
+            };
+            infos.push(info);
+        }
+        infos.sort_by(|a, b| a.content_key.cmp(&b.content_key));
+        Ok(infos)
+    }
+
+    /// A warm-start seed for planning `desc` under `params`: the
+    /// chosen form vector of a stored neighbour whose every slot form
+    /// is feasible here. Same-model artifacts (matching model key) are
+    /// preferred over merely structure-compatible ones; ties break on
+    /// content key, so the pick is deterministic. `None` when nothing
+    /// fits (including any registry I/O trouble — warm starts are
+    /// best-effort and must never fail a plan).
+    pub(crate) fn find_seed(
+        &self,
+        desc: &PipelineDesc,
+        params: &CkksParams,
+        per_slot: &[Vec<PafForm>],
+    ) -> Option<Vec<PafForm>> {
+        let mk = model_key(desc, params);
+        let mut fits: Vec<(bool, ArtifactInfo)> = self
+            .list()
+            .ok()?
+            .into_iter()
+            .filter(|info| {
+                info.chosen_forms.len() == per_slot.len()
+                    && info
+                        .chosen_forms
+                        .iter()
+                        .zip(per_slot)
+                        .all(|(f, slot_forms)| slot_forms.contains(f))
+            })
+            .map(|info| (info.model_key != mk, info))
+            .collect();
+        fits.sort_by(|a, b| (a.0, &a.1.content_key).cmp(&(b.0, &b.1.content_key)));
+        fits.into_iter().next().map(|(_, info)| info.chosen_forms)
+    }
+}
+
+/// The content address: a stable hash over everything planning depends
+/// on — the form-independent model description, the CKKS parameters,
+/// the objective, the budget, and the candidate form list. The serving
+/// seed is deliberately excluded (it affects keys, never the plan).
+fn content_key(
+    desc: &PipelineDesc,
+    params: &CkksParams,
+    objective: &Objective,
+    budget: &PlanBudget,
+    candidate_forms: &[PafForm],
+) -> String {
+    let v = Value::object([
+        ("pipeline", desc.serialize()),
+        ("params", params.serialize()),
+        ("objective", objective.serialize()),
+        ("budget", budget.serialize()),
+        (
+            "candidate_forms",
+            Value::Array(candidate_forms.iter().map(Serialize::serialize).collect()),
+        ),
+    ]);
+    format!("{:016x}", fnv1a_64(json::to_string(&v).as_bytes()))
+}
+
+/// The model-only address (description + parameters), grouping
+/// artifacts of one deployment across objectives, budgets, and
+/// candidate sets — the warm-start neighbourhood.
+fn model_key(desc: &PipelineDesc, params: &CkksParams) -> String {
+    let v = Value::object([
+        ("pipeline", desc.serialize()),
+        ("params", params.serialize()),
+    ]);
+    format!("{:016x}", fnv1a_64(json::to_string(&v).as_bytes()))
+}
+
+fn parse(path: &Path, message: String) -> RegistryError {
+    RegistryError::Parse {
+        path: path.to_path_buf(),
+        message,
+    }
+}
+
+fn corrupt(path: &Path, message: String) -> RegistryError {
+    RegistryError::Corrupt {
+        path: path.to_path_buf(),
+        message,
+    }
+}
+
+/// Parses and vets the envelope: well-formed JSON, the
+/// [`FORMAT_MARKER`], and a supported [`FORMAT_VERSION`].
+fn parse_envelope(path: &Path, text: &str) -> Result<Value, RegistryError> {
+    let v = json::from_str(text).map_err(|e| parse(path, e.to_string()))?;
+    let marker: String = field(path, &v, "format")?;
+    if marker != FORMAT_MARKER {
+        return Err(parse(
+            path,
+            format!("not a smartpaf plan artifact (format `{marker}`)"),
+        ));
+    }
+    let version: u64 = field(path, &v, "format_version")?;
+    if version != u64::from(FORMAT_VERSION) {
+        return Err(RegistryError::VersionMismatch {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    Ok(v)
+}
+
+/// One typed field off an envelope object, with parse errors carrying
+/// the artifact path.
+fn field<T: Deserialize>(path: &Path, value: &Value, name: &str) -> Result<T, RegistryError> {
+    value
+        .req(name)
+        .and_then(T::deserialize)
+        .map_err(|e| parse(path, e.to_string()))
+}
+
+/// The listing row of a vetted envelope; `None` when the body is not
+/// shaped like a plan (such files are skipped by [`PlanRegistry::list`]).
+fn artifact_info(path: &Path, envelope: &Value) -> Option<ArtifactInfo> {
+    let content_key = String::deserialize(envelope.req("content_key").ok()?).ok()?;
+    let model_key = String::deserialize(envelope.req("model_key").ok()?).ok()?;
+    let body = envelope.req("plan").ok()?;
+    let chosen = usize::deserialize(body.req("chosen").ok()?).ok()?;
+    let candidates = body.req("candidates").ok()?.as_array()?;
+    let chosen_forms =
+        Vec::<PafForm>::deserialize(candidates.get(chosen)?.req("forms").ok()?).ok()?;
+    let dry_runs = usize::deserialize(body.req("dry_runs").ok()?).ok()?;
+    Some(ArtifactInfo {
+        content_key,
+        model_key,
+        path: path.to_path_buf(),
+        chosen_forms,
+        dry_runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use smartpaf_nn::Linear;
+    use smartpaf_tensor::Rng64;
+
+    /// A fresh per-test registry directory under the system temp dir.
+    fn test_registry(name: &str) -> PlanRegistry {
+        let dir =
+            std::env::temp_dir().join(format!("smartpaf-registry-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        PlanRegistry::open(dir).expect("temp registry opens")
+    }
+
+    /// `blocks` affine→ReLU blocks over a flat 4-vector on the toy ring.
+    fn builder(blocks: usize, layer_seed: u64) -> SessionBuilder {
+        let mut rng = Rng64::new(layer_seed);
+        let mut b = Session::builder(&[4]).params(CkksParams::toy());
+        for _ in 0..blocks {
+            b = b.affine(Linear::new(4, 4, &mut rng)).relu(2.0);
+        }
+        b
+    }
+
+    #[test]
+    fn save_load_round_trips_the_plan() {
+        let reg = test_registry("round-trip");
+        let plan = builder(2, 5).plan().expect("plannable");
+        let key = reg.save_plan(&plan).expect("saves");
+        let loaded = reg.load_plan(builder(2, 5)).expect("loads");
+        assert_eq!(loaded.chosen_forms(), plan.chosen_forms());
+        assert_eq!(loaded.chosen(), plan.chosen());
+        assert_eq!(loaded.candidates(), plan.candidates());
+        assert_eq!(loaded.frontier_indices(), plan.frontier_indices());
+        assert_eq!(loaded.skipped_forms(), plan.skipped_forms());
+        assert_eq!(loaded.candidate_forms(), plan.candidate_forms());
+        assert_eq!(loaded.dry_runs_used(), 0, "loading spends no search");
+        assert!(plan.dry_runs_used() > 0);
+        // The artifact is listed under its content key.
+        let infos = reg.list().expect("lists");
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].content_key, key);
+        assert_eq!(infos[0].chosen_forms, plan.chosen_forms());
+        assert_eq!(infos[0].dry_runs, plan.dry_runs_used());
+    }
+
+    #[test]
+    fn content_address_separates_planning_inputs() {
+        let reg = test_registry("addressing");
+        let a = builder(1, 5).plan().expect("plannable");
+        let key_a = reg.save_plan(&a).expect("saves");
+        // Different weights → different model → different key.
+        let b = builder(1, 6).plan().expect("plannable");
+        let key_b = reg.save_plan(&b).expect("saves");
+        assert_ne!(key_a, key_b);
+        // Different budget → different key, same model.
+        let c = builder(1, 5)
+            .budget(PlanBudget::uniform())
+            .plan()
+            .expect("plannable");
+        let key_c = reg.save_plan(&c).expect("saves");
+        assert_ne!(key_a, key_c);
+        // The serving seed is *not* part of the address.
+        let d = builder(1, 5).seed(999).plan().expect("plannable");
+        let key_d = reg.save_plan(&d).expect("saves");
+        assert_eq!(key_a, key_d);
+        assert_eq!(reg.list().expect("lists").len(), 3);
+    }
+
+    #[test]
+    fn loading_a_missing_artifact_is_not_found() {
+        let reg = test_registry("missing");
+        let err = reg.load_plan(builder(1, 5)).expect_err("nothing saved");
+        assert!(matches!(err, RegistryError::NotFound { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn malformed_and_foreign_envelopes_are_parse_errors() {
+        let reg = test_registry("malformed");
+        let plan = builder(1, 5).plan().expect("plannable");
+        let key = reg.save_plan(&plan).expect("saves");
+        let path = reg.artifact_path(&key);
+
+        fs::write(&path, "{ not json").unwrap();
+        let err = reg.load_plan(builder(1, 5)).expect_err("broken JSON");
+        assert!(matches!(err, RegistryError::Parse { .. }), "{err:?}");
+
+        fs::write(&path, r#"{"format":"something-else","format_version":1}"#).unwrap();
+        let err = reg.load_plan(builder(1, 5)).expect_err("wrong marker");
+        assert!(matches!(err, RegistryError::Parse { .. }), "{err:?}");
+        assert!(err.to_string().contains("something-else"));
+
+        // Broken artifacts are skipped by list(), not fatal to it.
+        assert_eq!(reg.list().expect("lists").len(), 0);
+    }
+
+    #[test]
+    fn future_format_versions_are_rejected() {
+        let reg = test_registry("version");
+        let plan = builder(1, 5).plan().expect("plannable");
+        let key = reg.save_plan(&plan).expect("saves");
+        let path = reg.artifact_path(&key);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(
+            &path,
+            text.replace("\"format_version\": 1", "\"format_version\": 999"),
+        )
+        .unwrap();
+        let err = reg.load_plan(builder(1, 5)).expect_err("future version");
+        assert_eq!(
+            err,
+            RegistryError::VersionMismatch {
+                found: 999,
+                supported: FORMAT_VERSION
+            }
+        );
+        assert!(err.to_string().contains("v999"));
+    }
+
+    #[test]
+    fn edited_envelopes_are_corrupt() {
+        let reg = test_registry("tampered");
+        let plan = builder(2, 5).plan().expect("plannable");
+        let key = reg.save_plan(&plan).expect("saves");
+        let path = reg.artifact_path(&key);
+        // Rewriting the budget after hashing contradicts the address.
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"max_dry_runs\": 96"));
+        fs::write(
+            &path,
+            text.replace("\"max_dry_runs\": 96", "\"max_dry_runs\": 7"),
+        )
+        .unwrap();
+        let err = reg.load_plan(builder(2, 5)).expect_err("edited body");
+        assert!(matches!(err, RegistryError::Corrupt { .. }), "{err:?}");
+        assert!(err.to_string().contains("content address"));
+    }
+
+    #[test]
+    fn warm_start_spends_strictly_fewer_dry_runs() {
+        let forms = [PafForm::F1G2, PafForm::MinimaxDeg27];
+        let budget = PlanBudget::greedy(64);
+        let cold = builder(3, 5)
+            .candidates(&forms)
+            .budget(budget)
+            .plan()
+            .expect("plannable");
+
+        let reg = test_registry("warm");
+        reg.save_plan(&cold).expect("saves");
+        let warm = builder(3, 5)
+            .candidates(&forms)
+            .budget(budget)
+            .registry(&reg)
+            .plan()
+            .expect("plannable");
+
+        // Seeded at the cold search's converged winner, the warm
+        // search re-converges to the same vector — one seed dry run
+        // replaced the whole uniform pass.
+        assert_eq!(warm.chosen_forms(), cold.chosen_forms());
+        assert_eq!(warm.chosen_cost(), cold.chosen_cost());
+        assert!(
+            warm.dry_runs_used() < cold.dry_runs_used(),
+            "warm {} vs cold {}",
+            warm.dry_runs_used(),
+            cold.dry_runs_used()
+        );
+
+        // An empty registry changes nothing: the cold path is taken.
+        let empty = test_registry("warm-empty");
+        let still_cold = builder(3, 5)
+            .candidates(&forms)
+            .budget(budget)
+            .registry(&empty)
+            .plan()
+            .expect("plannable");
+        assert_eq!(still_cold.dry_runs_used(), cold.dry_runs_used());
+        assert_eq!(still_cold.chosen(), cold.chosen());
+    }
+
+    #[test]
+    fn find_seed_prefers_the_same_model() {
+        let reg = test_registry("seed-tiers");
+        let other = builder(2, 8).plan().expect("plannable");
+        reg.save_plan(&other).expect("saves");
+        let same = builder(2, 5).plan().expect("plannable");
+        reg.save_plan(&same).expect("saves");
+
+        let probed = builder(2, 5).probe().expect("probes");
+        let desc = probed.base.describe();
+        let per_slot = vec![PafForm::all().to_vec(); 2];
+        let seed = reg
+            .find_seed(&desc, &probed.params, &per_slot)
+            .expect("a neighbour exists");
+        assert_eq!(seed, same.chosen_forms(), "same-model artifact wins");
+
+        // A slot-count mismatch disqualifies every artifact.
+        assert!(reg
+            .find_seed(&desc, &probed.params, &[PafForm::all().to_vec()])
+            .is_none());
+        // Forms outside the per-slot candidate lists disqualify too.
+        let narrow = vec![vec![]; 2];
+        assert!(reg.find_seed(&desc, &probed.params, &narrow).is_none());
+    }
+}

@@ -84,6 +84,31 @@ pub struct FormCost {
     pub bootstraps: usize,
 }
 
+impl serde::Serialize for FormCost {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::object([
+            ("form", serde::Serialize::serialize(&self.form)),
+            (
+                "relu_levels",
+                serde::Serialize::serialize(&self.relu_levels),
+            ),
+            ("ct_mults", serde::Serialize::serialize(&self.ct_mults)),
+            ("bootstraps", serde::Serialize::serialize(&self.bootstraps)),
+        ])
+    }
+}
+
+impl serde::Deserialize for FormCost {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(FormCost {
+            form: serde::Deserialize::deserialize(value.req("form")?)?,
+            relu_levels: serde::Deserialize::deserialize(value.req("relu_levels")?)?,
+            ct_mults: serde::Deserialize::deserialize(value.req("ct_mults")?)?,
+            bootstraps: serde::Deserialize::deserialize(value.req("bootstraps")?)?,
+        })
+    }
+}
+
 impl FormCost {
     /// Builds the cost row of `form` from a trace dry run of a
     /// pipeline using `paf` — the shared constructor behind

@@ -9,21 +9,27 @@
 //! [`serve_sessions`] is all it takes to stand up a serving front end
 //! over compiled sessions.
 
-use crate::session::{CompiledSession, SessionError};
+use crate::registry::{PlanRegistry, RegistryError};
+use crate::session::{CompiledSession, SessionBuilder, SessionError};
 use smartpaf_heinfer::serve::{BatchService, ServeConfig, Server, TenantId};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
-/// Lazily built, permanently cached `CompiledSession` per tenant.
+/// Lazily built, cached `CompiledSession` per tenant.
 ///
 /// The factory maps a [`TenantId`] to a compiled session — typically
-/// `Session::builder(...).seed(tenant).plan()?.compile()` — and runs at
-/// most once per tenant for the cache's lifetime.
+/// `Session::builder(...).seed(tenant).plan()?.compile()` — and runs
+/// once per tenant while the session stays healthy. A serving failure
+/// that poisons the session
+/// ([`SessionError::poisons_session`]) evicts the entry, so the next
+/// request rebuilds instead of reusing a broken worker pool; all other
+/// errors (bad inputs above all) keep the session cached.
 pub struct SessionCache<F> {
     build: F,
     sessions: HashMap<TenantId, CompiledSession>,
     hits: usize,
     misses: usize,
+    evictions: usize,
 }
 
 impl<F> SessionCache<F>
@@ -37,6 +43,7 @@ where
             sessions: HashMap::new(),
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -66,10 +73,30 @@ where
         self.hits
     }
 
-    /// Cache lookups that built a session (at most one per tenant; a
-    /// failed build counts and retries on the next lookup).
+    /// Cache lookups that built a session (once per healthy tenant; a
+    /// failed build counts and retries on the next lookup, and an
+    /// evicted session rebuilds).
     pub fn misses(&self) -> usize {
         self.misses
+    }
+
+    /// Sessions evicted because a serving failure poisoned them.
+    pub fn evictions(&self) -> usize {
+        self.evictions
+    }
+
+    /// Applies the poisoning policy to a serving failure: when `err`
+    /// [poisons the session](SessionError::poisons_session), the
+    /// tenant's entry is dropped (returning `true`) so the next
+    /// request rebuilds; otherwise the cached session stays. Callers
+    /// running sessions outside [`BatchService::run_batch`] — which
+    /// applies this automatically — should report failures here.
+    pub fn evict_if_poisoned(&mut self, tenant: TenantId, err: &SessionError) -> bool {
+        if err.poisons_session() && self.sessions.remove(&tenant).is_some() {
+            self.evictions += 1;
+            return true;
+        }
+        false
     }
 
     /// Tenants with a built session.
@@ -94,9 +121,14 @@ where
         tenant: TenantId,
         inputs: &[Vec<f64>],
     ) -> Result<Vec<Vec<f64>>, SessionError> {
-        self.session(tenant)?
+        let result = self
+            .session(tenant)?
             .infer_batch(inputs)
-            .map(|run| run.outputs)
+            .map(|run| run.outputs);
+        if let Err(e) = &result {
+            self.evict_if_poisoned(tenant, e);
+        }
+        result
     }
 }
 
@@ -109,11 +141,66 @@ where
     Server::start(SessionCache::new(build), config)
 }
 
+/// A session factory backed by a [`PlanRegistry`]: a tenant's first
+/// request compiles straight from a shipped plan artifact when one
+/// matches the tenant's model (no planner run at all, see
+/// [`PlanRegistry::load_plan`]); otherwise it plans — warm-started
+/// from the registry's nearest neighbour — and publishes the fresh
+/// plan back, so the next process serving this tenant skips the
+/// search. Wrap the result in [`SessionCache::new`] or hand it to
+/// [`serve_sessions`].
+///
+/// `builder_for` must produce a fresh [`SessionBuilder`] for the same
+/// tenant on every call (it is called again when no exact artifact
+/// matches).
+///
+/// # Example
+///
+/// ```
+/// use smartpaf::{serve::registry_factory, PlanRegistry, Session, SessionCache};
+/// use smartpaf_ckks::CkksParams;
+/// use smartpaf_nn::Linear;
+/// use smartpaf_tensor::Rng64;
+///
+/// let dir = std::env::temp_dir().join("smartpaf-registry-factory-doc");
+/// let registry = PlanRegistry::open(&dir).unwrap();
+/// let mut cache = SessionCache::new(registry_factory(registry, |tenant| {
+///     let mut rng = Rng64::new(tenant);
+///     Session::builder(&[4])
+///         .affine(Linear::new(4, 4, &mut rng))
+///         .relu(2.0)
+///         .params(CkksParams::toy())
+///         .seed(tenant)
+/// }));
+/// cache.warm(1).unwrap(); // plans (or loads) + compiles + publishes
+/// ```
+pub fn registry_factory<B>(
+    registry: PlanRegistry,
+    mut builder_for: B,
+) -> impl FnMut(TenantId) -> Result<CompiledSession, SessionError>
+where
+    B: FnMut(TenantId) -> SessionBuilder,
+{
+    move |tenant| match registry.load_plan(builder_for(tenant)) {
+        Ok(plan) => plan.compile(),
+        Err(RegistryError::Session(e)) => Err(e),
+        Err(_) => {
+            // No (usable) artifact: plan fresh — warm-started off the
+            // registry's neighbours — and publish best-effort (a
+            // read-only registry still serves).
+            let plan = builder_for(tenant).registry(&registry).plan()?;
+            let _ = registry.save_plan(&plan);
+            plan.compile()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::session::Session;
     use smartpaf_ckks::CkksParams;
+    use smartpaf_heinfer::RunError;
     use smartpaf_nn::Linear;
     use smartpaf_tensor::Rng64;
 
@@ -174,5 +261,84 @@ mod tests {
         // The failed build is not cached; the next lookup retries.
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn input_errors_keep_the_session_cached() {
+        // A bad request is the client's fault, not the session's: the
+        // expensive plan + keygen must survive it (evicting here would
+        // hand one misbehaving client a rebuild-per-request DoS lever).
+        let mut cache = SessionCache::new(toy_session);
+        cache.warm(3).unwrap();
+        let err = cache.run_batch(3, &[vec![0.0; 9]]).unwrap_err();
+        assert!(matches!(
+            err,
+            SessionError::Run(RunError::InputTooLong { len: 9, max: 4 })
+        ));
+        assert_eq!(cache.len(), 1, "input errors must not evict");
+        assert_eq!(cache.evictions(), 0);
+        cache.run_batch(3, &[vec![0.1, 0.2, 0.3, 0.4]]).unwrap();
+        assert_eq!((cache.misses(), cache.hits()), (1, 2), "no rebuild");
+    }
+
+    #[test]
+    fn poisoned_sessions_are_evicted_and_rebuilt() {
+        let mut cache = SessionCache::new(toy_session);
+        cache.warm(5).unwrap();
+        let x = [0.4, -0.2, 0.8, -0.6];
+        let before = cache.run_batch(5, &[x.to_vec()]).unwrap();
+
+        // A non-poisoning failure leaves the entry alone…
+        let benign = SessionError::Run(RunError::InputTooLong { len: 9, max: 4 });
+        assert!(!cache.evict_if_poisoned(5, &benign));
+        assert_eq!((cache.len(), cache.evictions()), (1, 0));
+
+        // …a poisoning one drops it, and the next request rebuilds a
+        // session that serves identically (same tenant seed).
+        let poison = SessionError::Run(RunError::WorkerPanicked);
+        assert!(cache.evict_if_poisoned(5, &poison));
+        assert_eq!((cache.len(), cache.evictions()), (0, 1));
+        // Evicting an already-absent tenant is a no-op.
+        assert!(!cache.evict_if_poisoned(5, &poison));
+        assert_eq!(cache.evictions(), 1);
+
+        let after = cache.run_batch(5, &[x.to_vec()]).unwrap();
+        assert_eq!(cache.misses(), 2, "the poisoned entry was rebuilt");
+        assert_eq!(before, after, "rebuild is deterministic per tenant");
+    }
+
+    #[test]
+    fn registry_factory_ships_plans_across_caches() {
+        use crate::registry::PlanRegistry;
+
+        let dir =
+            std::env::temp_dir().join(format!("smartpaf-serve-registry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = PlanRegistry::open(&dir).unwrap();
+        let builder_for = |tenant: TenantId| {
+            let mut rng = Rng64::new(tenant);
+            crate::session::Session::builder(&[4])
+                .affine(Linear::new(4, 4, &mut rng))
+                .relu(2.0)
+                .params(CkksParams::toy())
+                .seed(tenant)
+        };
+
+        // First cache: no artifact yet → plans and publishes.
+        let mut first = SessionCache::new(registry_factory(registry.clone(), builder_for));
+        let x = [0.4, -0.2, 0.8, -0.6];
+        let a = first.run_batch(1, &[x.to_vec()]).unwrap();
+        assert_eq!(registry.list().unwrap().len(), 1, "plan published");
+
+        // Second cache (a fresh process in spirit): compiles from the
+        // artifact without planning, and serves bit-identically.
+        let mut second = SessionCache::new(registry_factory(registry.clone(), builder_for));
+        let b = second.run_batch(1, &[x.to_vec()]).unwrap();
+        assert_eq!(a, b, "shipped plan serves bit-identically");
+        let report = second.session(1).unwrap().plan_report().to_string();
+        assert!(
+            report.contains("0 dry run(s)"),
+            "loaded plan ran no search: {report}"
+        );
     }
 }

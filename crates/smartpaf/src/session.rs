@@ -59,10 +59,12 @@
 
 use crate::latency::LatencyRig;
 use crate::pareto::{vector_pareto_frontier, ParetoPoint, VectorParetoPoint};
+use crate::registry::PlanRegistry;
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use smartpaf_ckks::cost::{bootstrap_modmuls, ct_mult_modmuls, rescale_modmuls};
 use smartpaf_ckks::{Bootstrapper, CkksParams, Evaluator, KeyChain, PafEvaluator};
 use smartpaf_heinfer::{
-    BatchRun, BatchRunner, HePipeline, PipelineBuilder, RunError, RunStats, TraceReport,
+    BatchRun, BatchRunner, HePipeline, PipelineBuilder, RunError, RunStats, Stage, TraceReport,
 };
 use smartpaf_nn::Layer;
 use smartpaf_polyfit::{CompositeEval, CompositePaf, PafForm};
@@ -109,6 +111,33 @@ pub enum SessionError {
         /// Rescale levels the chain offers.
         max_level: usize,
     },
+}
+
+impl SessionError {
+    /// True when a serving failure may have left the session's runtime
+    /// state (worker pool, evaluator clones) in an unknown state —
+    /// [`RunError::WorkerPanicked`] today. Such a session must not be
+    /// reused; caches evict it so the next request rebuilds
+    /// ([`SessionCache::evict_if_poisoned`](crate::SessionCache::evict_if_poisoned)).
+    ///
+    /// Input-validation errors ([`RunError::InputTooLong`], …) and
+    /// deterministic structural errors are *not* poisoning: retrying
+    /// the same session is safe, and evicting on them would let one
+    /// misbehaving client force a full plan + keygen per bad request.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use smartpaf::SessionError;
+    /// use smartpaf_heinfer::RunError;
+    ///
+    /// assert!(SessionError::Run(RunError::WorkerPanicked).poisons_session());
+    /// assert!(!SessionError::Run(RunError::InputTooLong { len: 9, max: 4 }).poisons_session());
+    /// assert!(!SessionError::NoCandidates.poisons_session());
+    /// ```
+    pub fn poisons_session(&self) -> bool {
+        matches!(self, SessionError::Run(RunError::WorkerPanicked))
+    }
 }
 
 impl fmt::Display for SessionError {
@@ -285,6 +314,22 @@ pub struct SessionBuilder {
     candidates: Option<Vec<PafForm>>,
     budget: PlanBudget,
     seed: u64,
+    registry: Option<PlanRegistry>,
+}
+
+/// Everything [`SessionBuilder::plan`] needs after the one-time model
+/// probe: the folded base pipeline plus the resolved planning inputs.
+/// Shared with [`PlanRegistry::load_plan`], which probes the same way
+/// but skips the search.
+pub(crate) struct ProbedModel {
+    pub(crate) base: HePipeline,
+    pub(crate) forms: Vec<PafForm>,
+    pub(crate) candidate_list: Option<Vec<PafForm>>,
+    pub(crate) params: CkksParams,
+    pub(crate) objective: Objective,
+    pub(crate) budget: PlanBudget,
+    pub(crate) seed: u64,
+    pub(crate) registry: Option<PlanRegistry>,
 }
 
 impl SessionBuilder {
@@ -310,6 +355,7 @@ impl SessionBuilder {
             candidates: None,
             budget: PlanBudget::default(),
             seed: 7,
+            registry: None,
         }
     }
 
@@ -384,6 +430,43 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches a plan registry: [`SessionBuilder::plan`] consults it
+    /// for a *warm start* — when the objective is
+    /// [`Objective::MinBootstraps`] and the pipeline has at least two
+    /// PAF slots, the search is seeded from a cached neighbour's chosen
+    /// form vector instead of the full uniform pass, typically cutting
+    /// [`Plan::dry_runs_used`] strictly below the cold search's.
+    /// Warm-started and cold plans choose by the same objective over
+    /// the same greedy/beam refinement; only the seeding differs.
+    ///
+    /// Without this call planning never touches the filesystem, so
+    /// every existing determinism pin holds verbatim.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use smartpaf::{PlanRegistry, Session};
+    /// use smartpaf_ckks::CkksParams;
+    /// use smartpaf_nn::Linear;
+    /// use smartpaf_tensor::Rng64;
+    ///
+    /// let dir = std::env::temp_dir().join("smartpaf-registry-doc");
+    /// let reg = PlanRegistry::open(&dir).unwrap();
+    /// let mut rng = Rng64::new(7);
+    /// let plan = Session::builder(&[4])
+    ///     .affine(Linear::new(4, 4, &mut rng))
+    ///     .relu(2.0)
+    ///     .params(CkksParams::toy())
+    ///     .registry(&reg)
+    ///     .plan()
+    ///     .unwrap();
+    /// reg.save_plan(&plan).unwrap();
+    /// ```
+    pub fn registry(mut self, registry: &PlanRegistry) -> Self {
+        self.registry = Some(registry.clone());
+        self
+    }
+
     /// Runs the trace-priced Pareto search over per-slot form vectors:
     /// probes the affine segments once, evaluates every candidate form
     /// uniformly ([`HePipeline::with_pafs`] +
@@ -400,6 +483,14 @@ impl SessionBuilder {
     /// [`SessionError::Run`]. A pipeline with no PAF slot collapses to
     /// a single empty-vector candidate.
     pub fn plan(self) -> Result<Plan, SessionError> {
+        plan_probed(self.probe()?)
+    }
+
+    /// The shared front half of planning and registry loading: resolves
+    /// the candidate form list and probes the affine segments exactly
+    /// once (with the first candidate installed; every later vector is
+    /// a PAF swap).
+    pub(crate) fn probe(self) -> Result<ProbedModel, SessionError> {
         let SessionBuilder {
             input_shape,
             specs,
@@ -408,6 +499,7 @@ impl SessionBuilder {
             candidates,
             budget,
             seed,
+            registry,
         } = self;
         let candidate_list = candidates;
         let forms: Vec<PafForm> = match objective {
@@ -428,8 +520,6 @@ impl SessionBuilder {
             },
         };
 
-        // Probe the affine segments exactly once, with the first
-        // candidate installed; every other vector is a PAF swap.
         let first = CompositePaf::from_form(forms[0]);
         let mut builder = PipelineBuilder::new(&input_shape);
         for spec in specs {
@@ -442,13 +532,72 @@ impl SessionBuilder {
             };
         }
         let base = builder.try_compile()?.fold_scales();
-        let num_slots = base.num_paf_stages();
-        let max_level = params.depth;
+        Ok(ProbedModel {
+            base,
+            forms,
+            candidate_list,
+            params,
+            objective,
+            budget,
+            seed,
+            registry,
+        })
+    }
+}
 
+/// The search half of [`SessionBuilder::plan`], over an already-probed
+/// model.
+fn plan_probed(probed: ProbedModel) -> Result<Plan, SessionError> {
+    let ProbedModel {
+        base,
+        forms,
+        candidate_list,
+        params,
+        objective,
+        budget,
+        seed,
+        registry,
+    } = probed;
+    let num_slots = base.num_paf_stages();
+    let max_level = params.depth;
+
+    // The per-slot candidate lists drive the greedy/beam refinement
+    // and the warm-start feasibility check; neither runs for fixed
+    // forms or single-slot pipelines (there the uniform pass already
+    // covers every vector).
+    let searchable = num_slots >= 2 && !matches!(objective, Objective::FixedForm(_));
+    let per_slot: Vec<Vec<PafForm>> = if searchable {
+        match &candidate_list {
+            Some(c) => vec![c.clone(); num_slots],
+            None => CompositePaf::candidate_forms_per_slot(max_level, &base.paf_slot_kinds()),
+        }
+    } else {
+        Vec::new()
+    };
+
+    let mut search = VectorSearch::new(&base, &params, max_level);
+    let mut skipped: Vec<PafForm> = Vec::new();
+
+    // Warm start: with a registry attached, seed the search from a
+    // cached neighbour's chosen vector (one dry run) instead of the
+    // uniform pass (one per candidate form). MinBootstraps only — the
+    // MinLatency selection needs the uniform pass to establish the
+    // best reachable fidelity, so it always plans cold.
+    let mut warm_seeded = false;
+    if searchable && matches!(objective, Objective::MinBootstraps) {
+        if let Some(reg) = &registry {
+            if let Some(seed_forms) = reg.find_seed(&base.describe(), &params, &per_slot) {
+                if search.eval(seed_forms)?.is_ok() {
+                    warm_seeded = true;
+                }
+                // An infeasible neighbour falls through to a cold plan.
+            }
+        }
+    }
+
+    if !warm_seeded {
         // Uniform pass: one dry run per candidate form, never
         // truncated — the PR-4 single-form planner, cost for cost.
-        let mut search = VectorSearch::new(&base, &params, max_level);
-        let mut skipped: Vec<PafForm> = Vec::new();
         for &form in &forms {
             match search.eval(vec![form; num_slots])? {
                 Ok(_) => {}
@@ -460,153 +609,112 @@ impl SessionBuilder {
                 }
             }
         }
-        if search.evaluated.is_empty() {
-            return Err(SessionError::NoFeasibleForm {
-                tried: forms.len(),
-                max_level,
-            });
-        }
-        // The best reachable fidelity is set by the uniform pass: a
-        // mixed vector's worst-slot error can never beat the best
-        // single form everywhere.
-        let best_fid = search
-            .evaluated
-            .iter()
-            .map(|c| c.fidelity)
-            .fold(f64::NEG_INFINITY, f64::max);
+    }
+    if search.evaluated.is_empty() {
+        return Err(SessionError::NoFeasibleForm {
+            tried: forms.len(),
+            max_level,
+        });
+    }
+    // The best reachable fidelity is set by the uniform pass: a
+    // mixed vector's worst-slot error can never beat the best
+    // single form everywhere. (Warm starts skip the uniform pass, but
+    // only under MinBootstraps, which never reads this bound.)
+    let best_fid = search
+        .evaluated
+        .iter()
+        .map(|c| c.fidelity)
+        .fold(f64::NEG_INFINITY, f64::max);
 
-        // Per-slot refinement: greedy sweeps seeded by the uniform
-        // winner, then a budgeted beam over the best vectors seen.
-        if num_slots >= 2 && !matches!(objective, Objective::FixedForm(_)) {
-            let per_slot: Vec<Vec<PafForm>> = match &candidate_list {
-                Some(c) => vec![c.clone(); num_slots],
-                None => CompositePaf::candidate_forms_per_slot(max_level, &base.paf_slot_kinds()),
-            };
-            let mut current = select_chosen(&search.evaluated, &objective, best_fid);
-            let mut improved = true;
-            while improved && search.dry_runs < budget.max_dry_runs {
-                improved = false;
+    // Per-slot refinement: greedy sweeps seeded by the uniform
+    // winner (or the warm-start vector), then a budgeted beam over
+    // the best vectors seen.
+    if searchable {
+        let mut current = select_chosen(&search.evaluated, &objective, best_fid);
+        let mut improved = true;
+        while improved && search.dry_runs < budget.max_dry_runs {
+            improved = false;
+            for (slot, slot_forms) in per_slot.iter().enumerate() {
+                for &form in slot_forms {
+                    if search.dry_runs >= budget.max_dry_runs {
+                        break;
+                    }
+                    if search.evaluated[current].forms[slot] == form {
+                        continue;
+                    }
+                    let mut v = search.evaluated[current].forms.clone();
+                    v[slot] = form;
+                    if let Ok(idx) = search.eval(v)? {
+                        if strictly_better(&search.evaluated, idx, current, &objective, best_fid) {
+                            current = idx;
+                            improved = true;
+                        }
+                    }
+                }
+            }
+        }
+        for _round in 0..budget.beam_rounds {
+            if budget.beam_width == 0 || search.dry_runs >= budget.max_dry_runs {
+                break;
+            }
+            let ranked = rank_indices(&search.evaluated, &objective, best_fid);
+            let beam: Vec<Vec<PafForm>> = ranked
+                .into_iter()
+                .take(budget.beam_width)
+                .map(|i| search.evaluated[i].forms.clone())
+                .collect();
+            let mut expanded = false;
+            for parent in &beam {
                 for (slot, slot_forms) in per_slot.iter().enumerate() {
                     for &form in slot_forms {
                         if search.dry_runs >= budget.max_dry_runs {
                             break;
                         }
-                        if search.evaluated[current].forms[slot] == form {
+                        if parent[slot] == form {
                             continue;
                         }
-                        let mut v = search.evaluated[current].forms.clone();
+                        let mut v = parent.clone();
                         v[slot] = form;
-                        if let Ok(idx) = search.eval(v)? {
-                            if strictly_better(
-                                &search.evaluated,
-                                idx,
-                                current,
-                                &objective,
-                                best_fid,
-                            ) {
-                                current = idx;
-                                improved = true;
-                            }
+                        if search.seen.contains_key(&v) {
+                            continue;
                         }
+                        expanded = true;
+                        let _ = search.eval(v)?;
                     }
                 }
             }
-            for _round in 0..budget.beam_rounds {
-                if budget.beam_width == 0 || search.dry_runs >= budget.max_dry_runs {
-                    break;
-                }
-                let ranked = rank_indices(&search.evaluated, &objective, best_fid);
-                let beam: Vec<Vec<PafForm>> = ranked
-                    .into_iter()
-                    .take(budget.beam_width)
-                    .map(|i| search.evaluated[i].forms.clone())
-                    .collect();
-                let mut expanded = false;
-                for parent in &beam {
-                    for (slot, slot_forms) in per_slot.iter().enumerate() {
-                        for &form in slot_forms {
-                            if search.dry_runs >= budget.max_dry_runs {
-                                break;
-                            }
-                            if parent[slot] == form {
-                                continue;
-                            }
-                            let mut v = parent.clone();
-                            v[slot] = form;
-                            if search.seen.contains_key(&v) {
-                                continue;
-                            }
-                            expanded = true;
-                            let _ = search.eval(v)?;
-                        }
-                    }
-                }
-                if !expanded {
-                    break;
-                }
+            if !expanded {
+                break;
             }
         }
-
-        let VectorSearch {
-            evaluated: planned,
-            dry_runs,
-            form_info,
-            ..
-        } = search;
-        let chosen = select_chosen(&planned, &objective, best_fid);
-
-        let points: Vec<ParetoPoint> = planned
-            .iter()
-            .map(|c| ParetoPoint {
-                latency_ms: c.priced_ms,
-                accuracy: c.fidelity,
-            })
-            .collect();
-        let vector_points: Vec<VectorParetoPoint> = planned
-            .iter()
-            .map(|c| VectorParetoPoint {
-                forms: c.forms.clone(),
-                bootstraps: c.cost.bootstraps,
-                ct_mults: c.cost.ct_mults,
-                sign_error: 1.0 - c.fidelity,
-            })
-            .collect();
-        let frontier = vector_pareto_frontier(&vector_points);
-
-        // Install the winner from the search's own per-form cache —
-        // no composite rebuild or engine re-preparation.
-        let chosen_pairs: Vec<(CompositePaf, Arc<CompositeEval>)> = planned[chosen]
-            .forms
-            .iter()
-            .map(|f| {
-                let info = &form_info
-                    .iter()
-                    .find(|(known, _)| known == f)
-                    .expect("every planned form is in the search cache")
-                    .1;
-                (info.paf.clone(), Arc::clone(&info.engine))
-            })
-            .collect();
-        let pipeline = base.try_with_prepared_pafs(&chosen_pairs)?;
-        let report = PlanReport::render(
-            &objective, &params, &pipeline, &planned, &frontier, chosen, &skipped, dry_runs,
-            &budget,
-        );
-        Ok(Plan {
-            pipeline,
-            chosen,
-            candidates: planned,
-            points,
-            frontier,
-            skipped,
-            params,
-            objective,
-            budget,
-            dry_runs,
-            seed,
-            report,
-        })
     }
+
+    let VectorSearch {
+        evaluated: planned,
+        dry_runs,
+        form_info,
+        ..
+    } = search;
+    let chosen = select_chosen(&planned, &objective, best_fid);
+
+    // Install the winner from the search's own per-form cache —
+    // no composite rebuild or engine re-preparation.
+    let chosen_pairs: Vec<(CompositePaf, Arc<CompositeEval>)> = planned[chosen]
+        .forms
+        .iter()
+        .map(|f| {
+            let info = &form_info
+                .iter()
+                .find(|(known, _)| known == f)
+                .expect("every planned form is in the search cache")
+                .1;
+            (info.paf.clone(), Arc::clone(&info.engine))
+        })
+        .collect();
+    let pipeline = base.try_with_prepared_pafs(&chosen_pairs)?;
+    Ok(Plan::assemble(
+        pipeline, chosen, planned, forms, skipped, params, objective, budget, dry_runs, seed,
+    ))
 }
 
 /// Memoised form-vector evaluation: one [`HePipeline::dry_run`] per
@@ -866,6 +974,7 @@ pub struct Plan {
     pipeline: HePipeline,
     chosen: usize,
     candidates: Vec<PlannedCandidate>,
+    candidate_forms: Vec<PafForm>,
     points: Vec<ParetoPoint>,
     frontier: Vec<usize>,
     skipped: Vec<PafForm>,
@@ -892,6 +1001,70 @@ impl fmt::Debug for Plan {
 }
 
 impl Plan {
+    /// Derives the Pareto points, frontier, and report from the
+    /// evaluated candidates and assembles the plan — the one
+    /// constructor shared by the search
+    /// ([`SessionBuilder::plan`]) and the registry
+    /// ([`PlanRegistry::load_plan`], with `dry_runs` 0: a loaded plan
+    /// spent no search in this process).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        pipeline: HePipeline,
+        chosen: usize,
+        candidates: Vec<PlannedCandidate>,
+        candidate_forms: Vec<PafForm>,
+        skipped: Vec<PafForm>,
+        params: CkksParams,
+        objective: Objective,
+        budget: PlanBudget,
+        dry_runs: usize,
+        seed: u64,
+    ) -> Plan {
+        let points: Vec<ParetoPoint> = candidates
+            .iter()
+            .map(|c| ParetoPoint {
+                latency_ms: c.priced_ms,
+                accuracy: c.fidelity,
+            })
+            .collect();
+        let vector_points: Vec<VectorParetoPoint> = candidates
+            .iter()
+            .map(|c| VectorParetoPoint {
+                forms: c.forms.clone(),
+                bootstraps: c.cost.bootstraps,
+                ct_mults: c.cost.ct_mults,
+                sign_error: 1.0 - c.fidelity,
+            })
+            .collect();
+        let frontier = vector_pareto_frontier(&vector_points);
+        let report = PlanReport::render(
+            &objective,
+            &params,
+            &pipeline,
+            &candidates,
+            &frontier,
+            chosen,
+            &skipped,
+            dry_runs,
+            &budget,
+        );
+        Plan {
+            pipeline,
+            chosen,
+            candidates,
+            candidate_forms,
+            points,
+            frontier,
+            skipped,
+            params,
+            objective,
+            budget,
+            dry_runs,
+            seed,
+            report,
+        }
+    }
+
     /// The form vector the objective selected — one [`FormId`] per PAF
     /// slot, in stage order.
     pub fn chosen_forms(&self) -> &[FormId] {
@@ -990,6 +1163,28 @@ impl Plan {
     /// through; the uniform pass itself is never truncated.
     pub fn dry_runs_used(&self) -> usize {
         self.dry_runs
+    }
+
+    /// The resolved candidate form list the search drew uniform
+    /// vectors from (explicit [`SessionBuilder::candidates`], or every
+    /// form fitting the chain) — part of the registry's content
+    /// address, because it changes what the search can find.
+    pub fn candidate_forms(&self) -> &[PafForm] {
+        &self.candidate_forms
+    }
+
+    /// The composites installed in the planned pipeline's PAF slots,
+    /// in stage order — what a registry artifact stores so loading can
+    /// rebuild the exact pipeline without re-deriving coefficients.
+    pub(crate) fn chosen_composites(&self) -> Vec<CompositePaf> {
+        self.pipeline
+            .stages()
+            .iter()
+            .filter_map(|s| match s {
+                Stage::Affine { .. } => None,
+                Stage::PafRelu { paf, .. } | Stage::PafMax { paf, .. } => Some(paf.clone()),
+            })
+            .collect()
     }
 
     /// The CKKS parameters the plan was traced against.
@@ -1357,6 +1552,133 @@ pub fn trace_modmuls(params: &CkksParams, report: &TraceReport) -> u128 {
 /// [`trace_modmuls`] × [`SECONDS_PER_MODMUL`].
 fn trace_price_ms(params: &CkksParams, report: &TraceReport) -> f64 {
     trace_modmuls(params, report) as f64 * SECONDS_PER_MODMUL * 1e3
+}
+
+// ---------------------------------------------------------------------
+// Wire formats (docs/ARTIFACT_FORMAT.md): planning outcomes serialize;
+// pipelines, keys, and engines never do. `Plan` has no standalone
+// `Deserialize` for exactly that reason — reconstruction needs the
+// model, so it goes through `PlanRegistry::load_plan`.
+
+impl Serialize for Objective {
+    fn serialize(&self) -> Value {
+        match self {
+            Objective::MinLatency { max_acc_drop } => Value::object([
+                ("kind", "min_latency".serialize()),
+                ("max_acc_drop", max_acc_drop.serialize()),
+            ]),
+            Objective::MinBootstraps => Value::object([("kind", "min_bootstraps".serialize())]),
+            Objective::FixedForm(form) => Value::object([
+                ("kind", "fixed_form".serialize()),
+                ("form", form.serialize()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for Objective {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        let kind = String::deserialize(value.req("kind")?)?;
+        match kind.as_str() {
+            "min_latency" => Ok(Objective::MinLatency {
+                max_acc_drop: f64::deserialize(value.req("max_acc_drop")?)?,
+            }),
+            "min_bootstraps" => Ok(Objective::MinBootstraps),
+            "fixed_form" => Ok(Objective::FixedForm(PafForm::deserialize(
+                value.req("form")?,
+            )?)),
+            other => Err(SerdeError::custom(format!(
+                "unknown objective kind `{other}`"
+            ))),
+        }
+    }
+}
+
+impl Serialize for PlanBudget {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("max_dry_runs", self.max_dry_runs.serialize()),
+            ("beam_width", self.beam_width.serialize()),
+            ("beam_rounds", self.beam_rounds.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for PlanBudget {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        Ok(PlanBudget {
+            max_dry_runs: usize::deserialize(value.req("max_dry_runs")?)?,
+            beam_width: usize::deserialize(value.req("beam_width")?)?,
+            beam_rounds: usize::deserialize(value.req("beam_rounds")?)?,
+        })
+    }
+}
+
+impl Serialize for VectorCost {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("bootstraps", self.bootstraps.serialize()),
+            ("ct_mults", self.ct_mults.serialize()),
+            ("relu_levels", self.relu_levels.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for VectorCost {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        Ok(VectorCost {
+            bootstraps: usize::deserialize(value.req("bootstraps")?)?,
+            ct_mults: usize::deserialize(value.req("ct_mults")?)?,
+            relu_levels: usize::deserialize(value.req("relu_levels")?)?,
+        })
+    }
+}
+
+impl Serialize for PlannedCandidate {
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("forms", self.forms.serialize()),
+            ("cost", self.cost.serialize()),
+            ("trace", self.trace.serialize()),
+            ("fidelity", self.fidelity.serialize()),
+            ("priced_ms", self.priced_ms.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for PlannedCandidate {
+    fn deserialize(value: &Value) -> Result<Self, SerdeError> {
+        Ok(PlannedCandidate {
+            forms: Vec::<PafForm>::deserialize(value.req("forms")?)?,
+            cost: VectorCost::deserialize(value.req("cost")?)?,
+            trace: TraceReport::deserialize(value.req("trace")?)?,
+            fidelity: f64::deserialize(value.req("fidelity")?)?,
+            priced_ms: f64::deserialize(value.req("priced_ms")?)?,
+        })
+    }
+}
+
+impl Serialize for Plan {
+    /// The planning *outcome* — every evaluated candidate, the chosen
+    /// index and its installed composites, the skipped forms, and the
+    /// planning inputs (params, objective, budget, candidate list).
+    /// The probed pipeline, the serving seed, and all key material are
+    /// deliberately absent; reconstruction therefore goes through
+    /// [`PlanRegistry::load_plan`] with the caller's own
+    /// [`SessionBuilder`].
+    fn serialize(&self) -> Value {
+        Value::object([
+            ("params", self.params.serialize()),
+            ("objective", self.objective.serialize()),
+            ("budget", self.budget.serialize()),
+            ("candidate_forms", self.candidate_forms.serialize()),
+            ("candidates", self.candidates.serialize()),
+            ("chosen", self.chosen.serialize()),
+            ("chosen_composites", self.chosen_composites().serialize()),
+            ("skipped", self.skipped.serialize()),
+            ("dry_runs", self.dry_runs.serialize()),
+        ])
+    }
 }
 
 #[cfg(test)]

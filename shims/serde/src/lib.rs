@@ -1,0 +1,300 @@
+//! Offline drop-in subset of the [`serde`] + `serde_json` API used by
+//! the SmartPAF tree.
+//!
+//! The build container has no registry access, so — like the
+//! `criterion` and `proptest` shims — this crate provides exactly the
+//! surface the tree uses: a value-tree serialization model
+//! ([`Serialize`] renders a type into a [`json::Value`],
+//! [`Deserialize`] reads one back) plus a JSON writer and parser in
+//! [`json`]. There is no derive macro and no streaming `Serializer`
+//! trait; types implement the two traits by hand, which keeps the
+//! on-disk format of every artifact explicit and reviewable (see
+//! `docs/ARTIFACT_FORMAT.md` in the repository root).
+//!
+//! Two properties the plan registry depends on:
+//!
+//! - **Exact `f64` round-trips.** Floats are written with Rust's
+//!   shortest-round-trip formatting (`{:?}`, which always keeps a
+//!   `.0`/exponent marker so a float never collapses into an integer
+//!   token) and parsed with `str::parse::<f64>`, so
+//!   `from_str(&to_string(v))` reproduces every finite float
+//!   bit-for-bit.
+//! - **Deterministic output.** Object keys keep insertion order and
+//!   the compact writer inserts no whitespace, so equal values always
+//!   produce byte-identical JSON — the precondition for
+//!   content-addressed artifact keys.
+//!
+//! [`serde`]: https://docs.rs/serde
+
+pub mod json;
+
+pub use json::{Error, Value};
+
+/// Renders `self` into a JSON value tree.
+///
+/// The shim's analogue of `serde::Serialize`: instead of driving a
+/// streaming `Serializer`, implementations build a [`Value`] directly.
+///
+/// # Example
+///
+/// ```
+/// use serde::{json, Serialize, Value};
+///
+/// struct Point {
+///     x: f64,
+///     y: f64,
+/// }
+///
+/// impl Serialize for Point {
+///     fn serialize(&self) -> Value {
+///         Value::object([("x", self.x.serialize()), ("y", self.y.serialize())])
+///     }
+/// }
+///
+/// let v = Point { x: 1.0, y: -2.5 }.serialize();
+/// assert_eq!(json::to_string(&v), r#"{"x":1.0,"y":-2.5}"#);
+/// ```
+pub trait Serialize {
+    /// The JSON value tree representing `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Reads `Self` back from a JSON value tree.
+///
+/// The shim's analogue of `serde::Deserialize`; the borrowed input
+/// plays the role of the deserializer.
+///
+/// # Example
+///
+/// ```
+/// use serde::{json, Deserialize};
+///
+/// let v = json::from_str("[1.5, 2.5]").unwrap();
+/// let xs = Vec::<f64>::deserialize(&v).unwrap();
+/// assert_eq!(xs, vec![1.5, 2.5]);
+/// ```
+pub trait Deserialize: Sized {
+    /// Parses `Self` from `value`, reporting shape mismatches as
+    /// [`Error`]s.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::type_mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for u64 {
+    fn serialize(&self) -> Value {
+        Value::UInt(*self)
+    }
+}
+
+impl Deserialize for u64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::UInt(n) => Ok(*n),
+            Value::Int(n) if *n >= 0 => Ok(*n as u64),
+            other => Err(Error::type_mismatch("u64", other)),
+        }
+    }
+}
+
+impl Serialize for u32 {
+    fn serialize(&self) -> Value {
+        Value::UInt(u64::from(*self))
+    }
+}
+
+impl Deserialize for u32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let n = u64::deserialize(value)?;
+        u32::try_from(n).map_err(|_| Error::custom(format!("{n} overflows u32")))
+    }
+}
+
+impl Serialize for usize {
+    fn serialize(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let n = u64::deserialize(value)?;
+        usize::try_from(n).map_err(|_| Error::custom(format!("{n} overflows usize")))
+    }
+}
+
+impl Serialize for i64 {
+    fn serialize(&self) -> Value {
+        Value::Int(*self)
+    }
+}
+
+impl Deserialize for i64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Int(n) => Ok(*n),
+            Value::UInt(n) => {
+                i64::try_from(*n).map_err(|_| Error::custom(format!("{n} overflows i64")))
+            }
+            other => Err(Error::type_mismatch("i64", other)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(Error::type_mismatch("number", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn serialize(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::type_mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        let cases: Vec<Value> = vec![
+            true.serialize(),
+            42u64.serialize(),
+            7usize.serialize(),
+            (-3i64).serialize(),
+            1.5f64.serialize(),
+            "hi".serialize(),
+            vec![1.0f64, 2.0].serialize(),
+            Option::<u64>::None.serialize(),
+        ];
+        for v in cases {
+            let text = json::to_string(&v);
+            assert_eq!(json::from_str(&text).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn float_round_trip_is_bit_exact() {
+        for &x in &[
+            0.0f64,
+            -0.0,
+            1.0,
+            -1.0,
+            1.5e-300,
+            std::f64::consts::PI,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            1.2e-9,
+            0.1 + 0.2,
+        ] {
+            let text = json::to_string(&x.serialize());
+            let back = f64::deserialize(&json::from_str(&text).unwrap()).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {text}");
+        }
+    }
+
+    #[test]
+    fn integer_floats_stay_floats() {
+        // 1.0 must serialize with a `.0` marker so it never collapses
+        // into an integer token on the way back.
+        let text = json::to_string(&1.0f64.serialize());
+        assert_eq!(text, "1.0");
+        assert!(matches!(json::from_str(&text).unwrap(), Value::Float(_)));
+    }
+
+    #[test]
+    fn option_none_is_null() {
+        assert_eq!(json::to_string(&Option::<u64>::None.serialize()), "null");
+        let some = Option::<u64>::deserialize(&json::from_str("3").unwrap()).unwrap();
+        assert_eq!(some, Some(3));
+    }
+
+    #[test]
+    fn type_mismatches_are_typed_errors() {
+        let v = json::from_str("\"nope\"").unwrap();
+        assert!(u64::deserialize(&v).is_err());
+        assert!(bool::deserialize(&v).is_err());
+        assert!(Vec::<f64>::deserialize(&v).is_err());
+    }
+
+    #[test]
+    fn u64_max_survives() {
+        let text = json::to_string(&u64::MAX.serialize());
+        let back = u64::deserialize(&json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, u64::MAX);
+    }
+}

@@ -22,3 +22,14 @@ pub fn mini_workbench(seed: u64) -> Workbench {
     let model = mini_cnn(spec.classes, 0.25, &mut rng);
     Workbench::new(model, dataset, config, 12)
 }
+
+/// The architecture book page, included verbatim so every Rust code
+/// fence in `docs/ARCHITECTURE.md` is compiled and run as a doctest —
+/// the book cannot drift from the API.
+#[doc = include_str!("../docs/ARCHITECTURE.md")]
+pub mod architecture_doc {}
+
+/// The plan-artifact wire-format spec, included verbatim so its Rust
+/// code fences are compiled and run as doctests.
+#[doc = include_str!("../docs/ARTIFACT_FORMAT.md")]
+pub mod artifact_format_doc {}
