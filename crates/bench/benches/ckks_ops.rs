@@ -1,5 +1,12 @@
 //! Criterion benchmarks of CKKS primitive operations — the cost model
 //! behind every latency number in the paper reproduction.
+//!
+//! Covers the raw-speed hot path end to end: the lazy-reduction NTT at
+//! three ring sizes, and the ciphertext pipeline (encrypt, add,
+//! mul+relin, rescale, rotate, mul_const) at N = 4096 and N = 8192.
+//! Emits `BENCH_ckks.json` through the criterion shim's JSON hook; CI
+//! diffs a timed run against the committed
+//! `BENCH_ckks.reference.json` so hot-path regressions fail the build.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use smartpaf_ckks::modular::ntt_primes;
@@ -7,64 +14,89 @@ use smartpaf_ckks::{CkksParams, Evaluator, KeyChain, NttTable};
 use smartpaf_tensor::Rng64;
 
 fn bench_ntt(c: &mut Criterion) {
-    let n = 4096;
-    let q = ntt_primes(40, 1, n)[0];
-    let table = NttTable::new(q, n);
-    let data: Vec<u64> = (0..n).map(|i| (i as u64 * 7919) % q).collect();
-    c.bench_function("ntt_forward_4096", |b| {
-        b.iter(|| {
-            let mut a = data.clone();
-            table.forward(&mut a);
-            std::hint::black_box(a);
-        })
-    });
-    c.bench_function("ntt_inverse_4096", |b| {
-        let mut fwd = data.clone();
-        table.forward(&mut fwd);
-        b.iter(|| {
-            let mut a = fwd.clone();
-            table.inverse(&mut a);
-            std::hint::black_box(a);
-        })
-    });
+    for n in [2048usize, 4096, 8192] {
+        let q = ntt_primes(40, 1, n)[0];
+        let table = NttTable::new(q, n);
+        let data: Vec<u64> = (0..n).map(|i| (i as u64 * 7919) % q).collect();
+        c.bench_function(&format!("ntt_forward_{n}"), |b| {
+            b.iter(|| {
+                let mut a = data.clone();
+                table.forward(&mut a);
+                std::hint::black_box(a);
+            })
+        });
+        c.bench_function(&format!("ntt_inverse_{n}"), |b| {
+            let mut fwd = data.clone();
+            table.forward(&mut fwd);
+            b.iter(|| {
+                let mut a = fwd.clone();
+                table.inverse(&mut a);
+                std::hint::black_box(a);
+            })
+        });
+    }
 }
 
-fn bench_cipher_ops(c: &mut Criterion) {
-    let ctx = CkksParams::default_params().build();
+fn bench_cipher_ops_at(c: &mut Criterion, params: CkksParams) {
+    let n = params.n;
+    let ctx = params.build();
     let mut rng = Rng64::new(1);
     let keys = KeyChain::generate(&ctx, &mut rng);
     let ev = Evaluator::new(&keys);
     let vals: Vec<f64> = (0..64).map(|i| i as f64 / 64.0 - 0.5).collect();
     let ct = ev.encrypt_values(&vals, &mut rng);
-    // Warm up the relin key cache so mul measures steady-state cost.
-    let _ = ev.mul(&ct, &ct);
+    // Warm up the relin/rotation key caches and the thread-local buffer
+    // pool so every measurement sees steady-state (allocation-free)
+    // cost.
+    let _ = ev.rotate(&ev.mul(&ct, &ct), 1);
 
-    c.bench_function("ckks_encrypt_n4096", |b| {
+    c.bench_function(&format!("ckks_encrypt_n{n}"), |b| {
         let pt = ev.encoder().encode(&vals, ctx.scale(), ctx.primes().len());
         let mut r = Rng64::new(2);
         b.iter(|| std::hint::black_box(ev.encrypt(&pt, &mut r)))
     });
-    c.bench_function("ckks_add", |b| {
+    c.bench_function(&format!("ckks_add_n{n}"), |b| {
         b.iter(|| std::hint::black_box(ev.add(&ct, &ct)))
     });
-    c.bench_function("ckks_mul_relin", |b| {
+    c.bench_function(&format!("ckks_mul_relin_n{n}"), |b| {
         b.iter(|| std::hint::black_box(ev.mul(&ct, &ct)))
     });
-    c.bench_function("ckks_mul_relin_rescale", |b| {
+    // Rescale alone: the clone is microseconds (pooled memcpy) against
+    // a milliseconds-scale rescale, so the id still tracks the RNS
+    // basis drop.
+    let prod = ev.mul(&ct, &ct);
+    c.bench_function(&format!("ckks_rescale_n{n}"), |b| {
+        b.iter(|| {
+            let mut p = prod.clone();
+            ev.rescale(&mut p);
+            std::hint::black_box(p)
+        })
+    });
+    c.bench_function(&format!("ckks_mul_relin_rescale_n{n}"), |b| {
         b.iter(|| {
             let mut p = ev.mul(&ct, &ct);
             ev.rescale(&mut p);
             std::hint::black_box(p)
         })
     });
-    c.bench_function("ckks_mul_const", |b| {
+    c.bench_function(&format!("ckks_rotate_n{n}"), |b| {
+        b.iter(|| std::hint::black_box(ev.rotate(&ct, 1)))
+    });
+    c.bench_function(&format!("ckks_mul_const_n{n}"), |b| {
         b.iter(|| std::hint::black_box(ev.mul_const(&ct, 0.5)))
     });
 }
 
+fn bench_cipher_ops(c: &mut Criterion) {
+    bench_cipher_ops_at(c, CkksParams::default_params());
+    bench_cipher_ops_at(c, CkksParams::benchmark());
+}
+
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(10);
+    config = Criterion::default()
+        .sample_size(10)
+        .json_output("BENCH_ckks.json");
     targets = bench_ntt, bench_cipher_ops
 }
 criterion_main!(benches);

@@ -89,11 +89,16 @@ impl Evaluator {
         e0.to_ntt();
         let mut e1 = RnsPoly::random_error(&self.ctx, nl, rng);
         e1.to_ntt();
-        let b = truncate(&pk.b, nl);
-        let a = truncate(&pk.a, nl);
+        let mut c0 = pk.b.truncated(nl);
+        c0.mul_assign(&u);
+        c0.add_assign(&e0);
+        c0.add_assign(&pt.poly);
+        let mut c1 = pk.a.truncated(nl);
+        c1.mul_assign(&u);
+        c1.add_assign(&e1);
         Ciphertext {
-            c0: b.mul(&u).add(&e0).add(&pt.poly),
-            c1: a.mul(&u).add(&e1),
+            c0,
+            c1,
             scale: pt.scale,
         }
     }
@@ -110,8 +115,10 @@ impl Evaluator {
     /// Decrypts to a plaintext.
     pub fn decrypt(&self, ct: &Ciphertext) -> Plaintext {
         let s = truncate(self.keys.secret_key_internal(), ct.num_limbs());
+        let mut poly = ct.c0.clone();
+        poly.mul_acc(&ct.c1, &s);
         Plaintext {
-            poly: ct.c0.add(&ct.c1.mul(&s)),
+            poly,
             scale: ct.scale,
         }
     }
@@ -169,18 +176,17 @@ impl Evaluator {
 
     /// Adds an encoded plaintext.
     ///
+    /// The (full-level) plaintext poly is read through a limb prefix —
+    /// no clone, no limb-dropping, no domain conversion per call.
+    ///
     /// # Panics
     ///
     /// Panics on scale mismatch beyond tolerance or level mismatch.
     pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        let mut p = pt.poly.clone();
-        while p.num_limbs() > a.num_limbs() {
-            p.drop_last_limb();
-        }
         let rel = (a.scale - pt.scale).abs() / a.scale.max(pt.scale);
         assert!(rel < SCALE_TOLERANCE, "plain add scale mismatch");
         Ciphertext {
-            c0: a.c0.add(&p),
+            c0: a.c0.add_trunc(&pt.poly),
             c1: a.c1.clone(),
             scale: a.scale,
         }
@@ -188,14 +194,13 @@ impl Evaluator {
 
     /// Multiplies by an encoded plaintext. Result scale is the product;
     /// callers usually [`Self::rescale`] afterwards.
+    ///
+    /// Like [`Self::add_plain`], reads the plaintext through a limb
+    /// prefix instead of cloning and truncating it per call.
     pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
-        let mut p = pt.poly.clone();
-        while p.num_limbs() > a.num_limbs() {
-            p.drop_last_limb();
-        }
         Ciphertext {
-            c0: a.c0.mul(&p),
-            c1: a.c1.mul(&p),
+            c0: a.c0.mul_trunc(&pt.poly),
+            c1: a.c1.mul_trunc(&pt.poly),
             scale: a.scale * pt.scale,
         }
     }
@@ -223,27 +228,32 @@ impl Evaluator {
             bb.drop_to(nl);
             (aa, bb)
         };
-        let d0 = aa.c0.mul(&bb.c0);
-        let d1 = aa.c0.mul(&bb.c1).add(&aa.c1.mul(&bb.c0));
+        let mut d0 = aa.c0.mul(&bb.c0);
+        let mut d1 = aa.c0.mul(&bb.c1);
+        d1.mul_acc(&aa.c1, &bb.c0);
         let d2 = aa.c1.mul(&bb.c1);
         let (r0, r1) = self.relinearize_d2(&d2);
+        d0.add_assign(&r0);
+        d1.add_assign(&r1);
         Ciphertext {
-            c0: d0.add(&r0),
-            c1: d1.add(&r1),
+            c0: d0,
+            c1: d1,
             scale: aa.scale * bb.scale,
         }
     }
 
     /// Squares a ciphertext (saves one ring multiplication vs `mul`).
     pub fn square(&self, a: &Ciphertext) -> Ciphertext {
-        let d0 = a.c0.mul(&a.c0);
+        let mut d0 = a.c0.mul(&a.c0);
         let cross = a.c0.mul(&a.c1);
-        let d1 = cross.add(&cross);
+        let mut d1 = cross.add(&cross);
         let d2 = a.c1.mul(&a.c1);
         let (r0, r1) = self.relinearize_d2(&d2);
+        d0.add_assign(&r0);
+        d1.add_assign(&r1);
         Ciphertext {
-            c0: d0.add(&r0),
-            c1: d1.add(&r1),
+            c0: d0,
+            c1: d1,
             scale: a.scale * a.scale,
         }
     }
@@ -274,13 +284,22 @@ impl Evaluator {
         d2c.to_coeff();
         let n = self.ctx.n();
         let mask = (1u64 << DIGIT_BITS) - 1;
-        let mut acc0 = RnsPoly::zero(&self.ctx, nl);
-        let mut acc1 = RnsPoly::zero(&self.ctx, nl);
+        // Lazy accumulation: pile raw 128-bit products into wide
+        // scratch buffers and Barrett-reduce once at the end. The sum
+        // mod q_i is identical to the eager reduce-per-product chain,
+        // but the inner loop sheds one reduction per component per
+        // accumulator — the single largest cost in relinearisation
+        // after the NTTs. Headroom (how many products fit before a
+        // flush) is ~2^8 for 60-bit primes, above any component count.
+        let mut lazy0 = crate::pool::acquire_wide_zeroed(nl * n);
+        let mut lazy1 = crate::pool::acquire_wide_zeroed(nl * n);
+        let headroom = self.ctx.lazy_acc_headroom(nl);
+        let mut pending = 0usize;
+        let mut digit_coeffs = crate::pool::acquire(n);
         for comp in &key.components {
             // Extract this component's digit of the residues mod q_i.
             let src = d2c.limb(comp.prime_index);
             let shift = DIGIT_BITS * comp.digit;
-            let mut digit_coeffs = vec![0u64; n];
             let mut all_zero = true;
             for (dst, &c) in digit_coeffs.iter_mut().zip(src) {
                 *dst = (c >> shift) & mask;
@@ -291,9 +310,20 @@ impl Evaluator {
             }
             let mut u = RnsPoly::from_unsigned_coeffs(&self.ctx, &digit_coeffs, nl);
             u.to_ntt();
-            acc0 = acc0.add(&u.mul(&comp.b));
-            acc1 = acc1.add(&u.mul(&comp.a));
+            if pending == headroom {
+                RnsPoly::reduce_lazy_in_place(&self.ctx, &mut lazy0, nl);
+                RnsPoly::reduce_lazy_in_place(&self.ctx, &mut lazy1, nl);
+                pending = 0;
+            }
+            u.mul_into_lazy(&comp.b, &mut lazy0);
+            u.mul_into_lazy(&comp.a, &mut lazy1);
+            pending += 1;
         }
+        crate::pool::release(digit_coeffs);
+        let acc0 = RnsPoly::from_lazy_accumulator(&self.ctx, &lazy0, nl, true);
+        let acc1 = RnsPoly::from_lazy_accumulator(&self.ctx, &lazy1, nl, true);
+        crate::pool::release_wide(lazy0);
+        crate::pool::release_wide(lazy1);
         (acc0, acc1)
     }
 
@@ -447,6 +477,37 @@ mod tests {
         let out = ev.decrypt_values(&ca, 2);
         assert!((out[0] - 0.7).abs() < 1e-3);
         assert!((out[1] + 0.3).abs() < 1e-3);
+    }
+
+    #[test]
+    fn warm_mul_rescale_pipeline_allocates_nothing() {
+        // The perf contract behind the buffer pool: after one warm-up
+        // iteration, the steady-state ct_mult → relinearize → rescale
+        // pipeline (including the wide lazy key-switch accumulators)
+        // runs entirely off the thread-local free lists.
+        let (ev, mut rng) = setup(55);
+        let ct = ev.encrypt_values(&[0.4, -0.2], &mut rng);
+        let pipeline = || {
+            let mut p = ev.mul(&ct, &ct);
+            ev.rescale(&mut p);
+            p
+        };
+        // Warm-up: builds the relin key digit decomposition buffers and
+        // seeds the pool with every buffer shape the pipeline needs.
+        for _ in 0..2 {
+            std::hint::black_box(pipeline());
+        }
+        crate::pool::reset_stats();
+        for _ in 0..4 {
+            std::hint::black_box(pipeline());
+        }
+        let stats = crate::pool::stats();
+        assert_eq!(
+            stats.fresh_allocs, 0,
+            "steady-state mul+rescale must not hit the allocator: {stats:?}"
+        );
+        assert!(stats.reuses > 0, "pipeline must actually use the pool");
+        assert_eq!(stats.dropped, 0, "free list churn must stay bounded");
     }
 
     #[test]

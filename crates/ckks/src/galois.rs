@@ -58,8 +58,9 @@ impl Evaluator {
         let mut c1g_ntt = c1g;
         c1g_ntt.to_ntt();
         let (k0, k1) = self.key_switch_with(&c1g_ntt, &key);
+        c0g.add_assign(&k0);
         Ciphertext {
-            c0: c0g.add(&k0),
+            c0: c0g,
             c1: k1,
             scale: ct.scale,
         }

@@ -222,14 +222,11 @@ fn mod_pow2(e: u32, q: u64) -> u64 {
     acc
 }
 
-/// Copies the first `num_limbs` limbs of an NTT-form element.
+/// Copies the first `num_limbs` limbs of an NTT-form element (one
+/// flat prefix `memcpy` into a pooled buffer).
 pub(crate) fn truncate(p: &RnsPoly, num_limbs: usize) -> RnsPoly {
     assert!(p.is_ntt(), "truncate expects NTT form");
-    let mut out = RnsPoly::zero(p.context(), num_limbs);
-    for i in 0..num_limbs {
-        out.limb_mut(i).copy_from_slice(p.limb(i));
-    }
-    out
+    p.truncated(num_limbs)
 }
 
 #[cfg(test)]

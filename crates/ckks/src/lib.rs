@@ -46,6 +46,7 @@ mod keys;
 pub mod linear;
 pub mod noise;
 mod params;
+pub mod pool;
 mod rns;
 
 pub use cipher::{Ciphertext, Evaluator};

@@ -14,8 +14,16 @@
 //! ([`replicate`], [`Evaluator::encrypt_replicated`]).
 
 use crate::cipher::{Ciphertext, Evaluator};
+use crate::encoding::Plaintext;
 use smartpaf_tensor::Rng64;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+/// Cache key for an encoded diagonal: (diagonal offset, plaintext
+/// pre-rotation shift, slot count, scale bits). The limb count is NOT
+/// part of the key — diagonals encode once at the full modulus chain
+/// and `mul_plain` reads them through a limb prefix at any level.
+type DiagKey = (usize, usize, usize, u64);
 
 /// A real matrix stored by its nonzero generalized diagonals, padded to
 /// a power-of-two square dimension.
@@ -23,12 +31,34 @@ use std::collections::BTreeMap;
 /// Generalized diagonal `d` holds `diag_d[i] = M[i][(i+d) mod dim]`, so
 /// `(Mv)[i] = Σ_d diag_d[i] · v[(i+d) mod dim]` — each term is one slot
 /// rotation plus one plaintext multiply under CKKS.
-#[derive(Debug, Clone)]
+///
+/// Encoded diagonal plaintexts are cached inside the matrix after
+/// first use (one FFT per diagonal per slot layout, ever), so a matrix
+/// applied across many ciphertexts — the steady state of every
+/// encrypted inference pipeline — pays encoding cost only on its first
+/// application.
+#[derive(Debug)]
 pub struct DiagMatrix {
     dim: usize,
     out_dim: usize,
     in_dim: usize,
     diags: BTreeMap<usize, Vec<f64>>,
+    encoded: Mutex<HashMap<DiagKey, Arc<Plaintext>>>,
+}
+
+impl Clone for DiagMatrix {
+    /// Clones the matrix data; the encoded-plaintext cache starts
+    /// empty (entries are cheap to regenerate and usually belong to a
+    /// different scale after [`DiagMatrix::scaled`]).
+    fn clone(&self) -> Self {
+        DiagMatrix {
+            dim: self.dim,
+            out_dim: self.out_dim,
+            in_dim: self.in_dim,
+            diags: self.diags.clone(),
+            encoded: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 impl DiagMatrix {
@@ -73,6 +103,7 @@ impl DiagMatrix {
             out_dim,
             in_dim,
             diags,
+            encoded: Mutex::new(HashMap::new()),
         }
     }
 
@@ -86,6 +117,7 @@ impl DiagMatrix {
             out_dim: dim,
             in_dim: dim,
             diags,
+            encoded: Mutex::new(HashMap::new()),
         }
     }
 
@@ -149,6 +181,51 @@ impl DiagMatrix {
         out
     }
 
+    /// Number of encoded diagonal plaintexts currently cached
+    /// (diagnostics; see the caching tests).
+    pub fn encoded_cache_len(&self) -> usize {
+        self.encoded.lock().expect("cache poisoned").len()
+    }
+
+    /// Returns the encoded plaintext for generalized diagonal `d`
+    /// pre-rotated right by `shift` slots, encoding on first use.
+    ///
+    /// Encodes at the **full** modulus chain: `mul_plain` reads
+    /// plaintexts through a limb prefix, and per-limb residues are
+    /// computed independently, so the prefix limbs are bit-identical
+    /// to what a per-level encoding would produce. One cache entry
+    /// therefore serves ciphertexts at every level.
+    fn encoded_diag(&self, ev: &Evaluator, d: usize, shift: usize) -> Arc<Plaintext> {
+        let slots = ev.context().slots();
+        let scale = ev.context().scale();
+        let key = (d, shift, slots, scale.to_bits());
+        if let Some(pt) = self.encoded.lock().expect("cache poisoned").get(&key) {
+            return Arc::clone(pt);
+        }
+        let diag = &self.diags[&d];
+        let tiled = replicate(diag, slots);
+        let pre = if shift == 0 {
+            tiled
+        } else {
+            let mut pre = vec![0.0; slots];
+            for (s, p) in pre.iter_mut().enumerate() {
+                *p = tiled[(s + slots - shift) % slots];
+            }
+            pre
+        };
+        let pt = Arc::new(
+            ev.encoder()
+                .encode(&pre, scale, ev.context().primes().len()),
+        );
+        Arc::clone(
+            self.encoded
+                .lock()
+                .expect("cache poisoned")
+                .entry(key)
+                .or_insert(pt),
+        )
+    }
+
     /// Fraction of entries that are nonzero (density diagnostics for
     /// structured matrices like pooling or Toeplitz convolutions).
     pub fn density(&self) -> f64 {
@@ -205,13 +282,9 @@ impl Evaluator {
             "matrix dim must divide slots"
         );
         let mut acc: Option<Ciphertext> = None;
-        for (&d, diag) in &mat.diags {
+        for &d in mat.diags.keys() {
             let rot = self.rotate(ct, d as i64);
-            let pt = self.encoder().encode(
-                &replicate(diag, slots),
-                self.context().scale(),
-                rot.num_limbs(),
-            );
+            let pt = mat.encoded_diag(self, d, 0);
             let term = self.mul_plain(&rot, &pt);
             acc = Some(match acc {
                 None => term,
@@ -263,19 +336,13 @@ impl Evaluator {
         let mut outer: Option<Ciphertext> = None;
         for k in 0..g2 {
             let mut inner: Option<Ciphertext> = None;
-            for (&d, diag) in mat.diags.range(k * g1..(k + 1) * g1) {
+            for &d in mat.diags.range(k * g1..(k + 1) * g1).map(|(d, _)| d) {
                 let j = d - k * g1;
                 let rot_v = baby[j].as_ref().expect("baby step precomputed");
-                // Plaintext rotation of the tiled diagonal by -k·g1.
-                let tiled = replicate(diag, slots);
+                // Plaintext rotation of the tiled diagonal by -k·g1
+                // (done inside the cached encode).
                 let shift = (k * g1) % slots;
-                let mut pre = vec![0.0; slots];
-                for (s, p) in pre.iter_mut().enumerate() {
-                    *p = tiled[(s + slots - shift) % slots];
-                }
-                let pt = self
-                    .encoder()
-                    .encode(&pre, self.context().scale(), rot_v.num_limbs());
+                let pt = mat.encoded_diag(self, d, shift);
                 let term = self.mul_plain(rot_v, &pt);
                 inner = Some(match inner {
                     None => term,
@@ -556,6 +623,48 @@ mod tests {
                 got[i],
                 want[i]
             );
+        }
+    }
+
+    #[test]
+    fn encoded_diagonals_are_cached_across_calls() {
+        let (ev, mut rng) = setup(49);
+        let m = 8;
+        let rows = random_matrix(m, m, &mut rng);
+        let mat = DiagMatrix::from_rows(&rows);
+        assert_eq!(mat.encoded_cache_len(), 0);
+        let v = random_vec(m, &mut rng);
+        let ct = ev.encrypt_replicated(&v, &mut rng);
+        let first = ev.decrypt_values(&ev.matvec(&mat, &ct), m);
+        let after_first = mat.encoded_cache_len();
+        assert_eq!(after_first, mat.num_diagonals());
+        // Second application: no new encodes, identical result.
+        let second = ev.decrypt_values(&ev.matvec(&mat, &ct), m);
+        assert_eq!(mat.encoded_cache_len(), after_first);
+        assert_eq!(first, second);
+        // Applying at a lower level reuses the same full-chain entries.
+        let mut low = ct.clone();
+        low.drop_to(ct.num_limbs() - 2);
+        let _ = ev.matvec(&mat, &low);
+        assert_eq!(mat.encoded_cache_len(), after_first);
+    }
+
+    #[test]
+    fn clone_starts_with_empty_cache() {
+        let (ev, mut rng) = setup(50);
+        let mat = DiagMatrix::identity(8);
+        let ct = ev.encrypt_replicated(&random_vec(8, &mut rng), &mut rng);
+        let _ = ev.matvec(&mat, &ct);
+        assert!(mat.encoded_cache_len() > 0);
+        let copy = mat.clone();
+        assert_eq!(copy.encoded_cache_len(), 0);
+        // Scaled copies must not inherit stale plaintexts.
+        let scaled = mat.scaled(2.0);
+        assert_eq!(scaled.encoded_cache_len(), 0);
+        let out = ev.decrypt_values(&ev.matvec(&scaled, &ct), 8);
+        let base = ev.decrypt_values(&ev.matvec(&mat, &ct), 8);
+        for i in 0..8 {
+            assert!((out[i] - 2.0 * base[i]).abs() < 2e-2, "slot {i}");
         }
     }
 

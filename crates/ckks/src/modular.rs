@@ -1,4 +1,22 @@
 //! 64-bit prime-field arithmetic and NTT-friendly prime generation.
+//!
+//! Two tiers of kernels live here:
+//!
+//! - **Portable helpers** (`add_mod`, `sub_mod`, `mul_mod`, …) that
+//!   reduce through a 128-bit remainder. Correct for any `q < 2^63`
+//!   but each `mul_mod` costs a hardware division.
+//! - **[`PrimeArith`]**: precomputed Barrett and Shoup constants for
+//!   one fixed prime, replacing every division in the hot loops with
+//!   two or three multiplies. All `PrimeArith` kernels compute exactly
+//!   the same residues as the portable helpers — they are drop-in
+//!   *representation-preserving* replacements, so swapping them in
+//!   cannot change any ciphertext bit.
+//!
+//! Lazy-reduction variants (`*_lazy`) return representatives in
+//! `[0, 2q)` instead of `[0, q)`; callers accumulate in `[0, 4q)` and
+//! normalize once at the end (see `ckks::ntt`). All lazy kernels
+//! require `q < 2^62` so `4q` fits in a `u64` — enforced by
+//! [`PrimeArith::new`] and by [`ntt_primes`].
 
 /// Modular addition in `[0, q)`.
 #[inline]
@@ -84,6 +102,181 @@ pub fn is_prime(n: u64) -> bool {
         return false;
     }
     true
+}
+
+/// Precomputed Barrett/Shoup constants for a fixed prime `q < 2^62`.
+///
+/// Every kernel on this struct is an exact replacement for the
+/// portable `% q` helpers: for the same inputs it returns the same
+/// canonical residue (or, for `*_lazy` variants, a representative that
+/// normalizes to it). The point is raw speed — no hardware division
+/// anywhere on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrimeArith {
+    /// The prime modulus.
+    q: u64,
+    /// `2q`, the lazy-representative bound.
+    two_q: u64,
+    /// High 64 bits of `floor(2^128 / q)` (Barrett ratio).
+    ratio_hi: u64,
+    /// Low 64 bits of `floor(2^128 / q)`.
+    ratio_lo: u64,
+}
+
+impl PrimeArith {
+    /// Precomputes the Barrett ratio `floor(2^128 / q)` for `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q < 2` or `q >= 2^62` (lazy kernels need `4q` to fit
+    /// in a `u64`) or if `q` is even (the ratio shortcut below assumes
+    /// `q` does not divide `2^128`; all NTT primes are odd).
+    pub fn new(q: u64) -> Self {
+        assert!(q >= 2, "modulus must be at least 2");
+        assert!(q < (1u64 << 62), "modulus must be below 2^62");
+        assert!(q & 1 == 1, "modulus must be odd");
+        // q is odd, so q never divides 2^128 and
+        // floor(2^128 / q) == floor((2^128 - 1) / q).
+        let ratio = u128::MAX / q as u128;
+        PrimeArith {
+            q,
+            two_q: 2 * q,
+            ratio_hi: (ratio >> 64) as u64,
+            ratio_lo: ratio as u64,
+        }
+    }
+
+    /// The prime modulus.
+    #[inline]
+    pub fn q(&self) -> u64 {
+        self.q
+    }
+
+    /// `2q` — the exclusive upper bound on lazy representatives.
+    #[inline]
+    pub fn two_q(&self) -> u64 {
+        self.two_q
+    }
+
+    /// Modular addition in `[0, q)`. Same result as [`add_mod`].
+    #[inline]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        let s = a + b;
+        if s >= self.q {
+            s - self.q
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction in `[0, q)`. Same result as [`sub_mod`].
+    #[inline]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        if a >= b {
+            a - b
+        } else {
+            a + self.q - b
+        }
+    }
+
+    /// Reduces a 128-bit value to `[0, q)` by Barrett reduction —
+    /// exact for **any** `u128` input. This is what lets the
+    /// key-switch inner loop accumulate raw 128-bit products lazily
+    /// and reduce once at the end (see `Evaluator::key_switch_with`).
+    ///
+    /// Computes the low word of `q_hat ~= floor(x * ratio / 2^128)`
+    /// from the four cross products (only the low half of
+    /// `x_lo * ratio_lo` is dropped; the estimate is then off by at
+    /// most one), and takes `x - q_hat * q` with a single conditional
+    /// correction.
+    #[inline]
+    pub fn reduce_u128(&self, x: u128) -> u64 {
+        let x_lo = x as u64;
+        let x_hi = (x >> 64) as u64;
+        let carry = ((x_lo as u128 * self.ratio_lo as u128) >> 64) as u64;
+        let mid = x_lo as u128 * self.ratio_hi as u128;
+        let t = (mid as u64 as u128) + carry as u128;
+        let tmp3 = ((mid >> 64) as u64).wrapping_add((t >> 64) as u64);
+        let mid2 = x_hi as u128 * self.ratio_lo as u128;
+        let t2 = (mid2 as u64 as u128) + (t as u64) as u128;
+        let carry2 = ((mid2 >> 64) as u64).wrapping_add((t2 >> 64) as u64);
+        let q_hat = x_hi
+            .wrapping_mul(self.ratio_hi)
+            .wrapping_add(tmp3)
+            .wrapping_add(carry2);
+        let r = x_lo.wrapping_sub(q_hat.wrapping_mul(self.q));
+        debug_assert!(r < self.two_q, "Barrett estimate off by more than one");
+        if r >= self.q {
+            r - self.q
+        } else {
+            r
+        }
+    }
+
+    /// Modular multiplication in `[0, q)` without division. Same
+    /// result as [`mul_mod`] for canonical inputs.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        self.reduce_u128(a as u128 * b as u128)
+    }
+
+    /// Precomputes the Shoup companion `floor(w * 2^64 / q)` for a
+    /// fixed multiplicand `w < q` (twiddle factors, scalar residues).
+    #[inline]
+    pub fn shoup(&self, w: u64) -> u64 {
+        debug_assert!(w < self.q);
+        (((w as u128) << 64) / self.q as u128) as u64
+    }
+
+    /// Shoup multiplication `a * w mod q` with lazy output in
+    /// `[0, 2q)`. `w_shoup` must be `self.shoup(w)`; `a` may be any
+    /// `u64` (in particular a `[0, 4q)` lazy representative).
+    #[inline]
+    pub fn mul_shoup_lazy(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
+        debug_assert!(w < self.q);
+        let q_est = ((a as u128 * w_shoup as u128) >> 64) as u64;
+        let r = a.wrapping_mul(w).wrapping_sub(q_est.wrapping_mul(self.q));
+        debug_assert!(r < self.two_q, "Shoup product escaped [0, 2q)");
+        r
+    }
+
+    /// Shoup multiplication normalized to `[0, q)`. For canonical `a`
+    /// this equals `mul_mod(a, w, q)` exactly.
+    #[inline]
+    pub fn mul_shoup(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
+        let r = self.mul_shoup_lazy(a, w, w_shoup);
+        if r >= self.q {
+            r - self.q
+        } else {
+            r
+        }
+    }
+
+    /// Folds a `[0, 4q)` lazy representative down to `[0, 2q)`.
+    #[inline]
+    pub fn reduce_once(&self, a: u64) -> u64 {
+        debug_assert!(a < 2 * self.two_q, "lazy representative escaped [0, 4q)");
+        if a >= self.two_q {
+            a - self.two_q
+        } else {
+            a
+        }
+    }
+
+    /// Normalizes a `[0, 4q)` lazy representative to canonical
+    /// `[0, q)` form.
+    #[inline]
+    pub fn normalize(&self, a: u64) -> u64 {
+        let a = self.reduce_once(a);
+        if a >= self.q {
+            a - self.q
+        } else {
+            a
+        }
+    }
 }
 
 /// Finds `count` distinct primes of roughly `bits` bits with
@@ -184,6 +377,110 @@ mod tests {
         let mut sorted = primes.clone();
         sorted.dedup();
         assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn barrett_matches_u128_division() {
+        for bits in [40u32, 50, 60, 62] {
+            let q = ntt_primes(bits, 1, 256)[0];
+            let pa = PrimeArith::new(q);
+            let mut x = 0x9E3779B97F4A7C15u64;
+            for _ in 0..2000 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let a = x % q;
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let b = x % q;
+                assert_eq!(pa.mul(a, b), mul_mod(a, b, q), "a={a} b={b} q={q}");
+                assert_eq!(pa.add(a, b), add_mod(a, b, q));
+                assert_eq!(pa.sub(a, b), sub_mod(a, b, q));
+            }
+            // Edge operands.
+            for &a in &[0u64, 1, q - 1] {
+                for &b in &[0u64, 1, q - 1] {
+                    assert_eq!(pa.mul(a, b), mul_mod(a, b, q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn barrett_exact_over_full_u128_range() {
+        // The lazy key-switch accumulator feeds reduce_u128 sums of up
+        // to ~2^126; pin exactness across the whole input range.
+        for bits in [40u32, 50, 60, 62] {
+            let q = ntt_primes(bits, 1, 256)[0];
+            let pa = PrimeArith::new(q);
+            let mut x = 0x243F6A8885A308D3u64;
+            for i in 0..4000u32 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let lo = x;
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                // Sweep the high word across all magnitudes.
+                let hi = x >> (i % 64);
+                let v = (hi as u128) << 64 | lo as u128;
+                assert_eq!(pa.reduce_u128(v) as u128, v % q as u128, "q={q} v={v}");
+            }
+            for &v in &[
+                0u128,
+                1,
+                q as u128 - 1,
+                q as u128,
+                (q as u128) * (q as u128),
+                u128::MAX,
+                u128::MAX - 1,
+                (q as u128) << 64,
+                ((q as u128) << 64) - 1,
+            ] {
+                assert_eq!(pa.reduce_u128(v) as u128, v % q as u128, "q={q} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn shoup_matches_mul_mod_and_stays_lazy() {
+        let q = ntt_primes(60, 1, 256)[0];
+        let pa = PrimeArith::new(q);
+        let mut x = 7u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+            let w = x % q;
+            let ws = pa.shoup(w);
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
+            // Lazy inputs up to 4q must still reduce correctly.
+            let a_lazy = x % (4 * q);
+            let lazy = pa.mul_shoup_lazy(a_lazy, w, ws);
+            assert!(lazy < 2 * q);
+            assert_eq!(
+                pa.normalize(lazy),
+                mul_mod(a_lazy % q, w, q),
+                "w={w} a={a_lazy}"
+            );
+            let a = a_lazy % q;
+            assert_eq!(pa.mul_shoup(a, w, ws), mul_mod(a, w, q));
+        }
+    }
+
+    #[test]
+    fn normalize_covers_every_band() {
+        let q = 97u64;
+        let pa = PrimeArith::new(q);
+        for r in 0..4 * q {
+            assert_eq!(pa.normalize(r), r % q);
+        }
+        for r in 0..2 * q {
+            assert_eq!(pa.reduce_once(r + 2 * q), r);
+            assert_eq!(pa.reduce_once(r), r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below 2^62")]
+    fn prime_arith_rejects_oversized_modulus() {
+        PrimeArith::new(1u64 << 62 | 1);
     }
 
     #[test]

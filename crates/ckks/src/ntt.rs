@@ -4,8 +4,21 @@
 //! bit-reversed tables of powers of a primitive `2n`-th root `psi`
 //! (Longa-Naehrig formulation). Polynomial multiplication in the ring
 //! is pointwise multiplication between forward transforms.
+//!
+//! # Lazy reduction
+//!
+//! The butterflies run Harvey-style *lazy* modular arithmetic: every
+//! twiddle multiply is a two-multiply Shoup product returning a
+//! representative in `[0, 2q)`, and butterfly outputs are allowed to
+//! drift up to `[0, 4q)` between passes. A single normalization pass
+//! at the end folds everything back to canonical `[0, q)` form, so
+//! `forward`/`inverse` return **bit-identical** results to a fully
+//! reduced implementation — the laziness is invisible outside this
+//! module (and is `debug_assert!`-checked inside it; see the
+//! `debug-asserts` CI job). This requires `q < 2^62` so `4q` fits in
+//! a `u64`, which [`crate::modular::ntt_primes`] guarantees.
 
-use crate::modular::{add_mod, inv_mod, mul_mod, primitive_root_2n, sub_mod};
+use crate::modular::{add_mod, inv_mod, mul_mod, primitive_root_2n, sub_mod, PrimeArith};
 
 /// Precomputed NTT tables for one prime.
 #[derive(Debug, Clone)]
@@ -13,9 +26,13 @@ pub struct NttTable {
     /// The prime modulus.
     pub q: u64,
     n: usize,
+    arith: PrimeArith,
     psi_brv: Vec<u64>,
+    psi_brv_shoup: Vec<u64>,
     ipsi_brv: Vec<u64>,
+    ipsi_brv_shoup: Vec<u64>,
     n_inv: u64,
+    n_inv_shoup: u64,
 }
 
 fn bit_reverse(i: usize, log_n: u32) -> usize {
@@ -24,13 +41,16 @@ fn bit_reverse(i: usize, log_n: u32) -> usize {
 
 impl NttTable {
     /// Builds tables for ring dimension `n` (power of two) and prime
-    /// `q ≡ 1 mod 2n`.
+    /// `q ≡ 1 mod 2n`. Each twiddle is stored together with its Shoup
+    /// companion `floor(w * 2^64 / q)` so the butterflies never touch
+    /// a hardware division.
     ///
     /// # Panics
     ///
     /// Panics if `n` is not a power of two or `q` is not NTT-friendly.
     pub fn new(q: u64, n: usize) -> Self {
         assert!(n.is_power_of_two(), "n must be a power of two");
+        let arith = PrimeArith::new(q);
         let log_n = n.trailing_zeros();
         let psi = primitive_root_2n(q, n);
         let ipsi = inv_mod(psi, q);
@@ -44,12 +64,19 @@ impl NttTable {
             p = mul_mod(p, psi, q);
             ip = mul_mod(ip, ipsi, q);
         }
+        let psi_brv_shoup = psi_brv.iter().map(|&w| arith.shoup(w)).collect();
+        let ipsi_brv_shoup = ipsi_brv.iter().map(|&w| arith.shoup(w)).collect();
+        let n_inv = inv_mod(n as u64, q);
         NttTable {
             q,
             n,
+            arith,
             psi_brv,
+            psi_brv_shoup,
             ipsi_brv,
-            n_inv: inv_mod(n as u64, q),
+            ipsi_brv_shoup,
+            n_inv,
+            n_inv_shoup: arith.shoup(n_inv),
         }
     }
 
@@ -58,26 +85,61 @@ impl NttTable {
         self.n
     }
 
+    /// The prime's precomputed Barrett/Shoup constants, shared with
+    /// callers that do pointwise arithmetic on transformed data.
+    #[inline]
+    pub fn arith(&self) -> &PrimeArith {
+        &self.arith
+    }
+
     /// In-place forward negacyclic NTT.
+    ///
+    /// Cooley-Tukey butterflies with lazy reduction: working values
+    /// stay in `[0, 4q)` across passes (inputs are folded to `[0, 2q)`
+    /// just before each butterfly), and one final pass normalizes the
+    /// output to canonical `[0, q)` residues — identical to what a
+    /// fully reduced transform would produce.
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != n`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "length mismatch");
-        let q = self.q;
+        let pa = self.arith;
+        let two_q = pa.two_q();
+        if self.n == 1 {
+            return; // single-coefficient ring: the transform is the identity
+        }
         let mut t = self.n;
         let mut m = 1;
         while m < self.n {
             t /= 2;
-            for i in 0..m {
-                let j1 = 2 * i * t;
-                let s = self.psi_brv[m + i];
-                for j in j1..j1 + t {
-                    let u = a[j];
-                    let v = mul_mod(a[j + t], s, q);
-                    a[j] = add_mod(u, v, q);
-                    a[j + t] = sub_mod(u, v, q);
+            if t == 1 {
+                // Final stage: normalize in the butterfly itself rather
+                // than in a separate sweep over the whole array.
+                for (i, block) in a.chunks_exact_mut(2).enumerate() {
+                    let s = self.psi_brv[m + i];
+                    let s_shoup = self.psi_brv_shoup[m + i];
+                    let u = pa.reduce_once(block[0]);
+                    let v = pa.mul_shoup_lazy(block[1], s, s_shoup);
+                    block[0] = pa.normalize(u + v);
+                    block[1] = pa.normalize(u + two_q - v);
+                }
+            } else {
+                // Each block of 2t elements splits into a low and a
+                // high half sharing one twiddle; the zipped halves
+                // compile to a bounds-check-free inner loop.
+                for (i, block) in a.chunks_exact_mut(2 * t).enumerate() {
+                    let s = self.psi_brv[m + i];
+                    let s_shoup = self.psi_brv_shoup[m + i];
+                    let (lo, hi) = block.split_at_mut(t);
+                    for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                        // u in [0, 2q), v in [0, 2q) => outputs in [0, 4q).
+                        let u = pa.reduce_once(*x);
+                        let v = pa.mul_shoup_lazy(*y, s, s_shoup);
+                        *x = u + v;
+                        *y = u + two_q - v;
+                    }
                 }
             }
             m *= 2;
@@ -86,32 +148,41 @@ impl NttTable {
 
     /// In-place inverse negacyclic NTT.
     ///
+    /// Gentleman-Sande butterflies with lazy reduction (values in
+    /// `[0, 2q)` between passes); the final multiply by `n^-1` is a
+    /// Shoup product normalized to `[0, q)`.
+    ///
     /// # Panics
     ///
     /// Panics if `a.len() != n`.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "length mismatch");
-        let q = self.q;
+        let pa = self.arith;
+        let two_q = pa.two_q();
         let mut t = 1;
         let mut m = self.n;
         while m > 1 {
             let h = m / 2;
-            let mut j1 = 0;
-            for i in 0..h {
+            for (i, block) in a.chunks_exact_mut(2 * t).enumerate() {
                 let s = self.ipsi_brv[h + i];
-                for j in j1..j1 + t {
-                    let u = a[j];
-                    let v = a[j + t];
-                    a[j] = add_mod(u, v, q);
-                    a[j + t] = mul_mod(sub_mod(u, v, q), s, q);
+                let s_shoup = self.ipsi_brv_shoup[h + i];
+                let (lo, hi) = block.split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    // u, v in [0, 2q): sum folded back to [0, 2q),
+                    // difference (shifted by 2q) fed to the lazy
+                    // Shoup product which tolerates any u64.
+                    let u = *x;
+                    let v = *y;
+                    debug_assert!(u < two_q && v < two_q);
+                    *x = pa.reduce_once(u + v);
+                    *y = pa.mul_shoup_lazy(u + two_q - v, s, s_shoup);
                 }
-                j1 += 2 * t;
             }
             t *= 2;
             m = h;
         }
         for x in a.iter_mut() {
-            *x = mul_mod(*x, self.n_inv, q);
+            *x = pa.mul_shoup(*x, self.n_inv, self.n_inv_shoup);
         }
     }
 
@@ -242,5 +313,54 @@ mod tests {
         t.forward(&mut a);
         t.inverse(&mut a);
         assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn outputs_are_canonical_residues() {
+        // Lazy reduction must be invisible: every output < q even for
+        // worst-case all-(q-1) inputs at the largest supported primes.
+        for bits in [40u32, 60, 62] {
+            let q = ntt_primes(bits, 1, 128)[0];
+            let t = NttTable::new(q, 128);
+            let mut a = vec![q - 1; 128];
+            t.forward(&mut a);
+            assert!(a.iter().all(|&x| x < q), "forward output escaped [0, q)");
+            t.inverse(&mut a);
+            assert!(a.iter().all(|&x| x < q), "inverse output escaped [0, q)");
+            assert!(a.iter().all(|&x| x == q - 1), "roundtrip drifted");
+        }
+    }
+
+    #[test]
+    fn matches_fully_reduced_reference_transform() {
+        // Pin bit-identity against the pre-Shoup formulation: plain
+        // Cooley-Tukey butterflies reducing through mul_mod at every
+        // step must give the same output vector.
+        let t = table(64);
+        let q = t.q;
+        let mut lazy: Vec<u64> = (0..64).map(|i| (i as u64 * 7919 + 13) % q).collect();
+        let mut plain = lazy.clone();
+        t.forward(&mut lazy);
+        {
+            let n = 64;
+            let a = &mut plain;
+            let mut tt = n;
+            let mut m = 1;
+            while m < n {
+                tt /= 2;
+                for i in 0..m {
+                    let j1 = 2 * i * tt;
+                    let s = t.psi_brv[m + i];
+                    for j in j1..j1 + tt {
+                        let u = a[j];
+                        let v = mul_mod(a[j + tt], s, q);
+                        a[j] = add_mod(u, v, q);
+                        a[j + tt] = sub_mod(u, v, q);
+                    }
+                }
+                m *= 2;
+            }
+        }
+        assert_eq!(lazy, plain, "lazy NTT diverged from reduced reference");
     }
 }

@@ -148,6 +148,107 @@ proptest! {
         }
     }
 
+    /// Lazy-reduction NTT: forward→inverse is the identity, and
+    /// pointwise multiplication in the NTT domain matches the O(n²)
+    /// schoolbook negacyclic product, across random primes and ring
+    /// sizes. Pins the Shoup/lazy kernels to the mathematical
+    /// transform, not just to a fixed test vector.
+    #[test]
+    fn lazy_ntt_roundtrip_and_pointwise_mul(
+        bits in 40u32..60,
+        log_n in 3u32..10,
+        seed in 0u64..1_000_000,
+    ) {
+        use crate::modular::{mul_mod, ntt_primes};
+        use crate::ntt::NttTable;
+        let n = 1usize << log_n;
+        let q = ntt_primes(bits, 1, n)[0];
+        let table = NttTable::new(q, n);
+        let mut rng = Rng64::new(seed);
+        let a: Vec<u64> = (0..n).map(|_| rng.next_u64() % q).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.next_u64() % q).collect();
+        // Round trip.
+        let mut rt = a.clone();
+        table.forward(&mut rt);
+        prop_assert!(rt.iter().all(|&x| x < q), "forward must emit canonical residues");
+        table.inverse(&mut rt);
+        prop_assert_eq!(&rt, &a);
+        // Pointwise product vs schoolbook reference.
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        table.forward(&mut fa);
+        table.forward(&mut fb);
+        let mut prod: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| mul_mod(x, y, q)).collect();
+        table.inverse(&mut prod);
+        prop_assert_eq!(prod, table.negacyclic_mul_reference(&a, &b));
+    }
+
+    /// Pooled execution is bit-identical to fresh allocation: the same
+    /// seeded pipeline (encrypt → mul → relin → rescale → rotate →
+    /// decrypt) produces byte-equal ciphertext limbs and decrypted
+    /// values whether buffers come from the thread-local pool (with
+    /// debug poisoning) or straight from the allocator.
+    #[test]
+    fn pooled_matches_fresh_allocation(
+        vals in proptest::collection::vec(-1.0f64..1.0, 8),
+        steps in 0i64..8,
+        seed in 0u64..1000,
+    ) {
+        let ev = shared();
+        let run = || {
+            let mut rng = Rng64::new(seed);
+            let ct = ev.encrypt_replicated(&vals, &mut rng);
+            let mut prod = ev.mul(&ct, &ct);
+            ev.rescale(&mut prod);
+            let rot = ev.rotate(&prod, steps);
+            let out = ev.decrypt_values(&rot, 8);
+            (rot, out)
+        };
+        // Warm the pool so the pooled run actually recycles buffers.
+        let _ = run();
+        let (ct_pooled, out_pooled) = run();
+        let (ct_fresh, out_fresh) = crate::pool::with_pool_disabled(run);
+        prop_assert_eq!(ct_pooled.c0.limbs().collect::<Vec<_>>(),
+                        ct_fresh.c0.limbs().collect::<Vec<_>>());
+        prop_assert_eq!(ct_pooled.c1.limbs().collect::<Vec<_>>(),
+                        ct_fresh.c1.limbs().collect::<Vec<_>>());
+        // f64 equality is intentional: the pipelines must be identical.
+        prop_assert_eq!(out_pooled, out_fresh);
+    }
+
+    /// Flat-layout aliasing: `automorphism` writes every word of its
+    /// pooled (unspecified-content) output buffer — a dirty recycled
+    /// buffer yields exactly the same limbs as a fresh zeroed one, for
+    /// random Galois elements and both evaluation domains.
+    #[test]
+    fn automorphism_overwrites_pooled_buffer(
+        g_idx in 0usize..64,
+        ntt_domain in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        use crate::rns::RnsPoly;
+        let ev = shared();
+        let ctx = ev.context();
+        let n = ctx.n();
+        let g = 2 * (g_idx % n) + 1; // odd, in 1..2n
+        let mut rng = Rng64::new(seed);
+        let q_min = *ctx.primes().iter().min().expect("non-empty chain");
+        let coeffs: Vec<u64> = (0..n).map(|_| rng.next_u64() % q_min).collect();
+        let make = || {
+            let mut p = RnsPoly::from_unsigned_coeffs(ctx, &coeffs, ctx.primes().len());
+            if ntt_domain {
+                p.to_ntt();
+            }
+            p
+        };
+        // Churn the pool so recycled buffers carry poison/garbage.
+        drop(make());
+        let pooled = make().automorphism(g);
+        let fresh = crate::pool::with_pool_disabled(|| make().automorphism(g));
+        prop_assert_eq!(pooled.limbs().collect::<Vec<_>>(),
+                        fresh.limbs().collect::<Vec<_>>());
+    }
+
     /// A bootstrap refresh preserves slot values and restores the top
     /// level regardless of how deep the input sits.
     #[test]

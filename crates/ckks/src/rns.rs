@@ -1,10 +1,36 @@
 //! RNS polynomial ring: elements of `Z_Q[X]/(X^n+1)` stored as one
 //! residue vector ("limb") per prime in the modulus chain.
+//!
+//! # Flat limb layout
+//!
+//! A poly's limbs live in **one contiguous `Vec<u64>`**, limb-major:
+//! limb `i` is the stride slice `data[i*n .. (i+1)*n]`. Dropping the
+//! last limb (modulus switch, rescale) is a truncation, cloning is a
+//! single `memcpy`, and the backing buffer is recycled through the
+//! thread-local [`crate::pool`] so steady-state ciphertext pipelines
+//! do not allocate. See `docs/ARCHITECTURE.md` ("Memory & kernels").
+//!
+//! All modular arithmetic goes through the per-prime
+//! [`crate::modular::PrimeArith`] Barrett/Shoup kernels — same
+//! residues as the portable `% q` helpers, no hardware division.
 
-use crate::modular::{add_mod, inv_mod, mul_mod, sub_mod};
+use crate::modular::{add_mod, inv_mod, sub_mod, PrimeArith};
 use crate::ntt::NttTable;
+use crate::pool;
 use smartpaf_tensor::Rng64;
 use std::sync::Arc;
+
+/// Precomputed constants for one rescale step: dividing by the prime
+/// at `last_idx` inside the limb at `i < last_idx`.
+#[derive(Debug, Clone, Copy)]
+struct RescalePre {
+    /// `q_last mod q_i`.
+    q_last_mod: u64,
+    /// `(q_last mod q_i)^-1 mod q_i`.
+    inv: u64,
+    /// Shoup companion of `inv`.
+    inv_shoup: u64,
+}
 
 /// Shared CKKS ring context: dimension, prime chain, NTT tables and
 /// the default encoding scale.
@@ -13,6 +39,9 @@ pub struct CkksContext {
     n: usize,
     primes: Vec<u64>,
     ntt: Vec<NttTable>,
+    /// `rescale_pre[last_idx]` holds constants for limbs
+    /// `0..last_idx` when rescaling away the prime at `last_idx`.
+    rescale_pre: Vec<Vec<RescalePre>>,
     scale: f64,
     sigma: f64,
 }
@@ -27,11 +56,29 @@ impl CkksContext {
     pub fn new(n: usize, primes: Vec<u64>, scale: f64) -> Arc<Self> {
         assert!(n.is_power_of_two(), "n must be a power of two");
         assert!(!primes.is_empty(), "empty prime chain");
-        let ntt = primes.iter().map(|&q| NttTable::new(q, n)).collect();
+        let ntt: Vec<NttTable> = primes.iter().map(|&q| NttTable::new(q, n)).collect();
+        let rescale_pre = (0..primes.len())
+            .map(|last_idx| {
+                let q_last = primes[last_idx];
+                (0..last_idx)
+                    .map(|i| {
+                        let q = primes[i];
+                        let q_last_mod = q_last % q;
+                        let inv = inv_mod(q_last_mod, q);
+                        RescalePre {
+                            q_last_mod,
+                            inv,
+                            inv_shoup: ntt[i].arith().shoup(inv),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
         Arc::new(CkksContext {
             n,
             primes,
             ntt,
+            rescale_pre,
             scale,
             sigma: 3.2,
         })
@@ -72,19 +119,78 @@ impl CkksContext {
     pub fn ntt(&self, i: usize) -> &NttTable {
         &self.ntt[i]
     }
+
+    /// Barrett/Shoup constants for prime index `i`.
+    #[inline]
+    pub fn arith(&self, i: usize) -> &PrimeArith {
+        self.ntt[i].arith()
+    }
+
+    /// How many raw `u128` products `(q_i-1)^2` can pile up in a lazy
+    /// accumulator (on top of one canonical carry-in `< q_i`) before
+    /// it must be flushed, minimized over the first `num_limbs`
+    /// primes. For 60-bit primes this is ~256, far above any gadget
+    /// component count, so the key switch never flushes in practice.
+    pub(crate) fn lazy_acc_headroom(&self, num_limbs: usize) -> usize {
+        self.primes[..num_limbs]
+            .iter()
+            .map(|&q| {
+                let max_prod = (q as u128 - 1) * (q as u128 - 1);
+                ((u128::MAX - (q as u128 - 1)) / max_prod) as usize
+            })
+            .min()
+            .expect("non-empty chain")
+    }
 }
 
-/// An RNS ring element. `limbs[i]` holds the residues modulo
-/// `context.primes()[i]`; the number of limbs defines the element's
-/// level. `is_ntt` says which domain the limbs are in.
-#[derive(Debug, Clone)]
+/// An RNS ring element. Limb `i` holds the residues modulo
+/// `context.primes()[i]` as the stride slice `data[i*n..(i+1)*n]` of
+/// one flat buffer; the number of limbs defines the element's level.
+/// `is_ntt` says which domain the limbs are in.
+///
+/// The backing buffer comes from the thread-local [`crate::pool`] and
+/// returns there on drop.
+#[derive(Debug)]
 pub struct RnsPoly {
     ctx: Arc<CkksContext>,
-    limbs: Vec<Vec<u64>>,
+    data: Vec<u64>,
+    num_limbs: usize,
     is_ntt: bool,
 }
 
+impl Drop for RnsPoly {
+    fn drop(&mut self) {
+        pool::release(std::mem::take(&mut self.data));
+    }
+}
+
+impl Clone for RnsPoly {
+    fn clone(&self) -> Self {
+        let mut data = pool::acquire(self.data.len());
+        data.copy_from_slice(&self.data);
+        RnsPoly {
+            ctx: Arc::clone(&self.ctx),
+            data,
+            num_limbs: self.num_limbs,
+            is_ntt: self.is_ntt,
+        }
+    }
+}
+
 impl RnsPoly {
+    /// A poly with pooled, *uninitialized* (unspecified-content)
+    /// storage. Internal: every limb must be fully overwritten before
+    /// the value escapes.
+    fn uninit(ctx: &Arc<CkksContext>, num_limbs: usize, is_ntt: bool) -> Self {
+        assert!(num_limbs >= 1 && num_limbs <= ctx.primes().len());
+        RnsPoly {
+            ctx: Arc::clone(ctx),
+            data: pool::acquire(num_limbs * ctx.n()),
+            num_limbs,
+            is_ntt,
+        }
+    }
+
     /// The zero element with `num_limbs` limbs, in NTT form.
     ///
     /// # Panics
@@ -94,7 +200,8 @@ impl RnsPoly {
         assert!(num_limbs >= 1 && num_limbs <= ctx.primes().len());
         RnsPoly {
             ctx: Arc::clone(ctx),
-            limbs: vec![vec![0u64; ctx.n()]; num_limbs],
+            data: pool::acquire_zeroed(num_limbs * ctx.n()),
+            num_limbs,
             is_ntt: true,
         }
     }
@@ -107,27 +214,19 @@ impl RnsPoly {
     /// Panics if `coeffs.len() != n`.
     pub fn from_signed_coeffs(ctx: &Arc<CkksContext>, coeffs: &[i64], num_limbs: usize) -> Self {
         assert_eq!(coeffs.len(), ctx.n(), "coefficient count mismatch");
-        let limbs = (0..num_limbs)
-            .map(|i| {
-                let q = ctx.primes()[i];
-                coeffs
-                    .iter()
-                    .map(|&c| {
-                        if c >= 0 {
-                            c as u64 % q
-                        } else {
-                            q - ((-c) as u64 % q)
-                        }
-                    })
-                    .map(|r| if r == q { 0 } else { r })
-                    .collect()
-            })
-            .collect();
-        RnsPoly {
-            ctx: Arc::clone(ctx),
-            limbs,
-            is_ntt: false,
+        let mut out = Self::uninit(ctx, num_limbs, false);
+        for i in 0..num_limbs {
+            let q = ctx.primes()[i];
+            for (dst, &c) in out.limb_mut(i).iter_mut().zip(coeffs) {
+                let r = if c >= 0 {
+                    c as u64 % q
+                } else {
+                    q - ((-c) as u64 % q)
+                };
+                *dst = if r == q { 0 } else { r };
+            }
         }
+        out
     }
 
     /// Builds from big signed coefficients given as `i128` (used by the
@@ -142,23 +241,14 @@ impl RnsPoly {
         num_limbs: usize,
     ) -> Self {
         assert_eq!(coeffs.len(), ctx.n(), "coefficient count mismatch");
-        let limbs = (0..num_limbs)
-            .map(|i| {
-                let q = ctx.primes()[i] as i128;
-                coeffs
-                    .iter()
-                    .map(|&c| {
-                        let r = c.rem_euclid(q);
-                        r as u64
-                    })
-                    .collect()
-            })
-            .collect();
-        RnsPoly {
-            ctx: Arc::clone(ctx),
-            limbs,
-            is_ntt: false,
+        let mut out = Self::uninit(ctx, num_limbs, false);
+        for i in 0..num_limbs {
+            let q = ctx.primes()[i] as i128;
+            for (dst, &c) in out.limb_mut(i).iter_mut().zip(coeffs) {
+                *dst = c.rem_euclid(q) as u64;
+            }
         }
+        out
     }
 
     /// Builds from small unsigned coefficients (each must be smaller
@@ -178,27 +268,24 @@ impl RnsPoly {
             coeffs.iter().all(|&c| c < min_q),
             "coefficient exceeds smallest prime"
         );
-        RnsPoly {
-            ctx: Arc::clone(ctx),
-            limbs: vec![coeffs.to_vec(); num_limbs],
-            is_ntt: false,
+        let mut out = Self::uninit(ctx, num_limbs, false);
+        for i in 0..num_limbs {
+            out.limb_mut(i).copy_from_slice(coeffs);
         }
+        out
     }
 
     /// Uniformly random element (NTT form is fine since uniform is
     /// domain-invariant).
     pub fn random_uniform(ctx: &Arc<CkksContext>, num_limbs: usize, rng: &mut Rng64) -> Self {
-        let limbs = (0..num_limbs)
-            .map(|i| {
-                let q = ctx.primes()[i];
-                (0..ctx.n()).map(|_| rng.next_u64() % q).collect()
-            })
-            .collect();
-        RnsPoly {
-            ctx: Arc::clone(ctx),
-            limbs,
-            is_ntt: true,
+        let mut out = Self::uninit(ctx, num_limbs, true);
+        for i in 0..num_limbs {
+            let q = ctx.primes()[i];
+            for dst in out.limb_mut(i) {
+                *dst = rng.next_u64() % q;
+            }
         }
+        out
     }
 
     /// Random ternary element with coefficients in `{-1, 0, 1}`
@@ -220,7 +307,7 @@ impl RnsPoly {
 
     /// Number of limbs (level + 1).
     pub fn num_limbs(&self) -> usize {
-        self.limbs.len()
+        self.num_limbs
     }
 
     /// Whether the element is in NTT (evaluation) form.
@@ -228,14 +315,23 @@ impl RnsPoly {
         self.is_ntt
     }
 
-    /// Raw limb access.
+    /// Raw limb access: the stride slice for prime index `i`.
+    #[inline]
     pub fn limb(&self, i: usize) -> &[u64] {
-        &self.limbs[i]
+        let n = self.ctx.n();
+        &self.data[i * n..(i + 1) * n]
     }
 
     /// Mutable raw limb access.
+    #[inline]
     pub fn limb_mut(&mut self, i: usize) -> &mut [u64] {
-        &mut self.limbs[i]
+        let n = self.ctx.n();
+        &mut self.data[i * n..(i + 1) * n]
+    }
+
+    /// Iterates over limbs as stride slices.
+    pub fn limbs(&self) -> impl Iterator<Item = &[u64]> {
+        self.data.chunks_exact(self.ctx.n())
     }
 
     /// Shared context.
@@ -248,7 +344,8 @@ impl RnsPoly {
         if self.is_ntt {
             return;
         }
-        for (i, limb) in self.limbs.iter_mut().enumerate() {
+        let n = self.ctx.n();
+        for (i, limb) in self.data.chunks_exact_mut(n).enumerate() {
             self.ctx.ntt[i].forward(limb);
         }
         self.is_ntt = true;
@@ -259,30 +356,81 @@ impl RnsPoly {
         if !self.is_ntt {
             return;
         }
-        for (i, limb) in self.limbs.iter_mut().enumerate() {
+        let n = self.ctx.n();
+        for (i, limb) in self.data.chunks_exact_mut(n).enumerate() {
             self.ctx.ntt[i].inverse(limb);
         }
         self.is_ntt = false;
     }
 
-    fn binop(&self, other: &RnsPoly, f: impl Fn(u64, u64, u64) -> u64) -> RnsPoly {
+    fn assert_binop_compatible(&self, other: &RnsPoly) {
         assert_eq!(self.is_ntt, other.is_ntt, "domain mismatch");
         assert_eq!(self.num_limbs(), other.num_limbs(), "level mismatch");
-        let limbs = self
-            .limbs
-            .iter()
-            .zip(&other.limbs)
-            .enumerate()
-            .map(|(i, (a, b))| {
-                let q = self.ctx.primes()[i];
-                a.iter().zip(b).map(|(&x, &y)| f(x, y, q)).collect()
-            })
-            .collect();
-        RnsPoly {
-            ctx: Arc::clone(&self.ctx),
-            limbs,
-            is_ntt: self.is_ntt,
+    }
+
+    /// Copies the first `num_limbs` limbs into a new (pooled) element,
+    /// preserving the domain flag. With the flat layout this is a
+    /// single prefix `memcpy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_limbs` is zero or exceeds the current count.
+    pub fn truncated(&self, num_limbs: usize) -> RnsPoly {
+        assert!(
+            num_limbs >= 1 && num_limbs <= self.num_limbs(),
+            "invalid truncation"
+        );
+        let n = self.ctx.n();
+        let mut out = Self::uninit(&self.ctx, num_limbs, self.is_ntt);
+        out.data.copy_from_slice(&self.data[..num_limbs * n]);
+        out
+    }
+
+    /// `self + other`, reading only the first `self.num_limbs()` limbs
+    /// of `other` (which must sit at the same or a higher level). This
+    /// is how plaintext application avoids cloning and limb-dropping
+    /// the (full-level) encoded plaintext on every call.
+    ///
+    /// # Panics
+    ///
+    /// Panics on domain mismatch or if `other` has fewer limbs.
+    pub fn add_trunc(&self, other: &RnsPoly) -> RnsPoly {
+        assert_eq!(self.is_ntt, other.is_ntt, "domain mismatch");
+        assert!(other.num_limbs() >= self.num_limbs(), "level mismatch");
+        let mut out = Self::uninit(&self.ctx, self.num_limbs, self.is_ntt);
+        let n = self.ctx.n();
+        for i in 0..self.num_limbs {
+            let q = self.ctx.primes()[i];
+            let (a, b) = (self.limb(i), other.limb(i));
+            let dst = &mut out.data[i * n..(i + 1) * n];
+            for j in 0..n {
+                dst[j] = add_mod(a[j], b[j], q);
+            }
         }
+        out
+    }
+
+    /// Pointwise `self * other` (both NTT form), reading only the
+    /// first `self.num_limbs()` limbs of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on coefficient-form operands or if `other` has fewer
+    /// limbs.
+    pub fn mul_trunc(&self, other: &RnsPoly) -> RnsPoly {
+        assert!(self.is_ntt && other.is_ntt, "mul requires NTT form");
+        assert!(other.num_limbs() >= self.num_limbs(), "level mismatch");
+        let mut out = Self::uninit(&self.ctx, self.num_limbs, true);
+        let n = self.ctx.n();
+        for i in 0..self.num_limbs {
+            let pa = *self.ctx.arith(i);
+            let (a, b) = (self.limb(i), other.limb(i));
+            let dst = &mut out.data[i * n..(i + 1) * n];
+            for j in 0..n {
+                dst[j] = pa.reduce_u128(a[j] as u128 * b[j] as u128);
+            }
+        }
+        out
     }
 
     /// Ring addition.
@@ -291,7 +439,34 @@ impl RnsPoly {
     ///
     /// Panics on level or domain mismatch.
     pub fn add(&self, other: &RnsPoly) -> RnsPoly {
-        self.binop(other, add_mod)
+        self.assert_binop_compatible(other);
+        let mut out = Self::uninit(&self.ctx, self.num_limbs, self.is_ntt);
+        let n = self.ctx.n();
+        for i in 0..self.num_limbs {
+            let q = self.ctx.primes()[i];
+            let (a, b) = (self.limb(i), other.limb(i));
+            for j in 0..n {
+                out.data[i * n + j] = add_mod(a[j], b[j], q);
+            }
+        }
+        out
+    }
+
+    /// In-place ring addition (`self += other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on level or domain mismatch.
+    pub fn add_assign(&mut self, other: &RnsPoly) {
+        self.assert_binop_compatible(other);
+        for i in 0..self.num_limbs {
+            let q = self.ctx.primes()[i];
+            let n = self.ctx.n();
+            let (dst, src) = (&mut self.data[i * n..(i + 1) * n], other.limb(i));
+            for (x, &y) in dst.iter_mut().zip(src) {
+                *x = add_mod(*x, y, q);
+            }
+        }
     }
 
     /// Ring subtraction.
@@ -300,11 +475,38 @@ impl RnsPoly {
     ///
     /// Panics on level or domain mismatch.
     pub fn sub(&self, other: &RnsPoly) -> RnsPoly {
-        self.binop(other, sub_mod)
+        self.assert_binop_compatible(other);
+        let mut out = Self::uninit(&self.ctx, self.num_limbs, self.is_ntt);
+        let n = self.ctx.n();
+        for i in 0..self.num_limbs {
+            let q = self.ctx.primes()[i];
+            let (a, b) = (self.limb(i), other.limb(i));
+            for j in 0..n {
+                out.data[i * n + j] = sub_mod(a[j], b[j], q);
+            }
+        }
+        out
+    }
+
+    /// In-place ring subtraction (`self -= other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on level or domain mismatch.
+    pub fn sub_assign(&mut self, other: &RnsPoly) {
+        self.assert_binop_compatible(other);
+        for i in 0..self.num_limbs {
+            let q = self.ctx.primes()[i];
+            let n = self.ctx.n();
+            let (dst, src) = (&mut self.data[i * n..(i + 1) * n], other.limb(i));
+            for (x, &y) in dst.iter_mut().zip(src) {
+                *x = sub_mod(*x, y, q);
+            }
+        }
     }
 
     /// Ring multiplication (pointwise; both operands must be in NTT
-    /// form).
+    /// form). Products reduce through the per-prime Barrett constants.
     ///
     /// # Panics
     ///
@@ -312,65 +514,192 @@ impl RnsPoly {
     /// form.
     pub fn mul(&self, other: &RnsPoly) -> RnsPoly {
         assert!(self.is_ntt && other.is_ntt, "mul requires NTT form");
-        self.binop(other, mul_mod)
+        self.assert_binop_compatible(other);
+        let mut out = Self::uninit(&self.ctx, self.num_limbs, true);
+        let n = self.ctx.n();
+        for i in 0..self.num_limbs {
+            let pa = *self.ctx.arith(i);
+            let (a, b) = (self.limb(i), other.limb(i));
+            for j in 0..n {
+                out.data[i * n + j] = pa.reduce_u128(a[j] as u128 * b[j] as u128);
+            }
+        }
+        out
+    }
+
+    /// In-place pointwise multiplication (`self *= other`; both in NTT
+    /// form).
+    ///
+    /// # Panics
+    ///
+    /// Panics on level mismatch or coefficient-form operands.
+    pub fn mul_assign(&mut self, other: &RnsPoly) {
+        assert!(self.is_ntt && other.is_ntt, "mul requires NTT form");
+        self.assert_binop_compatible(other);
+        for i in 0..self.num_limbs {
+            let pa = *self.ctx.arith(i);
+            let n = self.ctx.n();
+            let (dst, src) = (&mut self.data[i * n..(i + 1) * n], other.limb(i));
+            for (x, &y) in dst.iter_mut().zip(src) {
+                *x = pa.reduce_u128(*x as u128 * y as u128);
+            }
+        }
+    }
+
+    /// Fused multiply-add: `self += a * b` (all three in NTT form, same
+    /// level). Saves one pooled temporary per accumulation versus
+    /// `add_assign(&a.mul(&b))` — the relinearization inner loop runs
+    /// entirely on this.
+    ///
+    /// # Panics
+    ///
+    /// Panics on level mismatch or coefficient-form operands.
+    pub fn mul_acc(&mut self, a: &RnsPoly, b: &RnsPoly) {
+        assert!(
+            self.is_ntt && a.is_ntt && b.is_ntt,
+            "mul_acc requires NTT form"
+        );
+        a.assert_binop_compatible(b);
+        self.assert_binop_compatible(a);
+        for i in 0..self.num_limbs {
+            let pa = *self.ctx.arith(i);
+            let q = pa.q();
+            let n = self.ctx.n();
+            let dst = &mut self.data[i * n..(i + 1) * n];
+            let (x, y) = (a.limb(i), b.limb(i));
+            for j in 0..n {
+                let prod = pa.reduce_u128(x[j] as u128 * y[j] as u128);
+                dst[j] = add_mod(dst[j], prod, q);
+            }
+        }
+    }
+
+    /// Accumulates raw 128-bit products `self[k] * other[k]` into a
+    /// flat lazy accumulator without reducing (both operands NTT form,
+    /// same level; `acc` is limb-major like the poly data). The caller
+    /// owns overflow accounting via
+    /// [`CkksContext::lazy_acc_headroom`] and
+    /// [`RnsPoly::reduce_lazy_in_place`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on level/domain mismatch or accumulator length mismatch.
+    pub(crate) fn mul_into_lazy(&self, other: &RnsPoly, acc: &mut [u128]) {
+        assert!(
+            self.is_ntt && other.is_ntt,
+            "lazy accumulation requires NTT form"
+        );
+        self.assert_binop_compatible(other);
+        assert_eq!(acc.len(), self.data.len(), "accumulator length mismatch");
+        for ((dst, &x), &y) in acc.iter_mut().zip(&self.data).zip(&other.data) {
+            *dst += x as u128 * y as u128;
+        }
+    }
+
+    /// Flushes a lazy accumulator in place: every element becomes its
+    /// canonical residue (as a `u128`), restoring full headroom.
+    pub(crate) fn reduce_lazy_in_place(ctx: &CkksContext, acc: &mut [u128], num_limbs: usize) {
+        let n = ctx.n();
+        assert_eq!(acc.len(), num_limbs * n, "accumulator length mismatch");
+        for (i, chunk) in acc.chunks_exact_mut(n).enumerate() {
+            let pa = *ctx.arith(i);
+            for x in chunk {
+                *x = pa.reduce_u128(*x) as u128;
+            }
+        }
+    }
+
+    /// Materializes a lazy accumulator as a canonical poly. Computes
+    /// exactly `Σ products mod q_i` per element — the same value an
+    /// eager `mul_acc` chain produces, so swapping accumulation
+    /// strategies cannot change any ciphertext bit.
+    pub(crate) fn from_lazy_accumulator(
+        ctx: &Arc<CkksContext>,
+        acc: &[u128],
+        num_limbs: usize,
+        is_ntt: bool,
+    ) -> RnsPoly {
+        let n = ctx.n();
+        assert_eq!(acc.len(), num_limbs * n, "accumulator length mismatch");
+        let mut out = Self::uninit(ctx, num_limbs, is_ntt);
+        for i in 0..num_limbs {
+            let pa = *ctx.arith(i);
+            let src = &acc[i * n..(i + 1) * n];
+            for (dst, &x) in out.limb_mut(i).iter_mut().zip(src) {
+                *dst = pa.reduce_u128(x);
+            }
+        }
+        out
     }
 
     /// Negation.
     pub fn neg(&self) -> RnsPoly {
-        let limbs = self
-            .limbs
-            .iter()
-            .enumerate()
-            .map(|(i, a)| {
-                let q = self.ctx.primes()[i];
-                a.iter().map(|&x| if x == 0 { 0 } else { q - x }).collect()
-            })
-            .collect();
-        RnsPoly {
-            ctx: Arc::clone(&self.ctx),
-            limbs,
-            is_ntt: self.is_ntt,
+        let mut out = self.clone();
+        out.neg_assign();
+        out
+    }
+
+    /// In-place negation.
+    pub fn neg_assign(&mut self) {
+        for i in 0..self.num_limbs {
+            let q = self.ctx.primes()[i];
+            for x in self.limb_mut(i) {
+                if *x != 0 {
+                    *x = q - *x;
+                }
+            }
         }
     }
 
-    /// Multiplies every limb by a per-limb scalar residue.
+    /// Multiplies every limb by a per-limb scalar residue (Shoup
+    /// product: the scalar's companion is computed once per limb and
+    /// amortized over all `n` coefficients).
     ///
     /// # Panics
     ///
     /// Panics if `scalars.len() != num_limbs()`.
     pub fn mul_scalar_residues(&self, scalars: &[u64]) -> RnsPoly {
+        let mut out = self.clone();
+        out.mul_scalar_residues_assign(scalars);
+        out
+    }
+
+    /// In-place per-limb scalar multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scalars.len() != num_limbs()`.
+    pub fn mul_scalar_residues_assign(&mut self, scalars: &[u64]) {
         assert_eq!(scalars.len(), self.num_limbs(), "scalar count mismatch");
-        let limbs = self
-            .limbs
-            .iter()
-            .zip(scalars)
-            .enumerate()
-            .map(|(i, (a, &s))| {
-                let q = self.ctx.primes()[i];
-                a.iter().map(|&x| mul_mod(x, s, q)).collect()
-            })
-            .collect();
-        RnsPoly {
-            ctx: Arc::clone(&self.ctx),
-            limbs,
-            is_ntt: self.is_ntt,
+        for (i, &s) in scalars.iter().enumerate() {
+            let pa = *self.ctx.arith(i);
+            let s_shoup = pa.shoup(s);
+            for x in self.limb_mut(i) {
+                *x = pa.mul_shoup(*x, s, s_shoup);
+            }
         }
     }
 
     /// Drops the last limb without rescaling (plain modulus switch;
-    /// valid when the represented value is small enough).
+    /// valid when the represented value is small enough). With the
+    /// flat layout this is a truncation — no allocation, no copy.
     ///
     /// # Panics
     ///
     /// Panics if only one limb remains.
     pub fn drop_last_limb(&mut self) {
         assert!(self.num_limbs() > 1, "cannot drop the last limb");
-        self.limbs.pop();
+        self.num_limbs -= 1;
+        self.data.truncate(self.num_limbs * self.ctx.n());
     }
 
     /// CKKS rescale: divides by the last prime (rounding) and drops
     /// that limb. Input may be in either domain; output stays in the
     /// input domain.
+    ///
+    /// Runs allocation-free: the last limb is read in place through a
+    /// split borrow of the flat buffer while the surviving limbs are
+    /// rewritten, then truncated away.
     ///
     /// # Panics
     ///
@@ -379,24 +708,34 @@ impl RnsPoly {
         assert!(self.num_limbs() > 1, "cannot rescale the last limb");
         let was_ntt = self.is_ntt;
         self.to_coeff();
-        let last = self.limbs.pop().expect("non-empty");
-        let q_last = self.ctx.primes()[self.limbs.len()];
+        let n = self.ctx.n();
+        let last_idx = self.num_limbs - 1;
+        let q_last = self.ctx.primes()[last_idx];
         let half = q_last / 2;
-        for (i, limb) in self.limbs.iter_mut().enumerate() {
-            let q = self.ctx.primes()[i];
-            let q_last_inv = inv_mod(q_last % q, q);
-            let q_last_mod = q_last % q;
-            for (x, &l) in limb.iter_mut().zip(&last) {
+        let pre = &self.ctx.rescale_pre[last_idx];
+        let (head, last) = self.data.split_at_mut(last_idx * n);
+        let last = &last[..n];
+        for (i, limb) in head.chunks_exact_mut(n).enumerate() {
+            let pa = self.ctx.arith(i);
+            let q = pa.q();
+            let RescalePre {
+                q_last_mod,
+                inv,
+                inv_shoup,
+            } = pre[i];
+            for (x, &l) in limb.iter_mut().zip(last) {
                 // Round(X / q_last) = (X - l') / q_last where l' is the
                 // centered remainder of X mod q_last.
-                let mut l_centered = l % q;
+                let mut l_centered = pa.reduce_u128(l as u128);
                 if l >= half {
                     l_centered = sub_mod(l_centered, q_last_mod, q);
                 }
                 let num = sub_mod(*x, l_centered, q);
-                *x = mul_mod(num, q_last_inv, q);
+                *x = pa.mul_shoup(num, inv, inv_shoup);
             }
         }
+        self.num_limbs = last_idx;
+        self.data.truncate(self.num_limbs * n);
         if was_ntt {
             self.to_ntt();
         } else {
@@ -411,6 +750,10 @@ impl RnsPoly {
     /// `(i·g) mod 2n ≥ n` (because `X^n = −1`). The result is returned
     /// in coefficient form regardless of the input domain.
     ///
+    /// For odd `g` the index map `i ↦ (i·g) mod n` is a bijection, so
+    /// the (pooled, unspecified-content) output buffer is fully
+    /// overwritten — checked by the flat-layout aliasing proptests.
+    ///
     /// # Panics
     ///
     /// Panics if `g` is even or not in `1..2n`.
@@ -422,14 +765,11 @@ impl RnsPoly {
         );
         let mut src = self.clone();
         src.to_coeff();
-        let mut out = RnsPoly {
-            ctx: Arc::clone(&self.ctx),
-            limbs: vec![vec![0u64; n]; self.num_limbs()],
-            is_ntt: false,
-        };
-        for (limb_idx, limb) in src.limbs.iter().enumerate() {
+        let mut out = Self::uninit(&self.ctx, self.num_limbs, false);
+        for limb_idx in 0..self.num_limbs {
             let q = self.ctx.primes()[limb_idx];
-            let dst = &mut out.limbs[limb_idx];
+            let limb = src.limb(limb_idx);
+            let dst = out.limb_mut(limb_idx);
             for (i, &c) in limb.iter().enumerate() {
                 let e = (i * g) % (2 * n);
                 if e < n {
@@ -462,11 +802,11 @@ impl RnsPoly {
                 .expect("prime product overflow");
         }
         // Garner / CRT via incremental reconstruction.
-        let mut x: i128 = self.limbs[0][idx] as i128;
+        let mut x: i128 = self.limb(0)[idx] as i128;
         let mut modulus: i128 = self.ctx.primes()[0] as i128;
         for i in 1..use_limbs {
             let q = self.ctx.primes()[i] as i128;
-            let r = self.limbs[i][idx] as i128;
+            let r = self.limb(i)[idx] as i128;
             // Find t with x + modulus * t ≡ r (mod q).
             let m_inv = inv_mod((modulus.rem_euclid(q)) as u64, q as u64) as i128;
             let t = ((r - x).rem_euclid(q) * m_inv).rem_euclid(q);
@@ -528,6 +868,94 @@ mod tests {
         for i in 0..64 {
             assert_eq!(s.coeff_to_i128(i, 2), (a[i] + b[i]) as i128);
         }
+    }
+
+    #[test]
+    fn assign_ops_match_allocating_ops() {
+        let c = ctx();
+        let a: Vec<i64> = (0..64).map(|i| (i as i64 * 37) % 101 - 50).collect();
+        let b: Vec<i64> = (0..64).map(|i| (i as i64 * 53) % 97 - 48).collect();
+        let mut pa = RnsPoly::from_signed_coeffs(&c, &a, 3);
+        let mut pb = RnsPoly::from_signed_coeffs(&c, &b, 3);
+        pa.to_ntt();
+        pb.to_ntt();
+        for (fresh, op) in [
+            (
+                pa.add(&pb),
+                Box::new(|x: &mut RnsPoly| x.add_assign(&pb)) as Box<dyn Fn(&mut RnsPoly)>,
+            ),
+            (pa.sub(&pb), Box::new(|x: &mut RnsPoly| x.sub_assign(&pb))),
+            (pa.mul(&pb), Box::new(|x: &mut RnsPoly| x.mul_assign(&pb))),
+            (pa.neg(), Box::new(|x: &mut RnsPoly| x.neg_assign())),
+        ] {
+            let mut inplace = pa.clone();
+            op(&mut inplace);
+            for i in 0..3 {
+                assert_eq!(fresh.limb(i), inplace.limb(i));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_acc_matches_mul_then_add() {
+        let c = ctx();
+        let a: Vec<i64> = (0..64).map(|i| (i as i64 * 11) % 61 - 30).collect();
+        let b: Vec<i64> = (0..64).map(|i| (i as i64 * 19) % 71 - 35).collect();
+        let s: Vec<i64> = (0..64).map(|i| (i as i64 * 5) % 41 - 20).collect();
+        let mut pa = RnsPoly::from_signed_coeffs(&c, &a, 2);
+        let mut pb = RnsPoly::from_signed_coeffs(&c, &b, 2);
+        let mut acc = RnsPoly::from_signed_coeffs(&c, &s, 2);
+        pa.to_ntt();
+        pb.to_ntt();
+        acc.to_ntt();
+        let expect = acc.add(&pa.mul(&pb));
+        acc.mul_acc(&pa, &pb);
+        for i in 0..2 {
+            assert_eq!(acc.limb(i), expect.limb(i));
+        }
+    }
+
+    #[test]
+    fn lazy_accumulator_matches_eager_mul_acc() {
+        let c = ctx();
+        let mut rng = Rng64::new(77);
+        let polys: Vec<(RnsPoly, RnsPoly)> = (0..6)
+            .map(|_| {
+                (
+                    RnsPoly::random_uniform(&c, 3, &mut rng),
+                    RnsPoly::random_uniform(&c, 3, &mut rng),
+                )
+            })
+            .collect();
+        let mut eager = RnsPoly::zero(&c, 3);
+        for (a, b) in &polys {
+            eager.mul_acc(a, b);
+        }
+        let mut acc = vec![0u128; 3 * 64];
+        for (a, b) in &polys {
+            a.mul_into_lazy(b, &mut acc);
+        }
+        // A gratuitous mid-stream flush must not change the result.
+        let mut acc_flushed = vec![0u128; 3 * 64];
+        for (i, (a, b)) in polys.iter().enumerate() {
+            a.mul_into_lazy(b, &mut acc_flushed);
+            if i == 2 {
+                RnsPoly::reduce_lazy_in_place(&c, &mut acc_flushed, 3);
+            }
+        }
+        let lazy = RnsPoly::from_lazy_accumulator(&c, &acc, 3, true);
+        let flushed = RnsPoly::from_lazy_accumulator(&c, &acc_flushed, 3, true);
+        for i in 0..3 {
+            assert_eq!(eager.limb(i), lazy.limb(i), "limb {i}");
+            assert_eq!(eager.limb(i), flushed.limb(i), "flushed limb {i}");
+        }
+    }
+
+    #[test]
+    fn lazy_headroom_is_generous_for_real_chains() {
+        let c = ctx();
+        // 50-bit top prime: ~(2^50)^2 products leave ~2^28 of headroom.
+        assert!(c.lazy_acc_headroom(4) >= (1 << 27));
     }
 
     #[test]
@@ -682,6 +1110,63 @@ mod tests {
         assert_eq!(p.num_limbs(), 2);
         for (i, &v) in coeffs.iter().enumerate() {
             assert_eq!(p.coeff_to_i128(i, 2), v as i128);
+        }
+    }
+
+    #[test]
+    fn trunc_ops_match_clone_and_drop() {
+        let c = ctx();
+        let a: Vec<i64> = (0..64).map(|i| (i as i64 * 7) % 91 - 45).collect();
+        let b: Vec<i64> = (0..64).map(|i| (i as i64 * 3) % 83 - 41).collect();
+        let mut pa = RnsPoly::from_signed_coeffs(&c, &a, 2);
+        let mut pb = RnsPoly::from_signed_coeffs(&c, &b, 4);
+        pa.to_ntt();
+        pb.to_ntt();
+        let pb_dropped = pb.truncated(2);
+        assert_eq!(pb_dropped.num_limbs(), 2);
+        let sum = pa.add_trunc(&pb);
+        let prod = pa.mul_trunc(&pb);
+        let sum_ref = pa.add(&pb_dropped);
+        let prod_ref = pa.mul(&pb_dropped);
+        for i in 0..2 {
+            assert_eq!(sum.limb(i), sum_ref.limb(i));
+            assert_eq!(prod.limb(i), prod_ref.limb(i));
+            assert_eq!(pb_dropped.limb(i), pb.limb(i));
+        }
+    }
+
+    #[test]
+    fn flat_layout_limbs_are_contiguous_strides() {
+        let c = ctx();
+        let mut p = RnsPoly::zero(&c, 3);
+        // Write through limb_mut, read back through the flat iterator
+        // and cross-limb adjacency.
+        for i in 0..3 {
+            let fill = (i as u64 + 1) * 100;
+            p.limb_mut(i).fill(fill);
+        }
+        for (i, limb) in p.limbs().enumerate() {
+            assert_eq!(limb.len(), 64);
+            assert!(limb.iter().all(|&x| x == (i as u64 + 1) * 100));
+        }
+        assert_eq!(p.limbs().count(), 3);
+    }
+
+    #[test]
+    fn clone_is_deep_and_pool_recycled() {
+        let c = ctx();
+        crate::pool::trim();
+        let coeffs: Vec<i64> = (0..64).map(|i| i as i64).collect();
+        let p = RnsPoly::from_signed_coeffs(&c, &coeffs, 2);
+        let q = p.clone();
+        crate::pool::reset_stats();
+        drop(q);
+        let r = p.clone(); // must reuse the buffer q released
+        let s = crate::pool::stats();
+        assert_eq!(s.reuses, 1, "clone should reuse the dropped buffer");
+        assert_eq!(s.fresh_allocs, 0);
+        for i in 0..2 {
+            assert_eq!(r.limb(i), p.limb(i));
         }
     }
 }

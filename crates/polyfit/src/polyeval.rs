@@ -12,8 +12,10 @@
 //! - [`PolyEval`] packs the coefficient vector once (odd coefficients
 //!   extracted up front for odd functions) and offers scalar
 //!   ([`PolyEval::eval`]) and batch ([`PolyEval::eval_slice`])
-//!   evaluation. The batch path runs a fixed-width lane loop so the
-//!   per-element Horner dependency chains interleave.
+//!   evaluation. The batch path runs a fixed-width lane loop — for
+//!   every backend, Horner and Estrin / Paterson–Stockmeyer alike — so
+//!   per-element dependency chains interleave across `LANES`
+//!   explicit accumulators.
 //! - [`OddPowerSchedule`] is the ciphertext-side twin: the packed odd
 //!   coefficients plus the even-power-ladder shape that
 //!   `smartpaf-ckks`'s `PafEvaluator` and cost model both consume.
@@ -31,16 +33,24 @@ use crate::ps::ps_plan;
 const LANES: usize = 8;
 
 /// Packed length at which Estrin's shorter dependency chain starts to
-/// pay for its extra squarings. Calibrated with the `paf_plain`
-/// ablation matrix (`BENCH_paf.json`): through degree 27 (packed 14)
-/// packed Horner wins every scalar and batched comparison on current
-/// x86-64, so Estrin only auto-selects once the Horner chain grows far
-/// past the out-of-order window.
-const ESTRIN_MIN_PACKED: usize = 33;
+/// pay for its extra squarings on the odd path. Re-calibrated for the
+/// explicit-lane batch loop (`calibrate_thresholds` harness, x86-64):
+/// eight interleaved Horner chains hide FMA latency so thoroughly that
+/// batched Horner beats batched Estrin at every measured size, and
+/// scalar Horner holds through packed 48 (33 vs 37 ns/point). From
+/// packed 64 the scalar chain's latency dominates (Estrin 42 vs Horner
+/// 53 ns/point), so the odd plans switch there. Every PAF stage in the
+/// paper stays far below this (packed ≤ 14).
+const ESTRIN_MIN_PACKED: usize = 64;
 
-/// Packed length above which Paterson–Stockmeyer's baby/giant blocks
-/// beat one long Estrin reduction on the dense path.
-const PS_MIN_PACKED: usize = 129;
+/// Packed length at which Paterson–Stockmeyer's baby/giant blocks take
+/// over on the dense path. Re-calibrated alongside the lane loop: PS
+/// wins batch from packed 64 (12.2 vs Horner 13.4 / Estrin 17.5
+/// ns/point) and scalar from 96, so dense selection now goes straight
+/// Horner → PS and `DenseEstrin` remains an explicit-plan backend only
+/// (the lane interleave subsumes its depth advantage below 64, PS wins
+/// above).
+const PS_MIN_PACKED: usize = 64;
 
 /// The evaluation strategy a [`PolyEval`] was prepared with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -212,9 +222,13 @@ impl PolyEval {
 
     /// Batch evaluation: `out[i] = p(xs[i])`.
     ///
-    /// The Horner backends run a fixed-width lane loop so the
-    /// per-element dependency chains overlap; Estrin and
-    /// Paterson–Stockmeyer reuse one scratch buffer across the slice.
+    /// Every backend runs the same fixed-width lane loop: `LANES`
+    /// independent accumulator arrays per chunk so the per-element
+    /// dependency chains overlap (explicit-lane code on stable Rust —
+    /// no `std::simd`). The Estrin backends reuse one array-of-lanes
+    /// scratch buffer across the whole slice. Each lane executes the
+    /// scalar backend's exact operation sequence, so batch output is
+    /// bit-identical to [`PolyEval::eval`] per element.
     ///
     /// # Panics
     ///
@@ -262,21 +276,42 @@ impl PolyEval {
                 );
             }
             EvalPlan::DenseEstrin => {
+                let mut wide = vec![[0.0; LANES]; self.packed.len()];
                 let mut scratch = vec![0.0; self.packed.len()];
-                for (o, &x) in out.iter_mut().zip(xs) {
-                    *o = estrin_with(&self.packed, x, &mut scratch);
-                }
+                lanes(
+                    xs,
+                    out,
+                    |x| estrin_with(&self.packed, x, &mut scratch),
+                    |lane| estrin_lanes(&self.packed, lane, &mut wide),
+                );
             }
             EvalPlan::OddEstrin => {
+                let mut wide = vec![[0.0; LANES]; self.packed.len()];
                 let mut scratch = vec![0.0; self.packed.len()];
-                for (o, &x) in out.iter_mut().zip(xs) {
-                    *o = estrin_with(&self.packed, x * x, &mut scratch) * x;
-                }
+                lanes(
+                    xs,
+                    out,
+                    |x| estrin_with(&self.packed, x * x, &mut scratch) * x,
+                    |lane| {
+                        let mut y = [0.0; LANES];
+                        for (yi, &x) in y.iter_mut().zip(lane) {
+                            *yi = x * x;
+                        }
+                        let mut acc = estrin_lanes(&self.packed, &y, &mut wide);
+                        for (a, &x) in acc.iter_mut().zip(lane) {
+                            *a *= x;
+                        }
+                        acc
+                    },
+                );
             }
             EvalPlan::DensePs => {
-                for (o, &x) in out.iter_mut().zip(xs) {
-                    *o = ps_packed(&self.packed, x);
-                }
+                lanes(
+                    xs,
+                    out,
+                    |x| ps_packed(&self.packed, x),
+                    |lane| ps_lanes(&self.packed, lane),
+                );
             }
         }
     }
@@ -330,8 +365,8 @@ fn horner(packed: &[f64], x: f64) -> f64 {
 fn lanes(
     xs: &[f64],
     out: &mut [f64],
-    tail: impl Fn(f64) -> f64,
-    f: impl Fn(&[f64; LANES]) -> [f64; LANES],
+    mut tail: impl FnMut(f64) -> f64,
+    mut f: impl FnMut(&[f64; LANES]) -> [f64; LANES],
 ) {
     let mut chunks_out = out.chunks_exact_mut(LANES);
     let mut chunks_in = xs.chunks_exact(LANES);
@@ -385,6 +420,47 @@ fn estrin_with(packed: &[f64], x: f64, scratch: &mut [f64]) -> f64 {
         }
     }
     scratch[0]
+}
+
+/// Estrin reduction over [`LANES`] points at once. `wide` is the
+/// array-of-lanes scratch (`wide.len() >= packed.len()`), reused across
+/// the whole slice. Per element this performs exactly the operation
+/// sequence of [`estrin_with`], so batch results stay bit-identical to
+/// the scalar path; the lane structure exists purely so the compiler
+/// can keep [`LANES`] independent reductions in flight (auto-vectorised
+/// on stable Rust, no `std::simd`).
+fn estrin_lanes(packed: &[f64], lane: &[f64; LANES], wide: &mut [[f64; LANES]]) -> [f64; LANES] {
+    match packed.len() {
+        0 => return [0.0; LANES],
+        1 => return [packed[0]; LANES],
+        _ => {}
+    }
+    let mut len = packed.len();
+    for (w, &c) in wide.iter_mut().zip(packed) {
+        *w = [c; LANES];
+    }
+    let mut p = *lane;
+    while len > 1 {
+        let half = len / 2;
+        for i in 0..half {
+            let lo = wide[2 * i];
+            let hi = wide[2 * i + 1];
+            let dst = &mut wide[i];
+            for l in 0..LANES {
+                dst[l] = lo[l] + hi[l] * p[l];
+            }
+        }
+        if len % 2 == 1 {
+            wide[half] = wide[len - 1];
+        }
+        len = half + len % 2;
+        if len > 1 {
+            for pl in &mut p {
+                *pl *= *pl;
+            }
+        }
+    }
+    wide[0]
 }
 
 /// Multiplications one Estrin reduction of `n` packed coefficients
@@ -441,6 +517,58 @@ fn ps_packed(coeffs: &[f64], x: f64) -> f64 {
     let mut acc = block_val(top);
     for blk in (0..top).rev() {
         acc = acc * xk + block_val(blk);
+    }
+    acc
+}
+
+/// Paterson–Stockmeyer over [`LANES`] points at once: the baby-power
+/// table holds one [`LANES`]-wide row per power, and the giant-step
+/// Horner runs all lanes in lockstep. Same per-element operation
+/// sequence as [`ps_packed`], so results are bit-identical to scalar.
+fn ps_lanes(coeffs: &[f64], lane: &[f64; LANES]) -> [f64; LANES] {
+    let d = coeffs.len() - 1;
+    if d == 0 {
+        return [coeffs[0]; LANES];
+    }
+    let plan = ps_plan(d);
+    let k = plan.block;
+    let mut baby_stack = [[1.0; LANES]; 16];
+    let mut baby_heap;
+    let baby: &mut [[f64; LANES]] = if k <= 16 {
+        &mut baby_stack[..k]
+    } else {
+        baby_heap = vec![[1.0; LANES]; k];
+        &mut baby_heap
+    };
+    for i in 1..k {
+        let prev = baby[i - 1];
+        for l in 0..LANES {
+            baby[i][l] = prev[l] * lane[l];
+        }
+    }
+    let mut xk = [0.0; LANES];
+    for l in 0..LANES {
+        xk[l] = baby[k - 1][l] * lane[l];
+    }
+    let block_val = |blk: usize, baby: &[[f64; LANES]]| -> [f64; LANES] {
+        let start = blk * k;
+        let mut v = [coeffs[start]; LANES];
+        for (i, pow) in baby.iter().enumerate().skip(1) {
+            if let Some(&c) = coeffs.get(start + i) {
+                for l in 0..LANES {
+                    v[l] += c * pow[l];
+                }
+            }
+        }
+        v
+    };
+    let top = plan.blocks - 1;
+    let mut acc = block_val(top, baby);
+    for blk in (0..top).rev() {
+        let bv = block_val(blk, baby);
+        for l in 0..LANES {
+            acc[l] = acc[l] * xk[l] + bv[l];
+        }
     }
     acc
 }
@@ -662,12 +790,21 @@ mod tests {
         // Every PAF stage degree in the paper stays in Horner range.
         let deg27 = Polynomial::from_odd(&[1.0; 14]);
         assert_eq!(EvalPlan::select(&deg27), EvalPlan::OddHorner);
-        let deg_odd_huge = Polynomial::from_odd(&[1.0; 40]);
+        // The lane loop keeps Horner ahead well past the old Estrin
+        // break-even (packed 33); the switch now sits at packed 64.
+        let deg_odd_40 = Polynomial::from_odd(&[1.0; 40]);
+        assert_eq!(EvalPlan::select(&deg_odd_40), EvalPlan::OddHorner);
+        let deg_odd_huge = Polynomial::from_odd(&[1.0; 64]);
         assert_eq!(EvalPlan::select(&deg_odd_huge), EvalPlan::OddEstrin);
         let dense7 = Polynomial::new(vec![1.0; 8]);
         assert_eq!(EvalPlan::select(&dense7), EvalPlan::DenseHorner);
         let dense48 = Polynomial::new(vec![1.0; 48]);
-        assert_eq!(EvalPlan::select(&dense48), EvalPlan::DenseEstrin);
+        assert_eq!(EvalPlan::select(&dense48), EvalPlan::DenseHorner);
+        // Dense selection goes straight Horner → PS: the explicit-lane
+        // batch loop subsumes Estrin's depth advantage below the PS
+        // crossover, so DenseEstrin is explicit-plan-only now.
+        let dense64 = Polynomial::new(vec![1.0; 64]);
+        assert_eq!(EvalPlan::select(&dense64), EvalPlan::DensePs);
         let dense160 = Polynomial::new(vec![1.0; 160]);
         assert_eq!(EvalPlan::select(&dense160), EvalPlan::DensePs);
     }
@@ -707,6 +844,35 @@ mod tests {
             pe.eval_slice(&xs, &mut out);
             for (&x, &o) in xs.iter().zip(&out) {
                 assert_eq!(o, pe.eval(x), "len {len}, x {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_backends_bit_identical_to_scalar() {
+        // The explicit-lane Estrin / Paterson–Stockmeyer chunks must
+        // reproduce the scalar backends exactly (same per-element
+        // operation order), across chunk and remainder paths.
+        let odd_big =
+            Polynomial::from_odd(&(0..40).map(|i| 0.01 * i as f64 - 0.2).collect::<Vec<_>>());
+        let dense_big = Polynomial::new(
+            (0..160)
+                .map(|i| ((i * 37) % 19) as f64 / 19.0 - 0.5)
+                .collect(),
+        );
+        for (p, plan) in [
+            (&odd_big, EvalPlan::OddEstrin),
+            (&dense_big, EvalPlan::DenseEstrin),
+            (&dense_big, EvalPlan::DensePs),
+        ] {
+            let pe = PolyEval::with_plan(p, plan);
+            for len in [1, 7, 8, 9, 16, 23, 64] {
+                let xs: Vec<f64> = (0..len).map(|i| i as f64 / len as f64 - 0.45).collect();
+                let mut out = vec![0.0; len];
+                pe.eval_slice(&xs, &mut out);
+                for (&x, &o) in xs.iter().zip(&out) {
+                    assert_eq!(o, pe.eval(x), "{plan:?} len {len}, x {x}");
+                }
             }
         }
     }
@@ -818,6 +984,87 @@ mod tests {
             assert_eq!(sign[i], eng.eval(xs[i]));
             assert_eq!(relu[i], eng.relu(xs[i]));
             assert_eq!(max[i], eng.max(xs[i], ys[i]));
+        }
+    }
+
+    /// Calibration harness behind `ESTRIN_MIN_PACKED` /
+    /// `PS_MIN_PACKED`: times each batch backend across packed sizes
+    /// and prints ns/point. Run with
+    /// `cargo test -p smartpaf_polyfit --release -- --ignored --nocapture calibrate`.
+    #[test]
+    #[ignore = "manual calibration harness, run with --release"]
+    fn calibrate_thresholds() {
+        use std::time::Instant;
+        let pts = 4096;
+        let xs: Vec<f64> = (0..pts)
+            .map(|i| i as f64 / pts as f64 * 1.8 - 0.9)
+            .collect();
+        let mut out = vec![0.0; pts];
+        let time = |pe: &PolyEval, out: &mut Vec<f64>| {
+            // Warm up, then best-of-5.
+            pe.eval_slice(&xs, out);
+            let mut best = f64::INFINITY;
+            for _ in 0..5 {
+                let t = Instant::now();
+                for _ in 0..20 {
+                    pe.eval_slice(&xs, out);
+                }
+                best = best.min(t.elapsed().as_secs_f64() / 20.0 / pts as f64 * 1e9);
+            }
+            best
+        };
+        let time_scalar = |pe: &PolyEval| {
+            let mut sink = 0.0;
+            for &x in &xs {
+                sink += pe.eval(x);
+            }
+            std::hint::black_box(sink);
+            let mut best = f64::INFINITY;
+            for _ in 0..5 {
+                let t = Instant::now();
+                for _ in 0..20 {
+                    let mut s = 0.0;
+                    for &x in &xs {
+                        s += pe.eval(x);
+                    }
+                    std::hint::black_box(s);
+                }
+                best = best.min(t.elapsed().as_secs_f64() / 20.0 / pts as f64 * 1e9);
+            }
+            best
+        };
+        println!(
+            "packed  horner  estrin      ps | scalar: horner  estrin      ps   (dense, ns/point)"
+        );
+        for packed in [8, 16, 24, 32, 48, 64, 96, 128, 192, 256] {
+            let p = Polynomial::new(
+                (0..packed)
+                    .map(|i| ((i * 37) % 19) as f64 / 19.0 - 0.5)
+                    .collect(),
+            );
+            let ph = PolyEval::with_plan(&p, EvalPlan::DenseHorner);
+            let pe_ = PolyEval::with_plan(&p, EvalPlan::DenseEstrin);
+            let pp = PolyEval::with_plan(&p, EvalPlan::DensePs);
+            let (h, e, s) = (
+                time(&ph, &mut out),
+                time(&pe_, &mut out),
+                time(&pp, &mut out),
+            );
+            let (sh, se, ss) = (time_scalar(&ph), time_scalar(&pe_), time_scalar(&pp));
+            println!(
+                "{packed:6}  {h:6.2}  {e:6.2}  {s:6.2} |         {sh:6.2}  {se:6.2}  {ss:6.2}"
+            );
+        }
+        println!("packed  horner  estrin   (odd-packed, ns/point)");
+        for packed in [8, 16, 24, 32, 48, 64, 96] {
+            let p = Polynomial::from_odd(
+                &(0..packed)
+                    .map(|i| ((i * 37) % 19) as f64 / 19.0 - 0.5)
+                    .collect::<Vec<_>>(),
+            );
+            let h = time(&PolyEval::with_plan(&p, EvalPlan::OddHorner), &mut out);
+            let e = time(&PolyEval::with_plan(&p, EvalPlan::OddEstrin), &mut out);
+            println!("{packed:6}  {h:6.2}  {e:6.2}");
         }
     }
 
