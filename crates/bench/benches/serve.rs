@@ -48,6 +48,7 @@ fn serve_config() -> ServeConfig {
         queue_capacity: 64,
         max_batch: 4,
         batch_deadline: Duration::from_millis(1),
+        pack_lanes: false,
     }
 }
 

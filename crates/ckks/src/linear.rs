@@ -226,6 +226,66 @@ impl DiagMatrix {
         )
     }
 
+    /// Replicates the matrix block-diagonally across `lanes` lanes: the
+    /// result is the `(lanes·dim) × (lanes·dim)` map that applies this
+    /// matrix independently to each length-`dim` lane of a
+    /// lane-concatenated vector — the slot-packing transform that lets
+    /// one ciphertext carry `lanes` activations at stride `dim`.
+    ///
+    /// Each stored generalized diagonal `d` splits into at most two
+    /// expanded diagonals: the in-lane part keeps offset `d` (entries
+    /// `i < dim − d`), and the wrap-around part moves to offset
+    /// `(lanes−1)·dim + d` (entries `i ≥ dim − d`), so a lane's cyclic
+    /// indexing never reads a neighbouring lane's slots. Applied plain,
+    /// each lane of the expanded product is **bit-identical** to
+    /// [`DiagMatrix::apply_plain`] on that lane alone: per output slot
+    /// the nonzero terms arrive in the same ascending-`d` order (the
+    /// in-lane offsets are exactly the ascending prefix with
+    /// `d < dim − i`), and the extra structural-zero terms add `±0.0`
+    /// to a never-negative-zero accumulator.
+    ///
+    /// The encoded-plaintext cache starts empty (the expanded
+    /// diagonals tile differently across slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lanes` is a power of two.
+    pub fn block_diag(&self, lanes: usize) -> DiagMatrix {
+        assert!(lanes.is_power_of_two(), "lanes must be a power of two");
+        if lanes == 1 {
+            return self.clone();
+        }
+        let dim = self.dim * lanes;
+        let mut diags: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+        for (&d, diag) in &self.diags {
+            // Entries i < split stay in-lane at offset d; entries
+            // i ≥ split would cross into the next lane, so they move to
+            // the wrap offset (lanes−1)·dim + d, which steps back one
+            // lane cyclically. The two offset ranges are disjoint, so
+            // distinct source diagonals never collide.
+            let split = self.dim - d;
+            let in_lane = diags.entry(d).or_insert_with(|| vec![0.0; dim]);
+            for l in 0..lanes {
+                in_lane[l * self.dim..l * self.dim + split].copy_from_slice(&diag[..split]);
+            }
+            if d > 0 {
+                let wrap = diags
+                    .entry((lanes - 1) * self.dim + d)
+                    .or_insert_with(|| vec![0.0; dim]);
+                for l in 0..lanes {
+                    wrap[l * self.dim + split..(l + 1) * self.dim].copy_from_slice(&diag[split..]);
+                }
+            }
+        }
+        DiagMatrix {
+            dim,
+            out_dim: (lanes - 1) * self.dim + self.out_dim,
+            in_dim: (lanes - 1) * self.dim + self.in_dim,
+            diags,
+            encoded: Mutex::new(HashMap::new()),
+        }
+    }
+
     /// Fraction of entries that are nonzero (density diagnostics for
     /// structured matrices like pooling or Toeplitz convolutions).
     pub fn density(&self) -> f64 {
@@ -672,6 +732,73 @@ mod tests {
     #[should_panic(expected = "must divide slot count")]
     fn replicate_rejects_non_divisor() {
         let _ = replicate(&[1.0, 2.0, 3.0], 128);
+    }
+
+    #[test]
+    fn block_diag_lanes_are_bitwise_independent() {
+        // The slot-packing pin: each lane of the expanded plain product
+        // is bit-identical to applying the base matrix to that lane
+        // alone — same nonzero terms in the same addition order.
+        let mut rng = Rng64::new(51);
+        let m = 8;
+        let lanes = 4;
+        let rows = random_matrix(m, m, &mut rng);
+        let mat = DiagMatrix::from_rows(&rows);
+        let big = mat.block_diag(lanes);
+        assert_eq!(big.dim(), lanes * m);
+        // Each source diagonal splits into at most two.
+        assert!(big.num_diagonals() <= 2 * mat.num_diagonals());
+
+        let lanes_in: Vec<Vec<f64>> = (0..lanes).map(|_| random_vec(m, &mut rng)).collect();
+        let packed: Vec<f64> = lanes_in.iter().flatten().copied().collect();
+        let out = big.apply_plain(&packed);
+        for (l, lane) in lanes_in.iter().enumerate() {
+            let want = mat.apply_plain(lane);
+            assert_eq!(
+                &out[l * m..(l + 1) * m],
+                want.as_slice(),
+                "lane {l} must be bit-identical to the standalone product"
+            );
+        }
+    }
+
+    #[test]
+    fn block_diag_single_lane_is_the_same_matrix() {
+        let mut rng = Rng64::new(52);
+        let mat = DiagMatrix::from_rows(&random_matrix(4, 4, &mut rng));
+        let same = mat.block_diag(1);
+        assert_eq!(same.dim(), mat.dim());
+        assert_eq!(same.num_diagonals(), mat.num_diagonals());
+        let v = random_vec(4, &mut rng);
+        assert_eq!(same.apply_plain(&v), mat.apply_plain(&v));
+    }
+
+    #[test]
+    fn block_diag_encrypted_matvec_stays_in_lane() {
+        // Encrypted path: a lane-concatenated replicated ciphertext
+        // through the expanded matrix decrypts to the per-lane
+        // products — rotations never leak a neighbouring lane.
+        let (ev, mut rng) = setup(53);
+        let m = 8;
+        let lanes = 4;
+        let rows = random_matrix(m, m, &mut rng);
+        let mat = DiagMatrix::from_rows(&rows);
+        let big = mat.block_diag(lanes);
+        let lanes_in: Vec<Vec<f64>> = (0..lanes).map(|_| random_vec(m, &mut rng)).collect();
+        let packed: Vec<f64> = lanes_in.iter().flatten().copied().collect();
+        let ct = ev.encrypt_replicated(&packed, &mut rng);
+        let got = ev.decrypt_values(&ev.matvec_bsgs(&big, &ct), lanes * m);
+        for (l, lane) in lanes_in.iter().enumerate() {
+            let want = mat.apply_plain(lane);
+            for i in 0..m {
+                assert!(
+                    (got[l * m + i] - want[i]).abs() < 5e-2,
+                    "lane {l} slot {i}: {} vs {}",
+                    got[l * m + i],
+                    want[i]
+                );
+            }
+        }
     }
 
     #[test]

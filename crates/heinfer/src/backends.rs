@@ -95,6 +95,14 @@ impl InferenceBackend for PlainBackend {
 /// [`Bootstrapper`], refreshing the ciphertext when a stage needs more
 /// levels than remain — exactly the constraint that makes high-degree
 /// PAFs expensive in the paper.
+///
+/// Slot-packed execution (see [`crate::pack`]) needs no special
+/// backend support: a lane-expanded pipeline is an ordinary
+/// [`HePipeline`] at the wider padded dimension, its block-diagonal
+/// affine stages run through the same [`Evaluator::matvec_bsgs`]
+/// (smartpaf_ckks) path with its per-matrix diagonal-encoding cache,
+/// and PAF stages are elementwise per slot so they act per lane for
+/// free.
 pub struct CkksBackend<'a> {
     pe: &'a PafEvaluator,
     bootstrapper: Option<&'a Bootstrapper>,
@@ -768,6 +776,39 @@ mod tests {
         assert_eq!(slots[1].ct_mults, 3 * (cheap.exact_ct_mult_count() + 1));
         // Affine stages carry no slot index.
         assert!(report.stages.iter().any(|s| s.slot.is_none()));
+    }
+
+    #[test]
+    fn ckks_backend_runs_lane_expanded_pipelines_unchanged() {
+        // A lane-expanded pipeline is an ordinary pipeline to this
+        // backend: each lane of the packed encrypted eval must match
+        // the base pipeline's plain eval of that lane's input.
+        let (pe, mut rng) = setup(107);
+        let paf = CompositePaf::from_form(PafForm::F1G2);
+        let pipe = PipelineBuilder::new(&[8])
+            .affine(Linear::new(8, 8, &mut rng))
+            .paf_relu(&paf, 4.0)
+            .compile()
+            .fold_scales();
+        let lanes = 2;
+        let wide = pipe.expand_lanes(lanes);
+        let xs: Vec<Vec<f64>> = (0..lanes)
+            .map(|l| (0..8).map(|j| ((l * 3 + j) as f64 - 4.0) / 4.0).collect())
+            .collect();
+        let mut flat = Vec::new();
+        for x in &xs {
+            flat.extend_from_slice(&pipe.pad_input(x));
+        }
+        let ct = pe.evaluator().encrypt_replicated(&flat, &mut rng);
+        let (out_ct, _) = wide.eval_encrypted(&pe, None, &ct);
+        for (l, x) in xs.iter().enumerate() {
+            let want = pipe.eval_plain(x);
+            let got = pe.evaluator().decrypt_values(&out_ct, (l + 1) * pipe.dim());
+            for (k, w) in want.iter().enumerate() {
+                let g = got[l * pipe.dim() + k];
+                assert!((g - w).abs() < 6e-2, "lane {l} slot {k}: {g} vs {w}");
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::backends::{CkksBackend, PlainBackend, TraceBackend};
 use crate::exec::{RunError, RunStats};
+use crate::pack::LanePacker;
 use crate::pipeline::HePipeline;
 use smartpaf_ckks::{Bootstrapper, Ciphertext, PafEvaluator};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -195,6 +196,23 @@ impl BatchRunner {
                 pipe.run(&mut backend, ct.clone())
             },
         )
+    }
+
+    /// Runs a batch of slot-packed ciphertexts through a
+    /// [`LanePacker`]'s lane-expanded pipeline, sharding the packed
+    /// ciphertexts across workers exactly like
+    /// [`BatchRunner::run_encrypted`]. Each input ciphertext carries up
+    /// to `packer.lanes()` multiplexed inputs (see [`crate::pack`]), so
+    /// one entry of `BatchRun::outputs` demultiplexes into a whole
+    /// lane-group of results via [`crate::PackedBatch::unpack`].
+    pub fn run_packed(
+        &self,
+        packer: &LanePacker,
+        pe: &PafEvaluator,
+        bootstrapper: Option<&Bootstrapper>,
+        inputs: &[Ciphertext],
+    ) -> Result<BatchRun<Ciphertext>, RunError> {
+        self.run_encrypted(packer.expanded(), pe, bootstrapper, inputs)
     }
 
     /// The generic shard-spawn-join loop: contiguous input ranges, one
@@ -418,6 +436,55 @@ mod tests {
         // Per-input stats mirror the single-input wrapper.
         let (_, solo) = pipe.eval_encrypted(&pe, None, &cts[0]);
         assert_eq!(run.stats[0].stage_levels, solo.stage_levels);
+    }
+
+    #[test]
+    fn packed_batch_matches_per_input_plain_eval() {
+        // Two packed ciphertexts, four lanes each, sharded across two
+        // workers: every demultiplexed lane must agree with the base
+        // pipeline's per-input plain eval within noise.
+        let ctx = CkksParams::toy().build();
+        let mut rng = Rng64::new(208);
+        let keys = KeyChain::generate(&ctx, &mut rng);
+        let pe = smartpaf_ckks::PafEvaluator::new(Evaluator::new(&keys));
+        let paf = CompositePaf::from_form(PafForm::F1G2);
+        let pipe = PipelineBuilder::new(&[8])
+            .affine(Linear::new(8, 8, &mut rng))
+            .paf_relu(&paf, 4.0)
+            .affine(Linear::new(8, 4, &mut rng))
+            .compile()
+            .fold_scales();
+        let packer = crate::pack::LanePacker::new(&pipe, ctx.slots(), 4).unwrap();
+        let groups: Vec<Vec<Vec<f64>>> = (0..2)
+            .map(|g| {
+                (0..4)
+                    .map(|i| {
+                        (0..8)
+                            .map(|j| ((g * 4 + i + j) as f64 - 5.0) / 5.0)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let batches: Vec<_> = groups.iter().map(|g| packer.pack(g).unwrap()).collect();
+        let cts: Vec<_> = batches
+            .iter()
+            .map(|b| packer.encrypt(b, pe.evaluator(), &mut rng))
+            .collect();
+        let run = BatchRunner::new(2)
+            .run_packed(&packer, &pe, None, &cts)
+            .unwrap();
+        assert_eq!(run.outputs.len(), 2);
+        for (group, (batch, out_ct)) in groups.iter().zip(batches.iter().zip(&run.outputs)) {
+            let outs = packer.decrypt(out_ct, batch, pe.evaluator());
+            assert_eq!(outs.len(), 4);
+            for (x, got) in group.iter().zip(&outs) {
+                let want = pipe.eval_plain(x);
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g - w).abs() < 6e-2, "{g} vs {w}");
+                }
+            }
+        }
     }
 
     fn zero_stats() -> RunStats {

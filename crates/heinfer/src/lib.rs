@@ -89,6 +89,7 @@ mod batch;
 mod describe;
 mod exec;
 mod maxpool;
+pub mod pack;
 mod pipeline;
 #[cfg(test)]
 mod proptests;
@@ -100,5 +101,6 @@ pub use batch::{BatchRun, BatchRunner};
 pub use describe::{fnv1a_64, PipelineDesc, StageDesc};
 pub use exec::{InferenceBackend, PafOp, RunError, RunStats};
 pub use maxpool::pool_taps;
+pub use pack::{LanePacker, PackError, PackedBatch, SlotLayout};
 pub use pipeline::{HePipeline, PipelineBuilder, Stage};
 pub use serve::{BatchService, ServeConfig, ServeError, ServeStats, Server, TenantId, Ticket};

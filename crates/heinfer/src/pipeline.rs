@@ -659,6 +659,84 @@ impl HePipeline {
         })
     }
 
+    /// How many independent inputs one ciphertext of `slots` slots can
+    /// carry for this pipeline — the slot-packing capacity
+    /// `K = slots / dim` (0 when the padded dimension does not divide
+    /// the slot count). Both operands are powers of two, so a nonzero
+    /// capacity is always a power of two and [`HePipeline::expand_lanes`]
+    /// accepts any power-of-two lane count up to it.
+    pub fn lane_capacity(&self, slots: usize) -> usize {
+        if slots.is_multiple_of(self.dim) {
+            slots / self.dim
+        } else {
+            0
+        }
+    }
+
+    /// Rebuilds this pipeline at `lanes` slot lanes: every affine
+    /// matrix and pool tap is replicated block-diagonally
+    /// ([`DiagMatrix::block_diag`]), biases are tiled across lanes, and
+    /// PAF stages — elementwise by construction — carry over untouched,
+    /// sharing their prepared engines with the source pipeline.
+    ///
+    /// The expanded pipeline is an ordinary [`HePipeline`] at padded
+    /// dimension `lanes · dim` whose plain evaluation applies the base
+    /// pipeline independently (and bit-identically) to each
+    /// length-`dim` lane of a lane-concatenated input. Its logical
+    /// input/output dimensions are the full `lanes · dim` flat vector;
+    /// per-lane padding and demultiplexing are the packing layer's job
+    /// (see the `pack` module).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lanes` is a power of two.
+    pub fn expand_lanes(&self, lanes: usize) -> HePipeline {
+        assert!(lanes.is_power_of_two(), "lanes must be a power of two");
+        if lanes == 1 {
+            return HePipeline {
+                stages: self.stages.clone(),
+                prepared: self.prepared.clone(),
+                dim: self.dim,
+                input_dim: self.input_dim,
+                output_dim: self.output_dim,
+            };
+        }
+        let dim = self.dim * lanes;
+        let stages: Vec<Stage> = self
+            .stages
+            .iter()
+            .map(|s| match s {
+                Stage::Affine { mat, bias } => {
+                    let mut tiled = Vec::with_capacity(dim);
+                    for _ in 0..lanes {
+                        tiled.extend_from_slice(bias);
+                    }
+                    Stage::Affine {
+                        mat: mat.block_diag(lanes),
+                        bias: tiled,
+                    }
+                }
+                Stage::PafRelu { .. } => s.clone(),
+                Stage::PafMax {
+                    taps,
+                    paf,
+                    post_scale,
+                } => Stage::PafMax {
+                    taps: taps.iter().map(|t| t.block_diag(lanes)).collect(),
+                    paf: paf.clone(),
+                    post_scale: *post_scale,
+                },
+            })
+            .collect();
+        HePipeline {
+            stages,
+            prepared: self.prepared.clone(),
+            dim,
+            input_dim: dim,
+            output_dim: dim,
+        }
+    }
+
     /// Folds Static-Scaling multiplications into neighbouring affine
     /// matrices: an affine stage directly before a PAF-ReLU absorbs the
     /// `1/s` pre-scale, and an affine stage directly after any PAF
@@ -1057,5 +1135,88 @@ mod tests {
             .compile();
         assert!(pipe.stages()[0].label().starts_with("affine"));
         assert!(pipe.stages()[1].label().starts_with("paf-relu"));
+    }
+
+    #[test]
+    fn lane_capacity_is_slot_count_over_dim() {
+        let mut rng = Rng64::new(31);
+        let pipe = PipelineBuilder::new(&[4])
+            .affine(Linear::new(4, 4, &mut rng))
+            .compile();
+        assert_eq!(pipe.dim(), 4);
+        assert_eq!(pipe.lane_capacity(128), 32);
+        assert_eq!(pipe.lane_capacity(4), 1);
+        // Non-divisible slot counts have no packing capacity.
+        assert_eq!(pipe.lane_capacity(6), 0);
+        assert_eq!(pipe.lane_capacity(2), 0);
+    }
+
+    #[test]
+    fn expanded_lanes_eval_each_lane_bit_identically() {
+        // A conv + PAF-relu + maxpool pipeline covers every stage
+        // kind; the lane-expanded pipeline applied to concatenated
+        // inputs must reproduce each per-lane base eval bit for bit.
+        let mut rng = Rng64::new(33);
+        let paf = relu_paf();
+        let pipe = PipelineBuilder::new(&[1, 4, 4])
+            .affine(Conv2d::new(1, 1, 3, 1, 1, &mut rng))
+            .paf_relu(&paf, 4.0)
+            .paf_maxpool(2, 2, &paf, 4.0)
+            .affine(Flatten::new())
+            .affine(Linear::new(4, 4, &mut rng))
+            .compile();
+        let lanes = 4;
+        let wide = pipe.expand_lanes(lanes);
+        assert_eq!(wide.dim(), lanes * pipe.dim());
+        assert_eq!(wide.input_dim(), lanes * pipe.dim());
+        assert_eq!(wide.output_dim(), lanes * pipe.dim());
+
+        let inputs: Vec<Vec<f64>> = (0..lanes)
+            .map(|l| {
+                (0..16)
+                    .map(|i| ((i * 7 + l * 3) % 9) as f64 / 3.0 - 1.0)
+                    .collect()
+            })
+            .collect();
+        let mut flat = Vec::new();
+        for x in &inputs {
+            let mut padded = x.clone();
+            padded.resize(pipe.dim(), 0.0);
+            flat.extend_from_slice(&padded);
+        }
+        let got = wide.eval_plain(&flat);
+        for (l, x) in inputs.iter().enumerate() {
+            let want = pipe.eval_plain(x);
+            let lane = &got[l * pipe.dim()..l * pipe.dim() + want.len()];
+            assert_eq!(
+                lane.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "lane {l} must match the sequential eval bit for bit"
+            );
+        }
+    }
+
+    #[test]
+    fn expanded_lanes_share_prepared_paf_engines() {
+        let paf = relu_paf();
+        let pipe = PipelineBuilder::new(&[4]).paf_relu(&paf, 2.0).compile();
+        let wide = pipe.expand_lanes(8);
+        let base: Vec<_> = pipe.prepared_engines().iter().flatten().collect();
+        let exp: Vec<_> = wide.prepared_engines().iter().flatten().collect();
+        assert_eq!(base.len(), exp.len());
+        assert!(
+            std::sync::Arc::ptr_eq(base[0], exp[0]),
+            "expansion must not re-prepare PAF engines"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn expand_lanes_rejects_non_power_of_two() {
+        let mut rng = Rng64::new(35);
+        let pipe = PipelineBuilder::new(&[4])
+            .affine(Linear::new(4, 4, &mut rng))
+            .compile();
+        let _ = pipe.expand_lanes(3);
     }
 }

@@ -1,6 +1,7 @@
 //! Property-based tests for pipeline compilation and the execution
 //! backends.
 
+use crate::pack::LanePacker;
 use crate::pipeline::PipelineBuilder;
 use proptest::prelude::*;
 use smartpaf_ckks::{CkksParams, Evaluator, KeyChain, PafEvaluator};
@@ -61,6 +62,45 @@ proptest! {
         let b = folded.eval_plain(&x);
         for (ai, bi) in a.iter().zip(&b) {
             prop_assert!((ai - bi).abs() < 1e-6 * (1.0 + ai.abs()), "{ai} vs {bi}");
+        }
+    }
+
+    /// Slot packing is invisible to plaintext semantics: packing
+    /// `count` random inputs into `lanes` lanes, evaluating the
+    /// lane-expanded pipeline once, and unpacking is *bit-identical*
+    /// to `count` sequential single-input evaluations — for arbitrary
+    /// weights, PAF scales, lane counts, and partial fills.
+    #[test]
+    fn packed_plain_eval_is_bit_identical_to_sequential(
+        seed in 0u64..1000,
+        scale in 1.0f64..6.0,
+        lanes_log2 in 0u32..4,
+        raw in proptest::collection::vec(proptest::collection::vec(-1.0f64..1.0, 4), 1..9),
+    ) {
+        let mut rng = Rng64::new(seed);
+        let paf = CompositePaf::from_form(PafForm::F1G2);
+        let pipe = PipelineBuilder::new(&[4])
+            .affine(Linear::new(4, 4, &mut rng))
+            .paf_relu(&paf, scale)
+            .affine(Linear::new(4, 4, &mut rng))
+            .compile();
+
+        let lanes = 1usize << lanes_log2;
+        let inputs = &raw[..raw.len().min(lanes)];
+        let packer = LanePacker::new(&pipe, 64, lanes).expect("dim 4 divides 64 slots");
+        let batch = packer.pack(inputs).expect("inputs fit the lanes");
+        let packed = packer.eval_plain(&batch);
+
+        prop_assert_eq!(packed.len(), inputs.len());
+        for (i, x) in inputs.iter().enumerate() {
+            let want = pipe.eval_plain(x);
+            prop_assert_eq!(packed[i].len(), want.len());
+            for (o, (p, w)) in packed[i].iter().zip(&want).enumerate() {
+                prop_assert_eq!(
+                    p.to_bits(), w.to_bits(),
+                    "input {i} output {o}: packed {p} vs sequential {w}"
+                );
+            }
         }
     }
 

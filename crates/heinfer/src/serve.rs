@@ -47,6 +47,17 @@ pub trait BatchService: Send {
         tenant: TenantId,
         inputs: &[Vec<f64>],
     ) -> Result<Vec<Vec<f64>>, Self::Error>;
+
+    /// How many inputs this tenant's engine can multiplex into one
+    /// ciphertext (the slot-packing capacity `K = slots / padded_dim`,
+    /// see `heinfer::pack`). The default of 1 means "no packing";
+    /// packing-aware services override it so the batcher
+    /// ([`ServeConfig::pack_lanes`]) can fill slot lanes before
+    /// growing worker batches.
+    fn lane_capacity(&mut self, tenant: TenantId) -> usize {
+        let _ = tenant;
+        1
+    }
 }
 
 /// Why a request was rejected or failed, typed so callers can
@@ -94,6 +105,15 @@ pub struct ServeConfig {
     /// dispatching a partial batch. `Duration::ZERO` dispatches
     /// whatever is queued immediately (deterministic, good for tests).
     pub batch_deadline: Duration,
+    /// Fill slot lanes first: when set, the batcher asks the service
+    /// for each tenant's [`BatchService::lane_capacity`] `K` and
+    /// coalesces up to `max_batch · K` same-tenant requests per
+    /// dispatch, so the service can multiplex each group of `K` inputs
+    /// into one ciphertext (`heinfer::pack`). [`ServeStats`] then
+    /// records slot-occupancy metrics alongside the request batch-fill
+    /// histogram. Off by default — the service must actually pack for
+    /// this to help.
+    pub pack_lanes: bool,
 }
 
 impl Default for ServeConfig {
@@ -102,6 +122,7 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             max_batch: 8,
             batch_deadline: Duration::from_millis(2),
+            pack_lanes: false,
         }
     }
 }
@@ -123,6 +144,12 @@ pub struct ServeStats {
     pub batch_fill: Vec<usize>,
     /// Most requests ever waiting at once (queue high-water mark).
     pub max_queue_depth: usize,
+    /// Ciphertext lane-groups dispatched under slot packing
+    /// ([`ServeConfig::pack_lanes`]); 0 when packing is off.
+    pub slot_batches: usize,
+    /// Slot-fill histogram: `slot_fill[k]` lane-groups carried exactly
+    /// `k` requests in their slot lanes (index 0 is unused).
+    pub slot_fill: Vec<usize>,
     /// Served latency per request (submit → answer), milliseconds.
     latencies_ms: Vec<f64>,
 }
@@ -165,12 +192,38 @@ impl ServeStats {
         total as f64 / self.batches as f64
     }
 
+    /// Mean requests per ciphertext lane-group under slot packing
+    /// (0.0 when packing never dispatched). Read together with
+    /// [`ServeStats::mean_fill`]: `mean_fill` is requests per *worker
+    /// batch*, `mean_slot_fill` requests per *ciphertext* — the lane
+    /// occupancy that the packed-eval amortization actually tracks.
+    pub fn mean_slot_fill(&self) -> f64 {
+        if self.slot_batches == 0 {
+            return 0.0;
+        }
+        let total: usize = self
+            .slot_fill
+            .iter()
+            .enumerate()
+            .map(|(fill, count)| fill * count)
+            .sum();
+        total as f64 / self.slot_batches as f64
+    }
+
     fn record_batch(&mut self, fill: usize) {
         self.batches += 1;
         if self.batch_fill.len() <= fill {
             self.batch_fill.resize(fill + 1, 0);
         }
         self.batch_fill[fill] += 1;
+    }
+
+    fn record_slot_group(&mut self, fill: usize) {
+        self.slot_batches += 1;
+        if self.slot_fill.len() <= fill {
+            self.slot_fill.resize(fill + 1, 0);
+        }
+        self.slot_fill[fill] += 1;
     }
 }
 
@@ -419,15 +472,25 @@ fn batcher_loop<S: BatchService>(
                 st = shared.available.wait(st).expect("serve state poisoned");
             }
             let tenant = st.queue.front().expect("non-empty").tenant;
-            let mut batch = drain_tenant(&mut st.queue, tenant, max_batch);
+            // Slot packing multiplies the coalescing cap: each group
+            // of `lanes` requests shares one ciphertext, so one worker
+            // batch of `max_batch` ciphertexts carries up to
+            // `max_batch · lanes` requests.
+            let lanes = if config.pack_lanes {
+                service.lane_capacity(tenant).max(1)
+            } else {
+                1
+            };
+            let cap = max_batch.saturating_mul(lanes);
+            let mut batch = drain_tenant(&mut st.queue, tenant, cap);
             // Coalescing window: wait out the deadline for more
             // same-tenant arrivals unless the batch is already full or
             // we are draining.
-            if batch.len() < max_batch && !st.shutting_down && !config.batch_deadline.is_zero() {
+            if batch.len() < cap && !st.shutting_down && !config.batch_deadline.is_zero() {
                 let deadline = Instant::now() + config.batch_deadline;
                 loop {
                     let now = Instant::now();
-                    if now >= deadline || batch.len() >= max_batch || st.shutting_down {
+                    if now >= deadline || batch.len() >= cap || st.shutting_down {
                         break;
                     }
                     let (guard, timeout) = shared
@@ -435,14 +498,15 @@ fn batcher_loop<S: BatchService>(
                         .wait_timeout(st, deadline - now)
                         .expect("serve state poisoned");
                     st = guard;
-                    batch.extend(drain_tenant(&mut st.queue, tenant, max_batch - batch.len()));
+                    batch.extend(drain_tenant(&mut st.queue, tenant, cap - batch.len()));
                     if timeout.timed_out() {
                         break;
                     }
                 }
             }
-            batch
+            (batch, lanes)
         };
+        let (batch, lanes) = batch;
 
         let tenant = batch[0].tenant;
         let inputs: Vec<Vec<f64>> = batch.iter().map(|r| r.input.clone()).collect();
@@ -453,6 +517,17 @@ fn batcher_loop<S: BatchService>(
         let answered = Instant::now();
         let mut stats = shared.stats.lock().expect("stats poisoned");
         stats.record_batch(batch.len());
+        if config.pack_lanes {
+            // Slot occupancy: the service packs each consecutive group
+            // of `lanes` inputs into one ciphertext; record how full
+            // each lane-group ran.
+            let mut left = batch.len();
+            while left > 0 {
+                let fill = left.min(lanes);
+                stats.record_slot_group(fill);
+                left -= fill;
+            }
+        }
         match result {
             Ok(Ok(outputs)) if outputs.len() == batch.len() => {
                 stats.served += batch.len();
@@ -490,6 +565,7 @@ mod tests {
         calls: CallLog,
         panic_on: Option<f64>,
         fail_on: Option<f64>,
+        lanes: usize,
     }
 
     impl Recorder {
@@ -500,6 +576,7 @@ mod tests {
                     calls: Arc::clone(&calls),
                     panic_on: None,
                     fail_on: None,
+                    lanes: 1,
                 },
                 calls,
             )
@@ -531,6 +608,10 @@ mod tests {
                 })
                 .collect())
         }
+
+        fn lane_capacity(&mut self, _tenant: TenantId) -> usize {
+            self.lanes
+        }
     }
 
     fn burst_config() -> ServeConfig {
@@ -539,6 +620,7 @@ mod tests {
             queue_capacity: 16,
             max_batch: 4,
             batch_deadline: Duration::ZERO,
+            pack_lanes: false,
         }
     }
 
@@ -563,6 +645,50 @@ mod tests {
         assert_eq!(stats.batch_fill[2], 1);
         assert_eq!(stats.max_queue_depth, 6);
         assert!(stats.p99_ms() >= stats.p50_ms());
+    }
+
+    #[test]
+    fn pack_lanes_fill_slots_before_growing_worker_batches() {
+        // K=4 lanes per ciphertext, max_batch 4 → one dispatch can
+        // carry 16 requests; a burst of 10 coalesces into a single
+        // run_batch call and three lane-groups (4, 4, 2).
+        let (mut svc, calls) = Recorder::new();
+        svc.lanes = 4;
+        let server = Server::start(
+            svc,
+            ServeConfig {
+                pack_lanes: true,
+                ..burst_config()
+            },
+        );
+        server.pause();
+        let tickets: Vec<_> = (0..10)
+            .map(|i| server.submit(7, vec![i as f64]).unwrap())
+            .collect();
+        server.resume();
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait().unwrap(), vec![i as f64 + 7.0]);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 10);
+        assert_eq!(stats.batches, 1, "10 requests fit one packed dispatch");
+        assert_eq!(calls.lock().unwrap().as_slice(), &[(7, 10)]);
+        assert_eq!(stats.batch_fill[10], 1);
+        assert_eq!(stats.slot_batches, 3);
+        assert_eq!(stats.slot_fill[4], 2);
+        assert_eq!(stats.slot_fill[2], 1);
+        assert!((stats.mean_slot_fill() - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packing_off_records_no_slot_metrics() {
+        let (svc, _) = Recorder::new();
+        let server = Server::start(svc, burst_config());
+        server.submit(0, vec![1.0]).unwrap().wait().unwrap();
+        let stats = server.shutdown();
+        assert_eq!(stats.slot_batches, 0);
+        assert!(stats.slot_fill.is_empty());
+        assert_eq!(stats.mean_slot_fill(), 0.0);
     }
 
     #[test]
@@ -686,6 +812,7 @@ mod tests {
                 queue_capacity: 16,
                 max_batch: 8,
                 batch_deadline: Duration::from_millis(200),
+                pack_lanes: false,
             },
         );
         let t0 = server.submit(0, vec![0.0]).unwrap();

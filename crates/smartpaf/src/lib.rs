@@ -80,7 +80,7 @@ pub use config::{TechniqueSet, TrainConfig};
 pub use latency::{LatencyReport, LatencyRig};
 pub use pareto::{pareto_frontier, vector_pareto_frontier, ParetoPoint, VectorParetoPoint};
 pub use pipeline::{ExperimentResult, Workbench};
-pub use registry::{ArtifactInfo, PlanRegistry, RegistryError, FORMAT_VERSION};
+pub use registry::{ArtifactInfo, GcPolicy, GcReport, PlanRegistry, RegistryError, FORMAT_VERSION};
 pub use relu_reduce::{
     cull_least_sensitive, deepreduce_combo, relu_sensitivity, replace_survivors, ComboReport,
 };
@@ -89,7 +89,7 @@ pub use replace::{
     profile_slot, replace_all, replace_all_with, replace_slot, scale_static_scales,
 };
 pub use scheduler::{rank_forms_by_dry_run, EventKind, FormCost, Scheduler, TrainEvent};
-pub use serve::{registry_factory, serve_sessions, SessionCache};
+pub use serve::{registry_factory, serve_sessions, serve_sessions_packed, SessionCache};
 pub use session::{
     trace_modmuls, CompiledSession, FormId, Objective, Plan, PlanBudget, PlanReport,
     PlannedCandidate, Session, SessionBuilder, SessionError, VectorCost, SECONDS_PER_MODMUL,

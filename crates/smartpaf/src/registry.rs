@@ -182,6 +182,25 @@ pub struct ArtifactInfo {
     pub dry_runs: usize,
 }
 
+/// Retention policy for [`PlanRegistry::gc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcPolicy {
+    /// Keep at most this many artifacts; the newest survive.
+    MaxArtifacts(usize),
+    /// Remove every artifact whose file is older than this age.
+    MaxAge(std::time::Duration),
+}
+
+/// What one [`PlanRegistry::gc`] sweep did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcReport {
+    /// Content keys of the removed artifacts, in removal order
+    /// (oldest first).
+    pub removed: Vec<String>,
+    /// Artifacts still in the registry after the sweep.
+    pub retained: usize,
+}
+
 /// A content-addressed, directory-backed store of planning outcomes.
 /// See the [module docs](self) for the deployment story and
 /// `docs/ARTIFACT_FORMAT.md` for the wire format.
@@ -409,6 +428,61 @@ impl PlanRegistry {
         }
         infos.sort_by(|a, b| a.content_key.cmp(&b.content_key));
         Ok(infos)
+    }
+
+    /// Evicts artifacts under a retention [`GcPolicy`], oldest first.
+    ///
+    /// Age is the artifact file's modification time; ties break on
+    /// content key, so a sweep is deterministic even when a whole
+    /// batch was published in the same instant. Only well-formed plan
+    /// artifacts (what [`PlanRegistry::list`] reports) are candidates —
+    /// foreign or corrupt files in the directory are never touched, for
+    /// the same reason `list` skips them.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Io`] when the directory cannot be read, an
+    /// artifact's metadata cannot be fetched, or a removal fails; a
+    /// failed sweep may have removed a prefix of its victims (each
+    /// removal is an independent `unlink`).
+    pub fn gc(&self, policy: GcPolicy) -> Result<GcReport, RegistryError> {
+        let mut aged: Vec<(std::time::SystemTime, ArtifactInfo)> = Vec::new();
+        for info in self.list()? {
+            let mtime = fs::metadata(&info.path)
+                .and_then(|m| m.modified())
+                .map_err(|e| RegistryError::Io {
+                    path: info.path.clone(),
+                    message: e.to_string(),
+                })?;
+            aged.push((mtime, info));
+        }
+        aged.sort_by(|a, b| (a.0, &a.1.content_key).cmp(&(b.0, &b.1.content_key)));
+        let victims: Vec<&ArtifactInfo> = match policy {
+            GcPolicy::MaxArtifacts(keep) => aged
+                .iter()
+                .map(|(_, info)| info)
+                .take(aged.len().saturating_sub(keep))
+                .collect(),
+            GcPolicy::MaxAge(age) => {
+                let now = std::time::SystemTime::now();
+                aged.iter()
+                    .filter(|(mtime, _)| now.duration_since(*mtime).is_ok_and(|d| d > age))
+                    .map(|(_, info)| info)
+                    .collect()
+            }
+        };
+        let mut removed = Vec::with_capacity(victims.len());
+        for info in victims {
+            fs::remove_file(&info.path).map_err(|e| RegistryError::Io {
+                path: info.path.clone(),
+                message: e.to_string(),
+            })?;
+            removed.push(info.content_key.clone());
+        }
+        Ok(GcReport {
+            retained: aged.len() - removed.len(),
+            removed,
+        })
     }
 
     /// A warm-start seed for planning `desc` under `params`: the
@@ -723,6 +797,109 @@ mod tests {
             .expect("plannable");
         assert_eq!(still_cold.dry_runs_used(), cold.dry_runs_used());
         assert_eq!(still_cold.chosen(), cold.chosen());
+    }
+
+    /// Pins an artifact file's mtime to an exact instant.
+    fn set_mtime(path: &Path, t: std::time::SystemTime) {
+        fs::File::options()
+            .append(true)
+            .open(path)
+            .unwrap()
+            .set_modified(t)
+            .unwrap();
+    }
+
+    /// Backdates an artifact's mtime by `secs` seconds.
+    fn backdate(path: &Path, secs: u64) {
+        let t = std::time::SystemTime::now() - std::time::Duration::from_secs(secs);
+        set_mtime(path, t);
+    }
+
+    #[test]
+    fn gc_max_artifacts_evicts_the_oldest_first() {
+        let reg = test_registry("gc-count");
+        let mut keys = Vec::new();
+        for (i, seed) in [11u64, 12, 13].iter().enumerate() {
+            let key = reg
+                .save_plan(&builder(1, *seed).plan().expect("plannable"))
+                .expect("saves");
+            // Distinct, ordered ages: seed 11 oldest, seed 13 newest.
+            backdate(&reg.artifact_path(&key), 3600 * (3 - i as u64));
+            keys.push(key);
+        }
+        let report = reg.gc(GcPolicy::MaxArtifacts(1)).expect("sweeps");
+        assert_eq!(report.removed, keys[..2], "oldest first, in order");
+        assert_eq!(report.retained, 1);
+        let left = reg.list().expect("lists");
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].content_key, keys[2], "the newest survives");
+
+        // Under the cap, a sweep is a no-op.
+        let report = reg.gc(GcPolicy::MaxArtifacts(5)).expect("sweeps");
+        assert_eq!(
+            report,
+            GcReport {
+                removed: vec![],
+                retained: 1
+            }
+        );
+    }
+
+    #[test]
+    fn gc_max_age_removes_only_stale_artifacts() {
+        let reg = test_registry("gc-age");
+        let stale = reg
+            .save_plan(&builder(1, 11).plan().expect("plannable"))
+            .expect("saves");
+        backdate(&reg.artifact_path(&stale), 7200);
+        let fresh = reg
+            .save_plan(&builder(1, 12).plan().expect("plannable"))
+            .expect("saves");
+
+        let report = reg
+            .gc(GcPolicy::MaxAge(std::time::Duration::from_secs(3600)))
+            .expect("sweeps");
+        assert_eq!(report.removed, vec![stale]);
+        assert_eq!(report.retained, 1);
+        assert_eq!(reg.list().expect("lists")[0].content_key, fresh);
+
+        // Idempotent: nothing left past the age bound.
+        let report = reg
+            .gc(GcPolicy::MaxAge(std::time::Duration::from_secs(3600)))
+            .expect("sweeps");
+        assert!(report.removed.is_empty());
+    }
+
+    #[test]
+    fn gc_ties_break_on_content_key_and_spare_foreign_files() {
+        let reg = test_registry("gc-ties");
+        // One shared mtime: ordering must fall back to the key.
+        let t = std::time::SystemTime::now() - std::time::Duration::from_secs(3600);
+        let mut keys = Vec::new();
+        for seed in [11u64, 12, 13] {
+            let key = reg
+                .save_plan(&builder(1, seed).plan().expect("plannable"))
+                .expect("saves");
+            set_mtime(&reg.artifact_path(&key), t);
+            keys.push(key);
+        }
+        // A foreign file is not a gc candidate, whatever its age.
+        let foreign = reg.root().join("notes.json");
+        fs::write(&foreign, "{}").unwrap();
+        backdate(&foreign, 720_000);
+
+        let report = reg.gc(GcPolicy::MaxArtifacts(1)).expect("sweeps");
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(report.removed, sorted[..2], "equal mtimes order by key");
+        assert_eq!(report.retained, 1);
+        assert!(foreign.exists(), "gc never touches non-artifact files");
+
+        // MaxArtifacts(0) empties the registry deterministically.
+        let report = reg.gc(GcPolicy::MaxArtifacts(0)).expect("sweeps");
+        assert_eq!(report.removed, vec![sorted[2].clone()]);
+        assert_eq!(report.retained, 0);
+        assert!(reg.list().expect("lists").is_empty());
     }
 
     #[test]

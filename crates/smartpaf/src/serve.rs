@@ -30,6 +30,7 @@ pub struct SessionCache<F> {
     hits: usize,
     misses: usize,
     evictions: usize,
+    packed: bool,
 }
 
 impl<F> SessionCache<F>
@@ -44,7 +45,26 @@ where
             hits: 0,
             misses: 0,
             evictions: 0,
+            packed: false,
         }
+    }
+
+    /// Switches batches onto the slot-packing path:
+    /// [`BatchService::run_batch`] multiplexes each lane-group of
+    /// inputs into one ciphertext
+    /// ([`CompiledSession::infer_batch_packed`]), and
+    /// [`BatchService::lane_capacity`] reports each tenant's real
+    /// capacity so a packing-aware batcher
+    /// (`ServeConfig::pack_lanes`) fills slot lanes before growing
+    /// worker batches.
+    pub fn with_packing(mut self, packed: bool) -> Self {
+        self.packed = packed;
+        self
+    }
+
+    /// True when batches run slot-packed.
+    pub fn packing(&self) -> bool {
+        self.packed
     }
 
     /// The tenant's session, building (plan + compile + keygen) on
@@ -121,14 +141,31 @@ where
         tenant: TenantId,
         inputs: &[Vec<f64>],
     ) -> Result<Vec<Vec<f64>>, SessionError> {
-        let result = self
-            .session(tenant)?
-            .infer_batch(inputs)
-            .map(|run| run.outputs);
+        let packed = self.packed;
+        let result = self.session(tenant).and_then(|session| {
+            let run = if packed {
+                session.infer_batch_packed(inputs)?
+            } else {
+                session.infer_batch(inputs)?
+            };
+            Ok(run.outputs)
+        });
         if let Err(e) = &result {
             self.evict_if_poisoned(tenant, e);
         }
         result
+    }
+
+    fn lane_capacity(&mut self, tenant: TenantId) -> usize {
+        if !self.packed {
+            return 1;
+        }
+        // The capacity is a property of the tenant's compiled session;
+        // a failed build reports 1 (the error itself surfaces on the
+        // actual batch).
+        self.session(tenant)
+            .map(|session| session.lane_capacity())
+            .unwrap_or(1)
     }
 }
 
@@ -139,6 +176,21 @@ where
     F: FnMut(TenantId) -> Result<CompiledSession, SessionError> + Send + 'static,
 {
     Server::start(SessionCache::new(build), config)
+}
+
+/// [`serve_sessions`] with slot packing on end to end: the batcher
+/// fills each tenant's slot lanes before growing worker batches
+/// (`config.pack_lanes` is forced on) and the cache multiplexes every
+/// lane-group into one ciphertext
+/// ([`CompiledSession::infer_batch_packed`]). The final
+/// [`ServeStats`](smartpaf_heinfer::ServeStats) then carry the
+/// slot-occupancy histogram next to the request batch-fill one.
+pub fn serve_sessions_packed<F>(build: F, mut config: ServeConfig) -> Server<SessionCache<F>>
+where
+    F: FnMut(TenantId) -> Result<CompiledSession, SessionError> + Send + 'static,
+{
+    config.pack_lanes = true;
+    Server::start(SessionCache::new(build).with_packing(true), config)
 }
 
 /// A session factory backed by a [`PlanRegistry`]: a tenant's first
@@ -305,6 +357,34 @@ mod tests {
         let after = cache.run_batch(5, &[x.to_vec()]).unwrap();
         assert_eq!(cache.misses(), 2, "the poisoned entry was rebuilt");
         assert_eq!(before, after, "rebuild is deterministic per tenant");
+    }
+
+    #[test]
+    fn packed_cache_serves_within_noise_of_the_unpacked_path() {
+        let mut plain = SessionCache::new(toy_session);
+        let mut packed = SessionCache::new(toy_session).with_packing(true);
+        assert!(!plain.packing());
+        assert!(packed.packing());
+        // Packing off never builds a session just to report capacity.
+        assert_eq!(plain.lane_capacity(1), 1);
+        assert!(plain.is_empty());
+        // Packing on reports the tenant's real capacity (toy ring: 128
+        // slots over a dim-4 pipeline).
+        assert_eq!(packed.lane_capacity(1), 32);
+        assert_eq!(packed.len(), 1);
+
+        let inputs: Vec<Vec<f64>> = (0..6)
+            .map(|i| (0..4).map(|j| ((i * 4 + j) as f64 - 12.0) / 12.0).collect())
+            .collect();
+        let a = plain.run_batch(1, &inputs).unwrap();
+        let b = packed.run_batch(1, &inputs).unwrap();
+        assert_eq!(a.len(), 6);
+        assert_eq!(b.len(), 6);
+        for (ya, yb) in a.iter().zip(&b) {
+            for (va, vb) in ya.iter().zip(yb) {
+                assert!((va - vb).abs() < 0.1, "{va} vs {vb}");
+            }
+        }
     }
 
     #[test]

@@ -64,7 +64,8 @@ use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use smartpaf_ckks::cost::{bootstrap_modmuls, ct_mult_modmuls, rescale_modmuls};
 use smartpaf_ckks::{Bootstrapper, CkksParams, Evaluator, KeyChain, PafEvaluator};
 use smartpaf_heinfer::{
-    BatchRun, BatchRunner, HePipeline, PipelineBuilder, RunError, RunStats, Stage, TraceReport,
+    BatchRun, BatchRunner, HePipeline, LanePacker, PackError, PipelineBuilder, RunError, RunStats,
+    Stage, TraceReport,
 };
 use smartpaf_nn::Layer;
 use smartpaf_polyfit::{CompositeEval, CompositePaf, PafForm};
@@ -111,6 +112,10 @@ pub enum SessionError {
         /// Rescale levels the chain offers.
         max_level: usize,
     },
+    /// A slot-packing failure from `heinfer::pack` — a malformed
+    /// packed batch (too many inputs, overlong input) or a pipeline
+    /// with no packing capacity on this ring.
+    Pack(PackError),
 }
 
 impl SessionError {
@@ -149,6 +154,7 @@ impl fmt::Display for SessionError {
                 f,
                 "none of the {tried} candidate form(s) fits a {max_level}-level chain"
             ),
+            SessionError::Pack(e) => write!(f, "{e}"),
         }
     }
 }
@@ -157,6 +163,7 @@ impl std::error::Error for SessionError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SessionError::Run(e) => Some(e),
+            SessionError::Pack(e) => Some(e),
             _ => None,
         }
     }
@@ -165,6 +172,12 @@ impl std::error::Error for SessionError {
 impl From<RunError> for SessionError {
     fn from(e: RunError) -> Self {
         SessionError::Run(e)
+    }
+}
+
+impl From<PackError> for SessionError {
+    fn from(e: PackError) -> Self {
+        SessionError::Pack(e)
     }
 }
 
@@ -1239,6 +1252,7 @@ impl Plan {
             chosen,
             seed: self.seed,
             last_stats: None,
+            packers: HashMap::new(),
         })
     }
 }
@@ -1257,6 +1271,10 @@ pub struct CompiledSession {
     chosen: PlannedCandidate,
     seed: u64,
     last_stats: Option<RunStats>,
+    /// Lane-expanded packing runtimes, one per lane count served, each
+    /// with its own [`Bootstrapper`] at the expanded dimension (built
+    /// lazily by [`CompiledSession::infer_batch_packed`]).
+    packers: HashMap<usize, (LanePacker, Bootstrapper)>,
 }
 
 impl CompiledSession {
@@ -1306,6 +1324,86 @@ impl CompiledSession {
                     .decrypt_values(ct, self.pipeline.output_dim())
             })
             .collect();
+        Ok(BatchRun {
+            outputs,
+            stats: run.stats,
+            wall: run.wall,
+            threads: run.threads,
+        })
+    }
+
+    /// Slots one input occupies in a ciphertext: the pipeline's padded
+    /// dimension, i.e. the slot-packing lane stride.
+    pub fn slots_per_input(&self) -> usize {
+        self.pipeline.dim()
+    }
+
+    /// How many inputs one ciphertext can multiplex for this session —
+    /// the slot-packing capacity `K = slots / padded_dim` (1 means
+    /// packing cannot help at these parameters).
+    pub fn lane_capacity(&self) -> usize {
+        self.pipeline
+            .lane_capacity(self.pe.evaluator().context().slots())
+            .max(1)
+    }
+
+    /// Slot-packed batch inference: multiplexes up to
+    /// [`CompiledSession::lane_capacity`] inputs per ciphertext at
+    /// stride [`CompiledSession::slots_per_input`], runs the
+    /// lane-expanded pipeline once per ciphertext (sharded across the
+    /// session's [`BatchRunner`] workers), and demultiplexes the
+    /// decrypted outputs — one full encrypted eval amortized over a
+    /// whole lane-group instead of one per request.
+    ///
+    /// The lane count adapts to the batch: `min(capacity,
+    /// next_power_of_two(len))`, so a 4-request batch on a 32-capacity
+    /// ring pays a 4-lane expansion, not a 32-lane one. Expanded
+    /// pipelines (and their bootstrappers, seeded independently of the
+    /// unpacked path) are cached per lane count, so the expansion cost
+    /// is paid once per session.
+    ///
+    /// Outputs are in input order and match sequential
+    /// [`CompiledSession::infer`] calls within CKKS noise; on
+    /// 1-capacity rings (or batches of one) this falls back to
+    /// [`CompiledSession::infer_batch`]. The returned
+    /// [`BatchRun::stats`] hold one record per *packed ciphertext*, in
+    /// dispatch order — not one per input.
+    pub fn infer_batch_packed(
+        &mut self,
+        inputs: &[Vec<f64>],
+    ) -> Result<BatchRun<Vec<f64>>, SessionError> {
+        let capacity = self.lane_capacity();
+        if capacity <= 1 || inputs.len() <= 1 {
+            return self.infer_batch(inputs);
+        }
+        let lanes = inputs.len().next_power_of_two().min(capacity);
+        if !self.packers.contains_key(&lanes) {
+            let slots = self.pe.evaluator().context().slots();
+            let packer = LanePacker::new(&self.pipeline, slots, lanes)?;
+            // The packed path refreshes at the expanded dimension with
+            // its own randomness stream: a different derivation
+            // constant than the unpacked bootstrapper, plus the lane
+            // count, so no stream is shared across layouts.
+            let bs = Bootstrapper::new(
+                self.pe.evaluator().clone(),
+                packer.expanded().dim(),
+                self.seed ^ 0xc2b2_ae3d_27d4_eb4f ^ lanes as u64,
+            );
+            self.packers.insert(lanes, (packer, bs));
+        }
+        let (packer, bs) = self.packers.get(&lanes).expect("cached above");
+        let mut batches = Vec::with_capacity(inputs.len().div_ceil(lanes));
+        let mut cts = Vec::with_capacity(batches.capacity());
+        for group in inputs.chunks(lanes) {
+            let batch = packer.pack(group)?;
+            cts.push(packer.encrypt(&batch, self.pe.evaluator(), &mut self.rng));
+            batches.push(batch);
+        }
+        let run = self.runner.run_packed(packer, &self.pe, Some(bs), &cts)?;
+        let mut outputs = Vec::with_capacity(inputs.len());
+        for (batch, out_ct) in batches.iter().zip(&run.outputs) {
+            outputs.extend(packer.decrypt(out_ct, batch, self.pe.evaluator()));
+        }
         Ok(BatchRun {
             outputs,
             stats: run.stats,
@@ -1380,9 +1478,15 @@ impl CompiledSession {
         self.last_stats.as_ref()
     }
 
-    /// Bootstraps performed by this session so far, across all runs.
+    /// Bootstraps performed by this session so far, across all runs —
+    /// the unpacked path plus every cached packed layout.
     pub fn total_bootstraps(&self) -> usize {
         self.bootstrapper.refresh_count()
+            + self
+                .packers
+                .values()
+                .map(|(_, bs)| bs.refresh_count())
+                .sum::<usize>()
     }
 
     /// The served pipeline.
@@ -2018,5 +2122,63 @@ mod tests {
         assert!(text.starts_with("plan: objective min-bootstraps"));
         assert_eq!(plan.pareto_points().len(), 2);
         assert_eq!(plan.frontier_points().len(), plan.frontier_indices().len());
+    }
+
+    #[test]
+    fn session_exposes_its_slot_packing_geometry() {
+        let session = builder(1, 2.0, 26).plan().unwrap().compile().unwrap();
+        // Toy ring: 128 slots over a dim-4 pipeline → 32 lanes.
+        assert_eq!(session.slots_per_input(), 4);
+        assert_eq!(session.lane_capacity(), 32);
+    }
+
+    #[test]
+    fn packed_batch_matches_sequential_infer_within_noise() {
+        let mut session = builder(1, 2.0, 27).plan().unwrap().compile().unwrap();
+        session.set_batch_runner(BatchRunner::new(1));
+        let inputs: Vec<Vec<f64>> = (0..5)
+            .map(|i| (0..4).map(|j| ((i * 4 + j) as f64 - 10.0) / 10.0).collect())
+            .collect();
+        let packed = session.infer_batch_packed(&inputs).unwrap();
+        assert_eq!(packed.outputs.len(), 5);
+        // 5 inputs → 8 lanes → one ciphertext, one stats record.
+        assert_eq!(packed.stats.len(), 1);
+        for (x, got) in inputs.iter().zip(&packed.outputs) {
+            let want = session.infer(x).unwrap();
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 0.1, "{g} vs {w}");
+            }
+        }
+        // The 8-lane runtime is cached; a second batch reuses it.
+        let again = session.infer_batch_packed(&inputs).unwrap();
+        assert_eq!(again.outputs.len(), 5);
+
+        // Packed errors are typed: an overlong input is the client's
+        // fault and must not poison the session.
+        let err = session
+            .infer_batch_packed(&[vec![0.0; 9], vec![0.0; 4]])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SessionError::Pack(PackError::InputTooLong { len: 9, max: 4 })
+        );
+        assert!(!err.poisons_session());
+        assert!(err.to_string().contains("exceeds pipeline input dim"));
+    }
+
+    #[test]
+    fn packed_single_input_falls_back_to_the_unpacked_path() {
+        let mut session = builder(1, 2.0, 28).plan().unwrap().compile().unwrap();
+        session.set_batch_runner(BatchRunner::new(1));
+        let x = vec![0.3, -0.2, 0.5, -0.4];
+        let run = session
+            .infer_batch_packed(std::slice::from_ref(&x))
+            .unwrap();
+        let want = session.infer(&x).unwrap();
+        for (g, w) in run.outputs[0].iter().zip(&want) {
+            assert!((g - w).abs() < 0.05, "{g} vs {w}");
+        }
+        let empty = session.infer_batch_packed(&[]).unwrap();
+        assert!(empty.outputs.is_empty());
     }
 }

@@ -6,7 +6,7 @@
 //! Run with: `cargo run -p smartpaf-examples --release --bin serve_demo`
 //! (set `SMARTPAF_SCALE=test` for the toy ring).
 
-use smartpaf::{serve_sessions, CompiledSession, Objective, Session, SessionError};
+use smartpaf::{serve_sessions_packed, CompiledSession, Objective, Session, SessionError};
 use smartpaf_heinfer::serve::{ServeConfig, TenantId};
 use smartpaf_nn::Linear;
 use smartpaf_tensor::Rng64;
@@ -43,12 +43,13 @@ fn main() {
         queue_capacity: 32,
         max_batch: 4,
         batch_deadline: Duration::from_millis(2),
+        pack_lanes: true,
     };
     println!(
-        "queue capacity {}, batch cap {}, coalescing deadline {:?}",
+        "queue capacity {}, batch cap {}, coalescing deadline {:?}, slot packing on",
         config.queue_capacity, config.max_batch, config.batch_deadline
     );
-    let server = serve_sessions(tenant_session, config);
+    let server = serve_sessions_packed(tenant_session, config);
 
     smartpaf_examples::section("interleaved submissions");
     // Round-robin the tenants so the batcher has to pull same-tenant
@@ -118,6 +119,19 @@ fn main() {
         stats.batches,
         stats.mean_fill(),
         fills.join(", ")
+    );
+    let lanes: Vec<String> = stats
+        .slot_fill
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| **n > 0)
+        .map(|(fill, n)| format!("{n} x {fill}-lane"))
+        .collect();
+    println!(
+        "  {} packed ciphertexts (mean slot fill {:.2}): {}",
+        stats.slot_batches,
+        stats.mean_slot_fill(),
+        lanes.join(", ")
     );
     println!("\ndone.");
 }

@@ -1,0 +1,58 @@
+//! Ad-hoc profiling of packed vs unpacked inference cost (ignored by
+//! default; run with `cargo test --release --test pack_profile -- --ignored --nocapture`).
+
+use smartpaf::{CompiledSession, Objective, Session, SessionError};
+use smartpaf_ckks::CkksParams;
+use smartpaf_heinfer::BatchRunner;
+use smartpaf_nn::{Conv2d, Flatten, Linear};
+use smartpaf_polyfit::PafForm;
+use smartpaf_tensor::Rng64;
+use std::time::Instant;
+
+fn session() -> Result<CompiledSession, SessionError> {
+    let mut rng = Rng64::new(9000);
+    let mut session = Session::builder(&[1, 8, 8])
+        .affine(Conv2d::new(1, 1, 3, 1, 1, &mut rng))
+        .relu(4.0)
+        .maxpool(2, 2, 4.0)
+        .affine(Flatten::new())
+        .affine(Linear::new(16, 16, &mut rng))
+        .params(CkksParams::default_params())
+        .objective(Objective::FixedForm(PafForm::F1G2))
+        .seed(9000)
+        .plan()?
+        .compile()?;
+    session.set_batch_runner(BatchRunner::new(1));
+    Ok(session)
+}
+
+#[test]
+#[ignore]
+fn profile_packed_scaling() {
+    let mut s = session().unwrap();
+    let x: Vec<f64> = (0..64).map(|j| (j % 17) as f64 / 8.5 - 1.0).collect();
+    for i in 0..2 {
+        let t = Instant::now();
+        s.infer(&x).unwrap();
+        println!("infer #{i}: {:?}", t.elapsed());
+    }
+    for lanes in [2usize, 4, 8] {
+        let inputs: Vec<Vec<f64>> = (0..lanes)
+            .map(|i| {
+                (0..64)
+                    .map(|j| ((i * 13 + j * 5) % 17) as f64 / 8.5 - 1.0)
+                    .collect()
+            })
+            .collect();
+        let t = Instant::now();
+        let run = s.infer_batch_packed(&inputs).unwrap();
+        println!(
+            "packed {lanes} cold: {:?}  bootstraps {}",
+            t.elapsed(),
+            run.stats.iter().map(|st| st.bootstraps).sum::<usize>()
+        );
+        let t = Instant::now();
+        s.infer_batch_packed(&inputs).unwrap();
+        println!("packed {lanes} warm: {:?}", t.elapsed());
+    }
+}

@@ -4,7 +4,9 @@
 //! shutdown draining real sessions, and per-tenant isolation through
 //! the session cache.
 
-use smartpaf::{serve_sessions, CompiledSession, Objective, Session, SessionError};
+use smartpaf::{
+    serve_sessions, serve_sessions_packed, CompiledSession, Objective, Session, SessionError,
+};
 use smartpaf_ckks::CkksParams;
 use smartpaf_heinfer::serve::{ServeConfig, TenantId};
 use smartpaf_heinfer::BatchRunner;
@@ -42,6 +44,7 @@ fn burst_config(max_batch: usize) -> ServeConfig {
         queue_capacity: 32,
         max_batch,
         batch_deadline: Duration::ZERO,
+        pack_lanes: false,
     }
 }
 
@@ -105,6 +108,64 @@ fn graceful_shutdown_drains_real_sessions() {
     for t in tickets {
         t.wait().expect("drained request carries its output");
     }
+}
+
+#[test]
+fn packed_serving_keeps_tenants_in_separate_ciphertexts() {
+    // Slot packing multiplexes *same-tenant* requests into one
+    // ciphertext; interleaved tenants must still land in separate
+    // packed ciphertexts (they hold different keys — sharing one would
+    // corrupt every lane). Each answer is checked against its own
+    // tenant's plaintext reference, and the slot-occupancy stats pin
+    // exactly one packed ciphertext per tenant.
+    let per_tenant = 5;
+    let config = ServeConfig {
+        queue_capacity: 32,
+        max_batch: 2,
+        batch_deadline: Duration::ZERO,
+        pack_lanes: true,
+    };
+    let server = serve_sessions_packed(tenant_session, config);
+    server.pause(); // stage the interleaved burst
+    let mut tickets = Vec::new();
+    for i in 0..per_tenant {
+        for tenant in [1u64, 2] {
+            let x: Vec<f64> = (0..4)
+                .map(|j| ((tenant as usize * 16 + i * 4 + j) as f64 - 20.0) / 40.0)
+                .collect();
+            let ticket = server.submit(tenant, x.clone()).expect("queue has room");
+            tickets.push((tenant, i, x, ticket));
+        }
+    }
+    server.resume();
+    let answers: Vec<(u64, usize, Vec<f64>, Vec<f64>)> = tickets
+        .into_iter()
+        .map(|(tenant, i, x, t)| (tenant, i, x, t.wait().expect("request served")))
+        .collect();
+    let stats = server.shutdown();
+
+    assert_eq!(stats.served, 2 * per_tenant);
+    // 5 requests fit one 32-lane ciphertext, so each tenant's burst is
+    // exactly one packed ciphertext — never a shared one.
+    assert_eq!(stats.slot_batches, 2, "one packed ciphertext per tenant");
+    assert_eq!(stats.slot_fill[per_tenant], 2);
+    assert!((stats.mean_slot_fill() - per_tenant as f64).abs() < 1e-9);
+
+    let mut ref1 = tenant_session(1).expect("same factory compiles");
+    let mut ref2 = tenant_session(2).expect("same factory compiles");
+    for (tenant, i, x, out) in &answers {
+        let reference = if *tenant == 1 { &mut ref1 } else { &mut ref2 };
+        let want = reference.infer_plain(x).expect("valid input");
+        for (o, w) in out.iter().zip(&want) {
+            assert!(
+                (o - w).abs() < 0.25,
+                "tenant {tenant} request {i}: served {o} vs plain {w}"
+            );
+        }
+    }
+    // Different tenants hold different weights: same request index,
+    // different answers.
+    assert_ne!(answers[0].3, answers[1].3);
 }
 
 #[test]
