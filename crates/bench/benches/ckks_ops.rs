@@ -3,15 +3,21 @@
 //!
 //! Covers the raw-speed hot path end to end: the lazy-reduction NTT at
 //! three ring sizes, and the ciphertext pipeline (encrypt, add,
-//! mul+relin, rescale, rotate, mul_const) at N = 4096 and N = 8192.
+//! mul+relin, rescale, rotate, mul_const) at N = 4096 and N = 8192,
+//! with the key-switch gadget's digit count and the host core count
+//! recorded as group metadata. `bench_gadget` measures the hybrid
+//! gadget against the per-prime baseline in-process at the top of the
+//! 13-limb default chain and fails the bench if the hybrid
+//! relinearisation is not ≥ 1.5× faster single-core.
 //! Emits `BENCH_ckks.json` through the criterion shim's JSON hook; CI
 //! diffs a timed run against the committed
 //! `BENCH_ckks.reference.json` so hot-path regressions fail the build.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use smartpaf_ckks::modular::ntt_primes;
-use smartpaf_ckks::{CkksParams, Evaluator, KeyChain, NttTable};
+use smartpaf_ckks::{cost, par, CkksParams, Evaluator, KeyChain, NttTable};
 use smartpaf_tensor::Rng64;
+use std::time::{Duration, Instant};
 
 fn bench_ntt(c: &mut Criterion) {
     for n in [2048usize, 4096, 8192] {
@@ -37,8 +43,30 @@ fn bench_ntt(c: &mut Criterion) {
     }
 }
 
+/// Host logical-core count (what `BatchRunner::auto` would see without
+/// an env override), recorded so bench consumers can tell a 1-core
+/// recording from a many-core one.
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 fn bench_cipher_ops_at(c: &mut Criterion, params: CkksParams) {
     let n = params.n;
+    let top_limbs = params.depth + 1;
+    let mut g = c.benchmark_group(format!("ckks_n{n}"));
+    g.meta("ks_digit_limbs", params.ks_digit_limbs)
+        .meta(
+            "digits",
+            if params.ks_digit_limbs == 0 {
+                top_limbs // per-prime: one group per prime
+            } else {
+                cost::hybrid_digits(&params, top_limbs)
+            },
+        )
+        .meta("cores", host_cores())
+        .meta("threads", par::max_intra_workers());
     let ctx = params.build();
     let mut rng = Rng64::new(1);
     let keys = KeyChain::generate(&ctx, &mut rng);
@@ -50,39 +78,37 @@ fn bench_cipher_ops_at(c: &mut Criterion, params: CkksParams) {
     // cost.
     let _ = ev.rotate(&ev.mul(&ct, &ct), 1);
 
-    c.bench_function(&format!("ckks_encrypt_n{n}"), |b| {
+    g.bench_function("encrypt", |b| {
         let pt = ev.encoder().encode(&vals, ctx.scale(), ctx.primes().len());
         let mut r = Rng64::new(2);
         b.iter(|| std::hint::black_box(ev.encrypt(&pt, &mut r)))
     });
-    c.bench_function(&format!("ckks_add_n{n}"), |b| {
-        b.iter(|| std::hint::black_box(ev.add(&ct, &ct)))
-    });
-    c.bench_function(&format!("ckks_mul_relin_n{n}"), |b| {
+    g.bench_function("add", |b| b.iter(|| std::hint::black_box(ev.add(&ct, &ct))));
+    g.bench_function("mul_relin", |b| {
         b.iter(|| std::hint::black_box(ev.mul(&ct, &ct)))
     });
     // Rescale alone: the clone is microseconds (pooled memcpy) against
     // a milliseconds-scale rescale, so the id still tracks the RNS
     // basis drop.
     let prod = ev.mul(&ct, &ct);
-    c.bench_function(&format!("ckks_rescale_n{n}"), |b| {
+    g.bench_function("rescale", |b| {
         b.iter(|| {
             let mut p = prod.clone();
             ev.rescale(&mut p);
             std::hint::black_box(p)
         })
     });
-    c.bench_function(&format!("ckks_mul_relin_rescale_n{n}"), |b| {
+    g.bench_function("mul_relin_rescale", |b| {
         b.iter(|| {
             let mut p = ev.mul(&ct, &ct);
             ev.rescale(&mut p);
             std::hint::black_box(p)
         })
     });
-    c.bench_function(&format!("ckks_rotate_n{n}"), |b| {
+    g.bench_function("rotate", |b| {
         b.iter(|| std::hint::black_box(ev.rotate(&ct, 1)))
     });
-    c.bench_function(&format!("ckks_mul_const_n{n}"), |b| {
+    g.bench_function("mul_const", |b| {
         b.iter(|| std::hint::black_box(ev.mul_const(&ct, 0.5)))
     });
 }
@@ -92,11 +118,90 @@ fn bench_cipher_ops(c: &mut Criterion) {
     bench_cipher_ops_at(c, CkksParams::benchmark());
 }
 
+/// Best-of-`iters` wall time of `f`, measured inline.
+fn min_time(iters: usize, mut f: impl FnMut()) -> Duration {
+    (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .min()
+        .expect("at least one iteration")
+}
+
+/// The gadget acceptance gate: hybrid vs per-prime relinearisation at
+/// the top of the default 13-limb chain, in one process, pinned to a
+/// single core so the comparison isolates the gadget (not the worker
+/// pool). The timed run must show the hybrid ct_mult+relin ≥ 1.5×
+/// faster; `--test` mode only checks that both paths execute.
+fn bench_gadget(c: &mut Criterion) {
+    let hybrid_params = CkksParams::default_params();
+    assert!(hybrid_params.ks_digit_limbs > 0, "default must be hybrid");
+    let per_prime_params = CkksParams {
+        ks_digit_limbs: 0,
+        ..hybrid_params
+    };
+    let top_limbs = hybrid_params.depth + 1;
+    assert!(top_limbs >= 13, "gate needs a >= 13-level chain");
+    let vals: Vec<f64> = (0..64).map(|i| i as f64 / 64.0 - 0.5).collect();
+    let test_mode = std::env::args().any(|a| a == "--test");
+
+    let mut mins = [Duration::ZERO; 2];
+    for (slot, params) in [per_prime_params, hybrid_params].into_iter().enumerate() {
+        let label = if params.ks_digit_limbs == 0 {
+            "per_prime"
+        } else {
+            "hybrid"
+        };
+        let digits = if params.ks_digit_limbs == 0 {
+            top_limbs
+        } else {
+            cost::hybrid_digits(&params, top_limbs)
+        };
+        let ctx = params.build();
+        let mut rng = Rng64::new(7);
+        let keys = KeyChain::generate(&ctx, &mut rng);
+        let ev = Evaluator::new(&keys);
+        let ct = ev.encrypt_values(&vals, &mut rng);
+        let _ = ev.mul(&ct, &ct); // warm pools and key caches
+        let mut g = c.benchmark_group(format!("ckks_gadget_n{}", params.n));
+        g.meta("ks_digit_limbs", params.ks_digit_limbs)
+            .meta("digits", digits)
+            .meta("limbs", top_limbs)
+            .meta("cores", host_cores());
+        g.bench_function(format!("mul_relin_{label}"), |b| {
+            b.iter(|| std::hint::black_box(ev.mul(&ct, &ct)))
+        });
+        drop(g);
+        if !test_mode {
+            mins[slot] = par::with_thread_budget(1, || {
+                min_time(5, || {
+                    std::hint::black_box(ev.mul(&ct, &ct));
+                })
+            });
+        }
+    }
+    if !test_mode {
+        let [per_prime, hybrid] = mins;
+        let ratio = per_prime.as_secs_f64() / hybrid.as_secs_f64();
+        println!(
+            "gadget gate: per-prime {per_prime:?} vs hybrid {hybrid:?} \
+             at {top_limbs} limbs single-core → {ratio:.2}x"
+        );
+        assert!(
+            ratio >= 1.5,
+            "hybrid relinearisation must be >= 1.5x faster than the \
+             per-prime baseline at {top_limbs} limbs (got {ratio:.2}x)"
+        );
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .json_output("BENCH_ckks.json");
-    targets = bench_ntt, bench_cipher_ops
+    targets = bench_ntt, bench_cipher_ops, bench_gadget
 }
 criterion_main!(benches);

@@ -264,7 +264,7 @@ impl Evaluator {
     }
 
     /// Key-switches the degree-2 component back to a linear ciphertext
-    /// using the per-prime digit gadget.
+    /// using the context's key-switch gadget.
     fn relinearize_d2(&self, d2: &RnsPoly) -> (RnsPoly, RnsPoly) {
         let rk = self.keys.relin_key(d2.num_limbs());
         self.key_switch_with(d2, &rk)
@@ -272,7 +272,8 @@ impl Evaluator {
 
     /// Gadget-decomposes `p` and applies a key-switching key: returns
     /// `(k0, k1)` with `k0 + k1·s ≈ p·s'` for the key's embedded
-    /// switched-from secret `s'`.
+    /// switched-from secret `s'`. Dispatches on the key's gadget
+    /// layout (which follows the context's [`crate::KeySwitchGadget`]).
     pub(crate) fn key_switch_with(
         &self,
         p: &RnsPoly,
@@ -280,6 +281,20 @@ impl Evaluator {
     ) -> (RnsPoly, RnsPoly) {
         let nl = p.num_limbs();
         assert_eq!(key.num_limbs(), nl, "key level mismatch");
+        match &key.inner {
+            crate::keys::KskInner::PerPrime(components) => self.key_switch_per_prime(p, components),
+            crate::keys::KskInner::Hybrid(ksk) => self.key_switch_hybrid(p, ksk),
+        }
+    }
+
+    /// The legacy per-prime digit gadget: one component per
+    /// `(prime, base-2^16 digit)` pair.
+    fn key_switch_per_prime(
+        &self,
+        p: &RnsPoly,
+        components: &[crate::keys::RelinComponent],
+    ) -> (RnsPoly, RnsPoly) {
+        let nl = p.num_limbs();
         let mut d2c = p.clone();
         d2c.to_coeff();
         let n = self.ctx.n();
@@ -296,7 +311,7 @@ impl Evaluator {
         let headroom = self.ctx.lazy_acc_headroom(nl);
         let mut pending = 0usize;
         let mut digit_coeffs = crate::pool::acquire(n);
-        for comp in &key.components {
+        for comp in components {
             // Extract this component's digit of the residues mod q_i.
             let src = d2c.limb(comp.prime_index);
             let shift = DIGIT_BITS * comp.digit;
@@ -325,6 +340,179 @@ impl Evaluator {
         crate::pool::release_wide(lazy0);
         crate::pool::release_wide(lazy1);
         (acc0, acc1)
+    }
+
+    /// The hybrid ω-limb gadget. Pipeline per digit `j` covering chain
+    /// limbs `[start, end)` with modulus `Q_j = ∏ q_i`:
+    ///
+    /// 1. `y_i = x_i · [(Q_j/q_i)^{-1}]_{q_i}` on the in-group limbs
+    ///    (coefficient domain);
+    /// 2. fast base conversion lifts the digit to every limb of the
+    ///    extended basis: `c̃_j mod m_t = Σ_i y_i · [(Q_j/q_i)]_{m_t}`
+    ///    (in-group targets are an exact copy of `x_t`); the lift
+    ///    overshoots by at most `ω·Q_j`, which the huge special
+    ///    modulus `P` absorbs as noise;
+    /// 3. NTT the raised digit and lazily accumulate
+    ///    `c̃_j ⊙ b_j` / `c̃_j ⊙ a_j` in `u128` per extended limb;
+    /// 4. mod-down by `P`: inverse-NTT the special limbs, base-convert
+    ///    their residues back to the chain, and scale by
+    ///    `[P^{-1}]_{q_t}` (approximate base conversion again — error
+    ///    ≤ `k` per coefficient, far below the noise floor).
+    ///
+    /// Every limb of steps 2–4 is independent, so the whole pipeline
+    /// fans out across [`crate::par`] when the thread budget allows,
+    /// bit-identically to the sequential loop.
+    fn key_switch_hybrid(&self, p: &RnsPoly, ksk: &crate::keys::HybridKsk) -> (RnsPoly, RnsPoly) {
+        let ctx = &self.ctx;
+        let nl = ksk.num_limbs;
+        let k = ksk.k;
+        let ext = nl + k;
+        let n = ctx.n();
+        let ndigits = ksk.digits.len();
+        // The lazy accumulators take one u128 product per digit with
+        // no intermediate flush; headroom is ~2^8 for 60-bit primes,
+        // far above any ⌈L/ω⌉.
+        assert!(
+            ndigits <= ctx.lazy_acc_headroom_ext(nl, k),
+            "digit count exceeds lazy accumulator headroom"
+        );
+
+        let mut d2c = p.clone();
+        d2c.to_coeff();
+
+        // Step 1: per-limb digit scaling (the in-group inverse CRT
+        // factors), limb-parallel.
+        let mut y = crate::pool::acquire(nl * n);
+        let mut inv_by_limb = vec![(0u64, 0u64); nl];
+        for d in &ksk.digits {
+            inv_by_limb[d.start..d.end].copy_from_slice(&d.inv_qhat[..d.end - d.start]);
+        }
+        crate::par::for_each_chunk_mut(&mut y, n, |i, dst| {
+            let arith = ctx.arith(i);
+            let (inv, shoup) = inv_by_limb[i];
+            for (out, &x) in dst.iter_mut().zip(d2c.limb(i)) {
+                *out = arith.mul_shoup(x, inv, shoup);
+            }
+        });
+
+        // Steps 2–3, parallel over extended-basis target limbs. Each
+        // task owns limb `t` of both accumulators and its own raised
+        // scratch.
+        let mut lazy0 = crate::pool::acquire_wide_zeroed(ext * n);
+        let mut lazy1 = crate::pool::acquire_wide_zeroed(ext * n);
+        let mut acc0 = crate::pool::acquire(ext * n);
+        let mut acc1 = crate::pool::acquire(ext * n);
+        {
+            let lazy0_base = lazy0.as_mut_ptr() as usize;
+            let lazy1_base = lazy1.as_mut_ptr() as usize;
+            let acc0_base = acc0.as_mut_ptr() as usize;
+            let acc1_base = acc1.as_mut_ptr() as usize;
+            let y = &y[..];
+            crate::par::run(ext, |t| {
+                // SAFETY: tasks receive distinct `t`, so the limb
+                // slices are disjoint; the buffers outlive the `run`
+                // call, which blocks until all tasks finish.
+                let (l0, l1, a0, a1) = unsafe {
+                    (
+                        std::slice::from_raw_parts_mut((lazy0_base as *mut u128).add(t * n), n),
+                        std::slice::from_raw_parts_mut((lazy1_base as *mut u128).add(t * n), n),
+                        std::slice::from_raw_parts_mut((acc0_base as *mut u64).add(t * n), n),
+                        std::slice::from_raw_parts_mut((acc1_base as *mut u64).add(t * n), n),
+                    )
+                };
+                let arith = ctx.ext_arith(nl, t);
+                let table = ctx.ext_ntt(nl, t);
+                let mut raised = crate::pool::acquire(n);
+                for digit in &ksk.digits {
+                    let group = digit.end - digit.start;
+                    if t >= digit.start && t < digit.end {
+                        // In-group target: the lifted digit's residue
+                        // mod q_t is exactly the input residue.
+                        raised.copy_from_slice(d2c.limb(t));
+                    } else {
+                        let qh = &digit.qhat[t * group..t * group + group];
+                        for (c, out) in raised.iter_mut().enumerate() {
+                            // ω ≤ 8 terms of < 2^124 each: fits u128.
+                            let mut sum = 0u128;
+                            for (i, &w) in qh.iter().enumerate() {
+                                sum += y[(digit.start + i) * n + c] as u128 * w as u128;
+                            }
+                            *out = arith.reduce_u128(sum);
+                        }
+                    }
+                    table.forward(&mut raised);
+                    let bt = &digit.b[t * n..(t + 1) * n];
+                    let at = &digit.a[t * n..(t + 1) * n];
+                    for c in 0..n {
+                        l0[c] += raised[c] as u128 * bt[c] as u128;
+                        l1[c] += raised[c] as u128 * at[c] as u128;
+                    }
+                }
+                crate::pool::release(raised);
+                for c in 0..n {
+                    a0[c] = arith.reduce_u128(l0[c]);
+                    a1[c] = arith.reduce_u128(l1[c]);
+                }
+            });
+        }
+        crate::pool::release_wide(lazy0);
+        crate::pool::release_wide(lazy1);
+        crate::pool::release(y);
+        drop(d2c);
+
+        // Step 4: scale both accumulators down by P.
+        let k0 = self.hybrid_mod_down(&mut acc0, ksk);
+        let k1 = self.hybrid_mod_down(&mut acc1, ksk);
+        crate::pool::release(acc0);
+        crate::pool::release(acc1);
+        (k0, k1)
+    }
+
+    /// Divides an extended-basis accumulator (NTT form, flat
+    /// limb-major, `(nl + k)·n` entries) by the special modulus `P`,
+    /// returning the chain-basis result. Approximate fast base
+    /// conversion: per-coefficient error at most `k`, negligible
+    /// against the noise floor. Consumes the special limbs of `acc`
+    /// as scratch.
+    fn hybrid_mod_down(&self, acc: &mut [u64], ksk: &crate::keys::HybridKsk) -> RnsPoly {
+        let ctx = &self.ctx;
+        let nl = ksk.num_limbs;
+        let k = ksk.k;
+        let n = ctx.n();
+        let (chain_acc, sp) = acc.split_at_mut(nl * n);
+        // Special limbs → coefficient domain, scaled by
+        // [(P/p_l)^{-1}]_{p_l}; limb-parallel, in place.
+        crate::par::for_each_chunk_mut(sp, n, |l, limb| {
+            ctx.ntt_special(l).inverse(limb);
+            let arith = ctx.arith_special(l);
+            let (inv, shoup) = ksk.inv_phat[l];
+            for v in limb.iter_mut() {
+                *v = arith.mul_shoup(*v, inv, shoup);
+            }
+        });
+        let sp = &sp[..];
+        let chain_acc = &chain_acc[..];
+        let mut out = RnsPoly::uninit(ctx, nl, true);
+        crate::par::for_each_chunk_mut(out.data_mut(), n, |t, dst| {
+            let arith = ctx.arith(t);
+            let (p_inv, p_inv_shoup) = ksk.p_inv[t];
+            let mut corr = crate::pool::acquire(n);
+            for (c, out_c) in corr.iter_mut().enumerate() {
+                // k ≤ 8 terms: fits u128 without intermediate reduce.
+                let mut sum = 0u128;
+                for l in 0..k {
+                    sum += sp[l * n + c] as u128 * ksk.phat[t * k + l] as u128;
+                }
+                *out_c = arith.reduce_u128(sum);
+            }
+            ctx.ntt(t).forward(&mut corr);
+            for c in 0..n {
+                let diff = arith.sub(chain_acc[t * n + c], corr[c]);
+                dst[c] = arith.mul_shoup(diff, p_inv, p_inv_shoup);
+            }
+            crate::pool::release(corr);
+        });
+        out
     }
 
     /// Rescales a ciphertext: divides by the last prime and drops it.
@@ -484,30 +672,37 @@ mod tests {
         // The perf contract behind the buffer pool: after one warm-up
         // iteration, the steady-state ct_mult → relinearize → rescale
         // pipeline (including the wide lazy key-switch accumulators)
-        // runs entirely off the thread-local free lists.
-        let (ev, mut rng) = setup(55);
-        let ct = ev.encrypt_values(&[0.4, -0.2], &mut rng);
-        let pipeline = || {
-            let mut p = ev.mul(&ct, &ct);
-            ev.rescale(&mut p);
-            p
-        };
-        // Warm-up: builds the relin key digit decomposition buffers and
-        // seeds the pool with every buffer shape the pipeline needs.
-        for _ in 0..2 {
-            std::hint::black_box(pipeline());
-        }
-        crate::pool::reset_stats();
-        for _ in 0..4 {
-            std::hint::black_box(pipeline());
-        }
-        let stats = crate::pool::stats();
-        assert_eq!(
-            stats.fresh_allocs, 0,
-            "steady-state mul+rescale must not hit the allocator: {stats:?}"
-        );
-        assert!(stats.reuses > 0, "pipeline must actually use the pool");
-        assert_eq!(stats.dropped, 0, "free list churn must stay bounded");
+        // runs entirely off the thread-local free lists. Pinned at an
+        // intra-op budget of 1: with workers, which thread serves
+        // which limb varies run to run, so per-thread pool warm-up is
+        // not deterministic (the pools still converge, just not in a
+        // fixed iteration count).
+        crate::par::with_thread_budget(1, || {
+            let (ev, mut rng) = setup(55);
+            let ct = ev.encrypt_values(&[0.4, -0.2], &mut rng);
+            let pipeline = || {
+                let mut p = ev.mul(&ct, &ct);
+                ev.rescale(&mut p);
+                p
+            };
+            // Warm-up: builds the relin key digit decomposition
+            // buffers and seeds the pool with every buffer shape the
+            // pipeline needs.
+            for _ in 0..2 {
+                std::hint::black_box(pipeline());
+            }
+            crate::pool::reset_stats();
+            for _ in 0..4 {
+                std::hint::black_box(pipeline());
+            }
+            let stats = crate::pool::stats();
+            assert_eq!(
+                stats.fresh_allocs, 0,
+                "steady-state mul+rescale must not hit the allocator: {stats:?}"
+            );
+            assert!(stats.reuses > 0, "pipeline must actually use the pool");
+            assert_eq!(stats.dropped, 0, "free list churn must stay bounded");
+        });
     }
 
     #[test]

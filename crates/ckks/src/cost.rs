@@ -31,14 +31,76 @@ fn digits_for(bits: u32) -> usize {
     bits.div_ceil(crate::keys::DIGIT_BITS) as usize
 }
 
+/// Digit count of the hybrid gadget at `limbs` limbs: ⌈limbs/ω⌉ with
+/// ω clamped to the chain length. Only meaningful when
+/// `params.ks_digit_limbs > 0`.
+pub fn hybrid_digits(params: &CkksParams, limbs: usize) -> usize {
+    let omega = params.ks_digit_limbs.min(limbs).max(1);
+    limbs.div_ceil(omega)
+}
+
+/// NTT passes consumed by one key switch at `limbs` limbs under the
+/// configured gadget.
+///
+/// Per-prime (`ks_digit_limbs == 0`): one digit-lift NTT per
+/// (prime, base-2^16 digit) component.
+///
+/// Hybrid ω: `limbs` inverse NTTs of the input, one forward NTT per
+/// (digit, extended-basis limb) of the raised decomposition, then the
+/// mod-down round trip — per accumulator component, `k` inverse NTTs
+/// of the special limbs plus `limbs` forward NTTs of the correction.
+pub fn key_switch_ntts(params: &CkksParams, limbs: usize) -> usize {
+    if params.ks_digit_limbs == 0 {
+        limbs * digits_for(params.scale_prime_bits)
+    } else {
+        let omega = params.ks_digit_limbs.min(limbs).max(1);
+        let k = omega;
+        let ext = limbs + k;
+        let digits = limbs.div_ceil(omega);
+        limbs + digits * ext + 2 * (k + limbs)
+    }
+}
+
+/// Modular multiplies of one key switch at `limbs` limbs under the
+/// configured gadget (the relinearisation/rotation core, excluding the
+/// tensor product or automorphism around it).
+///
+/// Per-prime: 2 key-component ring mults per (prime, digit) component
+/// against each of `limbs` input limbs — the digit-lift NTTs are
+/// tracked separately in [`key_switch_ntts`], mirroring the pre-gadget
+/// model so recorded plans re-price identically.
+///
+/// Hybrid ω (exact counts for the implemented kernel): the NTT passes
+/// above at n mults each, plus per-coefficient work — Shoup scaling by
+/// (Q_j/q_i)^-1 (`limbs`·n), the raised accumulation Σ yᵢ·(Q_j/q_i)
+/// into the out-of-group extended limbs (`digits·(ext−ω)·ω`·n), the
+/// lazy inner products against both key components (`2·digits·ext`·n),
+/// and the mod-down by P (`2·(k + limbs·k + limbs)`·n).
+pub fn key_switch_modmuls(params: &CkksParams, limbs: usize) -> u128 {
+    let n = params.n as u128;
+    if params.ks_digit_limbs == 0 {
+        let digits = digits_for(params.scale_prime_bits);
+        2 * (limbs as u128) * ((limbs * digits) as u128) * n
+    } else {
+        let omega = params.ks_digit_limbs.min(limbs).max(1);
+        let k = omega;
+        let ext = limbs + k;
+        let digits = limbs.div_ceil(omega);
+        let ntts = key_switch_ntts(params, limbs) as u128;
+        let scale = limbs as u128;
+        let raise = (digits * (ext - omega) * omega) as u128;
+        let accumulate = 2 * (digits * ext) as u128;
+        let mod_down = 2 * (k + limbs * k + limbs) as u128;
+        (ntts + scale + raise + accumulate + mod_down) * n
+    }
+}
+
 /// Work of one ciphertext-ciphertext multiply + relinearisation at
 /// `limbs` limbs, in 64-bit modular multiplies: 4 limb-wise ring mults
-/// for the tensor product, then per prime `digits` decomposed polys
-/// each multiplied against 2 key components.
+/// for the tensor product plus the gadget key switch of the degree-2
+/// component.
 pub fn ct_mult_modmuls(params: &CkksParams, limbs: usize) -> u128 {
-    let n = params.n as u128;
-    let digits = digits_for(params.scale_prime_bits); // scale primes dominate
-    (limbs as u128) * n * (4 + 2 * (limbs * digits) as u128)
+    4 * (limbs as u128) * (params.n as u128) + key_switch_modmuls(params, limbs)
 }
 
 /// Work of one rescale leaving `limbs` limbs, in modular multiplies
@@ -70,8 +132,7 @@ pub fn relu_op_counts(params: &CkksParams, paf: &CompositePaf) -> OpCounts {
     };
     let add_ct_mult = |c: &mut OpCounts, limbs: usize| {
         c.ct_mults += 1;
-        let digits = digits_for(params.scale_prime_bits);
-        c.ntts += limbs * digits; // digit lifts
+        c.ntts += key_switch_ntts(params, limbs);
         c.modmuls += ct_mult_modmuls(params, limbs);
     };
     let add_rescale = |c: &mut OpCounts, limbs: usize| {
@@ -136,16 +197,21 @@ pub fn project_seconds(counts: &OpCounts, seconds_per_modmul: f64) -> f64 {
 /// Work of one slot rotation (Galois automorphism + key switch) at the
 /// given limb count, in 64-bit modular multiplies.
 ///
-/// A rotation costs the same key-switch as a relinearisation (digit
-/// lifts + two key-component products per digit) plus the automorphism
-/// permutation, and consumes no level.
+/// A rotation costs the same key-switch as a relinearisation plus the
+/// automorphism permutation, and consumes no level.
 pub fn rotation_modmuls(params: &CkksParams, limbs: usize) -> u128 {
     let n = params.n as u128;
-    let digits = digits_for(params.scale_prime_bits);
-    // iNTT to coefficient form (2 components), permutation (free-ish),
-    // digit lifts (NTTs) and 2 ring mults per (prime, digit) component.
-    let ntts = 2 * limbs + limbs * digits;
-    (ntts as u128) * n + (limbs as u128) * n * (2 * (limbs * digits) as u128)
+    if params.ks_digit_limbs == 0 {
+        // iNTT to coefficient form (2 components), permutation
+        // (free-ish), then the per-prime key switch. The digit-lift
+        // NTTs are charged here at n mults each, as before the gadget.
+        let ntts = 2 * limbs + key_switch_ntts(params, limbs);
+        (ntts as u128) * n + key_switch_modmuls(params, limbs)
+    } else {
+        // c0's automorphism round trip; the hybrid key switch of c1
+        // already prices its own NTT passes.
+        2 * (limbs as u128) * n + key_switch_modmuls(params, limbs)
+    }
 }
 
 /// Work of one Halevi–Shoup matrix–vector product with `diagonals`
@@ -181,9 +247,7 @@ pub fn bootstrap_modmuls(params: &CkksParams) -> u128 {
     let linear_rotations = 4 * log_slots; // CoeffToSlot + SlotToCoeff
     let rot = rotation_modmuls(params, full);
     // EvalMod: a depth-10 odd polynomial ≈ 14 ct-mults at full level.
-    let n = params.n as u128;
-    let digits = digits_for(params.scale_prime_bits) as u128;
-    let ct_mult = (full as u128) * n * (4 + 2 * (full as u128) * digits);
+    let ct_mult = ct_mult_modmuls(params, full);
     linear_rotations * rot + 14 * ct_mult
 }
 
@@ -290,6 +354,68 @@ mod tests {
             + rescale_modmuls(&params, top - 2);
         assert_eq!(c.modmuls, want);
         assert!(ct_mult_modmuls(&params, 8) > const_mult_modmuls(&params, 8));
+    }
+
+    #[test]
+    fn per_prime_pricing_unchanged_by_gadget_refactor() {
+        // Plans recorded before the hybrid gadget carry
+        // ks_digit_limbs = 0 and must re-price to the exact pre-gadget
+        // closed forms.
+        let params = CkksParams {
+            ks_digit_limbs: 0,
+            ..CkksParams::default_params()
+        };
+        let n = params.n as u128;
+        let digits = digits_for(params.scale_prime_bits);
+        for limbs in [1usize, 5, 13] {
+            assert_eq!(
+                ct_mult_modmuls(&params, limbs),
+                (limbs as u128) * n * (4 + 2 * (limbs * digits) as u128)
+            );
+            let ntts = 2 * limbs + limbs * digits;
+            assert_eq!(
+                rotation_modmuls(&params, limbs),
+                (ntts as u128) * n + (limbs as u128) * n * (2 * (limbs * digits) as u128)
+            );
+            assert_eq!(key_switch_ntts(&params, limbs), limbs * digits);
+        }
+    }
+
+    #[test]
+    fn hybrid_gadget_prices_below_per_prime() {
+        // The point of the gadget: at a deep chain the modeled relin
+        // cost drops by the same >= 1.5x the measured kernel shows.
+        let hybrid = CkksParams::default_params();
+        assert_eq!(hybrid.ks_digit_limbs, 3);
+        let per_prime = CkksParams {
+            ks_digit_limbs: 0,
+            ..hybrid
+        };
+        let limbs = hybrid.depth + 1; // 13 at defaults
+        let h = ct_mult_modmuls(&hybrid, limbs);
+        let p = ct_mult_modmuls(&per_prime, limbs);
+        assert!(
+            p as f64 / h as f64 >= 1.5,
+            "hybrid {h} vs per-prime {p} modmuls"
+        );
+        assert!(rotation_modmuls(&hybrid, limbs) < rotation_modmuls(&per_prime, limbs));
+        assert_eq!(hybrid_digits(&hybrid, limbs), 5);
+    }
+
+    #[test]
+    fn hybrid_digit_count_clamps_to_chain() {
+        let params = CkksParams::default_params();
+        assert_eq!(hybrid_digits(&params, 1), 1);
+        assert_eq!(hybrid_digits(&params, 2), 1);
+        assert_eq!(hybrid_digits(&params, 3), 1);
+        assert_eq!(hybrid_digits(&params, 4), 2);
+        // Cost stays monotone in the chain length.
+        let mut prev = 0u128;
+        for limbs in 1..=params.depth + 1 {
+            let c = ct_mult_modmuls(&params, limbs);
+            assert!(c > prev);
+            prev = c;
+        }
     }
 
     #[test]

@@ -1,20 +1,76 @@
-//! Key generation: secret/public keys and BV-style relinearisation
-//! keys with per-prime base-2^w digit decomposition.
+//! Key generation: secret/public keys and key-switching keys under one
+//! of two gadgets.
 //!
-//! Relinearisation keys are level-specific (the RNS gadget depends on
+//! - **Per-prime** (legacy): BV-style base-`2^16` digit decomposition
+//!   within each RNS limb — `L × ⌈bits/16⌉` components at `L` limbs.
+//! - **Hybrid**: ω RNS limbs group into one digit against ω special
+//!   primes `P = ∏ p_l`; each digit is raised to the extended basis by
+//!   fast base conversion and the accumulated result is scaled back
+//!   down by `P` — only `⌈L/ω⌉` components, which is what makes
+//!   relinearisation at the top of a deep chain cheap.
+//!
+//! The gadget is a context property: [`CkksContext::special_primes`]
+//! non-empty selects hybrid with ω = its length.
+//!
+//! Key-switching keys are level-specific (the RNS gadget depends on
 //! the active prime set), so [`KeyChain`] generates them lazily per
 //! level and caches them. A production deployment would generate all
 //! levels offline once; the lazy generation here is a simulator
 //! convenience and is excluded from benchmark timings by Criterion's
 //! warm-up iterations.
 
+use crate::modular::inv_mod;
 use crate::rns::{CkksContext, RnsPoly};
 use smartpaf_tensor::Rng64;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-/// Digit width for the relinearisation gadget (base `2^DIGIT_BITS`).
+/// Digit width for the per-prime relinearisation gadget
+/// (base `2^DIGIT_BITS`).
 pub const DIGIT_BITS: u32 = 16;
+
+/// Which key-switch gadget a context uses. Determined by
+/// [`CkksContext::special_primes`]; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeySwitchGadget {
+    /// Base-`2^digit_bits` digit decomposition within each RNS limb.
+    PerPrime {
+        /// Digit width in bits.
+        digit_bits: u32,
+    },
+    /// ω-limb digits raised against the special-prime modulus `P`.
+    Hybrid {
+        /// Digit size in RNS limbs.
+        omega: usize,
+    },
+}
+
+impl KeySwitchGadget {
+    /// The gadget `ctx` is configured for.
+    pub fn of(ctx: &CkksContext) -> Self {
+        if ctx.special_primes().is_empty() {
+            KeySwitchGadget::PerPrime {
+                digit_bits: DIGIT_BITS,
+            }
+        } else {
+            KeySwitchGadget::Hybrid {
+                omega: ctx.special_primes().len(),
+            }
+        }
+    }
+
+    /// Number of key-switch components for a ciphertext with
+    /// `num_limbs` limbs over the chain `primes`.
+    pub fn component_count(&self, primes: &[u64], num_limbs: usize) -> usize {
+        match *self {
+            KeySwitchGadget::PerPrime { digit_bits } => primes[..num_limbs]
+                .iter()
+                .map(|&q| ((64 - q.leading_zeros()).div_ceil(digit_bits)) as usize)
+                .sum(),
+            KeySwitchGadget::Hybrid { omega } => num_limbs.div_ceil(omega.min(num_limbs)),
+        }
+    }
+}
 
 /// The secret key: a ternary ring element (NTT form, full chain).
 #[derive(Debug, Clone)]
@@ -40,6 +96,58 @@ pub(crate) struct RelinComponent {
     pub(crate) digit: u32,
 }
 
+/// One digit of a hybrid key-switching key: the grouped chain-limb
+/// range, the fast-base-conversion constants for lifting that digit to
+/// the extended basis, and the `(b, a)` pair over the extended basis
+/// with `b = -a·s + e + (P·G_j)·s'`.
+#[derive(Debug, Clone)]
+pub(crate) struct HybridDigit {
+    /// First chain limb of the group.
+    pub(crate) start: usize,
+    /// One past the last chain limb of the group.
+    pub(crate) end: usize,
+    /// Per in-group limb `i`: `[(Q_j/q_i)^{-1}]_{q_i}` and its Shoup
+    /// companion.
+    pub(crate) inv_qhat: Vec<(u64, u64)>,
+    /// Per extended-basis target limb `t`, per in-group limb `i`:
+    /// `[(Q_j/q_i)] mod m_t`, laid out `t`-major
+    /// (`qhat[t * group + i]`).
+    pub(crate) qhat: Vec<u64>,
+    /// `b` over the extended basis, flat limb-major, NTT form.
+    pub(crate) b: Vec<u64>,
+    /// `a` over the extended basis, flat limb-major, NTT form.
+    pub(crate) a: Vec<u64>,
+}
+
+/// A hybrid key-switching key for one level: the per-digit components
+/// plus the mod-down-by-`P` constants.
+#[derive(Debug, Clone)]
+pub(crate) struct HybridKsk {
+    /// Level (chain limb count) the key was generated for.
+    pub(crate) num_limbs: usize,
+    /// Special primes in use: `k = min(ω, num_limbs)`.
+    pub(crate) k: usize,
+    /// The digits, covering `0..num_limbs` in order.
+    pub(crate) digits: Vec<HybridDigit>,
+    /// Per special limb `l`: `[(P/p_l)^{-1}]_{p_l}` and Shoup companion.
+    pub(crate) inv_phat: Vec<(u64, u64)>,
+    /// Per chain limb `t`, per special limb `l`: `(P/p_l) mod q_t`,
+    /// laid out `t`-major (`phat[t * k + l]`).
+    pub(crate) phat: Vec<u64>,
+    /// Per chain limb `t`: `[P^{-1}]_{q_t}` and Shoup companion.
+    pub(crate) p_inv: Vec<(u64, u64)>,
+}
+
+/// The two key-switching key layouts; which one a [`KeyChain`]
+/// produces follows the context's [`KeySwitchGadget`].
+#[derive(Debug, Clone)]
+pub(crate) enum KskInner {
+    /// Per-prime digit components.
+    PerPrime(Vec<RelinComponent>),
+    /// Hybrid ω-limb digits.
+    Hybrid(HybridKsk),
+}
+
 /// A gadget-decomposed key-switching key for one level.
 ///
 /// The same structure serves relinearisation (switching from `s²`) and
@@ -47,7 +155,7 @@ pub(crate) struct RelinComponent {
 /// secret differs.
 #[derive(Debug, Clone)]
 pub struct RelinKey {
-    pub(crate) components: Vec<RelinComponent>,
+    pub(crate) inner: KskInner,
     pub(crate) num_limbs: usize,
 }
 
@@ -60,6 +168,14 @@ impl RelinKey {
     pub fn num_limbs(&self) -> usize {
         self.num_limbs
     }
+
+    /// Number of gadget components (digits) in this key.
+    pub fn component_count(&self) -> usize {
+        match &self.inner {
+            KskInner::PerPrime(components) => components.len(),
+            KskInner::Hybrid(ksk) => ksk.digits.len(),
+        }
+    }
 }
 
 /// Holds the key material and lazily generates per-level relin keys
@@ -67,6 +183,10 @@ impl RelinKey {
 pub struct KeyChain {
     ctx: Arc<CkksContext>,
     sk: SecretKey,
+    /// The ternary secret coefficients behind `sk`: the hybrid gadget
+    /// needs `s` residues over the special primes, which the chain-only
+    /// `RnsPoly` cannot produce.
+    sk_coeffs: Vec<i64>,
     pk: PublicKey,
     relin_cache: Mutex<HashMap<usize, Arc<RelinKey>>>,
     galois_cache: Mutex<HashMap<(usize, usize), Arc<RelinKey>>>,
@@ -86,7 +206,11 @@ impl KeyChain {
     /// Generates a fresh key set.
     pub fn generate(ctx: &Arc<CkksContext>, rng: &mut Rng64) -> Arc<Self> {
         let full = ctx.primes().len();
-        let mut s = RnsPoly::random_ternary(ctx, full, rng);
+        // Same draws as `RnsPoly::random_ternary` (keygen determinism
+        // per seed is pinned by tests), but the raw coefficients are
+        // retained for special-prime residue construction.
+        let sk_coeffs: Vec<i64> = (0..ctx.n()).map(|_| rng.next_below(3) as i64 - 1).collect();
+        let mut s = RnsPoly::from_signed_coeffs(ctx, &sk_coeffs, full);
         s.to_ntt();
         let a = RnsPoly::random_uniform(ctx, full, rng);
         let mut e = RnsPoly::random_error(ctx, full, rng);
@@ -95,6 +219,7 @@ impl KeyChain {
         Arc::new(KeyChain {
             ctx: Arc::clone(ctx),
             sk: SecretKey { s },
+            sk_coeffs,
             pk: PublicKey { b, a },
             relin_cache: Mutex::new(HashMap::new()),
             galois_cache: Mutex::new(HashMap::new()),
@@ -143,9 +268,21 @@ impl KeyChain {
             .lock()
             .expect("poisoned")
             .fork(num_limbs as u64);
-        let s_trunc = truncate(&self.sk.s, num_limbs);
-        let s2 = s_trunc.mul(&s_trunc);
-        self.generate_ksk(&s2, num_limbs, &mut rng)
+        match KeySwitchGadget::of(&self.ctx) {
+            KeySwitchGadget::PerPrime { .. } => {
+                let s_trunc = truncate(&self.sk.s, num_limbs);
+                let s2 = s_trunc.mul(&s_trunc);
+                self.generate_ksk(&s2, num_limbs, &mut rng)
+            }
+            KeySwitchGadget::Hybrid { .. } => RelinKey {
+                inner: KskInner::Hybrid(self.generate_hybrid_ksk(
+                    SwitchedSecret::Square,
+                    num_limbs,
+                    &mut rng,
+                )),
+                num_limbs,
+            },
+        }
     }
 
     /// Returns (generating and caching if needed) the Galois key for
@@ -167,10 +304,23 @@ impl KeyChain {
             .lock()
             .expect("poisoned")
             .fork(0x47414C ^ ((g as u64) << 16) ^ num_limbs as u64);
-        let s_trunc = truncate(&self.sk.s, num_limbs);
-        let mut s_g = s_trunc.automorphism(g);
-        s_g.to_ntt();
-        let key = Arc::new(self.generate_ksk(&s_g, num_limbs, &mut rng));
+        let key = match KeySwitchGadget::of(&self.ctx) {
+            KeySwitchGadget::PerPrime { .. } => {
+                let s_trunc = truncate(&self.sk.s, num_limbs);
+                let mut s_g = s_trunc.automorphism(g);
+                s_g.to_ntt();
+                self.generate_ksk(&s_g, num_limbs, &mut rng)
+            }
+            KeySwitchGadget::Hybrid { .. } => RelinKey {
+                inner: KskInner::Hybrid(self.generate_hybrid_ksk(
+                    SwitchedSecret::Auto(g),
+                    num_limbs,
+                    &mut rng,
+                )),
+                num_limbs,
+            },
+        };
+        let key = Arc::new(key);
         self.galois_cache
             .lock()
             .expect("poisoned")
@@ -207,10 +357,216 @@ impl KeyChain {
             }
         }
         RelinKey {
-            components,
+            inner: KskInner::PerPrime(components),
             num_limbs,
         }
     }
+
+    /// Residues of signed coefficients modulo every limb of the
+    /// extended basis `[q_0..q_{nl-1}, p_0..p_{k-1}]`, NTT-transformed
+    /// per limb, as one flat limb-major buffer.
+    fn ext_residues_ntt(&self, coeffs: &[i64], num_limbs: usize, k: usize) -> Vec<u64> {
+        let ctx = &self.ctx;
+        let n = ctx.n();
+        let ext = num_limbs + k;
+        let mut out = vec![0u64; ext * n];
+        for t in 0..ext {
+            let m = ctx.ext_modulus(num_limbs, t);
+            let limb = &mut out[t * n..(t + 1) * n];
+            for (dst, &c) in limb.iter_mut().zip(coeffs) {
+                let r = if c >= 0 {
+                    c as u64 % m
+                } else {
+                    m - ((-c) as u64 % m)
+                };
+                *dst = if r == m { 0 } else { r };
+            }
+            ctx.ext_ntt(num_limbs, t).forward(limb);
+        }
+        out
+    }
+
+    /// Generates a hybrid key-switching key embedding the
+    /// switched-from secret (`s²` or `φ_g(s)`), with all base
+    /// conversion and mod-down constants precomputed. One-time per
+    /// (kind, level) — cached by the callers.
+    fn generate_hybrid_ksk(
+        &self,
+        which: SwitchedSecret,
+        num_limbs: usize,
+        rng: &mut Rng64,
+    ) -> HybridKsk {
+        let ctx = &self.ctx;
+        let n = ctx.n();
+        let omega = ctx.special_primes().len();
+        let omega_eff = omega.min(num_limbs);
+        let k = omega_eff;
+        let ext = num_limbs + k;
+        let mulmod = |a: u64, b: u64, m: u64| ((a as u128 * b as u128) % m as u128) as u64;
+
+        // Secrets over the extended basis (NTT form, flat limb-major).
+        let s_ext = self.ext_residues_ntt(&self.sk_coeffs, num_limbs, k);
+        let sp_ext = match which {
+            SwitchedSecret::Square => {
+                let mut sq = s_ext.clone();
+                for t in 0..ext {
+                    let arith = ctx.ext_arith(num_limbs, t);
+                    for v in &mut sq[t * n..(t + 1) * n] {
+                        *v = arith.mul(*v, *v);
+                    }
+                }
+                sq
+            }
+            SwitchedSecret::Auto(g) => {
+                let two_n = 2 * n;
+                let mut coeffs = vec![0i64; n];
+                for (i, &c) in self.sk_coeffs.iter().enumerate() {
+                    let e = (i * g) % two_n;
+                    if e < n {
+                        coeffs[e] = c;
+                    } else {
+                        coeffs[e - n] = -c;
+                    }
+                }
+                self.ext_residues_ntt(&coeffs, num_limbs, k)
+            }
+        };
+
+        // Mod-down constants: P = ∏ special[..k].
+        let mut p_mod = vec![0u64; num_limbs];
+        for (t, dst) in p_mod.iter_mut().enumerate() {
+            let q = ctx.primes()[t];
+            *dst = ctx.special_primes()[..k]
+                .iter()
+                .fold(1 % q, |acc, &p| mulmod(acc, p % q, q));
+        }
+        let mut inv_phat = Vec::with_capacity(k);
+        for l in 0..k {
+            let p_l = ctx.special_primes()[l];
+            let mut hat = 1 % p_l;
+            for (l2, &p) in ctx.special_primes()[..k].iter().enumerate() {
+                if l2 != l {
+                    hat = mulmod(hat, p % p_l, p_l);
+                }
+            }
+            let inv = inv_mod(hat, p_l);
+            inv_phat.push((inv, ctx.arith_special(l).shoup(inv)));
+        }
+        let mut phat = vec![0u64; num_limbs * k];
+        for t in 0..num_limbs {
+            let q = ctx.primes()[t];
+            for l in 0..k {
+                let mut hat = 1 % q;
+                for (l2, &p) in ctx.special_primes()[..k].iter().enumerate() {
+                    if l2 != l {
+                        hat = mulmod(hat, p % q, q);
+                    }
+                }
+                phat[t * k + l] = hat;
+            }
+        }
+        let p_inv: Vec<(u64, u64)> = (0..num_limbs)
+            .map(|t| {
+                let q = ctx.primes()[t];
+                let inv = inv_mod(p_mod[t], q);
+                (inv, ctx.arith(t).shoup(inv))
+            })
+            .collect();
+
+        // The digits.
+        let mut digits = Vec::with_capacity(num_limbs.div_ceil(omega_eff));
+        let mut start = 0;
+        while start < num_limbs {
+            let end = (start + omega_eff).min(num_limbs);
+            let group = end - start;
+            // Base conversion constants for Q_j = ∏ q_{start..end}.
+            let mut inv_qhat = Vec::with_capacity(group);
+            for i in start..end {
+                let q_i = ctx.primes()[i];
+                let mut hat = 1 % q_i;
+                for (i2, &q) in ctx.primes()[start..end].iter().enumerate() {
+                    if start + i2 != i {
+                        hat = mulmod(hat, q % q_i, q_i);
+                    }
+                }
+                let inv = inv_mod(hat, q_i);
+                inv_qhat.push((inv, ctx.arith(i).shoup(inv)));
+            }
+            let mut qhat = vec![0u64; ext * group];
+            for t in 0..ext {
+                let m = ctx.ext_modulus(num_limbs, t);
+                for i in 0..group {
+                    let mut hat = 1 % m;
+                    for (i2, &q) in ctx.primes()[start..end].iter().enumerate() {
+                        if i2 != i {
+                            hat = mulmod(hat, q % m, m);
+                        }
+                    }
+                    qhat[t * group + i] = hat;
+                }
+            }
+
+            // Component (b, a) over the extended basis. Draw order is
+            // limb-major like `random_uniform` / `random_error`.
+            let mut a = vec![0u64; ext * n];
+            for t in 0..ext {
+                let m = ctx.ext_modulus(num_limbs, t);
+                for dst in &mut a[t * n..(t + 1) * n] {
+                    *dst = rng.next_u64() % m;
+                }
+            }
+            let sigma = ctx.sigma();
+            let e_coeffs: Vec<i64> = (0..n)
+                .map(|_| (rng.next_gaussian() as f64 * sigma).round() as i64)
+                .collect();
+            let e_ext = self.ext_residues_ntt(&e_coeffs, num_limbs, k);
+            // b = -a·s + e + gadget·s', where the gadget residue is
+            // `P mod q_t` on in-group chain limbs and 0 elsewhere
+            // (every special prime divides P, and G_j ≡ 0 modulo
+            // out-of-group chain primes).
+            let mut b = vec![0u64; ext * n];
+            for t in 0..ext {
+                let arith = ctx.ext_arith(num_limbs, t);
+                let gadget = if t >= start && t < end { p_mod[t] } else { 0 };
+                let (bt, at) = (&mut b[t * n..(t + 1) * n], &a[t * n..(t + 1) * n]);
+                let st = &s_ext[t * n..(t + 1) * n];
+                let spt = &sp_ext[t * n..(t + 1) * n];
+                let et = &e_ext[t * n..(t + 1) * n];
+                for c in 0..n {
+                    let neg_as = arith.q() - arith.mul(at[c], st[c]);
+                    let neg_as = if neg_as == arith.q() { 0 } else { neg_as };
+                    let g_sp = arith.mul(gadget, spt[c]);
+                    bt[c] = arith.add(arith.add(neg_as, et[c]), g_sp);
+                }
+            }
+            digits.push(HybridDigit {
+                start,
+                end,
+                inv_qhat,
+                qhat,
+                b,
+                a,
+            });
+            start = end;
+        }
+
+        HybridKsk {
+            num_limbs,
+            k,
+            digits,
+            inv_phat,
+            phat,
+            p_inv,
+        }
+    }
+}
+
+/// Which switched-from secret a hybrid key embeds.
+enum SwitchedSecret {
+    /// `s'` = `s²` (relinearisation).
+    Square,
+    /// `s'` = `φ_g(s)` (Galois rotation by element `g`).
+    Auto(usize),
 }
 
 /// `2^e mod q` without overflow.
@@ -233,6 +589,15 @@ pub(crate) fn truncate(p: &RnsPoly, num_limbs: usize) -> RnsPoly {
 mod tests {
     use super::*;
     use crate::params::CkksParams;
+
+    /// Toy context forced onto the legacy per-prime gadget.
+    fn per_prime_ctx() -> Arc<CkksContext> {
+        CkksParams {
+            ks_digit_limbs: 0,
+            ..CkksParams::toy()
+        }
+        .build()
+    }
 
     #[test]
     fn keygen_deterministic_per_seed() {
@@ -260,14 +625,17 @@ mod tests {
     #[test]
     fn relin_key_gadget_relation() {
         // b + a·s = e + B^t ĝ_i s², so (b + a·s) - gadget·s² is small.
-        let ctx = CkksParams::toy().build();
+        let ctx = per_prime_ctx();
         let mut rng = Rng64::new(9);
         let kc = KeyChain::generate(&ctx, &mut rng);
         let nl = 3;
         let rk = kc.relin_key(nl);
         let s = truncate(&kc.sk.s, nl);
         let s2 = s.mul(&s);
-        for comp in rk.components.iter().take(4) {
+        let KskInner::PerPrime(components) = &rk.inner else {
+            panic!("per-prime context produced a hybrid key");
+        };
+        for comp in components.iter().take(4) {
             let mut scalars = vec![0u64; nl];
             scalars[comp.prime_index] =
                 mod_pow2(DIGIT_BITS * comp.digit, ctx.primes()[comp.prime_index]);
@@ -297,7 +665,7 @@ mod tests {
     fn galois_key_gadget_relation() {
         // b + a·s = e + B^t ĝ_i φ_g(s), so (b + a·s) - gadget·φ_g(s)
         // must be small.
-        let ctx = CkksParams::toy().build();
+        let ctx = per_prime_ctx();
         let mut rng = Rng64::new(21);
         let kc = KeyChain::generate(&ctx, &mut rng);
         let nl = 2;
@@ -306,7 +674,10 @@ mod tests {
         let s = truncate(&kc.sk.s, nl);
         let mut s_g = s.automorphism(g);
         s_g.to_ntt();
-        for comp in gk.components.iter().take(4) {
+        let KskInner::PerPrime(components) = &gk.inner else {
+            panic!("per-prime context produced a hybrid key");
+        };
+        for comp in components.iter().take(4) {
             let mut scalars = vec![0u64; nl];
             scalars[comp.prime_index] =
                 mod_pow2(DIGIT_BITS * comp.digit, ctx.primes()[comp.prime_index]);
@@ -336,5 +707,137 @@ mod tests {
     fn mod_pow2_values() {
         assert_eq!(mod_pow2(0, 97), 1);
         assert_eq!(mod_pow2(10, 97), 1024 % 97);
+    }
+
+    #[test]
+    fn gadget_selection_follows_context() {
+        assert_eq!(
+            KeySwitchGadget::of(&per_prime_ctx()),
+            KeySwitchGadget::PerPrime {
+                digit_bits: DIGIT_BITS
+            }
+        );
+        assert_eq!(
+            KeySwitchGadget::of(&CkksParams::toy().build()),
+            KeySwitchGadget::Hybrid { omega: 3 }
+        );
+    }
+
+    #[test]
+    fn hybrid_component_count_beats_per_prime() {
+        let ctx = CkksParams::toy().build();
+        let per_prime = KeySwitchGadget::PerPrime {
+            digit_bits: DIGIT_BITS,
+        };
+        let hybrid = KeySwitchGadget::of(&ctx);
+        // 13 limbs: 60-bit base → 4 digits + 12 × 40-bit → 3 each = 40
+        // per-prime components, vs ⌈13/3⌉ = 5 hybrid digits.
+        assert_eq!(per_prime.component_count(ctx.primes(), 13), 40);
+        assert_eq!(hybrid.component_count(ctx.primes(), 13), 5);
+        // Level-aware digit selection: ω clamps to the live limb count.
+        assert_eq!(hybrid.component_count(ctx.primes(), 2), 1);
+        assert_eq!(hybrid.component_count(ctx.primes(), 1), 1);
+    }
+
+    /// Checks the hybrid key relation `b + a·s − gadget·s' = e` limb
+    /// by limb over the extended basis: the residual must be a
+    /// centered-small error in every limb.
+    fn assert_hybrid_relation(kc: &KeyChain, ksk: &HybridKsk, sp_coeffs_check: &str) {
+        let ctx = kc.context();
+        let n = ctx.n();
+        let nl = ksk.num_limbs;
+        let k = ksk.k;
+        let ext = nl + k;
+        let s_ext = kc.ext_residues_ntt(&kc.sk_coeffs, nl, k);
+        // P mod q_t, recomputed independently of keygen.
+        let p_mod: Vec<u64> = (0..nl)
+            .map(|t| {
+                let q = ctx.primes()[t];
+                ctx.special_primes()[..k].iter().fold(1 % q, |acc, &p| {
+                    ((acc as u128 * (p % q) as u128) % q as u128) as u64
+                })
+            })
+            .collect();
+        let sp_ext = match sp_coeffs_check {
+            "square" => {
+                let mut sq = s_ext.clone();
+                for t in 0..ext {
+                    let arith = ctx.ext_arith(nl, t);
+                    for v in &mut sq[t * n..(t + 1) * n] {
+                        *v = arith.mul(*v, *v);
+                    }
+                }
+                sq
+            }
+            _ => unreachable!(),
+        };
+        for digit in &ksk.digits {
+            for t in 0..ext {
+                let arith = ctx.ext_arith(nl, t);
+                let gadget = if t >= digit.start && t < digit.end {
+                    p_mod[t]
+                } else {
+                    0
+                };
+                let mut resid = vec![0u64; n];
+                for c in 0..n {
+                    let a_s = arith.mul(digit.a[t * n + c], s_ext[t * n + c]);
+                    let g_sp = arith.mul(gadget, sp_ext[t * n + c]);
+                    resid[c] = arith.sub(arith.add(digit.b[t * n + c], a_s), g_sp);
+                }
+                ctx.ext_ntt(nl, t).inverse(&mut resid);
+                let m = arith.q() as i128;
+                for (c, &r) in resid.iter().enumerate().step_by(17) {
+                    let centered = if (r as i128) > m / 2 {
+                        r as i128 - m
+                    } else {
+                        r as i128
+                    };
+                    assert!(
+                        centered.abs() < 64,
+                        "digit [{},{}) limb {t} coeff {c}: residual {centered}",
+                        digit.start,
+                        digit.end
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_relin_key_gadget_relation() {
+        let ctx = CkksParams::toy().build();
+        let mut rng = Rng64::new(11);
+        let kc = KeyChain::generate(&ctx, &mut rng);
+        for nl in [1, 2, 5, 13] {
+            let rk = kc.relin_key(nl);
+            let KskInner::Hybrid(ksk) = &rk.inner else {
+                panic!("hybrid context produced a per-prime key");
+            };
+            assert_eq!(ksk.digits.len(), nl.div_ceil(3.min(nl)));
+            assert_eq!(ksk.k, 3.min(nl));
+            assert_hybrid_relation(&kc, ksk, "square");
+        }
+    }
+
+    #[test]
+    fn hybrid_digits_partition_the_chain() {
+        let ctx = CkksParams::toy().build();
+        let mut rng = Rng64::new(13);
+        let kc = KeyChain::generate(&ctx, &mut rng);
+        for nl in [1, 3, 4, 7, 13] {
+            let rk = kc.relin_key(nl);
+            let KskInner::Hybrid(ksk) = &rk.inner else {
+                panic!("hybrid context produced a per-prime key");
+            };
+            let mut expect_start = 0;
+            for d in &ksk.digits {
+                assert_eq!(d.start, expect_start);
+                assert!(d.end > d.start && d.end <= nl);
+                assert!(d.end - d.start <= 3);
+                expect_start = d.end;
+            }
+            assert_eq!(expect_start, nl);
+        }
     }
 }

@@ -45,6 +45,7 @@ pub mod galois;
 mod keys;
 pub mod linear;
 pub mod noise;
+pub mod par;
 mod params;
 pub mod pool;
 mod rns;
@@ -52,11 +53,11 @@ mod rns;
 pub use cipher::{Ciphertext, Evaluator};
 pub use encoding::{Encoder, Plaintext};
 pub use eval::PafEvaluator;
-pub use keys::{KeyChain, KeySwitchKey, PublicKey, RelinKey, SecretKey};
+pub use keys::{KeyChain, KeySwitchGadget, KeySwitchKey, PublicKey, RelinKey, SecretKey};
 pub use linear::DiagMatrix;
 pub use noise::Bootstrapper;
 pub use ntt::NttTable;
-pub use params::CkksParams;
+pub use params::{CkksParams, MAX_KS_DIGIT_LIMBS};
 pub use rns::{CkksContext, RnsPoly};
 
 #[cfg(test)]

@@ -286,6 +286,54 @@ impl DiagMatrix {
         }
     }
 
+    /// Exact ciphertext-rotation count of [`Evaluator::matvec_bsgs`]
+    /// on this matrix: one rotation per distinct nonzero baby step
+    /// `d mod g1`, plus one per nonempty giant group `k ≥ 1`
+    /// (rotation by zero is a clone, not a key switch).
+    pub fn bsgs_rotations(&self) -> usize {
+        Self::bsgs_rotations_of(self.dim, self.diags.keys().copied())
+    }
+
+    /// Exact rotation count of `matvec_bsgs` on
+    /// [`DiagMatrix::block_diag`]`(lanes)`, computed from the diagonal
+    /// offsets alone — the wrap-diagonal doubling (source diagonal `d`
+    /// keeps offset `d` and, when `d > 0`, adds `(lanes−1)·dim + d`)
+    /// is priced without materializing the expanded matrix, so lane
+    /// planners can query it per candidate lane count for free.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lanes` is a power of two.
+    pub fn bsgs_rotations_lanes(&self, lanes: usize) -> usize {
+        assert!(lanes.is_power_of_two(), "lanes must be a power of two");
+        if lanes == 1 {
+            return self.bsgs_rotations();
+        }
+        let offsets = self.diags.keys().flat_map(|&d| {
+            let wrap = (d > 0).then(|| (lanes - 1) * self.dim + d);
+            std::iter::once(d).chain(wrap)
+        });
+        Self::bsgs_rotations_of(self.dim * lanes, offsets)
+    }
+
+    /// Rotation count of the BSGS schedule over `offsets` at square
+    /// dimension `dim` (mirrors the loops of
+    /// [`Evaluator::matvec_bsgs`] exactly).
+    fn bsgs_rotations_of(dim: usize, offsets: impl Iterator<Item = usize>) -> usize {
+        let g1 = (dim as f64).sqrt().ceil() as usize;
+        let mut baby = std::collections::BTreeSet::new();
+        let mut giant = std::collections::BTreeSet::new();
+        for d in offsets {
+            if d % g1 != 0 {
+                baby.insert(d % g1);
+            }
+            if d / g1 > 0 {
+                giant.insert(d / g1);
+            }
+        }
+        baby.len() + giant.len()
+    }
+
     /// Fraction of entries that are nonzero (density diagnostics for
     /// structured matrices like pooling or Toeplitz convolutions).
     pub fn density(&self) -> f64 {
@@ -799,6 +847,64 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn bsgs_rotation_count_mirrors_the_schedule() {
+        // Identity: the single 0-diagonal needs no rotation at all.
+        assert_eq!(DiagMatrix::identity(16).bsgs_rotations(), 0);
+        // Dense 16×16: g1 = 4, all 16 diagonals present → 3 nonzero
+        // baby steps + 3 nonempty giant groups beyond k = 0.
+        let mut rng = Rng64::new(54);
+        let dense = DiagMatrix::from_rows(&random_matrix(16, 16, &mut rng));
+        assert_eq!(dense.num_diagonals(), 16);
+        assert_eq!(dense.bsgs_rotations(), 6);
+        // And never more than one rotation per diagonal (naive bound).
+        let sparse = DiagMatrix::from_rows(&{
+            let mut rows = vec![vec![0.0; 16]; 16];
+            for (i, row) in rows.iter_mut().enumerate() {
+                row[(i + 5) % 16] = 1.0;
+            }
+            rows
+        });
+        assert_eq!(sparse.num_diagonals(), 1);
+        assert!(sparse.bsgs_rotations() <= 2);
+    }
+
+    #[test]
+    fn lane_rotation_pricing_matches_materialized_expansion() {
+        // The lane planner's oracle: pricing block_diag's wrap-diagonal
+        // doubling from the offsets alone must agree exactly with
+        // counting on the materialized expanded matrix, for dense,
+        // sparse, and diagonal-free shapes alike.
+        let mut rng = Rng64::new(55);
+        let shapes: Vec<DiagMatrix> = vec![
+            DiagMatrix::from_rows(&random_matrix(8, 8, &mut rng)),
+            DiagMatrix::from_rows(&random_matrix(16, 16, &mut rng)),
+            DiagMatrix::identity(8),
+            DiagMatrix::from_rows(&{
+                let mut rows = vec![vec![0.0; 8]; 8];
+                for (i, row) in rows.iter_mut().enumerate() {
+                    row[(i + 3) % 8] = 1.0;
+                    row[i] = 0.5;
+                }
+                rows
+            }),
+        ];
+        for mat in &shapes {
+            for lanes in [1usize, 2, 4, 8] {
+                assert_eq!(
+                    mat.bsgs_rotations_lanes(lanes),
+                    mat.block_diag(lanes).bsgs_rotations(),
+                    "dim {} lanes {lanes}",
+                    mat.dim()
+                );
+            }
+        }
+        // Wrap diagonals make packed rotations strictly costlier than
+        // lanes·1 would suggest for any matrix with off-diagonals.
+        let dense = &shapes[1];
+        assert!(dense.bsgs_rotations_lanes(4) > dense.bsgs_rotations());
     }
 
     #[test]

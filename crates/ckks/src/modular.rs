@@ -306,6 +306,32 @@ pub fn ntt_primes(bits: u32, count: usize, n: usize) -> Vec<u64> {
     out
 }
 
+/// Like [`ntt_primes`], but skips any candidate already present in
+/// `exclude`. Used to generate the hybrid key-switch special primes,
+/// which must be disjoint from the ciphertext modulus chain.
+///
+/// # Panics
+///
+/// Same conditions as [`ntt_primes`].
+pub fn ntt_primes_excluding(bits: u32, count: usize, n: usize, exclude: &[u64]) -> Vec<u64> {
+    assert!(bits <= 62, "primes above 62 bits unsupported");
+    assert!(n.is_power_of_two(), "ring dimension must be a power of two");
+    let step = 2 * n as u64;
+    let mut candidate = (1u64 << bits) - ((1u64 << bits) % step) + 1;
+    let floor = 1u64 << (bits - 1);
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        if candidate <= floor {
+            panic!("ran out of {bits}-bit NTT primes for n={n}");
+        }
+        if !exclude.contains(&candidate) && is_prime(candidate) {
+            out.push(candidate);
+        }
+        candidate -= step;
+    }
+    out
+}
+
 /// Finds a primitive `2n`-th root of unity modulo prime `q`
 /// (requires `q ≡ 1 mod 2n`).
 ///

@@ -7,7 +7,7 @@
 //! [`CkksParams::paper_scale`] for parameters matching the paper's
 //! SEAL configuration (N = 32768, ~881-bit modulus).
 
-use crate::modular::ntt_primes;
+use crate::modular::{ntt_primes, ntt_primes_excluding};
 use crate::rns::CkksContext;
 use serde::{Deserialize, Error, Serialize, Value};
 use std::sync::Arc;
@@ -24,7 +24,18 @@ pub struct CkksParams {
     pub scale_prime_bits: u32,
     /// Number of rescaling primes = supported multiplication depth.
     pub depth: usize,
+    /// Key-switch gadget digit size ω in RNS limbs: `0` selects the
+    /// legacy per-prime digit decomposition; `1..=8` selects the hybrid
+    /// gadget that groups ω limbs per digit against ω special primes,
+    /// so a ciphertext with `L` limbs pays `⌈L/ω⌉` key-switch
+    /// components instead of `L × ⌈bits/16⌉`.
+    pub ks_digit_limbs: usize,
 }
+
+/// Largest supported hybrid digit size. The fast base conversion sums
+/// ω products of two sub-2^62 residues in a `u128`; ω ≤ 8 keeps the
+/// sum below 2^127 with no intermediate reduction.
+pub const MAX_KS_DIGIT_LIMBS: usize = 8;
 
 impl CkksParams {
     /// Tiny parameters for unit tests: N = 256, depth 8.
@@ -34,6 +45,7 @@ impl CkksParams {
             base_prime_bits: 60,
             scale_prime_bits: 40,
             depth: 12,
+            ks_digit_limbs: 3,
         }
     }
 
@@ -46,6 +58,7 @@ impl CkksParams {
             base_prime_bits: 60,
             scale_prime_bits: 40,
             depth: 12,
+            ks_digit_limbs: 3,
         }
     }
 
@@ -57,6 +70,7 @@ impl CkksParams {
             base_prime_bits: 60,
             scale_prime_bits: 40,
             depth: 12,
+            ks_digit_limbs: 3,
         }
     }
 
@@ -69,6 +83,7 @@ impl CkksParams {
             base_prime_bits: 60,
             scale_prime_bits: 40,
             depth: 20,
+            ks_digit_limbs: 3,
         }
     }
 
@@ -79,15 +94,31 @@ impl CkksParams {
 
     /// Builds the runtime context (generates primes and NTT tables).
     ///
+    /// With `ks_digit_limbs > 0` this also generates ω special primes
+    /// (same bit size as the base prime, disjoint from the chain) that
+    /// back the hybrid key-switch gadget.
+    ///
     /// # Panics
     ///
     /// Panics on invalid dimensions (non-power-of-two `n`, prime sizes
-    /// above 62 bits).
+    /// above 62 bits, `ks_digit_limbs > MAX_KS_DIGIT_LIMBS`).
     pub fn build(&self) -> Arc<CkksContext> {
+        assert!(
+            self.ks_digit_limbs <= MAX_KS_DIGIT_LIMBS,
+            "ks_digit_limbs {} exceeds the supported maximum {}",
+            self.ks_digit_limbs,
+            MAX_KS_DIGIT_LIMBS
+        );
         let mut primes = ntt_primes(self.base_prime_bits, 1, self.n);
         primes.extend(ntt_primes(self.scale_prime_bits, self.depth, self.n));
         let scale = 2f64.powi(self.scale_prime_bits as i32);
-        CkksContext::new(self.n, primes, scale)
+        if self.ks_digit_limbs == 0 {
+            CkksContext::new(self.n, primes, scale)
+        } else {
+            let bits = self.base_prime_bits.max(self.scale_prime_bits);
+            let special = ntt_primes_excluding(bits, self.ks_digit_limbs, self.n, &primes);
+            CkksContext::with_special_primes(self.n, primes, special, scale)
+        }
     }
 }
 
@@ -98,6 +129,7 @@ impl Serialize for CkksParams {
             ("base_prime_bits", self.base_prime_bits.serialize()),
             ("scale_prime_bits", self.scale_prime_bits.serialize()),
             ("depth", self.depth.serialize()),
+            ("ks_digit_limbs", self.ks_digit_limbs.serialize()),
         ])
     }
 }
@@ -109,6 +141,13 @@ impl Deserialize for CkksParams {
             base_prime_bits: u32::deserialize(value.req("base_prime_bits")?)?,
             scale_prime_bits: u32::deserialize(value.req("scale_prime_bits")?)?,
             depth: usize::deserialize(value.req("depth")?)?,
+            // Artifacts recorded before the hybrid gadget carry no
+            // gadget field; they were priced and served per-prime, so
+            // keep that semantics on load.
+            ks_digit_limbs: match value.get("ks_digit_limbs") {
+                Some(v) => usize::deserialize(v)?,
+                None => 0,
+            },
         };
         // The same conditions `build()` would panic on, reported as
         // parse errors so a corrupt artifact cannot take the process
@@ -121,6 +160,12 @@ impl Deserialize for CkksParams {
         }
         if params.base_prime_bits > 62 || params.scale_prime_bits > 62 {
             return Err(Error::custom("prime sizes above 62 bits are unsupported"));
+        }
+        if params.ks_digit_limbs > MAX_KS_DIGIT_LIMBS {
+            return Err(Error::custom(format!(
+                "ks_digit_limbs {} exceeds the supported maximum {}",
+                params.ks_digit_limbs, MAX_KS_DIGIT_LIMBS
+            )));
         }
         Ok(params)
     }
@@ -142,10 +187,25 @@ mod tests {
             r#"{"n":300,"base_prime_bits":60,"scale_prime_bits":40,"depth":12}"#,
             r#"{"n":256,"base_prime_bits":63,"scale_prime_bits":40,"depth":12}"#,
             r#"{"n":256,"base_prime_bits":60,"depth":12}"#,
+            r#"{"n":256,"base_prime_bits":60,"scale_prime_bits":40,"depth":12,"ks_digit_limbs":9}"#,
         ] {
             let v = serde::json::from_str(bad).unwrap();
             assert!(CkksParams::deserialize(&v).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn missing_gadget_field_defaults_to_per_prime() {
+        // Pre-gadget artifacts carry only the original four fields and
+        // must keep loading — as per-prime, matching how they were
+        // priced when recorded.
+        let v = serde::json::from_str(
+            r#"{"n":256,"base_prime_bits":60,"scale_prime_bits":40,"depth":12}"#,
+        )
+        .unwrap();
+        let p = CkksParams::deserialize(&v).unwrap();
+        assert_eq!(p.ks_digit_limbs, 0);
+        assert!(p.build().special_primes().is_empty());
     }
 
     #[test]
@@ -155,6 +215,12 @@ mod tests {
         assert_eq!(ctx.primes().len(), 13);
         assert_eq!(ctx.max_level(), 12);
         assert_eq!(ctx.scale(), (1u64 << 40) as f64);
+        // The hybrid gadget adds ω special primes outside the chain.
+        assert_eq!(ctx.special_primes().len(), 3);
+        for &p in ctx.special_primes() {
+            assert!(!ctx.primes().contains(&p), "special prime {p} collides");
+            assert_eq!((p - 1) % (2 * 256), 0);
+        }
     }
 
     #[test]

@@ -249,6 +249,88 @@ proptest! {
                         fresh.limbs().collect::<Vec<_>>());
     }
 
+    /// The hybrid ω-limb key-switch gadget decrypts within noise of
+    /// the per-prime gadget across random digit sizes, levels and ring
+    /// sizes: both pipelines run the same seeded encrypt → drop →
+    /// mul → relin → rescale → decrypt and must land on the true
+    /// product.
+    #[test]
+    fn hybrid_gadget_matches_per_prime(
+        omega in 1usize..9,
+        log_n in 6u32..9,
+        level_limbs in 2usize..8,
+        vals in proptest::collection::vec(-1.0f64..1.0, 4),
+        seed in 0u64..1000,
+    ) {
+        let base = CkksParams {
+            n: 1usize << log_n,
+            base_prime_bits: 60,
+            scale_prime_bits: 40,
+            depth: 6,
+            ks_digit_limbs: 0,
+        };
+        let run = |params: CkksParams| {
+            let ctx = params.build();
+            let mut krng = Rng64::new(seed ^ 0x5EED);
+            let keys = KeyChain::generate(&ctx, &mut krng);
+            let ev = Evaluator::new(&keys);
+            let mut rng = Rng64::new(seed);
+            let mut ct = ev.encrypt_values(&vals, &mut rng);
+            ct.drop_to(level_limbs);
+            let mut prod = ev.mul(&ct, &ct);
+            ev.rescale(&mut prod);
+            ev.decrypt_values(&prod, 4)
+        };
+        let per_prime = run(base.clone());
+        let hybrid = run(CkksParams { ks_digit_limbs: omega, ..base });
+        for i in 0..4 {
+            let want = vals[i] * vals[i];
+            prop_assert!(
+                (per_prime[i] - want).abs() < 1e-2,
+                "per-prime slot {i}: {} vs {want}", per_prime[i]
+            );
+            prop_assert!(
+                (hybrid[i] - want).abs() < 1e-2,
+                "hybrid(ω={omega}) slot {i}: {} vs {want}", hybrid[i]
+            );
+            prop_assert!(
+                (hybrid[i] - per_prime[i]).abs() < 1e-2,
+                "gadget disagreement at slot {i}: {} vs {}", hybrid[i], per_prime[i]
+            );
+        }
+    }
+
+    /// Limb-parallel kernels are byte-identical to the sequential
+    /// path: the same seeded pipeline (encrypt → mul → relin →
+    /// rescale → rotate) produces byte-equal ciphertext limbs for
+    /// every intra-op worker budget from 1 through 8.
+    #[test]
+    fn limb_parallel_bit_identical_to_sequential(
+        workers in 2usize..9,
+        vals in proptest::collection::vec(-1.0f64..1.0, 8),
+        steps in 0i64..8,
+        seed in 0u64..1000,
+    ) {
+        let ev = shared();
+        let run = || {
+            let mut rng = Rng64::new(seed);
+            let ct = ev.encrypt_replicated(&vals, &mut rng);
+            let mut prod = ev.mul(&ct, &ct);
+            ev.rescale(&mut prod);
+            let rot = ev.rotate(&prod, steps);
+            let out = ev.decrypt_values(&rot, 8);
+            (rot, out)
+        };
+        let (ct_seq, out_seq) = crate::par::with_thread_budget(1, run);
+        let (ct_par, out_par) = crate::par::with_thread_budget(workers, run);
+        prop_assert_eq!(ct_seq.c0.limbs().collect::<Vec<_>>(),
+                        ct_par.c0.limbs().collect::<Vec<_>>());
+        prop_assert_eq!(ct_seq.c1.limbs().collect::<Vec<_>>(),
+                        ct_par.c1.limbs().collect::<Vec<_>>());
+        // f64 equality is intentional: the paths must be identical.
+        prop_assert_eq!(out_seq, out_par);
+    }
+
     /// A bootstrap refresh preserves slot values and restores the top
     /// level regardless of how deep the input sits.
     #[test]

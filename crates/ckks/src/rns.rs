@@ -39,6 +39,12 @@ pub struct CkksContext {
     n: usize,
     primes: Vec<u64>,
     ntt: Vec<NttTable>,
+    /// Hybrid key-switch special primes (empty selects the legacy
+    /// per-prime digit gadget). Disjoint from `primes`; their count is
+    /// the gadget digit size ω.
+    special: Vec<u64>,
+    /// NTT tables for the special primes, same order as `special`.
+    ntt_sp: Vec<NttTable>,
     /// `rescale_pre[last_idx]` holds constants for limbs
     /// `0..last_idx` when rescaling away the prime at `last_idx`.
     rescale_pre: Vec<Vec<RescalePre>>,
@@ -47,16 +53,42 @@ pub struct CkksContext {
 }
 
 impl CkksContext {
-    /// Builds a context.
+    /// Builds a context with the legacy per-prime key-switch gadget
+    /// (no special primes).
     ///
     /// # Panics
     ///
     /// Panics if `n` is not a power of two, `primes` is empty, or any
     /// prime is not NTT-friendly for `n`.
     pub fn new(n: usize, primes: Vec<u64>, scale: f64) -> Arc<Self> {
+        Self::with_special_primes(n, primes, Vec::new(), scale)
+    }
+
+    /// Builds a context whose key switches use the hybrid gadget:
+    /// `special.len()` = ω RNS limbs are grouped per digit and the
+    /// raised accumulation runs over the chain extended by the special
+    /// primes.
+    ///
+    /// # Panics
+    ///
+    /// As [`CkksContext::new`], plus if any special prime repeats a
+    /// chain prime.
+    pub fn with_special_primes(
+        n: usize,
+        primes: Vec<u64>,
+        special: Vec<u64>,
+        scale: f64,
+    ) -> Arc<Self> {
         assert!(n.is_power_of_two(), "n must be a power of two");
         assert!(!primes.is_empty(), "empty prime chain");
+        for &p in &special {
+            assert!(
+                !primes.contains(&p),
+                "special prime {p} collides with the modulus chain"
+            );
+        }
         let ntt: Vec<NttTable> = primes.iter().map(|&q| NttTable::new(q, n)).collect();
+        let ntt_sp: Vec<NttTable> = special.iter().map(|&p| NttTable::new(p, n)).collect();
         let rescale_pre = (0..primes.len())
             .map(|last_idx| {
                 let q_last = primes[last_idx];
@@ -78,6 +110,8 @@ impl CkksContext {
             n,
             primes,
             ntt,
+            special,
+            ntt_sp,
             rescale_pre,
             scale,
             sigma: 3.2,
@@ -126,6 +160,54 @@ impl CkksContext {
         self.ntt[i].arith()
     }
 
+    /// The hybrid key-switch special primes (empty when the context
+    /// uses the per-prime gadget). Their count is the gadget digit
+    /// size ω.
+    pub fn special_primes(&self) -> &[u64] {
+        &self.special
+    }
+
+    /// NTT table for special prime index `l`.
+    pub fn ntt_special(&self, l: usize) -> &NttTable {
+        &self.ntt_sp[l]
+    }
+
+    /// Barrett/Shoup constants for special prime index `l`.
+    #[inline]
+    pub fn arith_special(&self, l: usize) -> &PrimeArith {
+        self.ntt_sp[l].arith()
+    }
+
+    /// Modulus of limb `t` in the extended basis
+    /// `[q_0 .. q_{num_limbs-1}, p_0 .. ]`: chain prime for
+    /// `t < num_limbs`, special prime after.
+    #[inline]
+    pub(crate) fn ext_modulus(&self, num_limbs: usize, t: usize) -> u64 {
+        if t < num_limbs {
+            self.primes[t]
+        } else {
+            self.special[t - num_limbs]
+        }
+    }
+
+    /// NTT table for extended-basis limb `t` (see
+    /// [`CkksContext::ext_modulus`]).
+    #[inline]
+    pub(crate) fn ext_ntt(&self, num_limbs: usize, t: usize) -> &NttTable {
+        if t < num_limbs {
+            &self.ntt[t]
+        } else {
+            &self.ntt_sp[t - num_limbs]
+        }
+    }
+
+    /// Barrett/Shoup constants for extended-basis limb `t` (see
+    /// [`CkksContext::ext_modulus`]).
+    #[inline]
+    pub(crate) fn ext_arith(&self, num_limbs: usize, t: usize) -> &PrimeArith {
+        self.ext_ntt(num_limbs, t).arith()
+    }
+
     /// How many raw `u128` products `(q_i-1)^2` can pile up in a lazy
     /// accumulator (on top of one canonical carry-in `< q_i`) before
     /// it must be flushed, minimized over the first `num_limbs`
@@ -134,6 +216,21 @@ impl CkksContext {
     pub(crate) fn lazy_acc_headroom(&self, num_limbs: usize) -> usize {
         self.primes[..num_limbs]
             .iter()
+            .map(|&q| {
+                let max_prod = (q as u128 - 1) * (q as u128 - 1);
+                ((u128::MAX - (q as u128 - 1)) / max_prod) as usize
+            })
+            .min()
+            .expect("non-empty chain")
+    }
+
+    /// [`CkksContext::lazy_acc_headroom`] over the *extended* basis of
+    /// `num_limbs` chain primes plus the first `k` special primes; the
+    /// hybrid key-switch accumulates over all of them.
+    pub(crate) fn lazy_acc_headroom_ext(&self, num_limbs: usize, k: usize) -> usize {
+        self.primes[..num_limbs]
+            .iter()
+            .chain(self.special[..k].iter())
             .map(|&q| {
                 let max_prod = (q as u128 - 1) * (q as u128 - 1);
                 ((u128::MAX - (q as u128 - 1)) / max_prod) as usize
@@ -181,7 +278,7 @@ impl RnsPoly {
     /// A poly with pooled, *uninitialized* (unspecified-content)
     /// storage. Internal: every limb must be fully overwritten before
     /// the value escapes.
-    fn uninit(ctx: &Arc<CkksContext>, num_limbs: usize, is_ntt: bool) -> Self {
+    pub(crate) fn uninit(ctx: &Arc<CkksContext>, num_limbs: usize, is_ntt: bool) -> Self {
         assert!(num_limbs >= 1 && num_limbs <= ctx.primes().len());
         RnsPoly {
             ctx: Arc::clone(ctx),
@@ -339,27 +436,39 @@ impl RnsPoly {
         &self.ctx
     }
 
-    /// Converts to NTT form in place (no-op if already there).
+    /// The whole flat limb-major buffer, mutably. Internal: the
+    /// limb-parallel kernels split it into per-limb chunks.
+    pub(crate) fn data_mut(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+
+    /// Converts to NTT form in place (no-op if already there). Limbs
+    /// transform independently, so with an intra-op thread budget > 1
+    /// they run on the [`crate::par`] worker pool (bit-identical to
+    /// the sequential path — each limb's arithmetic is untouched).
     pub fn to_ntt(&mut self) {
         if self.is_ntt {
             return;
         }
         let n = self.ctx.n();
-        for (i, limb) in self.data.chunks_exact_mut(n).enumerate() {
-            self.ctx.ntt[i].forward(limb);
-        }
+        let ctx = &self.ctx;
+        crate::par::for_each_chunk_mut(&mut self.data, n, |i, limb| {
+            ctx.ntt[i].forward(limb);
+        });
         self.is_ntt = true;
     }
 
     /// Converts to coefficient form in place (no-op if already there).
+    /// Limb-parallel like [`RnsPoly::to_ntt`].
     pub fn to_coeff(&mut self) {
         if !self.is_ntt {
             return;
         }
         let n = self.ctx.n();
-        for (i, limb) in self.data.chunks_exact_mut(n).enumerate() {
-            self.ctx.ntt[i].inverse(limb);
-        }
+        let ctx = &self.ctx;
+        crate::par::for_each_chunk_mut(&mut self.data, n, |i, limb| {
+            ctx.ntt[i].inverse(limb);
+        });
         self.is_ntt = false;
     }
 

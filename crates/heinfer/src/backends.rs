@@ -99,8 +99,9 @@ impl InferenceBackend for PlainBackend {
 /// Slot-packed execution (see [`crate::pack`]) needs no special
 /// backend support: a lane-expanded pipeline is an ordinary
 /// [`HePipeline`] at the wider padded dimension, its block-diagonal
-/// affine stages run through the same [`Evaluator::matvec_bsgs`]
-/// (smartpaf_ckks) path with its per-matrix diagonal-encoding cache,
+/// affine stages run through the same
+/// [`smartpaf_ckks::Evaluator::matvec_bsgs`] path with its per-matrix
+/// diagonal-encoding cache,
 /// and PAF stages are elementwise per slot so they act per lane for
 /// free.
 pub struct CkksBackend<'a> {
@@ -226,7 +227,13 @@ impl InferenceBackend for CkksBackend<'_> {
             });
         }
         self.ensure(v, 1, label)?;
-        let mut items: Vec<Ciphertext> = taps.iter().map(|t| ev.matvec_bsgs(t, v)).collect();
+        // Tap matvecs are independent; fan them out across the shared
+        // intra-op worker pool. Results land in tap order, so the fold
+        // below is bit-identical to the sequential schedule.
+        let mut items: Vec<Ciphertext> = {
+            let v = &*v;
+            smartpaf_ckks::par::map(taps.len(), |i| ev.matvec_bsgs(&taps[i], v))
+        };
         // Pairwise tree fold with per-round refresh; all items sit at
         // the same level each round.
         while items.len() > 1 {
@@ -295,6 +302,12 @@ pub struct StageTrace {
     /// evaluation, plus one per ReLU/max product; affine stages cost
     /// only ciphertext-plaintext work and count zero).
     pub ct_mults: usize,
+    /// Exact ciphertext rotations (each a Galois key switch): the BSGS
+    /// schedule of every affine matvec and maxpool tap selection, at
+    /// the trace's lane count ([`TraceBackend::with_lanes`]) — wrap
+    /// diagonals of the lane-expanded block-diagonal matrices are
+    /// priced without materializing them.
+    pub rotations: usize,
 }
 
 /// Aggregate result of a trace dry run.
@@ -322,6 +335,11 @@ impl TraceReport {
         self.stages.iter().map(|s| s.levels).sum()
     }
 
+    /// Total ciphertext rotations across all stages.
+    pub fn total_rotations(&self) -> usize {
+        self.stages.iter().map(|s| s.rotations).sum()
+    }
+
     /// The PAF-slot records only (stages with a
     /// [`StageTrace::slot`] index), in slot order — one row per entry
     /// of a per-slot form vector.
@@ -338,6 +356,7 @@ impl Serialize for StageTrace {
             ("levels", self.levels.serialize()),
             ("bootstraps", self.bootstraps.serialize()),
             ("ct_mults", self.ct_mults.serialize()),
+            ("rotations", self.rotations.serialize()),
         ])
     }
 }
@@ -350,6 +369,11 @@ impl Deserialize for StageTrace {
             levels: usize::deserialize(value.req("levels")?)?,
             bootstraps: usize::deserialize(value.req("bootstraps")?)?,
             ct_mults: usize::deserialize(value.req("ct_mults")?)?,
+            // Absent from traces recorded before rotation pricing.
+            rotations: match value.get("rotations") {
+                Some(v) => usize::deserialize(v)?,
+                None => 0,
+            },
         })
     }
 }
@@ -384,6 +408,7 @@ pub struct TraceBackend {
     allow_bootstrap: bool,
     bootstraps: usize,
     next_slot: usize,
+    lanes: usize,
     stages: Vec<StageTrace>,
 }
 
@@ -400,8 +425,26 @@ impl TraceBackend {
             allow_bootstrap,
             bootstraps: 0,
             next_slot: 0,
+            lanes: 1,
             stages: Vec::new(),
         }
+    }
+
+    /// Prices rotations as if the pipeline were slot-packed at `lanes`
+    /// lanes ([`HePipeline::expand_lanes`]): each affine matrix is
+    /// costed through [`DiagMatrix::bsgs_rotations_lanes`], which
+    /// accounts for the wrap-diagonal doubling of the block-diagonal
+    /// expansion without building the expanded pipeline. Levels,
+    /// bootstraps, and ct-mults are lane-invariant, so a lane planner
+    /// can sweep candidate lane counts over one compiled pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lanes` is a power of two.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        assert!(lanes.is_power_of_two(), "lanes must be a power of two");
+        self.lanes = lanes;
+        self
     }
 
     /// Claims the next PAF slot index (stage order).
@@ -459,7 +502,7 @@ impl InferenceBackend for TraceBackend {
     fn affine(
         &mut self,
         _v: &mut (),
-        _mat: &DiagMatrix,
+        mat: &DiagMatrix,
         _bias: &[f64],
         label: &str,
     ) -> Result<(), RunError> {
@@ -471,6 +514,7 @@ impl InferenceBackend for TraceBackend {
             levels: 1,
             bootstraps: boots,
             ct_mults: 0,
+            rotations: mat.bsgs_rotations_lanes(self.lanes),
         });
         Ok(())
     }
@@ -501,6 +545,7 @@ impl InferenceBackend for TraceBackend {
             // Sign stages + the x·sign(x) product; the scale
             // multiplications are plaintext-constant, not ct-ct.
             ct_mults: op.engine.exact_ct_mults() + 1,
+            rotations: 0,
         });
         Ok(())
     }
@@ -570,6 +615,10 @@ impl InferenceBackend for TraceBackend {
             levels,
             bootstraps: boots,
             ct_mults,
+            rotations: taps
+                .iter()
+                .map(|t| t.bsgs_rotations_lanes(self.lanes))
+                .sum(),
         });
         Ok(())
     }
@@ -593,6 +642,21 @@ impl HePipeline {
         allow_bootstrap: bool,
     ) -> Result<(TraceReport, RunStats), RunError> {
         let mut backend = TraceBackend::new(max_level, allow_bootstrap);
+        let ((), stats) = self.run(&mut backend, ())?;
+        Ok((backend.report(), stats))
+    }
+
+    /// [`HePipeline::dry_run`] priced at `lanes` slot-packing lanes:
+    /// rotation counts reflect the block-diagonal expansion's wrap
+    /// diagonals without ever building the expanded pipeline
+    /// ([`TraceBackend::with_lanes`]).
+    pub fn dry_run_lanes(
+        &self,
+        max_level: usize,
+        allow_bootstrap: bool,
+        lanes: usize,
+    ) -> Result<(TraceReport, RunStats), RunError> {
+        let mut backend = TraceBackend::new(max_level, allow_bootstrap).with_lanes(lanes);
         let ((), stats) = self.run(&mut backend, ())?;
         Ok((backend.report(), stats))
     }
@@ -776,6 +840,62 @@ mod tests {
         assert_eq!(slots[1].ct_mults, 3 * (cheap.exact_ct_mult_count() + 1));
         // Affine stages carry no slot index.
         assert!(report.stages.iter().any(|s| s.slot.is_none()));
+    }
+
+    #[test]
+    fn lane_priced_trace_matches_materialized_expansion() {
+        // The lane planner's contract: dry_run_lanes on the base
+        // pipeline must report exactly the rotation counts of tracing
+        // the materialized expand_lanes pipeline, stage by stage —
+        // wrap-diagonal doubling priced before any expansion exists.
+        let mut rng = Rng64::new(108);
+        let paf = CompositePaf::from_form(PafForm::F1G2);
+        let pipe = PipelineBuilder::new(&[1, 4, 4])
+            .affine(Conv2d::new(1, 2, 3, 1, 1, &mut rng))
+            .paf_relu(&paf, 4.0)
+            .paf_maxpool(2, 2, &paf, 6.0)
+            .affine(smartpaf_nn::Flatten::new())
+            .affine(Linear::new(8, 4, &mut rng))
+            .compile()
+            .fold_scales();
+        for lanes in [1usize, 2, 4] {
+            let (base, _) = pipe.dry_run_lanes(30, false, lanes).expect("fits");
+            let (wide, _) = pipe.expand_lanes(lanes).dry_run(30, false).expect("fits");
+            assert_eq!(base.stages.len(), wide.stages.len());
+            for (b, w) in base.stages.iter().zip(&wide.stages) {
+                assert_eq!(b.rotations, w.rotations, "lanes {lanes} stage {}", b.label);
+                assert_eq!(b.ct_mults, w.ct_mults);
+                assert_eq!(b.levels, w.levels);
+            }
+            assert_eq!(base.total_rotations(), wide.total_rotations());
+        }
+        // Packing is not free: more lanes means strictly more
+        // rotations for any pipeline with off-diagonal affine work.
+        let r1 = pipe
+            .dry_run_lanes(30, false, 1)
+            .unwrap()
+            .0
+            .total_rotations();
+        let r4 = pipe
+            .dry_run_lanes(30, false, 4)
+            .unwrap()
+            .0
+            .total_rotations();
+        assert!(r4 > r1, "lanes=4 {r4} vs lanes=1 {r1}");
+    }
+
+    #[test]
+    fn stage_trace_rotations_default_for_old_recordings() {
+        // Traces serialized before rotation pricing lack the field and
+        // must deserialize to zero rotations.
+        let old = r#"{"label":"fc","slot":null,"levels":1,"bootstraps":0,"ct_mults":0}"#;
+        let st = StageTrace::deserialize(&serde::json::from_str(old).unwrap()).unwrap();
+        assert_eq!(st.rotations, 0);
+        // Round trip keeps the recorded count.
+        let mut st = st;
+        st.rotations = 7;
+        let back = StageTrace::deserialize(&st.serialize()).unwrap();
+        assert_eq!(back, st);
     }
 
     #[test]

@@ -252,20 +252,27 @@ impl BatchRunner {
                 stats.push(s);
             }
         } else {
+            // Batch-level shards and intra-op limb parallelism share
+            // one thread budget: each shard thread gets an equal slice
+            // of this thread's budget so `shards × intra-op workers`
+            // never oversubscribes `SMARTPAF_THREADS`.
+            let intra = (smartpaf_ckks::par::max_intra_workers() / workers).max(1);
             let shard_results: Vec<Result<Vec<(O, RunStats)>, RunError>> =
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = inputs
                         .chunks(chunk)
                         .map(|shard| {
                             scope.spawn(|| {
-                                let mut w = make_worker();
-                                shard
-                                    .iter()
-                                    .map(|input| {
-                                        catch_unwind(AssertUnwindSafe(|| eval(&mut w, input)))
-                                            .unwrap_or(Err(RunError::WorkerPanicked))
-                                    })
-                                    .collect::<Result<Vec<_>, _>>()
+                                smartpaf_ckks::par::with_thread_budget(intra, || {
+                                    let mut w = make_worker();
+                                    shard
+                                        .iter()
+                                        .map(|input| {
+                                            catch_unwind(AssertUnwindSafe(|| eval(&mut w, input)))
+                                                .unwrap_or(Err(RunError::WorkerPanicked))
+                                        })
+                                        .collect::<Result<Vec<_>, _>>()
+                                })
                             })
                         })
                         .collect();
@@ -302,6 +309,49 @@ mod tests {
     use smartpaf_nn::{Conv2d, Flatten, Linear};
     use smartpaf_polyfit::{CompositePaf, PafForm};
     use smartpaf_tensor::Rng64;
+
+    #[test]
+    fn shard_workers_split_the_intra_op_budget() {
+        // 8-thread budget over 4 shard workers → each shard sees an
+        // intra-op budget of 2; the sequential fast path keeps all 8.
+        let empty_stats = || RunStats {
+            stage_levels: Vec::new(),
+            bootstraps: 0,
+            final_level: 0,
+            wall: Duration::ZERO,
+        };
+        let inputs: Vec<usize> = (0..8).collect();
+        let seen = std::sync::Mutex::new(Vec::new());
+        smartpaf_ckks::par::with_thread_budget(8, || {
+            BatchRunner::new(4)
+                .run_sharded(
+                    &inputs,
+                    || (),
+                    |(), _| {
+                        seen.lock()
+                            .unwrap()
+                            .push(smartpaf_ckks::par::max_intra_workers());
+                        Ok((0usize, empty_stats()))
+                    },
+                )
+                .unwrap();
+            assert!(seen.lock().unwrap().iter().all(|&b| b == 2));
+            seen.lock().unwrap().clear();
+            BatchRunner::new(1)
+                .run_sharded(
+                    &inputs,
+                    || (),
+                    |(), _| {
+                        seen.lock()
+                            .unwrap()
+                            .push(smartpaf_ckks::par::max_intra_workers());
+                        Ok((0usize, empty_stats()))
+                    },
+                )
+                .unwrap();
+            assert!(seen.lock().unwrap().iter().all(|&b| b == 8));
+        });
+    }
 
     /// An MNIST-scale (downsampled digit) CNN pipeline: conv → PAF-ReLU
     /// → PAF-maxpool → linear head over an 8×8 image.
